@@ -1,0 +1,158 @@
+// E9 — The autonomy/predictability trade-off (§VI).
+//
+// Paper claim: "More autonomy implies less predictability of aggregate
+// behavior which may reduce what can be guaranteed ... to attain high
+// responsiveness and agility, or to scale to larger system sizes, more
+// decisions need to be local ... Can systems therefore adapt the balance
+// depending on requirements?"
+//
+// Operationalization: a task-allocation problem where a fraction f of the
+// force decides locally (parallel best response; latency = rounds) and
+// the remainder is assigned by the commander (centralized greedy;
+// sequential approvals, so latency grows with the block size).
+//
+//   latency        — command cycles until every decision is final
+//   welfare        — achieved mission welfare
+//   unpredictability — spread (sd) of the final welfare across random
+//                    initial conditions of the autonomous block: the
+//                    centralized block is deterministic, so the spread is
+//                    exactly the behaviour the commander cannot predict.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "intent/games.h"
+
+namespace {
+
+using namespace iobt;
+
+struct Result {
+  double latency = 0;
+  double welfare = 0;
+  double unpredictability = 0;
+};
+
+/// Runs the hybrid allocation once for a given autonomous-block start.
+/// Returns (welfare, latency_cycles).
+std::pair<double, std::size_t> hybrid_once(const intent::TaskAllocationGame& g,
+                                           std::size_t n_local,
+                                           const intent::JointAction& central_part,
+                                           std::size_t central_latency,
+                                           intent::JointAction local_start) {
+  intent::JointAction joint = central_part;
+  for (std::size_t i = 0; i < n_local; ++i) joint[i] = local_start[i];
+
+  std::size_t local_rounds = 0;
+  for (std::size_t round = 0; round < 100; ++round) {
+    bool moved = false;
+    for (std::size_t i = 0; i < n_local; ++i) {
+      const auto br = g.best_response(i, joint);
+      if (br != joint[i]) {
+        joint[i] = br;
+        moved = true;
+      }
+    }
+    ++local_rounds;
+    if (!moved) break;
+  }
+  return {g.welfare(joint), central_latency + local_rounds};
+}
+
+Result run(double autonomy_fraction, std::size_t agents, std::size_t tasks,
+           int scenarios) {
+  Result r;
+  double latency_acc = 0, welfare_acc = 0, unpred_acc = 0;
+  for (int t = 0; t < scenarios; ++t) {
+    sim::Rng rng(1000 * static_cast<std::uint64_t>(t) + agents +
+                 static_cast<std::uint64_t>(autonomy_fraction * 100));
+    const auto g = intent::TaskAllocationGame::random_instance(agents, tasks, rng);
+    const auto n_local = static_cast<std::size_t>(autonomy_fraction *
+                                                  static_cast<double>(agents));
+
+    // Commander assigns the centralized block (agents n_local..end) by
+    // incremental greedy; one approval per assignment.
+    intent::JointAction central(agents, g.idle_action());
+    std::size_t central_latency = 0;
+    {
+      std::vector<double> fail(g.num_tasks(), 1.0);
+      std::vector<bool> assigned(agents, false);
+      while (true) {
+        double best_gain = 1e-12;
+        std::size_t bi = agents, bj = 0;
+        for (std::size_t i = n_local; i < agents; ++i) {
+          if (assigned[i]) continue;
+          for (std::size_t j = 0; j < g.num_tasks(); ++j) {
+            const double gain = g.value(j) * fail[j] * g.effectiveness(i, j);
+            if (gain > best_gain) {
+              best_gain = gain;
+              bi = i;
+              bj = j;
+            }
+          }
+        }
+        if (bi == agents) break;
+        central[bi] = bj;
+        assigned[bi] = true;
+        fail[bj] *= (1.0 - g.effectiveness(bi, bj));
+        ++central_latency;
+      }
+    }
+
+    // The autonomous block best-responds from several random initial
+    // conditions: the welfare spread across them is what the commander
+    // cannot predict in advance.
+    const int starts = 6;
+    std::vector<double> welfares;
+    double lat = 0;
+    sim::Rng srng(42 + static_cast<std::uint64_t>(t));
+    for (int s = 0; s < starts; ++s) {
+      intent::JointAction local_start(agents, g.idle_action());
+      for (std::size_t i = 0; i < n_local; ++i) {
+        local_start[i] = static_cast<std::size_t>(
+            srng.uniform_int(0, static_cast<std::int64_t>(g.num_tasks())));
+      }
+      const auto [w, cycles] =
+          hybrid_once(g, n_local, central, central_latency, local_start);
+      welfares.push_back(w);
+      lat += static_cast<double>(cycles);
+    }
+    double mean = 0;
+    for (double w : welfares) mean += w;
+    mean /= welfares.size();
+    double var = 0;
+    for (double w : welfares) var += (w - mean) * (w - mean);
+    latency_acc += lat / starts;
+    welfare_acc += mean;
+    unpred_acc += std::sqrt(var / welfares.size());
+  }
+  r.latency = latency_acc / scenarios;
+  r.welfare = welfare_acc / scenarios;
+  r.unpredictability = unpred_acc / scenarios;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace iobt::bench;
+
+  header("E9: autonomy vs predictability",
+         "more local decisions -> faster response but less predictable aggregate "
+         "behavior; the balance should adapt to requirements");
+
+  for (std::size_t agents : {30u, 90u}) {
+    const std::size_t tasks = agents / 3;
+    std::printf("force size %zu (%zu tasks), 6 scenario draws x 6 starts:\n", agents,
+                tasks);
+    row("%-12s %-16s %-10s %-18s", "autonomy", "latency(cycles)", "welfare",
+        "unpredictability");
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const Result r = run(f, agents, tasks, 6);
+      row("%-12.2f %-16.1f %-10.2f %-18.3f", f, r.latency, r.welfare,
+          r.unpredictability);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

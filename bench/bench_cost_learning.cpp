@@ -1,0 +1,99 @@
+// E8 — Cost of learning and topology activation.
+//
+// Paper claim (§V-B, refs [28-33]): "one might activate different network
+// topologies based on the trade-off between network learning and
+// communication. This work may inform design of dynamic IoBTs that
+// self-configure to jointly optimize both learning cost and decision
+// making accuracy."
+//
+// Series regenerated:
+//   (a) accuracy-vs-cumulative-bytes curves for ring / k-nearest / star /
+//       full-mesh gossip topologies (the Pareto front),
+//   (b) adaptive activation policy (start cheap, escalate on stall) vs
+//       the best static choices: bytes to reach a target accuracy.
+
+#include "bench_util.h"
+#include "learn/cost.h"
+
+namespace {
+
+using namespace iobt;
+
+std::vector<learn::NamedTopology> topology_menu(std::size_t n, sim::Rng& rng) {
+  std::vector<sim::Vec2> pos(n);
+  for (auto& p : pos) p = {rng.uniform(0, 100), rng.uniform(0, 100)};
+  net::Topology full(n);
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = a + 1; b < n; ++b) full.add_edge(a, b);
+  }
+  return {
+      {"ring", net::Topology::ring(n), 1.0},
+      {"knn3", net::Topology::k_nearest(pos, 3), 1.0},
+      {"star", net::Topology::star(n), 1.0},
+      {"full", full, 1.0},
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace iobt::bench;
+
+  header("E8: cost-aware learning topologies",
+         "activate topologies based on the learning-vs-communication trade-off");
+
+  const std::size_t n = 12;
+  sim::Rng data_rng(77);
+  const auto train = learn::make_blobs(1800, 5, 2.5, 0.05, data_rng);
+  const auto test = learn::make_blobs(400, 5, 2.5, 0.05, data_rng);
+  sim::Rng menu_rng(5);
+  const auto menu = topology_menu(n, menu_rng);
+
+  const std::size_t rounds = 25;
+  std::printf("accuracy at checkpoints (label_skew=1.0, 2 local steps):\n");
+  row("%-8s %-12s %-10s %-10s %-10s %-12s", "topo", "bytes_total", "acc@5", "acc@12",
+      "acc@25", "KB/round");
+  std::vector<learn::CostCurve> curves;
+  for (const auto& nt : menu) {
+    sim::Rng rng(900 + sim::fnv1a(nt.name));
+    const auto c = learn::evaluate_topology(nt, train, test, 5, rounds, 2, 8, 0.05,
+                                            1.0, rng);
+    curves.push_back(c);
+    row("%-8s %-12llu %-10.3f %-10.3f %-10.3f %-12.1f", nt.name.c_str(),
+        static_cast<unsigned long long>(c.points.back().cumulative_bytes),
+        c.points[4].accuracy, c.points[11].accuracy, c.points[24].accuracy,
+        static_cast<double>(c.points.back().cumulative_bytes) / rounds / 1024.0);
+  }
+
+  std::printf("\nbytes to reach target accuracy:\n");
+  row("%-8s %-14s %-14s", "topo", "bytes@0.85", "bytes@0.88");
+  auto bytes_to = [](const learn::CostCurve& c, double target) -> long long {
+    for (const auto& p : c.points) {
+      if (p.accuracy >= target) return static_cast<long long>(p.cumulative_bytes);
+    }
+    return -1;
+  };
+  for (const auto& c : curves) {
+    row("%-8s %-14lld %-14lld", c.topology.c_str(), bytes_to(c, 0.85),
+        bytes_to(c, 0.88));
+  }
+
+  std::printf("\nadaptive activation (ring -> knn3 -> full, patience=3):\n");
+  {
+    std::vector<learn::NamedTopology> options = {menu[0], menu[1], menu[3]};
+    sim::Rng rng(1234);
+    const auto res = learn::cost_aware_train(options, train, test, 5, rounds, 2, 8,
+                                             0.05, 1.0, 3, 0.005, rng);
+    long long b85 = -1, b90 = -1;
+    for (const auto& p : res.curve.points) {
+      if (b85 < 0 && p.accuracy >= 0.85) b85 = static_cast<long long>(p.cumulative_bytes);
+      if (b90 < 0 && p.accuracy >= 0.88) b90 = static_cast<long long>(p.cumulative_bytes);
+    }
+    row("%-8s %-14lld %-14lld final_acc=%.3f total_bytes=%llu", "adaptive", b85, b90,
+        res.final_accuracy, static_cast<unsigned long long>(res.total_bytes));
+    std::printf("topology per round: ");
+    for (auto a : res.active_topology_per_round) std::printf("%zu", a);
+    std::printf("  (0=ring 1=knn3 2=full)\n");
+  }
+  return 0;
+}

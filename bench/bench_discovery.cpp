@@ -1,0 +1,110 @@
+// E2 — Continuous discovery under churn and adversaries.
+//
+// Paper claim (§III-A): "they may move frequently, so their discovery
+// needs to be continuous"; "the resilience of discovery and
+// characterization to adversarial behavior" is a critical challenge.
+//
+// Series regenerated:
+//   (a) directory recall and staleness vs churn rate (asset deaths/min),
+//   (b) red-node identification precision/recall vs red fraction, with
+//       the side-channel scanner as the only channel that sees hiders.
+
+#include "bench_util.h"
+#include "discovery/service.h"
+#include "net/dispatcher.h"
+#include "things/population.h"
+
+namespace {
+
+using namespace iobt;
+
+struct Scenario {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<things::World> world;
+  std::unique_ptr<net::Dispatcher> disp;
+  std::unique_ptr<discovery::DiscoveryService> svc;
+
+  Scenario(double red_fraction, std::uint64_t seed) {
+    net = std::make_unique<net::Network>(sim, net::ChannelModel(2.0, 0.15),
+                                         sim::Rng(seed));
+    world = std::make_unique<things::World>(sim, *net, sim::Rect{{0, 0}, {1200, 1200}},
+                                            sim::Rng(seed + 1));
+    disp = std::make_unique<net::Dispatcher>(*net);
+
+    things::PopulationConfig pop;
+    pop.sensor_motes = 40;
+    pop.smartphones = 25;
+    pop.drones = 6;
+    pop.vehicles = 3;
+    pop.edge_servers = 1;
+    pop.red_fraction = red_fraction;
+    pop.gray_fraction = 0.3;
+    pop.mobile_fraction = 0.3;
+    sim::Rng pop_rng(seed + 2);
+    things::build_population(*world, pop, pop_rng);
+    world->start();
+
+    std::vector<things::AssetId> collectors;
+    for (const auto& a : world->assets()) {
+      if (a.affiliation == things::Affiliation::kBlue &&
+          (a.device_class == things::DeviceClass::kVehicle ||
+           a.device_class == things::DeviceClass::kEdgeServer)) {
+        collectors.push_back(a.id);
+      }
+    }
+    discovery::DiscoveryConfig cfg;
+    cfg.probe_period = sim::Duration::seconds(15);
+    cfg.scan_period = sim::Duration::seconds(20);
+    cfg.staleness = sim::Duration::seconds(90);
+    svc = std::make_unique<discovery::DiscoveryService>(*world, *disp, collectors, cfg);
+    svc->start();
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace iobt::bench;
+
+  header("E2: continuous discovery",
+         "discovery must be continuous and resilient to churn and adversaries");
+
+  row("%-14s %-10s %-12s", "churn(/min)", "recall", "dir_size");
+  for (double kills_per_min : {0.0, 1.0, 3.0, 6.0}) {
+    Scenario s(0.05, 99);
+    // Churn process: kill a uniformly random live blue mote periodically.
+    if (kills_per_min > 0.0) {
+      auto rng = std::make_shared<sim::Rng>(7);
+      s.sim.schedule_every(
+          sim::Duration::seconds(60.0 / kills_per_min),
+          [&s, rng]() {
+            std::vector<things::AssetId> motes;
+            for (const auto& a : s.world->assets()) {
+              if (a.device_class == things::DeviceClass::kSensorMote &&
+                  s.world->asset_live(a.id)) {
+                motes.push_back(a.id);
+              }
+            }
+            if (!motes.empty()) {
+              s.world->destroy_asset(motes[static_cast<std::size_t>(rng->uniform_int(
+                  0, static_cast<std::int64_t>(motes.size()) - 1))]);
+            }
+            return true;
+          });
+    }
+    s.sim.run_until(sim::SimTime::seconds(600));
+    row("%-14.1f %-10.3f %-12zu", kills_per_min, s.svc->recall(),
+        s.svc->directory().size());
+  }
+
+  std::printf("\nadversary identification vs red fraction:\n");
+  row("%-12s %-18s %-18s", "red_frac", "suspect_precision", "suspect_recall");
+  for (double red : {0.02, 0.05, 0.1, 0.2}) {
+    Scenario s(red, 123);
+    s.sim.run_until(sim::SimTime::seconds(600));
+    row("%-12.2f %-18.3f %-18.3f", red, s.svc->suspect_precision(),
+        s.svc->suspect_recall());
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E6 — Resilient distributed learning.
+//
+// Paper claims (§V-B): distributed learning must "tolerate a wide array of
+// failures and adversarial compromises of learning nodes"; "what is the
+// impact of time-varying topology (such as that caused by failures due to
+// an adversary) on the correctness and convergence of distributed learning
+// algorithms?"
+//
+// Series regenerated:
+//   (a) final accuracy vs Byzantine worker fraction for mean / Krum /
+//       coordinate-median / trimmed-mean aggregation (parameter server),
+//   (b) gossip accuracy & consensus disagreement vs per-round link-up
+//       probability (time-varying topology),
+//   (c) non-IID label skew interaction with robust rules.
+
+#include "bench_util.h"
+#include "learn/federated.h"
+
+int main() {
+  using namespace iobt;
+  using namespace iobt::bench;
+  using learn::AggregationRule;
+
+  header("E6: resilient distributed learning",
+         "learning must tolerate adversarial compromise and topology churn");
+
+  sim::Rng data_rng(21);
+  const auto train = learn::make_blobs(2000, 6, 3.5, 0.02, data_rng);
+  const auto test = learn::make_blobs(500, 6, 3.5, 0.02, data_rng);
+
+  row("%-10s %-8s %-8s %-8s %-8s", "byz_frac", "mean", "krum", "median", "trimmed");
+  const AggregationRule rules[] = {AggregationRule::kMean, AggregationRule::kKrum,
+                                   AggregationRule::kMedian,
+                                   AggregationRule::kTrimmedMean};
+  for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    double acc[4];
+    for (int r = 0; r < 4; ++r) {
+      learn::FederatedConfig cfg;
+      cfg.workers = 20;
+      cfg.rounds = 25;
+      cfg.byzantine_count = static_cast<std::size_t>(frac * 20 + 1e-9);
+      cfg.byzantine_mode = learn::ByzantineMode::kSignFlip;
+      cfg.assumed_f = cfg.byzantine_count;
+      cfg.rule = rules[r];
+      sim::Rng rng(100 + static_cast<std::uint64_t>(frac * 100) + r);
+      acc[r] = learn::federated_train(train, test, 6, cfg, rng).final_accuracy;
+    }
+    row("%-10.1f %-8.3f %-8.3f %-8.3f %-8.3f", frac, acc[0], acc[1], acc[2], acc[3]);
+  }
+
+  std::printf(
+      "\ngossip under link churn (ring of 12, full label skew, mean agg):\n");
+  row("%-14s %-10s %-12s", "link_up_prob", "acc@20", "acc@60");
+  for (double up : {1.0, 0.8, 0.5, 0.3, 0.1}) {
+    learn::GossipConfig cfg;
+    cfg.rounds = 60;
+    cfg.local_steps = 2;
+    cfg.lr = 0.05;
+    cfg.label_skew = 1.0;  // nodes see one label: consensus is mandatory
+    cfg.link_up_probability = up;
+    sim::Rng rng(200 + static_cast<std::uint64_t>(up * 100));
+    const auto res = learn::gossip_train(net::Topology::ring(12), train, test, 6, cfg,
+                                         rng);
+    row("%-14.1f %-10.3f %-12.3f", up, res.accuracy_per_round[19],
+        res.final_accuracy);
+  }
+
+  std::printf("\nByzantine gossip (ring of 12, 2 attackers):\n");
+  row("%-10s %-10s", "rule", "accuracy");
+  for (auto rule : {AggregationRule::kMean, AggregationRule::kMedian,
+                    AggregationRule::kTrimmedMean, AggregationRule::kKrum}) {
+    learn::GossipConfig cfg;
+    cfg.rounds = 40;
+    cfg.byzantine_count = 2;
+    cfg.assumed_f = 2;
+    cfg.rule = rule;
+    sim::Rng rng(300);
+    const auto res = learn::gossip_train(net::Topology::ring(12), train, test, 6, cfg,
+                                         rng);
+    row("%-10s %-10.3f", learn::to_string(rule).c_str(), res.final_accuracy);
+  }
+
+  std::printf("\nnon-IID label skew (20 workers, 20%% Byzantine, Krum):\n");
+  row("%-10s %-10s", "skew", "accuracy");
+  for (double skew : {0.0, 0.5, 0.9}) {
+    learn::FederatedConfig cfg;
+    cfg.workers = 20;
+    cfg.rounds = 30;
+    cfg.byzantine_count = 4;
+    cfg.assumed_f = 4;
+    cfg.rule = AggregationRule::kKrum;
+    cfg.label_skew = skew;
+    sim::Rng rng(400 + static_cast<std::uint64_t>(skew * 10));
+    row("%-10.1f %-10.3f", skew,
+        learn::federated_train(train, test, 6, cfg, rng).final_accuracy);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the experiment harnesses: aligned table printing and
+// wall-clock timing. Every bench prints the series its experiment id in
+// DESIGN.md §3 calls for; EXPERIMENTS.md records the expected shapes.
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace iobt::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+/// printf-style row helper so harness code reads like the table it emits.
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace iobt::bench

@@ -1,0 +1,72 @@
+// Distributed learning at the tactical edge (§V-B).
+//
+// A battalion trains a shared classifier (e.g. "does this acoustic
+// signature mean vehicle movement?") across 20 heterogeneous nodes whose
+// data is spatially clustered (non-IID). Mid-program, the adversary
+// compromises a quarter of the workers. This example shows:
+//   1. naive federated averaging collapsing under the compromise,
+//   2. Krum riding through it,
+//   3. fully decentralized gossip with a cost-aware topology schedule
+//      (start cheap on a ring, escalate when accuracy stalls).
+
+#include <cstdio>
+
+#include "learn/cost.h"
+#include "learn/federated.h"
+
+int main() {
+  using namespace iobt;
+
+  sim::Rng data_rng(2027);
+  const auto train = learn::make_blobs(2400, 6, 3.0, 0.03, data_rng);
+  const auto test = learn::make_blobs(600, 6, 3.0, 0.03, data_rng);
+
+  std::printf("=== federated training, 20 workers, non-IID shards ===\n");
+  std::printf("%-22s %-12s %-12s\n", "configuration", "clean_acc", "attacked_acc");
+  for (auto rule : {learn::AggregationRule::kMean, learn::AggregationRule::kKrum,
+                    learn::AggregationRule::kMedian}) {
+    learn::FederatedConfig cfg;
+    cfg.workers = 20;
+    cfg.rounds = 30;
+    cfg.label_skew = 0.6;
+    cfg.rule = rule;
+
+    sim::Rng r1(1);
+    const double clean = learn::federated_train(train, test, 6, cfg, r1).final_accuracy;
+
+    cfg.byzantine_count = 5;  // 25% of the fleet compromised
+    cfg.assumed_f = 5;
+    cfg.byzantine_mode = learn::ByzantineMode::kSignFlip;
+    sim::Rng r2(1);
+    const double attacked =
+        learn::federated_train(train, test, 6, cfg, r2).final_accuracy;
+    std::printf("%-22s %-12.3f %-12.3f\n", learn::to_string(rule).c_str(), clean,
+                attacked);
+  }
+
+  std::printf("\n=== decentralized gossip with cost-aware topology ===\n");
+  const std::size_t n = 12;
+  net::Topology full(n);
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = a + 1; b < n; ++b) full.add_edge(a, b);
+  }
+  std::vector<learn::NamedTopology> menu = {
+      {"ring", net::Topology::ring(n), 1.0},
+      {"full", full, 1.0},
+  };
+  sim::Rng arng(7);
+  const auto adaptive = learn::cost_aware_train(menu, train, test, 6, 30, 2, 8, 0.05,
+                                                1.0, 3, 0.005, arng);
+  sim::Rng srng(7);
+  const auto static_full = learn::evaluate_topology(menu[1], train, test, 6, 30, 2, 8,
+                                                    0.05, 1.0, srng);
+  std::printf("adaptive:    final_acc=%.3f bytes=%llu\n", adaptive.final_accuracy,
+              static_cast<unsigned long long>(adaptive.total_bytes));
+  std::printf("static full: final_acc=%.3f bytes=%llu\n",
+              static_full.points.back().accuracy,
+              static_cast<unsigned long long>(static_full.points.back().cumulative_bytes));
+  std::printf("topology per round (0=ring 1=full): ");
+  for (auto a : adaptive.active_topology_per_round) std::printf("%zu", a);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "adapt/allocation.h"
+
+#include <algorithm>
+
+namespace iobt::adapt {
+
+ComputeNodeId ComputePool::add_node(double capacity_flops, int hops) {
+  const auto id = static_cast<ComputeNodeId>(nodes_.size());
+  nodes_.push_back({id, capacity_flops, hops, true});
+  used_.push_back(0.0);
+  return id;
+}
+
+void ComputePool::set_node_alive(ComputeNodeId id, bool alive) {
+  nodes_.at(id).alive = alive;
+}
+
+std::optional<ComputeNodeId> ComputePool::pick_node(const ComputeTask& task) const {
+  std::optional<ComputeNodeId> best;
+  double best_free = -1.0;
+  for (const auto& n : nodes_) {
+    if (!n.alive || n.hops > task.max_hops) continue;
+    const double free = n.capacity_flops - used_[n.id];
+    if (free < task.demand_flops) continue;
+    // Worst-fit: keep headroom spread across nodes.
+    if (free > best_free) {
+      best_free = free;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+std::optional<ComputeNodeId> ComputePool::submit(const ComputeTask& task) {
+  // Saturation guard: a principal may not exceed its capacity share even
+  // if the pool is otherwise idle.
+  const double cap = cfg_.per_principal_capacity_cap * total_capacity();
+  auto pit = principal_used_.find(task.principal);
+  const double already = pit == principal_used_.end() ? 0.0 : pit->second;
+  if (already + task.demand_flops > cap) {
+    ++quota_rejections_;
+    return std::nullopt;
+  }
+
+  const auto node = pick_node(task);
+  if (!node) return std::nullopt;
+  used_[*node] += task.demand_flops;
+  principal_used_[task.principal] = already + task.demand_flops;
+  placements_[task.id] = {task, *node};
+  return node;
+}
+
+void ComputePool::finish(TaskId id) {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return;
+  used_[it->second.node] -= it->second.task.demand_flops;
+  principal_used_[it->second.task.principal] -= it->second.task.demand_flops;
+  placements_.erase(it);
+}
+
+std::size_t ComputePool::rebalance() {
+  // Collect tasks stranded on dead nodes (deterministic order by TaskId).
+  std::vector<TaskId> stranded;
+  for (const auto& [tid, pl] : placements_) {
+    if (!nodes_[pl.node].alive) stranded.push_back(tid);
+  }
+  std::sort(stranded.begin(), stranded.end());
+
+  std::size_t dropped = 0;
+  for (const TaskId tid : stranded) {
+    const Placement pl = placements_[tid];
+    // Free its accounting fully, then resubmit through the normal path
+    // (quota re-checked: a quota that tightened meanwhile is enforced).
+    used_[pl.node] -= pl.task.demand_flops;
+    principal_used_[pl.task.principal] -= pl.task.demand_flops;
+    placements_.erase(tid);
+    if (!submit(pl.task)) ++dropped;
+  }
+  return dropped;
+}
+
+double ComputePool::total_capacity() const {
+  double t = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.alive) t += n.capacity_flops;
+  }
+  return t;
+}
+
+double ComputePool::used_capacity() const {
+  double t = 0.0;
+  for (const auto& [tid, pl] : placements_) {
+    if (nodes_[pl.node].alive) t += pl.task.demand_flops;
+  }
+  return t;
+}
+
+double ComputePool::node_load(ComputeNodeId id) const {
+  const auto& n = nodes_.at(id);
+  return n.capacity_flops > 0 ? used_[id] / n.capacity_flops : 0.0;
+}
+
+double ComputePool::principal_usage(PrincipalId p) const {
+  auto it = principal_used_.find(p);
+  return it == principal_used_.end() ? 0.0 : it->second;
+}
+
+std::optional<ComputeNodeId> ComputePool::location(TaskId id) const {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return std::nullopt;
+  return it->second.node;
+}
+
+}  // namespace iobt::adapt

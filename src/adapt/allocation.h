@@ -1,0 +1,93 @@
+#pragma once
+// Adaptive compute/communication resource allocation (§IV-B): "Resource
+// allocation algorithms will be needed that can (i) dynamically reallocate
+// heterogeneous resources at the edge, network core, and backend ...
+// (ii) scale resource allocations to match workloads that exhibit high
+// spatial and temporal variability, and (iii) prevent any subset of IoBT
+// devices (including attackers) from saturating cloud processing and
+// communication resources."
+//
+// ComputePool allocates analytic tasks to heterogeneous compute nodes
+// under capacity and hop-latency constraints, rebalances when nodes fail
+// or load shifts, and enforces per-principal admission quotas so no
+// client — including a compromised one — can starve the rest.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iobt::adapt {
+
+using ComputeNodeId = std::uint32_t;
+using TaskId = std::uint64_t;
+using PrincipalId = std::uint32_t;  // who submitted the task (AssetId)
+
+struct ComputeNode {
+  ComputeNodeId id = 0;
+  double capacity_flops = 1e9;  // sustainable throughput
+  /// Network distance from the tasking edge (hops); latency proxy.
+  int hops = 1;
+  bool alive = true;
+};
+
+struct ComputeTask {
+  TaskId id = 0;
+  PrincipalId principal = 0;
+  double demand_flops = 1e8;
+  /// Task unusable if placed further than this many hops away.
+  int max_hops = 8;
+};
+
+struct PoolConfig {
+  /// Maximum fraction of total pool capacity a single principal may hold —
+  /// the saturation guard of §IV-B(iii).
+  double per_principal_capacity_cap = 0.34;
+};
+
+class ComputePool {
+ public:
+  explicit ComputePool(PoolConfig config = {}) : cfg_(config) {}
+
+  ComputeNodeId add_node(double capacity_flops, int hops);
+  void set_node_alive(ComputeNodeId id, bool alive);
+
+  /// Attempts to place a task. Returns the chosen node, or nullopt when
+  /// rejected (no capacity within the hop bound, or the principal's quota
+  /// is exhausted). Placement is worst-fit (most free capacity) among the
+  /// feasible nodes, which spreads load and leaves headroom for failover.
+  std::optional<ComputeNodeId> submit(const ComputeTask& task);
+
+  /// Completes (removes) a task.
+  void finish(TaskId id);
+
+  /// Re-places every task that currently sits on a dead node. Returns the
+  /// number of tasks that could not be re-placed (dropped; callers decide
+  /// whether to retry or shed them).
+  std::size_t rebalance();
+
+  double total_capacity() const;
+  double used_capacity() const;
+  double node_load(ComputeNodeId id) const;  // fraction of node capacity
+  double principal_usage(PrincipalId p) const;
+  std::size_t running_tasks() const { return placements_.size(); }
+  std::optional<ComputeNodeId> location(TaskId id) const;
+  std::size_t rejected_for_quota() const { return quota_rejections_; }
+
+ private:
+  std::optional<ComputeNodeId> pick_node(const ComputeTask& task) const;
+
+  PoolConfig cfg_;
+  std::vector<ComputeNode> nodes_;
+  std::vector<double> used_;  // per node
+  struct Placement {
+    ComputeTask task;
+    ComputeNodeId node;
+  };
+  std::unordered_map<TaskId, Placement> placements_;
+  std::unordered_map<PrincipalId, double> principal_used_;
+  std::size_t quota_rejections_ = 0;
+};
+
+}  // namespace iobt::adapt

@@ -1,0 +1,116 @@
+#pragma once
+// Adaptive control primitives (§IV-A cites adaptive control as the third
+// pillar of self-aware adaptation; §IV-B motivates controller *diversity*:
+// "instead [of] brittle controllers designed with fixed assumptions, one
+// may design novel controllers that are parameterized differently but
+// adapt their parameterization by observing their neighbors").
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace iobt::adapt {
+
+/// AIMD rate controller (the TCP reflex): additive increase while the
+/// resource is healthy, multiplicative decrease on congestion signals.
+/// Used to adapt report rates to available bandwidth under jamming.
+class AimdController {
+ public:
+  AimdController(double initial_rate, double min_rate, double max_rate,
+                 double increase = 1.0, double decrease_factor = 0.5)
+      : rate_(initial_rate),
+        min_(min_rate),
+        max_(max_rate),
+        inc_(increase),
+        dec_(decrease_factor) {}
+
+  double rate() const { return rate_; }
+
+  /// Feed one feedback signal: `congested` true when drops/latency spiked.
+  double update(bool congested) {
+    rate_ = congested ? std::max(min_, rate_ * dec_) : std::min(max_, rate_ + inc_);
+    return rate_;
+  }
+
+ private:
+  double rate_, min_, max_, inc_, dec_;
+};
+
+/// Discrete PI controller for tracking a setpoint (e.g. queue occupancy,
+/// coverage level) by adjusting an actuation knob.
+class PiController {
+ public:
+  PiController(double kp, double ki, double out_min, double out_max)
+      : kp_(kp), ki_(ki), out_min_(out_min), out_max_(out_max) {}
+
+  double update(double setpoint, double measured, double dt_s) {
+    const double error = setpoint - measured;
+    integral_ += error * dt_s;
+    // Anti-windup: clamp the integral so the output can always recover.
+    const double i_limit = (out_max_ - out_min_) / std::max(1e-9, ki_);
+    integral_ = std::clamp(integral_, -i_limit, i_limit);
+    return std::clamp(kp_ * error + ki_ * integral_, out_min_, out_max_);
+  }
+
+  void reset() { integral_ = 0.0; }
+
+ private:
+  double kp_, ki_, out_min_, out_max_;
+  double integral_ = 0.0;
+};
+
+/// A population of parameterized controllers that adapt by imitating
+/// better-performing neighbors (E10, controller diversity). Each agent
+/// holds a parameter vector; after each evaluation round an agent adopts
+/// (with learning rate eta) the parameters of its best-performing
+/// neighbor if that neighbor outperformed it.
+class ImitationPopulation {
+ public:
+  /// `params[i]` is agent i's parameter vector (all same length).
+  explicit ImitationPopulation(std::vector<std::vector<double>> params)
+      : params_(std::move(params)) {}
+
+  std::size_t size() const { return params_.size(); }
+  const std::vector<double>& params(std::size_t i) const { return params_[i]; }
+  std::vector<double>& mutable_params(std::size_t i) { return params_[i]; }
+
+  /// One imitation round. `performance[i]` is agent i's score this round;
+  /// `neighbors[i]` lists who i can observe. eta in (0, 1] blends toward
+  /// the imitated parameters.
+  void imitate(const std::vector<double>& performance,
+               const std::vector<std::vector<std::size_t>>& neighbors, double eta) {
+    std::vector<std::vector<double>> next = params_;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      std::size_t best = i;
+      for (std::size_t n : neighbors[i]) {
+        if (performance[n] > performance[best]) best = n;
+      }
+      if (best == i) continue;
+      for (std::size_t k = 0; k < params_[i].size(); ++k) {
+        next[i][k] = (1.0 - eta) * params_[i][k] + eta * params_[best][k];
+      }
+    }
+    params_ = std::move(next);
+  }
+
+  /// Population diversity: mean per-dimension variance of parameters.
+  double diversity() const {
+    if (params_.empty() || params_[0].empty()) return 0.0;
+    const std::size_t dims = params_[0].size();
+    double total_var = 0.0;
+    for (std::size_t k = 0; k < dims; ++k) {
+      double mean = 0.0;
+      for (const auto& p : params_) mean += p[k];
+      mean /= static_cast<double>(params_.size());
+      double var = 0.0;
+      for (const auto& p : params_) var += (p[k] - mean) * (p[k] - mean);
+      total_var += var / static_cast<double>(params_.size());
+    }
+    return total_var / static_cast<double>(dims);
+  }
+
+ private:
+  std::vector<std::vector<double>> params_;
+};
+
+}  // namespace iobt::adapt

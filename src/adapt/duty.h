@@ -1,0 +1,98 @@
+#pragma once
+// Energy-aware duty cycling (§II: forward-deployed assets have
+// "limitations on energy, power, storage, and bandwidth" and "will often
+// need to support tasks with limited time availability").
+//
+// Given a battery state and per-activity costs, plan_duty_cycle computes
+// the highest sensing duty fraction that still meets a required mission
+// lifetime; the DutyCycleController re-plans as the battery drains, so an
+// asset that loses energy faster than modelled (e.g. retransmissions under
+// jamming) automatically backs off instead of dying before end of mission.
+
+#include <algorithm>
+
+namespace iobt::adapt {
+
+struct DutyInputs {
+  double remaining_j = 0.0;
+  /// Unavoidable baseline drain, J/s (radio idle, OS).
+  double idle_cost_per_s = 1e-4;
+  /// Energy per sensing sweep (sense + report transmission), J.
+  double cost_per_sweep_j = 1e-3;
+  /// Sweep rate at 100% duty, Hz.
+  double full_duty_rate_hz = 1.0;
+  /// The mission needs this asset alive for this long, seconds.
+  double required_lifetime_s = 3600.0;
+};
+
+struct DutyPlan {
+  /// Chosen duty in [0, 1]: fraction of full-rate sweeps to actually run.
+  double duty = 1.0;
+  /// Projected lifetime at that duty, seconds.
+  double projected_lifetime_s = 0.0;
+  /// False when even duty 0 cannot survive the required lifetime (idle
+  /// drain alone kills the asset) — synthesis should plan a replacement.
+  bool meets_lifetime = false;
+};
+
+inline DutyPlan plan_duty_cycle(const DutyInputs& in) {
+  DutyPlan plan;
+  const double idle_total = in.idle_cost_per_s * in.required_lifetime_s;
+  if (in.remaining_j <= 0.0 || idle_total >= in.remaining_j) {
+    plan.duty = 0.0;
+    plan.projected_lifetime_s =
+        in.idle_cost_per_s > 0 ? in.remaining_j / in.idle_cost_per_s : 1e18;
+    plan.meets_lifetime = false;
+    return plan;
+  }
+  // Energy left for sensing over the horizon -> sustainable sweep budget.
+  const double sense_budget_j = in.remaining_j - idle_total;
+  const double sweeps_affordable = sense_budget_j / std::max(1e-12, in.cost_per_sweep_j);
+  const double sweeps_at_full =
+      in.full_duty_rate_hz * in.required_lifetime_s;
+  plan.duty = std::clamp(sweeps_affordable / std::max(1.0, sweeps_at_full), 0.0, 1.0);
+  const double burn_rate =
+      in.idle_cost_per_s + plan.duty * in.full_duty_rate_hz * in.cost_per_sweep_j;
+  plan.projected_lifetime_s = in.remaining_j / std::max(1e-12, burn_rate);
+  plan.meets_lifetime = plan.projected_lifetime_s + 1e-6 >= in.required_lifetime_s;
+  return plan;
+}
+
+/// Re-plans as time passes and the battery drains; sensors call
+/// should_sweep() on each tick and skip sweeps the plan cannot afford.
+/// Deterministic: duty is rationed by an error accumulator, not dice.
+class DutyCycleController {
+ public:
+  DutyCycleController(DutyInputs inputs, double mission_end_s)
+      : inputs_(inputs), mission_end_s_(mission_end_s) {
+    replan(0.0, inputs.remaining_j);
+  }
+
+  /// Updates the plan from the live battery level at time `now_s`.
+  void replan(double now_s, double remaining_j) {
+    DutyInputs in = inputs_;
+    in.remaining_j = remaining_j;
+    in.required_lifetime_s = std::max(0.0, mission_end_s_ - now_s);
+    plan_ = plan_duty_cycle(in);
+  }
+
+  /// One full-rate sweep opportunity: true iff this sweep should run.
+  bool should_sweep() {
+    accumulator_ += plan_.duty;
+    if (accumulator_ >= 1.0 - 1e-12) {
+      accumulator_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  const DutyPlan& plan() const { return plan_; }
+
+ private:
+  DutyInputs inputs_;
+  double mission_end_s_;
+  DutyPlan plan_;
+  double accumulator_ = 0.0;
+};
+
+}  // namespace iobt::adapt

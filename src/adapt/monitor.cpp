@@ -1,0 +1,69 @@
+#include "adapt/monitor.h"
+
+namespace iobt::adapt {
+
+void InvariantMonitor::watch(std::string name, std::function<bool()> predicate,
+                             std::function<void()> on_violation) {
+  watched_.push_back(
+      {std::move(name), std::move(predicate), std::move(on_violation), true, SIZE_MAX});
+}
+
+void InvariantMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.schedule_every(
+      period_,
+      [this]() {
+        check_now();
+        return true;
+      },
+      "adapt.monitor");
+}
+
+void InvariantMonitor::check_now() {
+  const sim::SimTime now = sim_.now();
+  for (Watched& w : watched_) {
+    const bool holds = w.predicate();
+    if (w.holding && !holds) {
+      // Violation edge: open a record and fire the reflex.
+      w.holding = false;
+      w.open_record = history_.size();
+      history_.push_back({w.name, now, sim::SimTime::max()});
+      if (w.on_violation) w.on_violation();
+    } else if (!w.holding && holds) {
+      w.holding = true;
+      if (w.open_record != SIZE_MAX) {
+        history_[w.open_record].ended = now;
+        w.open_record = SIZE_MAX;
+      }
+    }
+  }
+}
+
+bool InvariantMonitor::holding(const std::string& name) const {
+  for (const Watched& w : watched_) {
+    if (w.name == name) return w.holding;
+  }
+  return true;
+}
+
+std::size_t InvariantMonitor::violation_count(const std::string& name) const {
+  std::size_t n = 0;
+  for (const auto& r : history_) {
+    if (r.invariant == name) ++n;
+  }
+  return n;
+}
+
+sim::Duration InvariantMonitor::mean_repair_time(const std::string& name) const {
+  std::int64_t total = 0, n = 0;
+  for (const auto& r : history_) {
+    if (r.invariant == name && !r.ongoing()) {
+      total += r.duration().nanos();
+      ++n;
+    }
+  }
+  return n == 0 ? sim::Duration::zero() : sim::Duration(total / n);
+}
+
+}  // namespace iobt::adapt

@@ -1,0 +1,70 @@
+#pragma once
+// Invariant monitoring: the sensing half of self-aware adaptation (§IV-A —
+// "self-stabilizing algorithms adapt to maintain an invariant by
+// triggering corrective action, when the invariant is violated").
+//
+// An InvariantMonitor periodically evaluates named predicates over system
+// state. On a false->true violation edge it fires the registered reflex
+// callbacks; on recovery it records the violation interval so experiments
+// can report time-to-detect and time-to-repair.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace iobt::adapt {
+
+struct ViolationRecord {
+  std::string invariant;
+  sim::SimTime began;
+  sim::SimTime ended;       // == SimTime::max() while ongoing
+  bool ongoing() const { return ended == sim::SimTime::max(); }
+  sim::Duration duration() const { return ended - began; }
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(sim::Simulator& simulator, sim::Duration check_period)
+      : sim_(simulator), period_(check_period) {}
+
+  /// Registers a named invariant. `predicate` returns true while the
+  /// invariant HOLDS. `on_violation` (optional) fires once per violation
+  /// edge, not per check.
+  void watch(std::string name, std::function<bool()> predicate,
+             std::function<void()> on_violation = nullptr);
+
+  /// Starts periodic checking.
+  void start();
+
+  /// Forces an immediate check of all invariants (reflexes may call this
+  /// after acting, to confirm repair).
+  void check_now();
+
+  /// True if the named invariant held at the last check.
+  bool holding(const std::string& name) const;
+
+  const std::vector<ViolationRecord>& history() const { return history_; }
+  std::size_t violation_count(const std::string& name) const;
+  /// Mean time-to-repair over completed violations of `name` (0 if none).
+  sim::Duration mean_repair_time(const std::string& name) const;
+
+ private:
+  struct Watched {
+    std::string name;
+    std::function<bool()> predicate;
+    std::function<void()> on_violation;
+    bool holding = true;
+    std::size_t open_record = SIZE_MAX;
+  };
+
+  sim::Simulator& sim_;
+  sim::Duration period_;
+  std::vector<Watched> watched_;
+  std::vector<ViolationRecord> history_;
+  bool started_ = false;
+};
+
+}  // namespace iobt::adapt

@@ -1,0 +1,128 @@
+#pragma once
+// Adaptive perception: modality switching (§IV-B — "seismic sensing may be
+// used when smoke or other phenomena render visual tracking unreliable, or
+// when connection is lost with the camera due to a wireless jamming
+// attack").
+//
+// The ModalitySwitcher tracks an EWMA of per-sweep detection yield for the
+// active modality, against a baseline learned during healthy operation.
+// When yield collapses below `degraded_fraction` of baseline, it fails
+// over to the best-yielding redundant modality — redundancy that synthesis
+// deliberately provisioned (e.g. camera + radar over the same region).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "things/capability.h"
+
+namespace iobt::adapt {
+
+class ModalitySwitcher {
+ public:
+  /// `ranked_modalities` is the preference order (primary first) — the
+  /// redundancy discovered for this sensing function.
+  explicit ModalitySwitcher(std::vector<things::Modality> ranked_modalities,
+                            double ewma_alpha = 0.3, double degraded_fraction = 0.35,
+                            int min_healthy_sweeps = 3)
+      : modalities_(std::move(ranked_modalities)),
+        alpha_(ewma_alpha),
+        degraded_fraction_(degraded_fraction),
+        min_healthy_sweeps_(min_healthy_sweeps) {
+    yields_.resize(modalities_.size(), 0.0);
+    baselines_.resize(modalities_.size(), 0.0);
+    healthy_sweeps_.resize(modalities_.size(), 0);
+  }
+
+  things::Modality current() const { return modalities_.at(active_); }
+  std::size_t switch_count() const { return switches_; }
+
+  /// Every configured modality except the active one (exploration targets).
+  std::vector<things::Modality> alternates() const {
+    std::vector<things::Modality> out;
+    for (std::size_t i = 0; i < modalities_.size(); ++i) {
+      if (i != active_) out.push_back(modalities_[i]);
+    }
+    return out;
+  }
+
+  /// Feeds one sweep's detection count for `modality`. Returns true if
+  /// this call triggered a failover.
+  bool feed(things::Modality modality, double detections) {
+    const std::size_t idx = index_of(modality);
+    if (idx == modalities_.size()) return false;
+    yields_[idx] = alpha_ * detections + (1.0 - alpha_) * yields_[idx];
+
+    // Learn the baseline while the modality performs (monotone max keeps
+    // a jamming-era trickle from eroding what "healthy" means).
+    if (yields_[idx] > baselines_[idx]) {
+      baselines_[idx] = yields_[idx];
+      if (idx == active_) ++healthy_sweeps_[idx];
+    }
+
+    if (idx != active_) return false;
+    ++active_feeds_;
+    // Post-switch grace: give the new modality time to demonstrate a
+    // baseline before it can be judged, or failover ping-pongs.
+    if (active_feeds_ < min_healthy_sweeps_) return false;
+    // Failover decision. Two paths:
+    //  (a) proven-then-collapsed: the active modality had a healthy
+    //      baseline and its yield fell below the degraded fraction;
+    //  (b) cold-start failure: the active modality has produced nothing
+    //      after a patience period while some alternate demonstrably
+    //      yields (it was simply the wrong sensor for this scene).
+    const bool proven = healthy_sweeps_[idx] >= min_healthy_sweeps_ &&
+                        baselines_[idx] > 0.0;
+    const bool collapsed = proven && yields_[idx] < degraded_fraction_ * baselines_[idx];
+    bool cold_dead = !proven && active_feeds_ > 2 * min_healthy_sweeps_ &&
+                     baselines_[idx] <= 0.0;
+    if (cold_dead) {
+      bool alternative_alive = false;
+      for (std::size_t i = 0; i < modalities_.size(); ++i) {
+        alternative_alive |= (i != active_ && yields_[i] > 0.0);
+      }
+      cold_dead = alternative_alive;
+    }
+    if (!collapsed && !cold_dead) return false;
+
+    // Pick the best alternative by current yield, falling back to
+    // preference order among never-sampled ones.
+    std::size_t best = active_;
+    for (std::size_t i = 0; i < modalities_.size(); ++i) {
+      if (i == active_) continue;
+      if (best == active_ || yields_[i] > yields_[best]) best = i;
+    }
+    if (best == active_) return false;
+    active_ = best;
+    active_feeds_ = 0;
+    ++switches_;
+    return true;
+  }
+
+  /// Allows the mission layer to force a modality (commander override).
+  void force(things::Modality m) {
+    const std::size_t idx = index_of(m);
+    if (idx < modalities_.size()) active_ = idx;
+  }
+
+ private:
+  std::size_t index_of(things::Modality m) const {
+    for (std::size_t i = 0; i < modalities_.size(); ++i) {
+      if (modalities_[i] == m) return i;
+    }
+    return modalities_.size();
+  }
+
+  std::vector<things::Modality> modalities_;
+  double alpha_;
+  double degraded_fraction_;
+  int min_healthy_sweeps_;
+  std::vector<double> yields_;
+  std::vector<double> baselines_;
+  std::vector<int> healthy_sweeps_;
+  std::size_t active_ = 0;
+  std::size_t switches_ = 0;
+  int active_feeds_ = 0;
+};
+
+}  // namespace iobt::adapt

@@ -1,0 +1,70 @@
+#include "adapt/reflex.h"
+
+#include <cassert>
+
+namespace iobt::adapt {
+
+void ReflexEngine::bind(const std::string& invariant, std::vector<ReflexAction> chain,
+                        sim::Duration cooldown, int escalate_after) {
+  assert(!armed_ && "bind() after arm()");
+  assert(!chain.empty());
+  bindings_.push_back(Binding{invariant, std::move(chain), cooldown, escalate_after});
+}
+
+void ReflexEngine::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (std::size_t bi = 0; bi < bindings_.size(); ++bi) {
+    // The monitor fires on the violation *edge*; persistent violations
+    // re-edge after each recovery check, and the cooldown inside fire()
+    // handles rapid flapping. We also hook a periodic re-fire for
+    // violations that never recover: re-check on each monitor tick via a
+    // wrapper predicate is unnecessary — the monitor only edges once — so
+    // the engine polls its bindings on its own cadence.
+    monitor_.watch(
+        "reflex." + bindings_[bi].invariant + "." + std::to_string(bi),
+        [this, bi]() {
+          // Holds while the underlying invariant holds; repeated false
+          // evaluations keep the violation open but do not re-edge.
+          return monitor_.holding(bindings_[bi].invariant);
+        },
+        [this, bi]() { fire(bi); });
+  }
+  // Escalation poll: while an invariant stays violated, keep firing on
+  // cooldown so the chain can escalate.
+  sim_.schedule_every(
+      sim::Duration::seconds(1.0),
+      [this]() {
+        for (std::size_t bi = 0; bi < bindings_.size(); ++bi) {
+          Binding& b = bindings_[bi];
+          if (!monitor_.holding(b.invariant)) {
+            fire(bi);
+          } else if (b.level != 0 || b.fires_at_level != 0) {
+            // Recovery: reset the escalation chain.
+            b.level = 0;
+            b.fires_at_level = 0;
+          }
+        }
+        return true;
+      },
+      "reflex.escalation");
+}
+
+void ReflexEngine::fire(std::size_t binding_index) {
+  Binding& b = bindings_[binding_index];
+  const sim::SimTime now = sim_.now();
+  if (now - b.last_fire < b.cooldown) return;
+  b.last_fire = now;
+
+  const std::size_t level = std::min(b.level, b.chain.size() - 1);
+  const ReflexAction& action = b.chain[level];
+  log_.push_back({b.invariant, action.name, now});
+  action.act();
+
+  if (++b.fires_at_level >= b.escalate_after && b.level + 1 < b.chain.size()) {
+    ++b.level;
+    b.fires_at_level = 0;
+  }
+}
+
+}  // namespace iobt::adapt

@@ -1,0 +1,72 @@
+#pragma once
+// The reflex engine: chained condition->action rules (§IV — "in biological
+// systems, reflex theory states that complex behavior can be attained ...
+// through the combined action of individual reflexes that have been
+// chained together").
+//
+// A reflex binds an invariant name to a corrective action with a cooldown
+// (so a persistent violation does not re-fire the action every check) and
+// an escalation chain: if the same violation re-fires `escalate_after`
+// times without an intervening recovery, the next rule in the chain runs
+// instead (local fix -> stronger fix -> report upward).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adapt/monitor.h"
+
+namespace iobt::adapt {
+
+struct ReflexAction {
+  std::string name;
+  std::function<void()> act;
+};
+
+struct FiredReflex {
+  std::string invariant;
+  std::string action;
+  sim::SimTime at;
+};
+
+class ReflexEngine {
+ public:
+  ReflexEngine(sim::Simulator& simulator, InvariantMonitor& monitor)
+      : sim_(simulator), monitor_(monitor) {}
+
+  /// Binds an escalation chain of actions to an invariant. When the
+  /// invariant is violated, chain[0] runs; if violation persists through
+  /// `escalate_after` further firings, chain[1] runs, and so on. The chain
+  /// resets on recovery.
+  void bind(const std::string& invariant, std::vector<ReflexAction> chain,
+            sim::Duration cooldown = sim::Duration::seconds(5.0),
+            int escalate_after = 2);
+
+  /// Installs the bindings into the monitor. Call once, after all bind()s.
+  void arm();
+
+  const std::vector<FiredReflex>& log() const { return log_; }
+  std::size_t fired_count() const { return log_.size(); }
+
+ private:
+  struct Binding {
+    std::string invariant;
+    std::vector<ReflexAction> chain;
+    sim::Duration cooldown;
+    int escalate_after;
+    // Runtime state.
+    std::size_t level = 0;
+    int fires_at_level = 0;
+    sim::SimTime last_fire = sim::SimTime(-1'000'000'000);
+  };
+
+  void fire(std::size_t binding_index);
+
+  sim::Simulator& sim_;
+  InvariantMonitor& monitor_;
+  std::vector<Binding> bindings_;
+  std::vector<FiredReflex> log_;
+  bool armed_ = false;
+};
+
+}  // namespace iobt::adapt

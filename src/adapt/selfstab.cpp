@@ -1,0 +1,161 @@
+#include "adapt/selfstab.h"
+
+#include <algorithm>
+
+namespace iobt::adapt {
+
+namespace {
+constexpr const char* kHello = "tree.hello";
+constexpr std::size_t kHelloBytes = 24;
+// Distance ceiling: bounds count-to-infinity convergence after a root
+// death to ~kMaxDist hello rounds. IoBT composites here are tens of hops
+// at most, so 20 is generous for legality and tight for recovery.
+constexpr int kMaxDist = 20;
+}  // namespace
+
+SpanningTreeProtocol::SpanningTreeProtocol(things::World& world,
+                                           net::Dispatcher& dispatcher,
+                                           std::vector<things::AssetId> members,
+                                           sim::Duration hello_period,
+                                           sim::Duration state_ttl)
+    : world_(world),
+      disp_(dispatcher),
+      members_(std::move(members)),
+      hello_period_(hello_period),
+      ttl_(state_ttl) {
+  for (const auto id : members_) {
+    // Arbitrary (self-rooted) initial state: stabilization must fix it.
+    states_[id] = TreeState{id, 0, std::nullopt, sim::SimTime::zero()};
+    disp_.on(world_.asset(id).node, kHello,
+             [this, id](const net::Message& m) { handle_hello(id, m); });
+  }
+}
+
+void SpanningTreeProtocol::start() {
+  if (started_) return;
+  started_ = true;
+  for (const auto id : members_) {
+    world_.simulator().schedule_every(
+        hello_period_,
+        [this, id]() {
+          if (!world_.asset_live(id)) return false;
+          tick(id);
+          return true;
+        },
+        "tree.hello_loop");
+  }
+}
+
+void SpanningTreeProtocol::tick(things::AssetId id) {
+  const sim::SimTime now = world_.simulator().now();
+  TreeState& st = states_[id];
+  auto& heard = heard_[id];
+
+  // Age out stale neighbor state.
+  for (auto it = heard.begin(); it != heard.end();) {
+    if (now - it->second.second > ttl_) {
+      it = heard.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Recompute from scratch each tick (self-stabilizing: the rule depends
+  // only on current neighbor state, never on our own possibly-corrupt
+  // state). Best offer = smallest root, then smallest dist, then smallest
+  // sender id.
+  std::uint32_t best_root = id;
+  int best_dist = 0;
+  std::optional<std::uint32_t> best_parent;
+  for (const auto& [sender, entry] : heard) {
+    const Hello& h = entry.first;
+    const int cand_dist = h.dist + 1;
+    if (cand_dist > kMaxDist) continue;
+    // Lexicographic preference: smaller root, then shorter distance, then
+    // smaller parent id (deterministic tie-break). The self option
+    // (root=id, dist=0) participates like any other offer, so a node only
+    // roots itself when nothing better is audible.
+    const bool better =
+        h.root < best_root || (h.root == best_root && cand_dist < best_dist) ||
+        (h.root == best_root && cand_dist == best_dist && best_parent &&
+         sender < *best_parent);
+    if (better) {
+      best_root = h.root;
+      best_dist = cand_dist;
+      best_parent = sender;
+    }
+  }
+  st.root = best_root;
+  st.dist = best_parent ? best_dist : 0;
+  st.parent = best_parent;
+  st.last_update = now;
+
+  // Advertise.
+  net::Message m;
+  m.kind = kHello;
+  m.size_bytes = kHelloBytes;
+  m.payload = Hello{id, st.root, st.dist};
+  world_.network().broadcast(world_.asset(id).node, std::move(m));
+}
+
+void SpanningTreeProtocol::handle_hello(things::AssetId id, const net::Message& m) {
+  const auto& h = std::any_cast<const Hello&>(m.payload);
+  heard_[id][h.sender] = {h, world_.simulator().now()};
+}
+
+bool SpanningTreeProtocol::tree_legal() const {
+  // Compute, per connectivity component of live members, the minimum id —
+  // the legitimate root.
+  std::vector<things::AssetId> live;
+  for (const auto id : members_) {
+    if (world_.asset_live(id)) live.push_back(id);
+  }
+  if (live.empty()) return true;
+
+  const net::Topology topo = const_cast<things::World&>(world_).network().connectivity();
+  // Map node -> component label.
+  const auto comp = topo.components();
+
+  std::unordered_map<int, std::uint32_t> min_id_per_comp;
+  for (const auto id : live) {
+    const int c = comp[world_.asset(id).node];
+    auto it = min_id_per_comp.find(c);
+    if (it == min_id_per_comp.end() || id < it->second) min_id_per_comp[c] = id;
+  }
+
+  for (const auto id : live) {
+    const TreeState& st = states_.at(id);
+    const int c = comp[world_.asset(id).node];
+    if (st.root != min_id_per_comp[c]) return false;
+    if (id == st.root) {
+      if (st.parent.has_value() || st.dist != 0) return false;
+    } else {
+      if (!st.parent.has_value()) return false;
+      // Parent chain must strictly decrease dist and stay live.
+      std::uint32_t cur = id;
+      int guard = 0;
+      while (cur != st.root) {
+        const TreeState& cs = states_.at(cur);
+        if (!cs.parent || !world_.asset_live(*cs.parent)) return false;
+        const TreeState& ps = states_.at(*cs.parent);
+        if (ps.dist >= cs.dist) return false;  // cycle or stale
+        cur = *cs.parent;
+        if (++guard > kMaxDist) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t SpanningTreeProtocol::believed_root_count() const {
+  std::vector<std::uint32_t> roots;
+  for (const auto id : members_) {
+    if (!world_.asset_live(id)) continue;
+    roots.push_back(states_.at(id).root);
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots.size();
+}
+
+}  // namespace iobt::adapt

@@ -1,0 +1,75 @@
+#pragma once
+// Self-stabilizing spanning tree (a concrete instance of the paper's
+// "self-stabilizing algorithms" foundation, §IV-A).
+//
+// Every participating node periodically broadcasts (root_id, dist,
+// parent); each node adopts the smallest root it hears and the neighbor
+// offering the shortest distance to it, with hop-count TTL aging so stale
+// state dies out. Starting from ANY state (including after arbitrary node
+// failures or partitions), the protocol converges to a legal BFS tree
+// rooted at the smallest live node id in each partition — that is the
+// self-stabilization property the tests verify.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/dispatcher.h"
+#include "things/world.h"
+
+namespace iobt::adapt {
+
+struct TreeState {
+  std::uint32_t root = 0;  // believed root asset id
+  int dist = 0;            // believed hops to root
+  std::optional<std::uint32_t> parent;  // parent asset id (nullopt at root)
+  sim::SimTime last_update;
+};
+
+class SpanningTreeProtocol {
+ public:
+  SpanningTreeProtocol(things::World& world, net::Dispatcher& dispatcher,
+                       std::vector<things::AssetId> members,
+                       sim::Duration hello_period = sim::Duration::seconds(2.0),
+                       sim::Duration state_ttl = sim::Duration::seconds(8.0));
+
+  void start();
+
+  const TreeState& state(things::AssetId id) const { return states_.at(id); }
+  const std::vector<things::AssetId>& members() const { return members_; }
+
+  // --- Legality checks (used as invariants) -------------------------------
+
+  /// True iff every live member's parent chain reaches the member-minimum
+  /// live id of its connectivity component without cycles, and roots claim
+  /// dist 0.
+  bool tree_legal() const;
+
+  /// Number of distinct roots currently believed by live members.
+  std::size_t believed_root_count() const;
+
+ private:
+  struct Hello {
+    std::uint32_t sender;
+    std::uint32_t root;
+    int dist;
+  };
+
+  void tick(things::AssetId id);
+  void handle_hello(things::AssetId id, const net::Message& m);
+
+  things::World& world_;
+  net::Dispatcher& disp_;
+  std::vector<things::AssetId> members_;
+  sim::Duration hello_period_;
+  sim::Duration ttl_;
+  std::unordered_map<things::AssetId, TreeState> states_;
+  // Per-member view of neighbors: last heard (root, dist, when).
+  std::unordered_map<things::AssetId,
+                     std::unordered_map<std::uint32_t, std::pair<Hello, sim::SimTime>>>
+      heard_;
+  bool started_ = false;
+};
+
+}  // namespace iobt::adapt

@@ -1,0 +1,120 @@
+#pragma once
+// Information diagnostics: anomaly scoring on metric streams, and the
+// attention allocation service of §V-A ("attention is a bottleneck. It
+// should be directed to situations that deserve it the most ... even in
+// the presence of noise, failures, bad data, malicious adversarial
+// inputs").
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iobt::diag {
+
+/// EWMA-based anomaly detector on a scalar stream: maintains exponentially
+/// weighted mean and variance; the score of a sample is its absolute
+/// z-score against them. Robust to slow drift, reactive to jumps.
+class EwmaDetector {
+ public:
+  /// `alpha` is the EWMA smoothing factor in (0, 1]; smaller = longer
+  /// memory. `warmup` samples are consumed before scores are emitted.
+  explicit EwmaDetector(double alpha = 0.1, int warmup = 10)
+      : alpha_(alpha), warmup_(warmup) {}
+
+  /// Feeds one sample; returns its anomaly score (0 during warmup).
+  double update(double x) {
+    ++count_;
+    if (count_ == 1) {
+      mean_ = x;
+      var_ = 0.0;
+      return 0.0;
+    }
+    // Score against the PRE-update statistics: folding the sample into the
+    // variance first would let a large spike inflate its own denominator
+    // and mask itself.
+    double score = 0.0;
+    if (count_ > warmup_) {
+      const double sd = std::sqrt(std::max(var_, 1e-12));
+      score = std::abs(x - mean_) / sd;
+    }
+    const double prev_mean = mean_;
+    mean_ += alpha_ * (x - mean_);
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * (x - prev_mean) * (x - prev_mean));
+    return score;
+  }
+
+  double mean() const { return mean_; }
+  double stddev() const { return std::sqrt(std::max(var_, 0.0)); }
+  std::int64_t samples() const { return count_; }
+
+ private:
+  double alpha_;
+  int warmup_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+/// One observable stream competing for analyst/processing attention.
+struct AttentionItem {
+  std::string stream;
+  double anomaly_score = 0.0;   // from a detector
+  double source_trust = 0.5;    // from the trust registry
+  double mission_weight = 1.0;  // commander-assigned importance
+};
+
+/// Ranks items by priority = anomaly * trust * mission weight. The trust
+/// multiplier is what keeps "intentionally-designed distractions" (noisy
+/// adversarial feeds) from hijacking attention.
+class AttentionAllocator {
+ public:
+  static double priority(const AttentionItem& it) {
+    return it.anomaly_score * it.source_trust * it.mission_weight;
+  }
+
+  /// Returns the top-`budget` items by priority, ties broken by stream
+  /// name for determinism.
+  static std::vector<AttentionItem> allocate(std::vector<AttentionItem> items,
+                                             std::size_t budget) {
+    std::sort(items.begin(), items.end(),
+              [](const AttentionItem& a, const AttentionItem& b) {
+                const double pa = priority(a), pb = priority(b);
+                if (pa != pb) return pa > pb;
+                return a.stream < b.stream;
+              });
+    if (items.size() > budget) items.resize(budget);
+    return items;
+  }
+};
+
+/// Multi-stream anomaly tracker: one EwmaDetector per named stream.
+class AnomalyTracker {
+ public:
+  explicit AnomalyTracker(double alpha = 0.1, int warmup = 10)
+      : alpha_(alpha), warmup_(warmup) {}
+
+  double update(const std::string& stream, double x) {
+    auto [it, inserted] = detectors_.try_emplace(stream, EwmaDetector(alpha_, warmup_));
+    const double score = it->second.update(x);
+    last_score_[stream] = score;
+    return score;
+  }
+
+  double last_score(const std::string& stream) const {
+    auto it = last_score_.find(stream);
+    return it == last_score_.end() ? 0.0 : it->second;
+  }
+
+  std::size_t stream_count() const { return detectors_.size(); }
+
+ private:
+  double alpha_;
+  int warmup_;
+  std::unordered_map<std::string, EwmaDetector> detectors_;
+  std::unordered_map<std::string, double> last_score_;
+};
+
+}  // namespace iobt::diag

@@ -1,0 +1,148 @@
+#include "diag/health.h"
+
+namespace iobt::diag {
+
+namespace {
+constexpr const char* kPing = "health.ping";
+constexpr const char* kPong = "health.pong";
+constexpr std::size_t kPingBytes = 24;
+
+struct Ping {
+  std::uint64_t seq = 0;
+  std::uint32_t peer = 0;  // which peer this probe targets (echoed back)
+};
+}  // namespace
+
+std::string to_string(PeerHealth h) {
+  switch (h) {
+    case PeerHealth::kHealthy: return "healthy";
+    case PeerHealth::kDegraded: return "degraded";
+    case PeerHealth::kUnreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+HealthService::HealthService(things::World& world, net::Dispatcher& dispatcher,
+                             things::AssetId monitor,
+                             std::vector<things::AssetId> peers, HealthConfig config)
+    : world_(world),
+      disp_(dispatcher),
+      monitor_(monitor),
+      peers_(std::move(peers)),
+      cfg_(config) {
+  // Responder firmware on every peer: echo pings (any live cooperative
+  // device answers its own enclave's health probes).
+  for (const auto p : peers_) {
+    state_[p] = PeerState{};
+    disp_.on(world_.asset(p).node, kPing, [this, p](const net::Message& m) {
+      if (!world_.asset_live(p)) return;
+      net::Message reply;
+      reply.kind = kPong;
+      reply.size_bytes = kPingBytes;
+      reply.payload = m.payload;  // echo seq + peer id
+      world_.network().route_and_send(world_.asset(p).node, m.src, std::move(reply));
+    });
+  }
+  disp_.on(world_.asset(monitor_).node, kPong,
+           [this](const net::Message& m) { handle_pong(m); });
+}
+
+void HealthService::start() {
+  if (started_) return;
+  started_ = true;
+  world_.simulator().schedule_every(
+      cfg_.probe_period,
+      [this]() {
+        if (!world_.asset_live(monitor_)) return false;
+        tick();
+        return true;
+      },
+      "health.probe_loop");
+}
+
+void HealthService::tick() {
+  for (const auto p : peers_) {
+    PeerState& st = state_[p];
+    if (st.awaiting) {
+      // Previous probe never answered.
+      ++st.consecutive_silent;
+      st.awaiting = false;
+    }
+    net::Message m;
+    m.kind = kPing;
+    m.size_bytes = kPingBytes;
+    m.payload = Ping{next_seq_, p};
+    st.last_seq = next_seq_++;
+    st.sent_at = world_.simulator().now();
+    st.awaiting = true;
+    ++probes_sent_;
+    world_.network().route_and_send(world_.asset(monitor_).node,
+                                    world_.asset(p).node, std::move(m));
+  }
+}
+
+void HealthService::handle_pong(const net::Message& m) {
+  const auto& ping = std::any_cast<const Ping&>(m.payload);
+  auto it = state_.find(ping.peer);
+  if (it == state_.end() || !it->second.awaiting || it->second.last_seq != ping.seq) {
+    return;  // stale or duplicate reply
+  }
+  PeerState& st = it->second;
+  st.awaiting = false;
+  st.consecutive_silent = 0;
+  ++replies_;
+  const double rtt = (world_.simulator().now() - st.sent_at).to_seconds();
+  st.rtt_sum += rtt;
+  ++st.rtt_count;
+  st.last_rtt_score = st.rtt_detector.update(rtt);
+}
+
+PeerHealth HealthService::health(things::AssetId peer) const {
+  auto it = state_.find(peer);
+  if (it == state_.end()) return PeerHealth::kUnreachable;
+  const PeerState& st = it->second;
+  if (st.consecutive_silent >= cfg_.silence_threshold) return PeerHealth::kUnreachable;
+  if (st.last_rtt_score > cfg_.rtt_anomaly_threshold) return PeerHealth::kDegraded;
+  return PeerHealth::kHealthy;
+}
+
+double HealthService::mean_rtt_s(things::AssetId peer) const {
+  auto it = state_.find(peer);
+  if (it == state_.end() || it->second.rtt_count == 0) return 0.0;
+  return it->second.rtt_sum / static_cast<double>(it->second.rtt_count);
+}
+
+std::vector<things::AssetId> HealthService::unreachable_peers() const {
+  std::vector<things::AssetId> out;
+  for (const auto p : peers_) {
+    if (health(p) == PeerHealth::kUnreachable) out.push_back(p);
+  }
+  return out;
+}
+
+double HealthService::detection_recall() const {
+  std::size_t dead = 0, caught = 0;
+  for (const auto p : peers_) {
+    if (world_.asset_live(p)) continue;
+    ++dead;
+    if (health(p) == PeerHealth::kUnreachable) ++caught;
+  }
+  return dead == 0 ? 1.0 : static_cast<double>(caught) / static_cast<double>(dead);
+}
+
+double HealthService::detection_precision() const {
+  std::size_t flagged = 0, justified = 0;
+  for (const auto p : peers_) {
+    if (health(p) != PeerHealth::kUnreachable) continue;
+    ++flagged;
+    const bool dead = !world_.asset_live(p);
+    const bool partitioned =
+        !world_.network().route_exists(world_.asset(monitor_).node,
+                                       world_.asset(p).node);
+    if (dead || partitioned) ++justified;
+  }
+  return flagged == 0 ? 1.0
+                      : static_cast<double>(justified) / static_cast<double>(flagged);
+}
+
+}  // namespace iobt::diag

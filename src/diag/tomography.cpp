@@ -1,0 +1,282 @@
+#include "diag/tomography.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace iobt::diag {
+
+namespace {
+
+/// Dense Gaussian elimination returning the row-echelon form and rank.
+/// Rows are the measurement vectors.
+struct Echelon {
+  std::vector<std::vector<double>> rows;
+  std::size_t rank = 0;
+  std::vector<std::size_t> pivot_cols;
+
+  explicit Echelon(std::vector<std::vector<double>> m) : rows(std::move(m)) {
+    if (rows.empty()) return;
+    const std::size_t ncols = rows[0].size();
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < ncols && r < rows.size(); ++c) {
+      // Partial pivot.
+      std::size_t best = r;
+      for (std::size_t i = r + 1; i < rows.size(); ++i) {
+        if (std::abs(rows[i][c]) > std::abs(rows[best][c])) best = i;
+      }
+      if (std::abs(rows[best][c]) < 1e-9) continue;
+      std::swap(rows[r], rows[best]);
+      const double piv = rows[r][c];
+      for (double& x : rows[r]) x /= piv;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i == r) continue;
+        const double f = rows[i][c];
+        if (std::abs(f) < 1e-12) continue;
+        for (std::size_t k = 0; k < ncols; ++k) rows[i][k] -= f * rows[r][k];
+      }
+      pivot_cols.push_back(c);
+      ++r;
+    }
+    rank = r;
+  }
+
+  /// True iff `v` lies in the row space (appending it does not raise rank).
+  bool in_row_space(const std::vector<double>& v) const {
+    std::vector<double> residual = v;
+    for (std::size_t r = 0; r < rank; ++r) {
+      const std::size_t c = pivot_cols[r];
+      const double f = residual[c];
+      if (std::abs(f) < 1e-9) continue;
+      for (std::size_t k = 0; k < residual.size(); ++k) {
+        residual[k] -= f * rows[r][k];
+      }
+    }
+    for (double x : residual) {
+      if (std::abs(x) > 1e-6) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+TomographySystem::TomographySystem(const net::Topology& topo,
+                                   std::vector<net::NodeId> monitors)
+    : links_(topo.edges()), node_count_(topo.node_count()) {
+  // Build an O(1) edge lookup keyed by the smaller endpoint.
+  edge_lookup_.assign(node_count_, {});
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    edge_lookup_[links_[i].a].push_back(i);
+  }
+
+  std::sort(monitors.begin(), monitors.end());
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    const auto sp = topo.shortest_paths(monitors[i]);
+    for (std::size_t j = i + 1; j < monitors.size(); ++j) {
+      const auto nodes = sp.path_to(monitors[j]);
+      if (nodes.size() < 2) continue;
+      MeasurementPath p;
+      p.from = monitors[i];
+      p.to = monitors[j];
+      for (std::size_t k = 0; k + 1 < nodes.size(); ++k) {
+        p.link_indices.push_back(edge_index(nodes[k], nodes[k + 1]));
+      }
+      paths_.push_back(std::move(p));
+    }
+  }
+}
+
+std::size_t TomographySystem::edge_index(net::NodeId a, net::NodeId b) const {
+  if (a > b) std::swap(a, b);
+  for (std::size_t i : edge_lookup_[a]) {
+    if (links_[i].b == b) return i;
+  }
+  assert(false && "edge on a shortest path must exist");
+  return 0;
+}
+
+std::vector<bool> TomographySystem::identifiable_links() const {
+  const std::size_t n = links_.size();
+  std::vector<std::vector<double>> rows;
+  rows.reserve(paths_.size());
+  for (const auto& p : paths_) {
+    std::vector<double> row(n, 0.0);
+    for (std::size_t li : p.link_indices) row[li] = 1.0;
+    rows.push_back(std::move(row));
+  }
+  const Echelon ech(std::move(rows));
+  std::vector<bool> out(n, false);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    e[i] = 1.0;
+    out[i] = ech.in_row_space(e);
+    e[i] = 0.0;
+  }
+  return out;
+}
+
+double TomographySystem::identifiability() const {
+  if (links_.empty()) return 1.0;
+  const auto id = identifiable_links();
+  std::size_t k = 0;
+  for (bool b : id) k += b ? 1 : 0;
+  return static_cast<double>(k) / static_cast<double>(links_.size());
+}
+
+std::vector<double> TomographySystem::measure(const std::vector<double>& link_metrics,
+                                              double noise_stddev,
+                                              sim::Rng* rng) const {
+  assert(link_metrics.size() == links_.size());
+  std::vector<double> out;
+  out.reserve(paths_.size());
+  for (const auto& p : paths_) {
+    double sum = 0.0;
+    for (std::size_t li : p.link_indices) sum += link_metrics[li];
+    if (noise_stddev > 0.0 && rng) sum += rng->normal(0.0, noise_stddev);
+    out.push_back(sum);
+  }
+  return out;
+}
+
+std::vector<double> TomographySystem::estimate(
+    const std::vector<double>& path_measurements) const {
+  assert(path_measurements.size() == paths_.size());
+  const std::size_t n = links_.size();
+  // Normal equations (A^T A + eps I) x = A^T b; the small ridge term makes
+  // the system nonsingular for unidentifiable links (min-norm-ish).
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t k = 0; k < paths_.size(); ++k) {
+    const auto& idx = paths_[k].link_indices;
+    for (std::size_t i : idx) {
+      atb[i] += path_measurements[k];
+      for (std::size_t j : idx) ata[i][j] += 1.0;
+    }
+  }
+  constexpr double kRidge = 1e-8;
+  for (std::size_t i = 0; i < n; ++i) ata[i][i] += kRidge;
+
+  // Gaussian elimination with partial pivoting on [ata | atb].
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t best = c;
+    for (std::size_t i = c + 1; i < n; ++i) {
+      if (std::abs(ata[i][c]) > std::abs(ata[best][c])) best = i;
+    }
+    std::swap(ata[c], ata[best]);
+    std::swap(atb[c], atb[best]);
+    const double piv = ata[c][c];
+    if (std::abs(piv) < 1e-14) continue;
+    for (std::size_t i = c + 1; i < n; ++i) {
+      const double f = ata[i][c] / piv;
+      if (f == 0.0) continue;
+      for (std::size_t k = c; k < n; ++k) ata[i][k] -= f * ata[c][k];
+      atb[i] -= f * atb[c];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ci = n; ci-- > 0;) {
+    double s = atb[ci];
+    for (std::size_t k = ci + 1; k < n; ++k) s -= ata[ci][k] * x[k];
+    x[ci] = std::abs(ata[ci][ci]) < 1e-14 ? 0.0 : s / ata[ci][ci];
+  }
+  return x;
+}
+
+TomographySystem::FailureDiagnosis TomographySystem::localize_failures(
+    const std::vector<bool>& path_ok) const {
+  assert(path_ok.size() == paths_.size());
+  const std::size_t n = links_.size();
+  FailureDiagnosis d;
+  d.known_good.assign(n, false);
+  d.suspect.assign(n, false);
+
+  // Every link on a working path is good.
+  for (std::size_t k = 0; k < paths_.size(); ++k) {
+    if (!path_ok[k]) continue;
+    for (std::size_t li : paths_[k].link_indices) d.known_good[li] = true;
+  }
+  // Suspects: links on failed paths that are not proven good.
+  std::vector<std::vector<std::size_t>> failed_paths;
+  for (std::size_t k = 0; k < paths_.size(); ++k) {
+    if (path_ok[k]) continue;
+    std::vector<std::size_t> candidates;
+    for (std::size_t li : paths_[k].link_indices) {
+      if (!d.known_good[li]) {
+        d.suspect[li] = true;
+        candidates.push_back(li);
+      }
+    }
+    failed_paths.push_back(std::move(candidates));
+  }
+
+  // Greedy set cover: repeatedly pick the suspect covering most uncovered
+  // failed paths (ties -> smallest index, deterministic).
+  std::vector<bool> covered(failed_paths.size(), false);
+  std::size_t uncovered = failed_paths.size();
+  while (uncovered > 0) {
+    std::vector<std::size_t> gain(n, 0);
+    for (std::size_t k = 0; k < failed_paths.size(); ++k) {
+      if (covered[k]) continue;
+      for (std::size_t li : failed_paths[k]) ++gain[li];
+    }
+    std::size_t best = n;
+    for (std::size_t li = 0; li < n; ++li) {
+      if (gain[li] > 0 && (best == n || gain[li] > gain[best])) best = li;
+    }
+    if (best == n) break;  // a failed path with no suspects: inconsistent obs
+    d.minimal_explanation.push_back(best);
+    for (std::size_t k = 0; k < failed_paths.size(); ++k) {
+      if (covered[k]) continue;
+      for (std::size_t li : failed_paths[k]) {
+        if (li == best) {
+          covered[k] = true;
+          --uncovered;
+          break;
+        }
+      }
+    }
+  }
+  std::sort(d.minimal_explanation.begin(), d.minimal_explanation.end());
+  return d;
+}
+
+std::vector<net::NodeId> greedy_monitor_placement(const net::Topology& topo,
+                                                  std::size_t budget) {
+  std::vector<net::NodeId> chosen;
+  if (budget == 0 || topo.node_count() == 0) return chosen;
+  std::set<net::NodeId> remaining;
+  for (net::NodeId v = 0; v < topo.node_count(); ++v) remaining.insert(v);
+
+  // Seed with the highest-degree node (cheap, effective).
+  net::NodeId seed = 0;
+  for (net::NodeId v = 1; v < topo.node_count(); ++v) {
+    if (topo.degree(v) > topo.degree(seed)) seed = v;
+  }
+  chosen.push_back(seed);
+  remaining.erase(seed);
+
+  while (chosen.size() < budget && !remaining.empty()) {
+    net::NodeId best = *remaining.begin();
+    double best_gain = -1.0;
+    for (net::NodeId cand : remaining) {
+      auto trial = chosen;
+      trial.push_back(cand);
+      const double gain = TomographySystem(topo, trial).identifiability();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = cand;
+      }
+    }
+    chosen.push_back(best);
+    remaining.erase(best);
+    if (best_gain >= 1.0) break;  // fully identifiable already
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace iobt::diag

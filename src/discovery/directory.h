@@ -1,0 +1,124 @@
+#pragma once
+// The asset directory: what one blue enclave currently believes about the
+// population. Entries are built from three evidence channels (§III-A):
+// active probe answers, passive beacon observation, and side-channel
+// emanation detection. The directory never reads ground truth; tests and
+// benches compare it against the World to score recall/precision.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/geometry.h"
+#include "sim/time.h"
+#include "things/capability.h"
+
+namespace iobt::discovery {
+
+/// Inferred standing of a discovered entity.
+enum class Standing : std::uint8_t {
+  kCooperative,  // answers probes / beacons with verifiable claims
+  kSuspect,      // emits but hides from discovery, or claims failed checks
+  kUnknown,      // too little evidence
+};
+
+std::string to_string(Standing s);
+
+struct DiscoveredAsset {
+  std::uint32_t asset = 0;  // protocol identity (AssetId carried in frames)
+  net::NodeId node = 0;
+
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+
+  // Evidence channels.
+  bool answered_probe = false;
+  bool observed_beacon = false;
+  bool side_channel_hit = false;
+
+  // Claims from advertisements (may be lies).
+  std::optional<things::DeviceClass> claimed_class;
+  std::vector<things::SenseCapability> claimed_sensors;
+  sim::Vec2 last_position;
+
+  // Characterization outputs.
+  int challenges_passed = 0;
+  int challenges_failed = 0;
+
+  Standing standing() const {
+    if (challenges_failed > challenges_passed && challenges_failed > 0) {
+      return Standing::kSuspect;
+    }
+    if (side_channel_hit && !answered_probe && !observed_beacon) {
+      return Standing::kSuspect;  // emits but hides: likely red/gray
+    }
+    if (answered_probe || observed_beacon) return Standing::kCooperative;
+    return Standing::kUnknown;
+  }
+};
+
+class AssetDirectory {
+ public:
+  /// Entries older than this are dropped by prune() — discovery "needs to
+  /// be continuous" (§III-A), so stale knowledge must expire.
+  explicit AssetDirectory(sim::Duration staleness = sim::Duration::seconds(120.0))
+      : staleness_(staleness) {}
+
+  DiscoveredAsset& upsert(std::uint32_t asset, sim::SimTime now) {
+    auto [it, inserted] = entries_.try_emplace(asset);
+    if (inserted) {
+      it->second.asset = asset;
+      it->second.first_seen = now;
+    }
+    it->second.last_seen = now;
+    return it->second;
+  }
+
+  const DiscoveredAsset* find(std::uint32_t asset) const {
+    auto it = entries_.find(asset);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  DiscoveredAsset* find(std::uint32_t asset) {
+    auto it = entries_.find(asset);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Removes entries not refreshed within the staleness window. Returns
+  /// how many were evicted.
+  std::size_t prune(sim::SimTime now) {
+    std::size_t evicted = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (now - it->second.last_seen > staleness_) {
+        it = entries_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  const std::unordered_map<std::uint32_t, DiscoveredAsset>& entries() const {
+    return entries_;
+  }
+
+  std::size_t count_standing(Standing s) const {
+    std::size_t n = 0;
+    for (const auto& [id, e] : entries_) {
+      if (e.standing() == s) ++n;
+    }
+    return n;
+  }
+
+  sim::Duration staleness() const { return staleness_; }
+
+ private:
+  sim::Duration staleness_;
+  std::unordered_map<std::uint32_t, DiscoveredAsset> entries_;
+};
+
+}  // namespace iobt::discovery

@@ -1,0 +1,280 @@
+#include "discovery/service.h"
+
+#include <cmath>
+
+namespace iobt::discovery {
+
+namespace {
+constexpr const char* kProbe = "disc.probe";
+constexpr const char* kAdvert = "disc.advert";
+constexpr const char* kBeacon = "disc.beacon";
+constexpr const char* kFwdBeacon = "disc.fwd_beacon";
+constexpr std::size_t kProbeBytes = 40;
+constexpr std::size_t kAdvertBytes = 160;
+constexpr std::size_t kBeaconBytes = 48;
+}  // namespace
+
+std::string to_string(Standing s) {
+  switch (s) {
+    case Standing::kCooperative: return "cooperative";
+    case Standing::kSuspect: return "suspect";
+    case Standing::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+DiscoveryService::DiscoveryService(things::World& world, net::Dispatcher& dispatcher,
+                                   std::vector<things::AssetId> collectors,
+                                   DiscoveryConfig config)
+    : world_(world),
+      disp_(dispatcher),
+      collectors_(std::move(collectors)),
+      cfg_(config),
+      directory_(config.staleness) {
+  responder_installed_.resize(world_.asset_count(), false);
+  for (const auto& a : world_.assets()) install_responder(a.id);
+  // Late arrivals (Sybils, reinforcements) get responder firmware too.
+  world_.on_asset_added([this](things::AssetId id) { install_responder(id); });
+  // Collectors listen for adverts, beacons, and relayed beacons.
+  for (const auto c : collectors_) {
+    const net::NodeId node = world_.asset(c).node;
+    disp_.on(node, kAdvert, [this](const net::Message& m) { handle_advert(m); });
+    disp_.on(node, kBeacon,
+             [this](const net::Message& m) { handle_beacon_at_collector(m); });
+    disp_.on(node, kFwdBeacon,
+             [this](const net::Message& m) { handle_beacon_at_collector(m); });
+  }
+}
+
+Advertisement DiscoveryService::make_advertisement(const things::Asset& a) const {
+  Advertisement ad;
+  ad.asset = a.id;
+  ad.claimed_position = world_.asset_position(a.id);
+  if (a.affiliation == things::Affiliation::kRed) {
+    // A red device that chooses to answer (Sybil) forges its identity:
+    // claims to be a benign sensor mote with a seismic sensor.
+    ad.claimed_class = things::DeviceClass::kSensorMote;
+    ad.claimed_sensors = {{things::Modality::kSeismic, 200.0, 0.8, 0.02}};
+  } else {
+    ad.claimed_class = a.device_class;
+    ad.claimed_sensors = a.sensors;
+  }
+  return ad;
+}
+
+bool is_collector_in(const std::vector<things::AssetId>& collectors,
+                     things::AssetId id) {
+  for (const auto c : collectors) {
+    if (c == id) return true;
+  }
+  return false;
+}
+
+void DiscoveryService::install_responder(things::AssetId id) {
+  if (id < responder_installed_.size() && responder_installed_[id]) return;
+  if (id >= responder_installed_.size()) responder_installed_.resize(id + 1, false);
+  responder_installed_[id] = true;
+
+  const things::Asset& a = world_.asset(id);
+  const net::NodeId node = a.node;
+
+  disp_.on(node, kProbe,
+           [this, id](const net::Message& m) { handle_probe_at(id, m); });
+
+  // Blue non-collector assets forward beacons they overhear toward the
+  // primary collector — discovery reach becomes the blue network's reach,
+  // not one radio's.
+  if (cfg_.relay_beacons && a.affiliation == things::Affiliation::kBlue &&
+      !is_collector_in(collectors_, id)) {
+    disp_.on(node, kBeacon,
+             [this, id](const net::Message& m) { relay_beacon(id, m); });
+  }
+
+  // Beacon loop: devices that beacon do so regardless of who listens.
+  if (a.emissions.beacon_period_s > 0.0) {
+    world_.simulator().schedule_every(
+        sim::Duration::seconds(a.emissions.beacon_period_s),
+        [this, id]() {
+          if (!world_.asset_live(id)) return false;
+          const things::Asset& asset = world_.asset(id);
+          if (asset.emissions.beacon_period_s <= 0.0) return false;  // silenced
+          net::Message b;
+          b.kind = kBeacon;
+          b.size_bytes = kBeaconBytes;
+          b.payload = make_advertisement(asset);
+          world_.network().broadcast(asset.node, std::move(b));
+          return true;
+        },
+        "disc.beacon_loop");
+  }
+}
+
+void DiscoveryService::handle_probe_at(things::AssetId id, const net::Message& m) {
+  if (!world_.asset_live(id)) return;
+  const auto& probe = std::any_cast<const Probe&>(m.payload);
+
+  // Flood dedup: handle each probe sequence once per asset.
+  auto [it, inserted] = probe_seen_.try_emplace(id, 0);
+  if (!inserted && probe.seq <= it->second) return;
+  it->second = probe.seq;
+
+  const things::Asset& asset = world_.asset(id);
+  if (asset.emissions.responds_to_probe) {
+    net::Message reply;
+    reply.kind = kAdvert;
+    reply.size_bytes = kAdvertBytes;
+    reply.payload = make_advertisement(asset);
+    world_.network().route_and_send(asset.node, probe.reply_to, std::move(reply));
+  }
+
+  // Blue assets extend the flood; red/gray do not relay military probes.
+  if (probe.ttl > 1 && asset.affiliation == things::Affiliation::kBlue) {
+    net::Message fwd;
+    fwd.kind = kProbe;
+    fwd.size_bytes = kProbeBytes;
+    fwd.payload = Probe{probe.seq, probe.ttl - 1, probe.reply_to};
+    world_.network().broadcast(asset.node, std::move(fwd));
+  }
+}
+
+void DiscoveryService::relay_beacon(things::AssetId relay, const net::Message& m) {
+  if (!world_.asset_live(relay) || collectors_.empty()) return;
+  const auto& ad = std::any_cast<const Advertisement&>(m.payload);
+  // Rate limit: one forward per (relay, subject) per half staleness.
+  const sim::SimTime now = world_.simulator().now();
+  const auto key = std::make_pair(relay, ad.asset);
+  auto it = relay_last_.find(key);
+  if (it != relay_last_.end() && now - it->second < directory_.staleness() * 0.5) {
+    return;
+  }
+  relay_last_[key] = now;
+
+  net::Message fwd;
+  fwd.kind = kFwdBeacon;
+  fwd.size_bytes = kBeaconBytes + 8;
+  fwd.payload = ad;
+  world_.network().route_and_send(world_.asset(relay).node,
+                                  world_.asset(collectors_.front()).node,
+                                  std::move(fwd));
+}
+
+void DiscoveryService::start() {
+  if (started_) return;
+  started_ = true;
+  for (const auto c : collectors_) {
+    world_.simulator().schedule_every(
+        cfg_.probe_period,
+        [this, c]() {
+          if (!world_.asset_live(c)) return false;
+          probe_tick(c);
+          return true;
+        },
+        "disc.probe_loop");
+    world_.simulator().schedule_every(
+        cfg_.scan_period,
+        [this, c]() {
+          if (!world_.asset_live(c)) return false;
+          scan_tick(c);
+          return true;
+        },
+        "disc.scan_loop");
+  }
+  // Shared prune loop.
+  world_.simulator().schedule_every(
+      cfg_.staleness * 0.5,
+      [this]() {
+        directory_.prune(world_.simulator().now());
+        return true;
+      },
+      "disc.prune_loop");
+}
+
+void DiscoveryService::probe_tick(things::AssetId collector) {
+  net::Message probe;
+  probe.kind = kProbe;
+  probe.size_bytes = kProbeBytes;
+  probe.payload =
+      Probe{next_probe_seq_++, cfg_.probe_ttl, world_.asset(collector).node};
+  world_.network().broadcast(world_.asset(collector).node, std::move(probe));
+}
+
+void DiscoveryService::scan_tick(things::AssetId collector) {
+  const things::Asset& c = world_.asset(collector);
+  const things::SenseCapability* rf = c.sensor(things::Modality::kRfSpectrum);
+  if (!rf) return;
+  const sim::Vec2 at = world_.asset_position(collector);
+  const sim::SimTime now = world_.simulator().now();
+  sim::Rng scan_rng = world_.rng().child(0x5CA40000ULL + collector)
+                          .child(static_cast<std::uint64_t>(now.nanos()));
+  for (const auto& other : world_.assets()) {
+    if (other.id == collector || !world_.asset_live(other.id)) continue;
+    const double d = sim::distance(at, world_.asset_position(other.id));
+    if (d > rf->range_m) continue;
+    // Emanation detection: Poisson arrivals of detectable emissions over
+    // the scan window, scaled by sensor quality.
+    const double p_detect =
+        rf->quality * (1.0 - std::exp(-other.emissions.side_channel_rate_hz *
+                                      cfg_.scan_window_s));
+    if (!scan_rng.bernoulli(p_detect)) continue;
+    DiscoveredAsset& e = directory_.upsert(other.id, now);
+    e.node = other.node;
+    e.side_channel_hit = true;
+    e.last_position = world_.asset_position(other.id);
+  }
+}
+
+void DiscoveryService::handle_advert(const net::Message& m) {
+  const auto& ad = std::any_cast<const Advertisement&>(m.payload);
+  DiscoveredAsset& e = directory_.upsert(ad.asset, world_.simulator().now());
+  e.node = world_.asset(ad.asset).node;
+  e.answered_probe = true;
+  e.claimed_class = ad.claimed_class;
+  e.claimed_sensors = ad.claimed_sensors;
+  e.last_position = ad.claimed_position;
+}
+
+void DiscoveryService::handle_beacon_at_collector(const net::Message& m) {
+  const auto& ad = std::any_cast<const Advertisement&>(m.payload);
+  DiscoveredAsset& e = directory_.upsert(ad.asset, world_.simulator().now());
+  e.node = world_.asset(ad.asset).node;
+  e.observed_beacon = true;
+  e.claimed_class = ad.claimed_class;
+  e.claimed_sensors = ad.claimed_sensors;
+  e.last_position = ad.claimed_position;
+}
+
+double DiscoveryService::recall() const {
+  std::size_t live = 0, found = 0;
+  for (const auto& a : world_.assets()) {
+    bool is_collector = false;
+    for (auto c : collectors_) is_collector |= (c == a.id);
+    if (is_collector || !world_.asset_live(a.id)) continue;
+    ++live;
+    if (directory_.find(a.id)) ++found;
+  }
+  return live == 0 ? 1.0 : static_cast<double>(found) / static_cast<double>(live);
+}
+
+double DiscoveryService::suspect_precision() const {
+  std::size_t suspects = 0, truly_red = 0;
+  for (const auto& [id, e] : directory_.entries()) {
+    if (e.standing() != Standing::kSuspect) continue;
+    ++suspects;
+    if (world_.asset(id).affiliation == things::Affiliation::kRed) ++truly_red;
+  }
+  return suspects == 0 ? 1.0
+                       : static_cast<double>(truly_red) / static_cast<double>(suspects);
+}
+
+double DiscoveryService::suspect_recall() const {
+  std::size_t red = 0, flagged = 0;
+  for (const auto& a : world_.assets()) {
+    if (a.affiliation != things::Affiliation::kRed || !world_.asset_live(a.id)) continue;
+    ++red;
+    const DiscoveredAsset* e = directory_.find(a.id);
+    if (e && e->standing() == Standing::kSuspect) ++flagged;
+  }
+  return red == 0 ? 1.0 : static_cast<double>(flagged) / static_cast<double>(red);
+}
+
+}  // namespace iobt::discovery

@@ -1,0 +1,118 @@
+#pragma once
+// Discovery service: the protocol machinery that populates an
+// AssetDirectory over the simulated network.
+//
+// Three concurrent mechanisms (§III-A):
+//  * Active probing  — collectors broadcast PROBE; cooperative firmware
+//    answers with a (possibly false) capability advertisement. Red assets
+//    configured with responds_to_probe=false stay silent; Sybils answer
+//    with forged claims.
+//  * Passive beacons — devices that beacon anyway (commercial IoT chatter)
+//    are overheard by any collector in radio range.
+//  * Side-channel scan — collectors with an RF-spectrum sensor detect
+//    emanations of *silent* devices probabilistically, which is the only
+//    channel that surfaces hiding red nodes.
+//
+// The service runs all responder firmware too (it is the scenario's
+// "device software"), gated strictly on each asset's EmissionProfile and
+// affiliation — never on hidden truth beyond what firmware would know.
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "discovery/directory.h"
+#include "net/dispatcher.h"
+#include "things/world.h"
+
+namespace iobt::discovery {
+
+/// Capability advertisement carried in ADVERT frames. `claimed_*` fields
+/// are what the device says, which for adversarial devices is a lie.
+struct Advertisement {
+  std::uint32_t asset = 0;
+  things::DeviceClass claimed_class = things::DeviceClass::kSensorMote;
+  std::vector<things::SenseCapability> claimed_sensors;
+  sim::Vec2 claimed_position;
+};
+
+struct DiscoveryConfig {
+  /// How often collectors broadcast probes.
+  sim::Duration probe_period = sim::Duration::seconds(20.0);
+  /// Probe flood TTL: blue assets re-broadcast probes this many hops out,
+  /// so discovery reaches past the collector's own radio range. 1 = no
+  /// relaying.
+  int probe_ttl = 3;
+  /// Blue assets forward overheard beacons to the collector (multi-hop),
+  /// rate-limited per subject.
+  bool relay_beacons = true;
+  /// How often collectors run a side-channel RF scan.
+  sim::Duration scan_period = sim::Duration::seconds(30.0);
+  /// Effective listening window of one scan (drives detection probability
+  /// 1 - exp(-rate * window)).
+  double scan_window_s = 5.0;
+  /// Directory entries older than this are evicted.
+  sim::Duration staleness = sim::Duration::seconds(120.0);
+};
+
+class DiscoveryService {
+ public:
+  /// `collectors` are blue assets that probe/scan and share one directory
+  /// (an enclave). Responder firmware is installed on every current asset;
+  /// call install_responder() for assets added later (e.g. Sybils).
+  DiscoveryService(things::World& world, net::Dispatcher& dispatcher,
+                   std::vector<things::AssetId> collectors, DiscoveryConfig config);
+
+  /// Starts probing, beaconing, scanning, and pruning loops.
+  void start();
+
+  /// Installs responder firmware on one asset (idempotent).
+  void install_responder(things::AssetId id);
+
+  AssetDirectory& directory() { return directory_; }
+  const AssetDirectory& directory() const { return directory_; }
+
+  // --- Scoring against ground truth (tests/benches only) -----------------
+
+  /// Fraction of live assets currently present in the directory.
+  double recall() const;
+  /// Of directory entries flagged suspect, the fraction that truly are
+  /// red-affiliated (precision of adversary identification).
+  double suspect_precision() const;
+  /// Fraction of live red assets flagged suspect.
+  double suspect_recall() const;
+
+ private:
+  /// Probe frames carry a flood sequence number, remaining TTL, and the
+  /// node adverts should be routed back to.
+  struct Probe {
+    std::uint32_t seq = 0;
+    int ttl = 1;
+    net::NodeId reply_to = 0;
+  };
+
+  void probe_tick(things::AssetId collector);
+  void scan_tick(things::AssetId collector);
+  void handle_advert(const net::Message& m);
+  void handle_beacon_at_collector(const net::Message& m);
+  void handle_probe_at(things::AssetId id, const net::Message& m);
+  void relay_beacon(things::AssetId relay, const net::Message& m);
+
+  Advertisement make_advertisement(const things::Asset& a) const;
+
+  things::World& world_;
+  net::Dispatcher& disp_;
+  std::vector<things::AssetId> collectors_;
+  DiscoveryConfig cfg_;
+  AssetDirectory directory_;
+  std::vector<bool> responder_installed_;
+  std::uint32_t next_probe_seq_ = 1;
+  /// Flood dedup: highest probe seq each asset has handled.
+  std::unordered_map<things::AssetId, std::uint32_t> probe_seen_;
+  /// Beacon-relay rate limit: (relay, subject) -> last forward time.
+  std::map<std::pair<things::AssetId, std::uint32_t>, sim::SimTime> relay_last_;
+  bool started_ = false;
+};
+
+}  // namespace iobt::discovery

@@ -1,0 +1,150 @@
+#include "flow/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace iobt::flow {
+
+std::string to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kSource: return "source";
+    case OpKind::kFilter: return "filter";
+    case OpKind::kFuse: return "fuse";
+    case OpKind::kModel: return "model";
+    case OpKind::kSink: return "sink";
+  }
+  return "unknown";
+}
+
+OperatorId FlowGraph::add(Operator op) {
+  op.id = static_cast<OperatorId>(ops_.size());
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void FlowGraph::connect(OperatorId from, OperatorId to) {
+  edges_.push_back({from, to});
+}
+
+std::vector<OperatorId> FlowGraph::inputs_of(OperatorId id) const {
+  std::vector<OperatorId> in;
+  for (const auto& e : edges_) {
+    if (e.to == id) in.push_back(e.from);
+  }
+  return in;
+}
+
+std::vector<OperatorId> FlowGraph::outputs_of(OperatorId id) const {
+  std::vector<OperatorId> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::optional<std::string> FlowGraph::validate() const {
+  if (ops_.empty()) return "empty graph";
+  for (const auto& e : edges_) {
+    if (e.from >= ops_.size() || e.to >= ops_.size()) return "edge out of range";
+    if (e.from == e.to) return "self loop";
+  }
+  for (const auto& o : ops_) {
+    const auto in = inputs_of(o.id);
+    const auto out = outputs_of(o.id);
+    if (o.kind == OpKind::kSource && !in.empty()) return "source with inputs";
+    if (o.kind == OpKind::kSink && !out.empty()) return "sink with outputs";
+    if (o.kind != OpKind::kSource && in.empty()) {
+      return "operator '" + o.name + "' has no inputs";
+    }
+  }
+  if (topological_order().size() != ops_.size()) return "cycle detected";
+  return std::nullopt;
+}
+
+std::vector<OperatorId> FlowGraph::topological_order() const {
+  std::vector<std::size_t> indegree(ops_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.to];
+  // Min-id first for determinism.
+  std::priority_queue<OperatorId, std::vector<OperatorId>, std::greater<>> ready;
+  for (const auto& o : ops_) {
+    if (indegree[o.id] == 0) ready.push(o.id);
+  }
+  std::vector<OperatorId> order;
+  while (!ready.empty()) {
+    const OperatorId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const auto& e : edges_) {
+      if (e.from == v && --indegree[e.to] == 0) ready.push(e.to);
+    }
+  }
+  return order;  // shorter than ops_.size() iff cyclic
+}
+
+std::vector<OperatorRates> FlowGraph::analyze_rates() const {
+  std::vector<OperatorRates> rates(ops_.size());
+  for (const OperatorId id : topological_order()) {
+    const Operator& o = ops_[id];
+    OperatorRates& r = rates[id];
+    if (o.kind == OpKind::kSource) {
+      r.input_rate_hz = 0.0;
+      r.output_rate_hz = o.source_rate_hz;
+    } else {
+      for (const OperatorId in : inputs_of(id)) {
+        r.input_rate_hz += rates[in].output_rate_hz;
+      }
+      r.output_rate_hz = r.input_rate_hz * o.selectivity;
+    }
+    const double work_rate =
+        o.kind == OpKind::kSource ? r.output_rate_hz : r.input_rate_hz;
+    r.flops_rate = work_rate * o.flops_per_item;
+    r.out_bandwidth_bps = r.output_rate_hz * o.out_bytes_per_item * 8.0;
+  }
+  return rates;
+}
+
+double FlowGraph::total_flops_rate() const {
+  double total = 0.0;
+  for (const auto& r : analyze_rates()) total += r.flops_rate;
+  return total;
+}
+
+FlowGraph make_tracking_service(std::size_t camera_sources, double camera_rate_hz) {
+  FlowGraph g;
+  std::vector<OperatorId> cams;
+  for (std::size_t i = 0; i < camera_sources; ++i) {
+    cams.push_back(g.add({.kind = OpKind::kSource,
+                          .name = "camera" + std::to_string(i),
+                          .flops_per_item = 1e5,
+                          .selectivity = 1.0,
+                          .out_bytes_per_item = 50000.0,  // a frame crop
+                          .source_rate_hz = camera_rate_hz}));
+  }
+  const auto detect = g.add({.kind = OpKind::kFilter,
+                             .name = "detect",
+                             .flops_per_item = 5e8,  // per-frame detector
+                             .selectivity = 0.1,     // most frames empty
+                             .out_bytes_per_item = 500.0});
+  const auto fuse = g.add({.kind = OpKind::kFuse,
+                           .name = "fuse",
+                           .flops_per_item = 1e6,
+                           .selectivity = 0.5,  // dedup across cameras
+                           .out_bytes_per_item = 400.0});
+  const auto classify = g.add({.kind = OpKind::kModel,
+                               .name = "classify",
+                               .flops_per_item = 2e9,
+                               .selectivity = 1.0,
+                               .out_bytes_per_item = 200.0});
+  const auto sink = g.add({.kind = OpKind::kSink,
+                           .name = "toc",
+                           .flops_per_item = 1e4,
+                           .selectivity = 1.0,
+                           .out_bytes_per_item = 0.0});
+  for (const auto c : cams) g.connect(c, detect);
+  g.connect(detect, fuse);
+  g.connect(fuse, classify);
+  g.connect(classify, sink);
+  return g;
+}
+
+}  // namespace iobt::flow

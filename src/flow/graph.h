@@ -1,0 +1,97 @@
+#pragma once
+// Dataflow service graphs: the "functional composition" half of synthesis
+// (§III-B: "functional composition for generating distributed services and
+// controllers that achieve the mission goals in a scalable manner"; the
+// macroprogramming lineage of refs [5-7]).
+//
+// A battlefield service is a DAG of operators: sensor sources feed
+// filters, fusion stages, and model inference, terminating in a sink
+// (the decision point). Each operator declares its compute cost and its
+// data-rate transformation; the graph then admits static analysis
+// (rates, bandwidth, critical-path latency) and placement optimization
+// (flow/placement.h).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iobt::flow {
+
+using OperatorId = std::uint32_t;
+
+enum class OpKind : std::uint8_t {
+  kSource,  // produces items (a sensor stream); no inputs
+  kFilter,  // per-item predicate; reduces rate by selectivity
+  kFuse,    // merges multiple streams (correlation, deduplication)
+  kModel,   // ML inference; heavy compute
+  kSink,    // consumes the result (commander display, actuator); no outputs
+};
+
+std::string to_string(OpKind k);
+
+struct Operator {
+  OperatorId id = 0;
+  OpKind kind = OpKind::kFilter;
+  std::string name;
+  /// Compute demand per item processed.
+  double flops_per_item = 1e6;
+  /// Output items per input item (sources: items per second instead).
+  double selectivity = 1.0;
+  /// Bytes per output item.
+  double out_bytes_per_item = 100.0;
+  /// For sources: emission rate, items/s.
+  double source_rate_hz = 1.0;
+};
+
+struct FlowEdge {
+  OperatorId from = 0;
+  OperatorId to = 0;
+};
+
+/// Static per-operator analysis results.
+struct OperatorRates {
+  double input_rate_hz = 0.0;   // items/s arriving
+  double output_rate_hz = 0.0;  // items/s leaving
+  double flops_rate = 0.0;      // sustained FLOPS demanded
+  double out_bandwidth_bps = 0.0;
+};
+
+class FlowGraph {
+ public:
+  /// Adds an operator; returns its id.
+  OperatorId add(Operator op);
+  void connect(OperatorId from, OperatorId to);
+
+  const std::vector<Operator>& operators() const { return ops_; }
+  const std::vector<FlowEdge>& edges() const { return edges_; }
+  const Operator& op(OperatorId id) const { return ops_.at(id); }
+
+  std::vector<OperatorId> inputs_of(OperatorId id) const;
+  std::vector<OperatorId> outputs_of(OperatorId id) const;
+
+  /// Validates: non-empty, acyclic, sources have no inputs, sinks no
+  /// outputs, every non-source has >= 1 input. Returns an error string or
+  /// nullopt when valid.
+  std::optional<std::string> validate() const;
+
+  /// Topological order (requires validate() to pass).
+  std::vector<OperatorId> topological_order() const;
+
+  /// Steady-state rate analysis: propagates source rates through
+  /// selectivities. Fused operators sum their input rates.
+  std::vector<OperatorRates> analyze_rates() const;
+
+  /// Sum of flops_rate across operators (total compute the service needs).
+  double total_flops_rate() const;
+
+ private:
+  std::vector<Operator> ops_;
+  std::vector<FlowEdge> edges_;
+};
+
+/// Canned graph builders for the mission classes (tests/benches/examples).
+/// "track" : N camera sources -> detect filter -> fuse -> model -> sink.
+FlowGraph make_tracking_service(std::size_t camera_sources, double camera_rate_hz);
+
+}  // namespace iobt::flow

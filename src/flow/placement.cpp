@@ -1,0 +1,183 @@
+#include "flow/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace iobt::flow {
+
+namespace {
+
+/// Host pinned to `op`, or nullopt.
+std::optional<HostId> pinned_host(const PlacementProblem& p, OperatorId op) {
+  for (const auto& [o, h] : p.pinned) {
+    if (o == op) return h;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Placement evaluate_placement(const PlacementProblem& problem,
+                             std::vector<HostId> assignment) {
+  const auto& g = problem.graph;
+  Placement pl;
+  pl.host = std::move(assignment);
+  pl.host_load.assign(problem.hosts.size(), 0.0);
+  const auto rates = g.analyze_rates();
+
+  // Loads and capacity feasibility.
+  for (const auto& o : g.operators()) {
+    const HostId h = pl.host.at(o.id);
+    if (h >= problem.hosts.size()) {
+      pl.infeasible_reason = "host out of range";
+      return pl;
+    }
+    pl.host_load[h] += rates[o.id].flops_rate;
+  }
+  bool ok = true;
+  for (std::size_t h = 0; h < problem.hosts.size(); ++h) {
+    pl.host_load[h] = problem.hosts[h].capacity_flops > 0
+                          ? pl.host_load[h] / problem.hosts[h].capacity_flops
+                          : (pl.host_load[h] > 0 ? 2.0 : 0.0);
+    if (pl.host_load[h] > 1.0 + 1e-9) {
+      ok = false;
+      pl.infeasible_reason = "host " + std::to_string(h) + " overloaded";
+    }
+  }
+  // Pinning feasibility.
+  for (const auto& [o, h] : problem.pinned) {
+    if (pl.host.at(o) != h) {
+      ok = false;
+      pl.infeasible_reason = "pinned operator moved";
+    }
+  }
+
+  // Network cost: bandwidth x hops over every edge.
+  for (const auto& e : g.edges()) {
+    const int hops = problem.hops[pl.host[e.from]][pl.host[e.to]];
+    pl.network_cost_bps_hops +=
+        rates[e.from].out_bandwidth_bps * static_cast<double>(hops);
+  }
+
+  // Critical path latency: longest source->sink path accumulating
+  // per-item compute time + transfer + propagation per edge.
+  const auto order = g.topological_order();
+  std::vector<double> lat(g.operators().size(), 0.0);
+  for (const OperatorId id : order) {
+    const Operator& o = g.op(id);
+    // Compute time for one item on the assigned host, scaled by load
+    // (queueing-lite: a half-loaded host is ~2x slower than idle-capacity
+    // math says is the floor; we use the simple M/M/1-ish 1/(1-rho) blow-up
+    // capped at 10x).
+    const HostId h = pl.host[id];
+    const double rho = std::min(0.9, pl.host_load[h]);
+    const double compute_s =
+        o.flops_per_item / std::max(1.0, problem.hosts[h].capacity_flops) /
+        std::max(0.1, 1.0 - rho);
+    double in_latency = 0.0;
+    for (const OperatorId in : g.inputs_of(id)) {
+      const int hops = problem.hops[pl.host[in]][h];
+      const double transfer =
+          g.op(in).out_bytes_per_item / problem.bytes_per_second +
+          problem.per_hop_latency_s * static_cast<double>(hops);
+      in_latency = std::max(in_latency, lat[in] + transfer);
+    }
+    lat[id] = in_latency + compute_s;
+    pl.critical_path_latency_s = std::max(pl.critical_path_latency_s, lat[id]);
+  }
+
+  pl.feasible = ok;
+  return pl;
+}
+
+Placement place(const PlacementProblem& problem) {
+  const auto& g = problem.graph;
+  const std::size_t nh = problem.hosts.size();
+  assert(nh > 0);
+  const auto rates = g.analyze_rates();
+
+  std::vector<HostId> assignment(g.operators().size(), 0);
+  std::vector<double> load(nh, 0.0);
+
+  // Greedy topological pass: pinned operators go where they must; others
+  // pick the host minimizing (incremental network cost + a load-balance
+  // penalty) among hosts with remaining capacity.
+  for (const OperatorId id : g.topological_order()) {
+    if (const auto pin = pinned_host(problem, id)) {
+      assignment[id] = *pin;
+      load[*pin] += rates[id].flops_rate;
+      continue;
+    }
+    HostId best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (HostId h = 0; h < nh; ++h) {
+      const double cap = problem.hosts[h].capacity_flops;
+      if (load[h] + rates[id].flops_rate > cap) continue;  // full
+      double comm = 0.0;
+      for (const OperatorId in : g.inputs_of(id)) {
+        comm += rates[in].out_bandwidth_bps *
+                static_cast<double>(problem.hops[assignment[in]][h]);
+      }
+      const double balance = (load[h] + rates[id].flops_rate) / std::max(1.0, cap);
+      const double score = comm + 0.01 * balance;  // comm dominates
+      if (score < best_score) {
+        best_score = score;
+        best = h;
+      }
+    }
+    if (best_score == std::numeric_limits<double>::infinity()) {
+      // No host fits: drop on the least-loaded and let evaluation flag it.
+      best = 0;
+      for (HostId h = 1; h < nh; ++h) {
+        if (load[h] < load[best]) best = h;
+      }
+    }
+    assignment[id] = best;
+    load[best] += rates[id].flops_rate;
+  }
+
+  Placement current = evaluate_placement(problem, assignment);
+
+  // Swap descent: try moving each unpinned operator to each other host;
+  // accept strict improvements in (feasible, network cost).
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 5) {
+    improved = false;
+    for (const auto& o : g.operators()) {
+      if (pinned_host(problem, o.id)) continue;
+      for (HostId h = 0; h < nh; ++h) {
+        if (h == current.host[o.id]) continue;
+        auto trial = current.host;
+        trial[o.id] = h;
+        const Placement cand = evaluate_placement(problem, trial);
+        const bool better =
+            (cand.feasible && !current.feasible) ||
+            (cand.feasible == current.feasible &&
+             cand.network_cost_bps_hops < current.network_cost_bps_hops - 1e-9);
+        if (better) {
+          current = cand;
+          improved = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<std::vector<int>> host_hops_from_topology(
+    const net::Topology& topo, const std::vector<net::NodeId>& host_nodes,
+    int unreachable_hops) {
+  const std::size_t n = host_nodes.size();
+  std::vector<std::vector<int>> hops(n, std::vector<int>(n, 0));
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto d = topo.hop_distances(host_nodes[a]);
+    for (std::size_t b = 0; b < n; ++b) {
+      hops[a][b] = d[host_nodes[b]] < 0 ? unreachable_hops : d[host_nodes[b]];
+    }
+  }
+  return hops;
+}
+
+}  // namespace iobt::flow

@@ -1,0 +1,72 @@
+#pragma once
+// Operator placement: mapping a service graph onto IoBT compute nodes so
+// the mission's latency and capacity constraints hold (§III-B: "what
+// in-network compute elements must be present to achieve the desired
+// latency, and what network capacity ... must exist").
+//
+// Hosts are compute nodes with capacities and a hop-distance matrix
+// (derived from a Topology); sources and sinks can be pinned (the camera
+// runs where the camera is). The optimizer minimizes network cost
+// (bandwidth x hops) subject to per-host compute capacity with a greedy
+// topological pass plus a swap-based local search. Analysis reports the
+// end-to-end critical-path latency so synthesis can check the mission's
+// decision-loop deadline before committing.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/graph.h"
+#include "net/topology.h"
+
+namespace iobt::flow {
+
+using HostId = std::uint32_t;
+
+struct Host {
+  HostId id = 0;
+  double capacity_flops = 1e9;
+};
+
+struct PlacementProblem {
+  FlowGraph graph;
+  std::vector<Host> hosts;
+  /// hop[a][b]: network hop distance between hosts (0 on the diagonal).
+  std::vector<std::vector<int>> hops;
+  /// pinned[op] = host, for operators tied to hardware (sources, sinks).
+  std::vector<std::pair<OperatorId, HostId>> pinned;
+  /// Latency model knobs.
+  double per_hop_latency_s = 0.002;
+  double bytes_per_second = 1e6 / 8.0;  // effective per-link throughput
+};
+
+struct Placement {
+  /// host[op] = assigned host.
+  std::vector<HostId> host;
+  bool feasible = false;
+  std::string infeasible_reason;
+
+  /// Sum over edges of bandwidth * hops (the objective).
+  double network_cost_bps_hops = 0.0;
+  /// Worst-case source->sink latency along the critical path: per-item
+  /// compute time + per-edge transfer + per-hop latency.
+  double critical_path_latency_s = 0.0;
+  /// Per-host load fraction.
+  std::vector<double> host_load;
+};
+
+/// Greedy placement + swap descent. Always returns an assignment; check
+/// `feasible` (capacity or pinning conflicts make it false).
+Placement place(const PlacementProblem& problem);
+
+/// Evaluates an explicit assignment (for tests and what-if analysis).
+Placement evaluate_placement(const PlacementProblem& problem,
+                             std::vector<HostId> assignment);
+
+/// Builds the host hop matrix from a topology and the node ids hosting
+/// compute (hops between unreachable hosts are set to `unreachable_hops`).
+std::vector<std::vector<int>> host_hops_from_topology(
+    const net::Topology& topo, const std::vector<net::NodeId>& host_nodes,
+    int unreachable_hops = 1000);
+
+}  // namespace iobt::flow

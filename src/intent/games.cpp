@@ -1,0 +1,254 @@
+#include "intent/games.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iobt::intent {
+
+TaskAllocationGame::TaskAllocationGame(std::vector<std::vector<double>> effectiveness,
+                                       std::vector<double> values)
+    : eff_(std::move(effectiveness)), values_(std::move(values)) {
+  for (const auto& row : eff_) {
+    assert(row.size() == values_.size());
+    for (double p : row) {
+      assert(p >= 0.0 && p < 1.0);
+      (void)p;
+    }
+  }
+}
+
+double TaskAllocationGame::fail_prob(std::size_t task, const JointAction& joint,
+                                     std::size_t skip) const {
+  double fail = 1.0;
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    if (i == skip || joint[i] != task) continue;
+    fail *= (1.0 - eff_[i][task]);
+  }
+  return fail;
+}
+
+double TaskAllocationGame::welfare(const JointAction& joint) const {
+  double w = 0.0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    w += values_[j] * (1.0 - fail_prob(j, joint, num_agents()));
+  }
+  return w;
+}
+
+double TaskAllocationGame::utility(std::size_t agent, const JointAction& joint) const {
+  const std::size_t j = joint[agent];
+  if (j >= values_.size()) return 0.0;  // idle contributes nothing
+  // Marginal contribution on task j only (other tasks cancel).
+  const double fail_without = fail_prob(j, joint, agent);
+  const double fail_with = fail_without * (1.0 - eff_[agent][j]);
+  return values_[j] * (fail_without - fail_with);
+}
+
+std::size_t TaskAllocationGame::best_response(std::size_t agent,
+                                              const JointAction& joint) const {
+  JointAction trial = joint;
+  const std::size_t current = joint[agent];
+  trial[agent] = current;
+  double best_u = utility(agent, trial);
+  std::size_t best_a = current;
+  for (std::size_t a = 0; a <= idle_action(); ++a) {
+    if (a == current) continue;
+    trial[agent] = a;
+    const double u = utility(agent, trial);
+    if (u > best_u + 1e-12) {
+      best_u = u;
+      best_a = a;
+    }
+  }
+  return best_a;
+}
+
+TaskAllocationGame TaskAllocationGame::random_instance(std::size_t agents,
+                                                       std::size_t tasks,
+                                                       sim::Rng& rng) {
+  // Place both populations in a unit square; effectiveness decays with
+  // distance and carries a per-agent skill factor.
+  std::vector<std::pair<double, double>> apos(agents), tpos(tasks);
+  for (auto& p : apos) p = {rng.uniform(), rng.uniform()};
+  for (auto& p : tpos) p = {rng.uniform(), rng.uniform()};
+  std::vector<std::vector<double>> eff(agents, std::vector<double>(tasks));
+  for (std::size_t i = 0; i < agents; ++i) {
+    const double skill = rng.uniform(0.3, 0.9);
+    for (std::size_t j = 0; j < tasks; ++j) {
+      const double dx = apos[i].first - tpos[j].first;
+      const double dy = apos[i].second - tpos[j].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      eff[i][j] = std::min(0.95, skill * std::exp(-2.0 * d));
+    }
+  }
+  std::vector<double> values(tasks);
+  for (auto& v : values) v = rng.uniform(0.5, 2.0);
+  return TaskAllocationGame(std::move(eff), std::move(values));
+}
+
+DynamicsResult best_response_dynamics(const TaskAllocationGame& game,
+                                      JointAction start, std::size_t max_rounds) {
+  DynamicsResult res;
+  JointAction joint = start.empty()
+                          ? JointAction(game.num_agents(), game.idle_action())
+                          : std::move(start);
+  assert(joint.size() == game.num_agents());
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool moved = false;
+    for (std::size_t i = 0; i < game.num_agents(); ++i) {
+      const std::size_t br = game.best_response(i, joint);
+      if (br != joint[i]) {
+        joint[i] = br;
+        moved = true;
+        ++res.moves;
+      }
+    }
+    ++res.rounds;
+    if (!moved) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.final_welfare = game.welfare(joint);
+  res.final_action = std::move(joint);
+  return res;
+}
+
+DynamicsResult log_linear_dynamics(const TaskAllocationGame& game, sim::Rng& rng,
+                                   double temperature, std::size_t iterations,
+                                   JointAction start) {
+  DynamicsResult res;
+  JointAction joint = start.empty()
+                          ? JointAction(game.num_agents(), game.idle_action())
+                          : std::move(start);
+
+  JointAction best = joint;
+  double best_w = game.welfare(joint);
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(game.num_agents()) - 1));
+    // Softmax over this agent's actions at the current joint profile.
+    JointAction trial = joint;
+    std::vector<double> weights(game.idle_action() + 1);
+    double max_u = -1e300;
+    std::vector<double> utils(weights.size());
+    for (std::size_t a = 0; a < weights.size(); ++a) {
+      trial[i] = a;
+      utils[a] = game.utility(i, trial);
+      max_u = std::max(max_u, utils[a]);
+    }
+    for (std::size_t a = 0; a < weights.size(); ++a) {
+      weights[a] = std::exp((utils[a] - max_u) / std::max(1e-9, temperature));
+    }
+    const std::size_t pick = rng.categorical(weights);
+    if (pick != joint[i]) {
+      joint[i] = pick;
+      ++res.moves;
+    }
+    // Track the best welfare visited (log-linear wanders by design).
+    const double w = game.welfare(joint);
+    if (w > best_w) {
+      best_w = w;
+      best = joint;
+    }
+  }
+  res.rounds = iterations;
+  res.converged = true;
+  res.final_action = std::move(best);
+  res.final_welfare = best_w;
+  return res;
+}
+
+DynamicsResult centralized_greedy(const TaskAllocationGame& game) {
+  DynamicsResult res;
+  const std::size_t n = game.num_agents();
+  const std::size_t m = game.num_tasks();
+  JointAction joint(n, game.idle_action());
+  std::vector<bool> assigned(n, false);
+
+  // Incremental marginal gains: assigning agent i to task j raises
+  // welfare by value_j * fail_j * p_ij, where fail_j is the current
+  // failure probability of task j. Keeping fail_j up to date makes each
+  // greedy commit O(n * m) instead of O(n * m * welfare()).
+  std::vector<double> fail(m, 1.0);
+  while (true) {
+    double best_gain = 1e-12;
+    std::size_t best_i = n, best_j = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double gain = game.value(j) * fail[j] * game.effectiveness(i, j);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i == n) break;
+    joint[best_i] = best_j;
+    assigned[best_i] = true;
+    fail[best_j] *= (1.0 - game.effectiveness(best_i, best_j));
+    ++res.moves;
+  }
+  res.rounds = res.moves;
+  res.converged = true;
+  res.final_welfare = game.welfare(joint);
+  res.final_action = std::move(joint);
+  return res;
+}
+
+DynamicsResult hierarchical_decomposition(const TaskAllocationGame& game,
+                                          std::size_t clusters) {
+  assert(clusters >= 1);
+  const std::size_t n = game.num_agents();
+  const std::size_t m = game.num_tasks();
+  clusters = std::min({clusters, n, m == 0 ? std::size_t{1} : m});
+
+  DynamicsResult res;
+  JointAction joint(n, game.idle_action());
+
+  // Block partition: agents i with i % clusters == c and tasks j with
+  // j % clusters == c form subordinate command c. (A spatial partition
+  // would be strictly better; the modular one keeps the decomposition
+  // deterministic and is what the E5 ablation measures against.)
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::vector<std::size_t> agents, tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % clusters == c) agents.push_back(i);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j % clusters == c) tasks.push_back(j);
+    }
+    if (agents.empty() || tasks.empty()) continue;
+
+    // Build the sub-game.
+    std::vector<std::vector<double>> eff(agents.size(),
+                                         std::vector<double>(tasks.size()));
+    std::vector<double> values(tasks.size());
+    for (std::size_t a = 0; a < agents.size(); ++a) {
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        eff[a][t] = game.effectiveness(agents[a], tasks[t]);
+      }
+    }
+    for (std::size_t t = 0; t < tasks.size(); ++t) values[t] = game.value(tasks[t]);
+    TaskAllocationGame sub(std::move(eff), std::move(values));
+
+    const DynamicsResult sub_res = best_response_dynamics(sub);
+    res.rounds = std::max(res.rounds, sub_res.rounds);  // blocks run in parallel
+    res.moves += sub_res.moves;
+    for (std::size_t a = 0; a < agents.size(); ++a) {
+      const std::size_t act = sub_res.final_action[a];
+      joint[agents[a]] = act >= tasks.size() ? game.idle_action() : tasks[act];
+    }
+  }
+  res.converged = true;
+  res.final_welfare = game.welfare(joint);
+  res.final_action = std::move(joint);
+  return res;
+}
+
+}  // namespace iobt::intent

@@ -1,0 +1,106 @@
+#pragma once
+// Game-theoretic command by intent (§IV-A, "Operationalizing agent
+// interactions").
+//
+// The commander's intent is encoded as a global welfare function; each
+// agent is handed a local objective — its *marginal contribution* to that
+// welfare (the wonderful-life utility). With WLU the task-allocation game
+// is an exact potential game whose potential IS the global welfare, so:
+//   * unilateral best responses strictly increase welfare,
+//   * best-response dynamics provably converge to a pure Nash equilibrium,
+//   * "the necessary distributed coordination ... does not need to be
+//     explicitly designed, but rather naturally result[s] from each agent
+//     seeking to optimize its given objective function."
+//
+// The concrete game: N agents each pick one of M tasks (or idle, action
+// M). Task j succeeds with probability 1 - prod_{i on j} (1 - p_ij), and
+// contributes value_j * P(success) to welfare. p_ij is agent i's
+// effectiveness on task j (from range, capability, or terrain).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace iobt::intent {
+
+/// Joint action: action[i] in [0, num_tasks] — num_tasks means idle.
+using JointAction = std::vector<std::size_t>;
+
+class TaskAllocationGame {
+ public:
+  /// effectiveness[i][j] = p_ij in [0, 1); values[j] > 0.
+  TaskAllocationGame(std::vector<std::vector<double>> effectiveness,
+                     std::vector<double> values);
+
+  std::size_t num_agents() const { return eff_.size(); }
+  std::size_t num_tasks() const { return values_.size(); }
+  std::size_t idle_action() const { return values_.size(); }
+
+  /// Global welfare of a joint action (== the game's exact potential).
+  double welfare(const JointAction& joint) const;
+
+  /// Wonderful-life utility of agent i under `joint`: welfare(joint) -
+  /// welfare(joint with i idle). Computed incrementally in O(agents).
+  double utility(std::size_t agent, const JointAction& joint) const;
+
+  /// Agent i's best response holding others fixed. Ties break toward the
+  /// current action (no churn), then the lowest index (determinism).
+  std::size_t best_response(std::size_t agent, const JointAction& joint) const;
+
+  double effectiveness(std::size_t i, std::size_t j) const { return eff_[i][j]; }
+  double value(std::size_t j) const { return values_[j]; }
+
+  /// Generates a spatially-flavored random instance: agents and tasks
+  /// placed uniformly, p_ij decays with distance.
+  static TaskAllocationGame random_instance(std::size_t agents, std::size_t tasks,
+                                            sim::Rng& rng);
+
+ private:
+  /// P(task j fails) given the set of agents on it, excluding `skip`
+  /// (pass num_agents() to exclude nobody).
+  double fail_prob(std::size_t task, const JointAction& joint, std::size_t skip) const;
+
+  std::vector<std::vector<double>> eff_;
+  std::vector<double> values_;
+};
+
+struct DynamicsResult {
+  JointAction final_action;
+  double final_welfare = 0.0;
+  /// Rounds of round-robin revision until no agent moved.
+  std::size_t rounds = 0;
+  /// Total unilateral deviations taken.
+  std::size_t moves = 0;
+  bool converged = false;
+};
+
+/// Round-robin best-response dynamics from `start` (empty = all idle).
+/// Converges in finite time for potential games.
+DynamicsResult best_response_dynamics(const TaskAllocationGame& game,
+                                      JointAction start = {},
+                                      std::size_t max_rounds = 1000);
+
+/// Log-linear (noisy) dynamics: each revision picks an action with
+/// probability proportional to exp(utility / temperature). As temperature
+/// -> 0 the stationary distribution concentrates on welfare maximizers.
+DynamicsResult log_linear_dynamics(const TaskAllocationGame& game, sim::Rng& rng,
+                                   double temperature = 0.05,
+                                   std::size_t iterations = 20000,
+                                   JointAction start = {});
+
+/// Centralized baseline: greedy marginal-welfare assignment (the
+/// commander micromanaging every asset). Near-optimal for submodular
+/// welfare; used to measure the price of anarchy of the distributed play.
+DynamicsResult centralized_greedy(const TaskAllocationGame& game);
+
+/// Hierarchical decomposition (§IV: "game theoretic foundations for
+/// hierarchical decomposition of global goals into objectives for
+/// distributed subordinate subsystems"): partitions agents and tasks into
+/// `clusters` geographic-style blocks, solves each block independently by
+/// best response, and returns the stitched joint action evaluated on the
+/// FULL game. Trades welfare for locality (smaller games, fewer rounds).
+DynamicsResult hierarchical_decomposition(const TaskAllocationGame& game,
+                                          std::size_t clusters);
+
+}  // namespace iobt::intent

@@ -1,0 +1,70 @@
+#pragma once
+// Security games: zero-sum matrix games solved by fictitious play.
+//
+// §IV-A calls for "game theoretic foundations ... multi-level dynamic
+// games that offer provable convergence guarantees"; §VI makes security
+// "a paramount role". The canonical IoBT instance: a jammer picks where
+// to emit, the network picks which relay corridor to route through, and
+// the payoff is the traffic that survives. Zero-sum matrix games cover
+// this exactly, and fictitious play provably converges (Robinson 1951)
+// to the mixed-strategy equilibrium / game value.
+//
+// Also provided: a builder that derives the jammer-vs-route payoff matrix
+// from an actual Topology (route corridors vs jammed vertices), so the
+// solver plugs directly into the network substrate.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace iobt::intent {
+
+/// payoff[i][j] = row player's (defender's) payoff when row plays i and
+/// column (attacker) plays j. Zero-sum: attacker receives -payoff.
+struct MatrixGame {
+  std::vector<std::vector<double>> payoff;
+
+  std::size_t rows() const { return payoff.size(); }
+  std::size_t cols() const { return payoff.empty() ? 0 : payoff[0].size(); }
+};
+
+struct MixedEquilibrium {
+  std::vector<double> row_strategy;  // defender's mixed strategy
+  std::vector<double> col_strategy;  // attacker's mixed strategy
+  /// Game value from the row player's perspective (bounds converge around
+  /// it as fictitious play iterates).
+  double value = 0.0;
+  double value_lower = 0.0;  // row's guaranteed payoff under row_strategy
+  double value_upper = 0.0;  // row's cap under col_strategy
+  std::size_t iterations = 0;
+};
+
+/// Fictitious play: both players repeatedly best-respond to the empirical
+/// mixture of the opponent's past play. Deterministic (ties to lowest
+/// index). Converges in value; strategies converge in time-average.
+MixedEquilibrium solve_fictitious_play(const MatrixGame& game,
+                                       std::size_t iterations = 20000);
+
+/// Expected row payoff when row plays `row_mix` and column plays `col_mix`.
+double expected_payoff(const MatrixGame& game, const std::vector<double>& row_mix,
+                       const std::vector<double>& col_mix);
+
+/// Builds the jammer-vs-route game from a topology:
+///   * defender strategies: one per provided route (node sequences),
+///   * attacker strategies: jam any single vertex in `jammable`,
+///   * payoff = 1 if the chosen route avoids the jammed vertex, else
+///     `jammed_payoff` (partial traffic survives a jammed corridor).
+MatrixGame make_routing_game(const std::vector<std::vector<net::NodeId>>& routes,
+                             const std::vector<net::NodeId>& jammable,
+                             double jammed_payoff = 0.1);
+
+/// Enumerates up to `k` short vertex-disjoint-ish routes between s and t:
+/// repeatedly takes the shortest path, then re-runs with its interior
+/// vertices' edges removed. The diversity of routes is what gives the
+/// defender mixing power.
+std::vector<std::vector<net::NodeId>> diverse_routes(const net::Topology& topo,
+                                                     net::NodeId s, net::NodeId t,
+                                                     std::size_t k);
+
+}  // namespace iobt::intent

@@ -1,0 +1,34 @@
+#include "learn/adversarial.h"
+
+namespace iobt::learn {
+
+Vec input_gradient(const MlpModel& model, const Example& e) {
+  return model.input_gradient(e);
+}
+
+Vec input_gradient(const LogisticModel& model, const Example& e) {
+  return model.input_gradient(e);
+}
+
+void adversarial_train(MlpModel& model, const Dataset& train,
+                       const AdversarialTrainConfig& cfg, sim::Rng& rng) {
+  if (train.empty()) return;
+  for (std::size_t s = 0; s < cfg.steps; ++s) {
+    Dataset batch;
+    batch.reserve(cfg.batch_size);
+    for (std::size_t b = 0; b < cfg.batch_size; ++b) {
+      Example e = train[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(train.size()) - 1))];
+      if (rng.bernoulli(cfg.adversarial_fraction)) {
+        e.x = pgd(model, e, cfg.attack);  // label unchanged: robust target
+      }
+      batch.push_back(std::move(e));
+    }
+    const Vec g = model.gradient(batch);
+    Vec w = model.params();
+    axpy(-cfg.lr, g, w);
+    model.set_params(std::move(w));
+  }
+}
+
+}  // namespace iobt::learn

@@ -1,0 +1,88 @@
+#pragma once
+// Adversarial examples and adversarial training (§V-B, ref [27] Goodfellow
+// et al.): "Adversarial attacks may supply malicious inputs (i.e., inputs
+// modified to yield erroneous model outputs) ... In an IoBT environment,
+// an adversary may control red/gray nodes and observe (hence, label) our
+// digital and physical reactions to inputs of its choice."
+//
+// Implemented:
+//   * FGSM  — one-step L-inf attack: x' = x + eps * sign(grad_x loss)
+//   * PGD   — iterated FGSM with projection back into the eps-ball (the
+//             standard strong first-order adversary)
+//   * adversarial training — minibatch SGD where a configurable fraction
+//     of each batch is replaced by PGD examples generated on the fly
+//
+// Together with learn/safety.h this closes the paper's loop: attack,
+// empirical defense, and formal certification of the result.
+
+#include "learn/model.h"
+
+namespace iobt::learn {
+
+/// Gradient of the per-example loss with respect to the INPUT x (not the
+/// parameters), for the given model. Exposed for tests.
+Vec input_gradient(const MlpModel& model, const Example& e);
+Vec input_gradient(const LogisticModel& model, const Example& e);
+
+/// One-step fast gradient sign attack.
+template <typename Model>
+Vec fgsm(const Model& model, const Example& e, double epsilon) {
+  const Vec g = input_gradient(model, e);
+  Vec x = e.x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += epsilon * (g[i] > 0 ? 1.0 : (g[i] < 0 ? -1.0 : 0.0));
+  }
+  return x;
+}
+
+struct PgdConfig {
+  double epsilon = 0.2;   // L-inf ball radius
+  double step = 0.05;     // per-iteration step
+  int iterations = 10;
+};
+
+/// Projected gradient descent attack within the L-inf ball around e.x.
+template <typename Model>
+Vec pgd(const Model& model, const Example& e, const PgdConfig& cfg) {
+  Vec x = e.x;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    Example cur{x, e.y};
+    const Vec g = input_gradient(model, cur);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += cfg.step * (g[i] > 0 ? 1.0 : (g[i] < 0 ? -1.0 : 0.0));
+      // Project back into the ball.
+      x[i] = std::clamp(x[i], e.x[i] - cfg.epsilon, e.x[i] + cfg.epsilon);
+    }
+  }
+  return x;
+}
+
+/// Accuracy under attack: every probe example is adversarially perturbed
+/// before prediction. This is the *empirical* robustness upper bound that
+/// IBP certification (learn/safety.h) lower-bounds.
+template <typename Model>
+double robust_accuracy_pgd(const Model& model, const Dataset& probe,
+                           const PgdConfig& cfg) {
+  if (probe.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const Example& e : probe) {
+    const Vec adv = pgd(model, e, cfg);
+    if ((model.predict(adv) > 0.5) == (e.y > 0.5)) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(probe.size());
+}
+
+struct AdversarialTrainConfig {
+  std::size_t steps = 3000;
+  std::size_t batch_size = 32;
+  double lr = 0.2;
+  /// Fraction of each batch replaced by PGD examples.
+  double adversarial_fraction = 0.5;
+  PgdConfig attack;
+};
+
+/// Adversarial training of an MLP in place.
+void adversarial_train(MlpModel& model, const Dataset& train,
+                       const AdversarialTrainConfig& cfg, sim::Rng& rng);
+
+}  // namespace iobt::learn

@@ -1,0 +1,142 @@
+#include "learn/aggregation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace iobt::learn {
+
+std::string to_string(AggregationRule r) {
+  switch (r) {
+    case AggregationRule::kMean: return "mean";
+    case AggregationRule::kMedian: return "median";
+    case AggregationRule::kTrimmedMean: return "trimmed_mean";
+    case AggregationRule::kKrum: return "krum";
+    case AggregationRule::kGeometricMedian: return "geometric_median";
+  }
+  return "unknown";
+}
+
+Vec aggregate_mean(const std::vector<Vec>& updates) {
+  assert(!updates.empty());
+  return mean_of(updates);
+}
+
+Vec aggregate_median(const std::vector<Vec>& updates) {
+  assert(!updates.empty());
+  const std::size_t dim = updates[0].size();
+  Vec out(dim);
+  std::vector<double> column(updates.size());
+  for (std::size_t k = 0; k < dim; ++k) {
+    for (std::size_t i = 0; i < updates.size(); ++i) column[i] = updates[i][k];
+    const std::size_t mid = column.size() / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    if (column.size() % 2 == 1) {
+      out[k] = column[mid];
+    } else {
+      const double hi = column[mid];
+      const double lo =
+          *std::max_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
+      out[k] = (lo + hi) / 2.0;
+    }
+  }
+  return out;
+}
+
+Vec aggregate_trimmed_mean(const std::vector<Vec>& updates, std::size_t trim) {
+  assert(!updates.empty());
+  if (updates.size() <= 2 * trim) {
+    throw std::invalid_argument("trimmed_mean: need more inputs than 2*trim");
+  }
+  const std::size_t dim = updates[0].size();
+  Vec out(dim, 0.0);
+  std::vector<double> column(updates.size());
+  for (std::size_t k = 0; k < dim; ++k) {
+    for (std::size_t i = 0; i < updates.size(); ++i) column[i] = updates[i][k];
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (std::size_t i = trim; i < column.size() - trim; ++i) s += column[i];
+    out[k] = s / static_cast<double>(column.size() - 2 * trim);
+  }
+  return out;
+}
+
+Vec aggregate_krum(const std::vector<Vec>& updates, std::size_t f) {
+  assert(!updates.empty());
+  const std::size_t n = updates.size();
+  // Krum needs n >= 2f + 3 for its guarantee; degrade gracefully by
+  // shrinking the neighborhood if the caller is over-optimistic.
+  std::size_t closest = (n > f + 2) ? n - f - 2 : 1;
+  closest = std::min(closest, n - 1);
+  if (n == 1) return updates[0];
+
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d2[i][j] = d2[j][i] = distance2(updates[i], updates[j]);
+    }
+  }
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row.push_back(d2[i][j]);
+    }
+    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(closest),
+                      row.end());
+    double score = 0.0;
+    for (std::size_t k = 0; k < closest; ++k) score += row[k];
+    if (i == 0 || score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return updates[best];
+}
+
+Vec aggregate_geometric_median(const std::vector<Vec>& updates, int max_iters,
+                               double tol) {
+  assert(!updates.empty());
+  Vec y = mean_of(updates);
+  for (int it = 0; it < max_iters; ++it) {
+    Vec num = zeros(y.size());
+    double denom = 0.0;
+    bool at_point = false;
+    for (const Vec& u : updates) {
+      const double d = std::sqrt(distance2(y, u));
+      if (d < 1e-12) {
+        at_point = true;
+        continue;  // Weiszfeld singularity: skip coincident point
+      }
+      axpy(1.0 / d, u, num);
+      denom += 1.0 / d;
+    }
+    if (denom <= 0.0) return y;  // all points coincide with y
+    scale(num, 1.0 / denom);
+    const double step2 = distance2(num, y);
+    y = std::move(num);
+    if (step2 < tol * tol && !at_point) break;
+  }
+  return y;
+}
+
+Vec aggregate(AggregationRule rule, const std::vector<Vec>& updates, std::size_t f) {
+  switch (rule) {
+    case AggregationRule::kMean: return aggregate_mean(updates);
+    case AggregationRule::kMedian: return aggregate_median(updates);
+    case AggregationRule::kTrimmedMean: {
+      std::size_t trim = f;
+      while (trim > 0 && updates.size() <= 2 * trim) --trim;
+      return trim == 0 ? aggregate_mean(updates)
+                       : aggregate_trimmed_mean(updates, trim);
+    }
+    case AggregationRule::kKrum: return aggregate_krum(updates, f);
+    case AggregationRule::kGeometricMedian: return aggregate_geometric_median(updates);
+  }
+  return aggregate_mean(updates);
+}
+
+}  // namespace iobt::learn

@@ -1,0 +1,41 @@
+#pragma once
+// Byzantine-robust aggregation of parameter/update vectors (§V-B: "new
+// theories and algorithms are needed that ... tolerate a wide array of
+// failures and adversarial compromises of learning nodes").
+//
+// Rules implemented:
+//   * mean            — the non-robust FedAvg baseline
+//   * coordinate median
+//   * trimmed mean    — drops the k largest and smallest per coordinate
+//   * Krum            — selects the vector closest to its n-f-2 nearest
+//                       neighbors (Blanchard et al.)
+//   * geometric median — Weiszfeld iteration
+//
+// All rules are deterministic pure functions of their input.
+
+#include <string>
+#include <vector>
+
+#include "learn/linalg.h"
+
+namespace iobt::learn {
+
+enum class AggregationRule { kMean, kMedian, kTrimmedMean, kKrum, kGeometricMedian };
+
+std::string to_string(AggregationRule r);
+
+Vec aggregate_mean(const std::vector<Vec>& updates);
+Vec aggregate_median(const std::vector<Vec>& updates);
+/// Trims `trim` entries from each end per coordinate. Requires
+/// updates.size() > 2 * trim.
+Vec aggregate_trimmed_mean(const std::vector<Vec>& updates, std::size_t trim);
+/// Krum with an assumed bound `f` on the number of Byzantine inputs.
+Vec aggregate_krum(const std::vector<Vec>& updates, std::size_t f);
+Vec aggregate_geometric_median(const std::vector<Vec>& updates,
+                               int max_iters = 100, double tol = 1e-9);
+
+/// Dispatcher used by the trainers. `f` is the assumed Byzantine bound
+/// (used by Krum and as the trim count).
+Vec aggregate(AggregationRule rule, const std::vector<Vec>& updates, std::size_t f);
+
+}  // namespace iobt::learn

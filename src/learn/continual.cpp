@@ -1,0 +1,78 @@
+#include "learn/continual.h"
+
+#include <algorithm>
+
+namespace iobt::learn {
+
+ContextualLearner::ContextualLearner(ContextualConfig cfg) : cfg_(cfg) {
+  bank_.emplace_back(cfg_.dim);
+}
+
+bool ContextualLearner::observe(const Example& e) {
+  // Online loss of the active model BEFORE training on the sample.
+  const double loss = active().loss({e});
+  loss_ewma_ = samples_in_context_ == 0
+                   ? loss
+                   : cfg_.loss_alpha * loss + (1.0 - cfg_.loss_alpha) * loss_ewma_;
+  ++samples_in_context_;
+
+  recent_.push_back(e);
+  if (recent_.size() > cfg_.probe_window) recent_.erase(recent_.begin());
+
+  // Establish the healthy baseline once the context has settled.
+  if (samples_in_context_ == cfg_.min_samples_before_switch) {
+    baseline_loss_ = std::max(0.05, loss_ewma_);
+  }
+
+  bool switched = false;
+  if (baseline_loss_ > 0.0 && samples_in_context_ > cfg_.min_samples_before_switch &&
+      loss_ewma_ > cfg_.switch_threshold * baseline_loss_) {
+    maybe_switch();
+    switched = true;
+  }
+
+  // One SGD step on the (possibly new) active model.
+  const Vec g = active().gradient({e});
+  Vec w = active().params();
+  axpy(-cfg_.lr, g, w);
+  active().set_params(std::move(w));
+  return switched;
+}
+
+void ContextualLearner::maybe_switch() {
+  ++switches_;
+  // Probe the bank: does a stored model already fit the recent window?
+  std::size_t best = bank_.size();
+  double best_loss = 1e300;
+  for (std::size_t i = 0; i < bank_.size(); ++i) {
+    if (i == active_) continue;
+    const double l = bank_[i].loss(recent_);
+    if (l < best_loss) {
+      best_loss = l;
+      best = i;
+    }
+  }
+  // A fresh logistic model at the origin predicts 0.5 everywhere:
+  // loss = ln 2. Recall only if a stored model clearly beats that.
+  constexpr double kFreshLoss = 0.6931471805599453;
+  if (best < bank_.size() && best_loss < kFreshLoss - cfg_.recall_margin) {
+    active_ = best;
+  } else {
+    bank_.emplace_back(cfg_.dim);
+    active_ = bank_.size() - 1;
+  }
+  samples_in_context_ = 0;
+  loss_ewma_ = 0.0;
+  baseline_loss_ = -1.0;
+}
+
+double ContextualLearner::accuracy_with_best_model(const Dataset& probe) const {
+  double best = 0.0;
+  for (const auto& m : bank_) {
+    best = std::max(best,
+                    accuracy(probe, [&](const Vec& x) { return m.predict(x); }));
+  }
+  return best;
+}
+
+}  // namespace iobt::learn

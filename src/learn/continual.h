@@ -1,0 +1,87 @@
+#pragma once
+// Continual learning with automatic context detection (§V-B: "new
+// information can often erase previously learned knowledge ... the system
+// must learn the different relevant underlying contexts automatically").
+//
+// The ContextualLearner watches its own online loss with an EWMA detector;
+// a sustained loss spike signals a context switch. It then either recalls
+// a previously learned context model (if one fits the new data) or spawns
+// a fresh model. The monolithic baseline (one model trained on everything)
+// exhibits catastrophic forgetting; the contextual learner does not — that
+// contrast is experiment-visible via `accuracy_on(context)`.
+
+#include <memory>
+#include <vector>
+
+#include "learn/model.h"
+
+namespace iobt::learn {
+
+struct ContextualConfig {
+  std::size_t dim = 4;
+  double lr = 0.1;
+  /// Loss EWMA factor and spike threshold (multiple of baseline loss).
+  double loss_alpha = 0.05;
+  double switch_threshold = 2.0;
+  /// Samples of evidence required before a switch decision.
+  int min_samples_before_switch = 30;
+  /// When probing stored models for recall, the best model must beat a
+  /// fresh-model loss estimate by this margin to be recalled.
+  double recall_margin = 0.1;
+  /// Recent window used to evaluate candidate models at a switch.
+  std::size_t probe_window = 40;
+};
+
+class ContextualLearner {
+ public:
+  explicit ContextualLearner(ContextualConfig cfg);
+
+  /// Feeds one labelled example (online training). Returns true when this
+  /// sample triggered a context switch.
+  bool observe(const Example& e);
+
+  double predict(const Vec& x) const { return active().predict(x); }
+
+  std::size_t context_count() const { return bank_.size(); }
+  std::size_t active_context() const { return active_; }
+  std::size_t switches_detected() const { return switches_; }
+
+  /// Accuracy of the model that would be selected for `probe` data: the
+  /// learner picks its best-fitting stored model (the recall path).
+  double accuracy_with_best_model(const Dataset& probe) const;
+
+ private:
+  const LogisticModel& active() const { return bank_[active_]; }
+  LogisticModel& active() { return bank_[active_]; }
+  void maybe_switch();
+
+  ContextualConfig cfg_;
+  std::vector<LogisticModel> bank_;
+  std::size_t active_ = 0;
+  double loss_ewma_ = 0.0;
+  double baseline_loss_ = -1.0;
+  int samples_in_context_ = 0;
+  std::size_t switches_ = 0;
+  Dataset recent_;
+};
+
+/// Baseline for the forgetting experiment: one model trained on the same
+/// stream, no context machinery.
+class MonolithicLearner {
+ public:
+  MonolithicLearner(std::size_t dim, double lr) : model_(dim), lr_(lr) {}
+
+  void observe(const Example& e) {
+    const Vec g = model_.gradient({e});
+    Vec w = model_.params();
+    axpy(-lr_, g, w);
+    model_.set_params(std::move(w));
+  }
+  double predict(const Vec& x) const { return model_.predict(x); }
+
+ private:
+  LogisticModel model_;
+  double lr_;
+};
+
+}  // namespace iobt::learn

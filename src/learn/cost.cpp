@@ -1,0 +1,106 @@
+#include "learn/cost.h"
+
+#include <cassert>
+
+namespace iobt::learn {
+
+GossipTrainer::GossipTrainer(std::size_t nodes, std::size_t dim, const Dataset& train,
+                             double label_skew, sim::Rng& rng)
+    : models_(nodes, LogisticModel(dim)), dim_(dim) {
+  sim::Rng shard_rng = rng.child("shard");
+  shards_ = shard(train, nodes, label_skew, shard_rng);
+}
+
+std::uint64_t GossipTrainer::round(const net::Topology& topo, std::size_t local_steps,
+                                   std::size_t batch_size, double lr, sim::Rng& rng,
+                                   std::size_t round_index) {
+  assert(topo.node_count() == models_.size());
+  const std::size_t n = models_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    sim::Rng vrng = rng.child(0xC057A100ULL + v).child(round_index);
+    models_[v].sgd(shards_[v], local_steps, batch_size, lr, vrng);
+  }
+  std::uint64_t bytes = 0;
+  const std::uint64_t per_model =
+      static_cast<std::uint64_t>(models_[0].param_count()) * sizeof(double);
+  std::vector<Vec> next(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<Vec> neighborhood;
+    neighborhood.push_back(models_[v].params());
+    for (const auto& nb : topo.neighbors(static_cast<net::NodeId>(v))) {
+      neighborhood.push_back(models_[nb.id].params());
+      bytes += per_model;
+    }
+    next[v] = mean_of(neighborhood);
+  }
+  for (std::size_t v = 0; v < n; ++v) models_[v].set_params(std::move(next[v]));
+  return bytes;
+}
+
+double GossipTrainer::mean_accuracy(const Dataset& test) const {
+  double acc = 0.0;
+  for (const auto& m : models_) {
+    acc += accuracy(test, [&](const Vec& x) { return m.predict(x); });
+  }
+  return models_.empty() ? 0.0 : acc / static_cast<double>(models_.size());
+}
+
+double GossipTrainer::disagreement() const {
+  std::vector<Vec> ps;
+  ps.reserve(models_.size());
+  for (const auto& m : models_) ps.push_back(m.params());
+  return parameter_disagreement(ps);
+}
+
+CostCurve evaluate_topology(const NamedTopology& nt, const Dataset& train,
+                            const Dataset& test, std::size_t dim, std::size_t rounds,
+                            std::size_t local_steps, std::size_t batch_size, double lr,
+                            double label_skew, sim::Rng& rng) {
+  CostCurve curve;
+  curve.topology = nt.name;
+  GossipTrainer trainer(nt.topo.node_count(), dim, train, label_skew, rng);
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::uint64_t b = trainer.round(nt.topo, local_steps, batch_size, lr, rng, r);
+    total += static_cast<std::uint64_t>(static_cast<double>(b) * nt.byte_multiplier);
+    curve.points.push_back({r, total, trainer.mean_accuracy(test)});
+  }
+  return curve;
+}
+
+ActivationResult cost_aware_train(const std::vector<NamedTopology>& options,
+                                  const Dataset& train, const Dataset& test,
+                                  std::size_t dim, std::size_t rounds,
+                                  std::size_t local_steps, std::size_t batch_size,
+                                  double lr, double label_skew, std::size_t patience,
+                                  double min_gain, sim::Rng& rng) {
+  assert(!options.empty());
+  ActivationResult res;
+  res.curve.topology = "adaptive";
+  GossipTrainer trainer(options[0].topo.node_count(), dim, train, label_skew, rng);
+
+  std::size_t active = 0;
+  std::vector<double> recent_acc;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto& nt = options[active];
+    const std::uint64_t b = trainer.round(nt.topo, local_steps, batch_size, lr, rng, r);
+    res.total_bytes +=
+        static_cast<std::uint64_t>(static_cast<double>(b) * nt.byte_multiplier);
+    const double acc = trainer.mean_accuracy(test);
+    res.curve.points.push_back({r, res.total_bytes, acc});
+    res.active_topology_per_round.push_back(active);
+
+    recent_acc.push_back(acc);
+    if (recent_acc.size() > patience + 1) recent_acc.erase(recent_acc.begin());
+    // Escalate when the last `patience` rounds bought less than min_gain.
+    if (active + 1 < options.size() && recent_acc.size() == patience + 1 &&
+        recent_acc.back() - recent_acc.front() < min_gain) {
+      ++active;
+      recent_acc.clear();
+    }
+  }
+  res.final_accuracy = res.curve.points.empty() ? 0.0 : res.curve.points.back().accuracy;
+  return res;
+}
+
+}  // namespace iobt::learn

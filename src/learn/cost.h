@@ -1,0 +1,88 @@
+#pragma once
+// Cost-aware learning topology activation (§V-B, refs [28-33]: "one might
+// activate different network topologies based on the trade-off between
+// network learning and communication ... design of dynamic IoBTs that
+// self-configure to jointly optimize both learning cost and decision
+// making accuracy").
+//
+// A GossipTrainer exposes one training round at a time so the topology can
+// change between rounds. Static evaluation produces accuracy-vs-bytes
+// curves per topology; the ActivationPolicy starts on the cheapest
+// topology and escalates to denser ones when marginal accuracy per round
+// stalls — buying consensus bandwidth only when it pays.
+
+#include <string>
+#include <vector>
+
+#include "learn/federated.h"
+
+namespace iobt::learn {
+
+/// Round-steppable decentralized trainer (no Byzantine machinery — this is
+/// the cost experiment; robustness is E6's business).
+class GossipTrainer {
+ public:
+  GossipTrainer(std::size_t nodes, std::size_t dim, const Dataset& train,
+                double label_skew, sim::Rng& rng);
+
+  /// Runs one round (local SGD + neighbor averaging) over `topo`, which
+  /// must have exactly `nodes` vertices. Returns bytes communicated.
+  std::uint64_t round(const net::Topology& topo, std::size_t local_steps,
+                      std::size_t batch_size, double lr, sim::Rng& rng,
+                      std::size_t round_index);
+
+  double mean_accuracy(const Dataset& test) const;
+  double disagreement() const;
+  std::size_t nodes() const { return models_.size(); }
+
+ private:
+  std::vector<LogisticModel> models_;
+  std::vector<Dataset> shards_;
+  std::size_t dim_;
+};
+
+struct NamedTopology {
+  std::string name;
+  net::Topology topo;
+  /// Relative radio cost multiplier (denser topologies may also use more
+  /// expensive long links); 1.0 = plain per-edge accounting.
+  double byte_multiplier = 1.0;
+};
+
+struct CostCurvePoint {
+  std::size_t round = 0;
+  std::uint64_t cumulative_bytes = 0;
+  double accuracy = 0.0;
+};
+
+struct CostCurve {
+  std::string topology;
+  std::vector<CostCurvePoint> points;
+};
+
+/// Trains to `rounds` on one fixed topology, sampling the curve each round.
+CostCurve evaluate_topology(const NamedTopology& nt, const Dataset& train,
+                            const Dataset& test, std::size_t dim,
+                            std::size_t rounds, std::size_t local_steps,
+                            std::size_t batch_size, double lr, double label_skew,
+                            sim::Rng& rng);
+
+struct ActivationResult {
+  CostCurve curve;                    // labelled "adaptive"
+  std::vector<std::size_t> active_topology_per_round;
+  std::uint64_t total_bytes = 0;
+  double final_accuracy = 0.0;
+};
+
+/// Adaptive policy over `options` (assumed ordered cheap -> dense):
+/// escalates when accuracy gained over the last `patience` rounds is below
+/// `min_gain`; never de-escalates (models only improve monotonically in
+/// expectation, and de-escalation thrashes).
+ActivationResult cost_aware_train(const std::vector<NamedTopology>& options,
+                                  const Dataset& train, const Dataset& test,
+                                  std::size_t dim, std::size_t rounds,
+                                  std::size_t local_steps, std::size_t batch_size,
+                                  double lr, double label_skew, std::size_t patience,
+                                  double min_gain, sim::Rng& rng);
+
+}  // namespace iobt::learn

@@ -1,0 +1,158 @@
+#include "learn/federated.h"
+
+#include <cassert>
+
+namespace iobt::learn {
+
+namespace {
+
+/// Corrupts an honest update in place according to the Byzantine mode.
+Vec corrupt(const Vec& honest, ByzantineMode mode, sim::Rng& rng) {
+  Vec out = honest;
+  switch (mode) {
+    case ByzantineMode::kNone:
+      break;
+    case ByzantineMode::kSignFlip:
+      scale(out, -4.0);
+      break;
+    case ByzantineMode::kRandom: {
+      const double mag = std::max(1.0, norm(honest));
+      for (double& v : out) v = rng.normal(0.0, mag);
+      break;
+    }
+    case ByzantineMode::kShift:
+      for (double& v : out) v += 10.0;
+      break;
+  }
+  return out;
+}
+
+std::uint64_t model_bytes(std::size_t params) {
+  return static_cast<std::uint64_t>(params) * sizeof(double);
+}
+
+}  // namespace
+
+TrainResult federated_train(const Dataset& train, const Dataset& test,
+                            std::size_t dim, const FederatedConfig& cfg,
+                            sim::Rng& rng) {
+  assert(cfg.workers > 0);
+  TrainResult res;
+  sim::Rng shard_rng = rng.child("shard");
+  const auto shards = shard(train, cfg.workers, cfg.label_skew, shard_rng);
+
+  LogisticModel global(dim);
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    std::vector<Vec> updates;
+    updates.reserve(cfg.workers);
+    for (std::size_t w = 0; w < cfg.workers; ++w) {
+      // Each worker starts from the global model and runs local steps.
+      LogisticModel local(dim);
+      local.set_params(global.params());
+      sim::Rng wrng = rng.child(0xFED00000ULL + w).child(round);
+      local.sgd(shards[w], cfg.local_steps, cfg.batch_size, cfg.lr, wrng);
+      // The update is the parameter delta.
+      Vec delta = local.params();
+      axpy(-1.0, global.params(), delta);
+      if (w < cfg.byzantine_count) {
+        delta = corrupt(delta, cfg.byzantine_mode, wrng);
+      }
+      updates.push_back(std::move(delta));
+      // Down: model broadcast; up: update. Both one model's worth.
+      res.bytes_communicated += 2 * model_bytes(global.param_count());
+    }
+    const Vec agg = aggregate(cfg.rule, updates, cfg.assumed_f);
+    Vec params = global.params();
+    axpy(1.0, agg, params);
+    global.set_params(std::move(params));
+
+    res.accuracy_per_round.push_back(
+        accuracy(test, [&](const Vec& x) { return global.predict(x); }));
+  }
+  res.final_params = global.params();
+  res.final_accuracy =
+      res.accuracy_per_round.empty() ? 0.0 : res.accuracy_per_round.back();
+  return res;
+}
+
+TrainResult gossip_train(const net::Topology& topo, const Dataset& train,
+                         const Dataset& test, std::size_t dim,
+                         const GossipConfig& cfg, sim::Rng& rng) {
+  const std::size_t n = topo.node_count();
+  assert(n > 0);
+  TrainResult res;
+  sim::Rng shard_rng = rng.child("shard");
+  const auto shards = shard(train, n, cfg.label_skew, shard_rng);
+
+  std::vector<LogisticModel> models(n, LogisticModel(dim));
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    // Local steps.
+    for (std::size_t v = 0; v < n; ++v) {
+      sim::Rng vrng = rng.child(0x90551900ULL + v).child(round);
+      models[v].sgd(shards[v], cfg.local_steps, cfg.batch_size, cfg.lr, vrng);
+    }
+    // Edge liveness this round.
+    sim::Rng link_rng = rng.child("links").child(round);
+    const auto edges = topo.edges();
+    std::vector<bool> up(edges.size(), true);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      up[e] = link_rng.bernoulli(cfg.link_up_probability);
+    }
+    // Gossip averaging: every node aggregates its own params with its
+    // reachable neighbors' params (synchronous, like push-sum w/o weights).
+    std::vector<Vec> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<Vec> neighborhood;
+      neighborhood.push_back(models[v].params());
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (!up[e]) continue;
+        std::size_t other = n;
+        if (edges[e].a == v) other = edges[e].b;
+        if (edges[e].b == v) other = edges[e].a;
+        if (other == n) continue;
+        Vec p = models[other].params();
+        if (other < cfg.byzantine_count) {
+          sim::Rng brng = rng.child(0xBAD00000ULL + other).child(round);
+          p = corrupt(p, cfg.byzantine_mode, brng);
+        }
+        neighborhood.push_back(std::move(p));
+        res.bytes_communicated += model_bytes(models[v].param_count());
+      }
+      next[v] = aggregate(cfg.rule, neighborhood, cfg.assumed_f);
+    }
+    for (std::size_t v = 0; v < n; ++v) models[v].set_params(std::move(next[v]));
+
+    // Mean accuracy over honest nodes.
+    double acc = 0.0;
+    std::size_t honest = 0;
+    for (std::size_t v = cfg.byzantine_count; v < n; ++v) {
+      acc += accuracy(test, [&](const Vec& x) { return models[v].predict(x); });
+      ++honest;
+    }
+    res.accuracy_per_round.push_back(honest ? acc / static_cast<double>(honest) : 0.0);
+  }
+  // Final params: mean of honest nodes (reporting convention).
+  std::vector<Vec> honest_params;
+  for (std::size_t v = cfg.byzantine_count; v < n; ++v) {
+    honest_params.push_back(models[v].params());
+  }
+  res.final_params = honest_params.empty() ? Vec{} : mean_of(honest_params);
+  res.final_accuracy =
+      res.accuracy_per_round.empty() ? 0.0 : res.accuracy_per_round.back();
+  return res;
+}
+
+double parameter_disagreement(const std::vector<Vec>& params) {
+  if (params.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = i + 1; j < params.size(); ++j) {
+      total += std::sqrt(distance2(params[i], params[j]));
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace iobt::learn

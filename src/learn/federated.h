@@ -1,0 +1,87 @@
+#pragma once
+// Distributed training loops: parameter-server federated averaging with
+// Byzantine workers, and fully decentralized gossip averaging over a
+// (possibly time-varying) topology (§V-B: "what is the impact of
+// time-varying topology ... on the correctness and convergence of
+// distributed learning algorithms?").
+//
+// Both trainers are algorithm-level simulations: communication is counted
+// in bytes (for the cost-of-learning experiments) but not pushed through
+// the packet network — E6/E8 sweep hundreds of configurations and need
+// the speed. The end-to-end mission bench (E12) exercises learning over
+// the real simulated network.
+
+#include <functional>
+#include <vector>
+
+#include "learn/aggregation.h"
+#include "learn/data.h"
+#include "learn/model.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+
+namespace iobt::learn {
+
+/// How a Byzantine worker corrupts its update.
+enum class ByzantineMode {
+  kNone,
+  kSignFlip,    // sends -k * honest update
+  kRandom,      // sends Gaussian noise of matched magnitude
+  kShift,       // adds a large constant bias vector
+};
+
+struct FederatedConfig {
+  std::size_t workers = 10;
+  std::size_t rounds = 30;
+  std::size_t local_steps = 10;
+  std::size_t batch_size = 16;
+  double lr = 0.1;
+  AggregationRule rule = AggregationRule::kMean;
+  /// Assumed Byzantine bound handed to the aggregator.
+  std::size_t assumed_f = 0;
+  /// Actual Byzantine workers: the first `byzantine_count` workers.
+  std::size_t byzantine_count = 0;
+  ByzantineMode byzantine_mode = ByzantineMode::kSignFlip;
+  double label_skew = 0.0;  // non-IID sharding
+};
+
+struct TrainResult {
+  Vec final_params;
+  std::vector<double> accuracy_per_round;  // on the held-out test set
+  double final_accuracy = 0.0;
+  std::uint64_t bytes_communicated = 0;
+};
+
+/// Parameter-server training of a logistic model.
+TrainResult federated_train(const Dataset& train, const Dataset& test,
+                            std::size_t dim, const FederatedConfig& cfg,
+                            sim::Rng& rng);
+
+struct GossipConfig {
+  std::size_t rounds = 40;
+  std::size_t local_steps = 5;
+  std::size_t batch_size = 16;
+  double lr = 0.1;
+  /// Each round, every edge of the topology is usable independently with
+  /// this probability (models link churn / jamming).
+  double link_up_probability = 1.0;
+  double label_skew = 0.0;
+  AggregationRule rule = AggregationRule::kMean;  // applied over neighborhood
+  std::size_t assumed_f = 0;
+  std::size_t byzantine_count = 0;
+  ByzantineMode byzantine_mode = ByzantineMode::kSignFlip;
+};
+
+/// Decentralized training over `topo`: each node runs local SGD then
+/// averages parameters with its currently-reachable neighbors. Returns
+/// the *mean node accuracy* trajectory and total bytes (per-edge per-round
+/// model exchanges).
+TrainResult gossip_train(const net::Topology& topo, const Dataset& train,
+                         const Dataset& test, std::size_t dim,
+                         const GossipConfig& cfg, sim::Rng& rng);
+
+/// Mean pairwise parameter distance at the end of training — the
+/// consensus quality measure for the topology experiments.
+double parameter_disagreement(const std::vector<Vec>& params);
+
+}  // namespace iobt::learn

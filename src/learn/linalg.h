@@ -1,0 +1,64 @@
+#pragma once
+// Minimal dense vector/matrix helpers for the learning substrate. Plain
+// std::vector<double> keeps the code obvious; sizes here are small enough
+// (models of 10^2..10^4 parameters) that cache behaviour, not BLAS,
+// dominates.
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace iobt::learn {
+
+using Vec = std::vector<double>;
+
+inline double dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(Vec& v, double k) {
+  for (double& x : v) x *= k;
+}
+
+inline double norm2(const Vec& v) { return dot(v, v); }
+inline double norm(const Vec& v) { return std::sqrt(norm2(v)); }
+
+inline double distance2(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+
+inline Vec mean_of(const std::vector<Vec>& vs) {
+  assert(!vs.empty());
+  Vec out = zeros(vs[0].size());
+  for (const Vec& v : vs) axpy(1.0, v, out);
+  scale(out, 1.0 / static_cast<double>(vs.size()));
+  return out;
+}
+
+inline double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace iobt::learn

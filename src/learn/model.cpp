@@ -1,0 +1,184 @@
+#include "learn/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iobt::learn {
+
+MlpModel::MlpModel(std::vector<std::size_t> layers) : layers_(std::move(layers)) {
+  assert(layers_.size() >= 2);
+  assert(layers_.back() == 1 && "binary classifier output");
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    w_offsets_.push_back(offset);
+    offset += layers_[l + 1] * layers_[l];
+    b_offsets_.push_back(offset);
+    offset += layers_[l + 1];
+  }
+  flat_.assign(offset, 0.0);
+}
+
+void MlpModel::set_params(Vec p) {
+  assert(p.size() == flat_.size());
+  flat_ = std::move(p);
+}
+
+void MlpModel::randomize(sim::Rng& rng, double scale) {
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    // He-style scaling keeps deep activations sane.
+    const double s = scale / std::sqrt(static_cast<double>(layers_[l]));
+    for (std::size_t o = 0; o < layers_[l + 1]; ++o) {
+      for (std::size_t i = 0; i < layers_[l]; ++i) weight_ref(l, o, i) = s * rng.normal();
+      bias_ref(l, o) = 0.0;
+    }
+  }
+}
+
+std::vector<Vec> MlpModel::forward(const Vec& x) const {
+  assert(x.size() == layers_[0]);
+  std::vector<Vec> acts;
+  acts.push_back(x);
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    Vec z(layers_[l + 1], 0.0);
+    for (std::size_t o = 0; o < layers_[l + 1]; ++o) {
+      double s = bias(l, o);
+      for (std::size_t i = 0; i < layers_[l]; ++i) s += weight(l, o, i) * acts[l][i];
+      z[o] = s;
+    }
+    const bool last = (l + 2 == layers_.size());
+    if (!last) {
+      for (double& v : z) v = std::max(0.0, v);  // ReLU
+    }
+    acts.push_back(std::move(z));
+  }
+  return acts;
+}
+
+double MlpModel::predict(const Vec& x) const {
+  const auto acts = forward(x);
+  return sigmoid(acts.back()[0]);
+}
+
+Vec MlpModel::gradient(const Dataset& batch) const {
+  Vec g(flat_.size(), 0.0);
+  if (batch.empty()) return g;
+  const std::size_t L = layers_.size() - 1;  // number of weight layers
+
+  for (const Example& e : batch) {
+    const auto acts = forward(e.x);
+    // delta at output: dL/dz = sigmoid(z) - y  (cross-entropy + sigmoid).
+    std::vector<Vec> delta(L);
+    delta[L - 1] = {sigmoid(acts[L][0]) - e.y};
+    // Backprop through hidden layers (ReLU mask on the *pre-activation*,
+    // equivalently the post-activation > 0 test since ReLU(z) > 0 <=> z > 0).
+    for (std::size_t l = L - 1; l-- > 0;) {
+      delta[l].assign(layers_[l + 1], 0.0);
+      for (std::size_t i = 0; i < layers_[l + 1]; ++i) {
+        if (acts[l + 1][i] <= 0.0) continue;  // ReLU gradient is 0
+        double s = 0.0;
+        for (std::size_t o = 0; o < layers_[l + 2]; ++o) {
+          s += weight(l + 1, o, i) * delta[l + 1][o];
+        }
+        delta[l][i] = s;
+      }
+    }
+    // Accumulate parameter gradients.
+    for (std::size_t l = 0; l < L; ++l) {
+      for (std::size_t o = 0; o < layers_[l + 1]; ++o) {
+        const double d = delta[l][o];
+        if (d == 0.0) continue;
+        for (std::size_t i = 0; i < layers_[l]; ++i) {
+          g[w_offsets_[l] + o * layers_[l] + i] += d * acts[l][i];
+        }
+        g[b_offsets_[l] + o] += d;
+      }
+    }
+  }
+  scale(g, 1.0 / static_cast<double>(batch.size()));
+  return g;
+}
+
+double MlpModel::loss(const Dataset& batch) const {
+  if (batch.empty()) return 0.0;
+  double total = 0.0;
+  for (const Example& e : batch) {
+    const double p = std::clamp(predict(e.x), 1e-12, 1.0 - 1e-12);
+    total += e.y > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+void MlpModel::sgd(const Dataset& data, std::size_t steps, std::size_t batch_size,
+                   double lr, sim::Rng& rng) {
+  if (data.empty()) return;
+  for (std::size_t s = 0; s < steps; ++s) {
+    Dataset batch;
+    batch.reserve(batch_size);
+    for (std::size_t b = 0; b < batch_size; ++b) {
+      batch.push_back(data[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
+    }
+    const Vec g = gradient(batch);
+    axpy(-lr, g, flat_);
+  }
+}
+
+Vec MlpModel::input_gradient(const Example& e) const {
+  const std::size_t L = layers_.size() - 1;
+  const auto acts = forward(e.x);
+  // Same delta recursion as gradient(), then one extra hop through W[0].
+  std::vector<Vec> delta(L);
+  delta[L - 1] = {sigmoid(acts[L][0]) - e.y};
+  for (std::size_t l = L - 1; l-- > 0;) {
+    delta[l].assign(layers_[l + 1], 0.0);
+    for (std::size_t i = 0; i < layers_[l + 1]; ++i) {
+      if (acts[l + 1][i] <= 0.0) continue;  // ReLU gradient is 0
+      double s = 0.0;
+      for (std::size_t o = 0; o < layers_[l + 2]; ++o) {
+        s += weight(l + 1, o, i) * delta[l + 1][o];
+      }
+      delta[l][i] = s;
+    }
+  }
+  Vec g(layers_[0], 0.0);
+  for (std::size_t i = 0; i < layers_[0]; ++i) {
+    for (std::size_t o = 0; o < layers_[1]; ++o) {
+      g[i] += weight(0, o, i) * delta[0][o];
+    }
+  }
+  return g;
+}
+
+std::pair<double, double> MlpModel::output_bounds(const Vec& lo, const Vec& hi) const {
+  assert(lo.size() == layers_[0] && hi.size() == layers_[0]);
+  Vec cur_lo = lo, cur_hi = hi;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    Vec next_lo(layers_[l + 1]), next_hi(layers_[l + 1]);
+    for (std::size_t o = 0; o < layers_[l + 1]; ++o) {
+      double zl = bias(l, o), zh = bias(l, o);
+      for (std::size_t i = 0; i < layers_[l]; ++i) {
+        const double w = weight(l, o, i);
+        if (w >= 0.0) {
+          zl += w * cur_lo[i];
+          zh += w * cur_hi[i];
+        } else {
+          zl += w * cur_hi[i];
+          zh += w * cur_lo[i];
+        }
+      }
+      const bool last = (l + 2 == layers_.size());
+      if (!last) {
+        zl = std::max(0.0, zl);
+        zh = std::max(0.0, zh);
+      }
+      next_lo[o] = zl;
+      next_hi[o] = zh;
+    }
+    cur_lo = std::move(next_lo);
+    cur_hi = std::move(next_hi);
+  }
+  return {sigmoid(cur_lo[0]), sigmoid(cur_hi[0])};
+}
+
+}  // namespace iobt::learn

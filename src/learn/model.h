@@ -1,0 +1,141 @@
+#pragma once
+// Models for the distributed-learning experiments: logistic regression
+// (the workhorse — convex, so convergence effects isolate the *distributed*
+// phenomena) and a small MLP (for the nonlinear task and the IBP safety
+// verifier).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "learn/data.h"
+#include "learn/linalg.h"
+#include "sim/rng.h"
+
+namespace iobt::learn {
+
+/// Logistic regression with an explicit bias (folded as the last weight).
+class LogisticModel {
+ public:
+  explicit LogisticModel(std::size_t dim) : w_(dim + 1, 0.0), dim_(dim) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t param_count() const { return w_.size(); }
+  const Vec& params() const { return w_; }
+  void set_params(Vec w) { w_ = std::move(w); }
+
+  double predict(const Vec& x) const {
+    double z = w_[dim_];
+    for (std::size_t i = 0; i < dim_; ++i) z += w_[i] * x[i];
+    return sigmoid(z);
+  }
+
+  /// Mean cross-entropy gradient over a batch (returned, not applied).
+  Vec gradient(const Dataset& batch) const {
+    Vec g(w_.size(), 0.0);
+    if (batch.empty()) return g;
+    for (const Example& e : batch) {
+      const double err = predict(e.x) - e.y;
+      for (std::size_t i = 0; i < dim_; ++i) g[i] += err * e.x[i];
+      g[dim_] += err;
+    }
+    scale(g, 1.0 / static_cast<double>(batch.size()));
+    return g;
+  }
+
+  double loss(const Dataset& batch) const {
+    if (batch.empty()) return 0.0;
+    double total = 0.0;
+    for (const Example& e : batch) {
+      const double p = std::clamp(predict(e.x), 1e-12, 1.0 - 1e-12);
+      total += e.y > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+    }
+    return total / static_cast<double>(batch.size());
+  }
+
+  /// Gradient of the per-example loss w.r.t. the INPUT (for adversarial
+  /// example generation): dL/dx = (sigmoid(z) - y) * w.
+  Vec input_gradient(const Example& e) const {
+    const double err = predict(e.x) - e.y;
+    Vec g(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) g[i] = err * w_[i];
+    return g;
+  }
+
+  /// `steps` minibatch-SGD steps in place. Deterministic given `rng`.
+  void sgd(const Dataset& data, std::size_t steps, std::size_t batch_size,
+           double lr, sim::Rng& rng) {
+    if (data.empty()) return;
+    for (std::size_t s = 0; s < steps; ++s) {
+      Dataset batch;
+      batch.reserve(batch_size);
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        batch.push_back(data[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
+      }
+      const Vec g = gradient(batch);
+      axpy(-lr, g, w_);
+    }
+  }
+
+ private:
+  Vec w_;
+  std::size_t dim_;
+};
+
+/// Fully-connected MLP with ReLU hidden layers and a sigmoid output.
+/// Parameters are stored flat so the robust aggregators can treat any
+/// model as a Vec.
+class MlpModel {
+ public:
+  /// layers = {input_dim, hidden..., 1}.
+  explicit MlpModel(std::vector<std::size_t> layers);
+
+  std::size_t param_count() const { return flat_.size(); }
+  const Vec& params() const { return flat_; }
+  void set_params(Vec p);
+  const std::vector<std::size_t>& layers() const { return layers_; }
+
+  void randomize(sim::Rng& rng, double scale = 0.5);
+
+  double predict(const Vec& x) const;
+  /// Backprop gradient of mean cross-entropy over the batch.
+  Vec gradient(const Dataset& batch) const;
+  double loss(const Dataset& batch) const;
+  void sgd(const Dataset& data, std::size_t steps, std::size_t batch_size,
+           double lr, sim::Rng& rng);
+
+  /// Pre-activation interval bounds per layer for input box [lo, hi]
+  /// (interval bound propagation; used by the safety verifier). Returns
+  /// the output probability interval.
+  std::pair<double, double> output_bounds(const Vec& lo, const Vec& hi) const;
+
+  /// Gradient of the per-example loss w.r.t. the INPUT (adversarial
+  /// example generation; backprop all the way to x).
+  Vec input_gradient(const Example& e) const;
+
+ private:
+  /// Weight W[l] is (layers[l+1] x layers[l]), bias b[l] is layers[l+1];
+  /// all views into flat_.
+  double weight(std::size_t l, std::size_t out, std::size_t in) const {
+    return flat_[w_offsets_[l] + out * layers_[l] + in];
+  }
+  double bias(std::size_t l, std::size_t out) const {
+    return flat_[b_offsets_[l] + out];
+  }
+  double& weight_ref(std::size_t l, std::size_t out, std::size_t in) {
+    return flat_[w_offsets_[l] + out * layers_[l] + in];
+  }
+  double& bias_ref(std::size_t l, std::size_t out) { return flat_[b_offsets_[l] + out]; }
+
+  /// Forward pass keeping activations (for backprop).
+  std::vector<Vec> forward(const Vec& x) const;
+
+  std::vector<std::size_t> layers_;
+  std::vector<std::size_t> w_offsets_;
+  std::vector<std::size_t> b_offsets_;
+  Vec flat_;
+};
+
+}  // namespace iobt::learn

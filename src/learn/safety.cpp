@@ -1,0 +1,44 @@
+#include "learn/safety.h"
+
+namespace iobt::learn {
+
+bool certified_at(const MlpModel& model, const Vec& x, double y, double epsilon) {
+  Vec lo = x, hi = x;
+  for (double& v : lo) v -= epsilon;
+  for (double& v : hi) v += epsilon;
+  const auto [p_lo, p_hi] = model.output_bounds(lo, hi);
+  return y > 0.5 ? p_lo > 0.5 : p_hi < 0.5;
+}
+
+RobustnessResult certify_robustness(const MlpModel& model, const Dataset& probe,
+                                    double epsilon) {
+  RobustnessResult r;
+  r.examples = probe.size();
+  if (probe.empty()) return r;
+  std::size_t certified = 0, clean = 0;
+  for (const Example& e : probe) {
+    const bool correct = (model.predict(e.x) > 0.5) == (e.y > 0.5);
+    if (correct) ++clean;
+    if (correct && certified_at(model, e.x, e.y, epsilon)) ++certified;
+  }
+  r.certified_fraction = static_cast<double>(certified) / static_cast<double>(probe.size());
+  r.clean_accuracy = static_cast<double>(clean) / static_cast<double>(probe.size());
+  return r;
+}
+
+double max_certified_epsilon(const MlpModel& model, const Vec& x, double y, double hi,
+                             double tol) {
+  if (!certified_at(model, x, y, 0.0)) return 0.0;  // misclassified center
+  double lo = 0.0;
+  while (hi - lo > tol) {
+    const double mid = (lo + hi) / 2.0;
+    if (certified_at(model, x, y, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace iobt::learn

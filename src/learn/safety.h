@@ -1,0 +1,42 @@
+#pragma once
+// Learning safety: formal robustness bounds for learned models (§V-B,
+// refs [34-35]: "extending symbolic reasoning engines ... to establish
+// safety bounds on data-driven learned models").
+//
+// Interval Bound Propagation (IBP) pushes an epsilon-ball around an input
+// through the network's affine + ReLU layers and checks whether the
+// output interval stays on the correct side of the decision boundary. IBP
+// is sound (a certificate is a proof) but incomplete (failure to certify
+// is not a counterexample) — the tests verify exactly that contract.
+
+#include <vector>
+
+#include "learn/model.h"
+
+namespace iobt::learn {
+
+struct RobustnessResult {
+  /// Of the probed examples, the fraction whose prediction is *certified*
+  /// robust within the epsilon box.
+  double certified_fraction = 0.0;
+  /// Fraction predicted correctly at the center point (upper bounds the
+  /// certified fraction).
+  double clean_accuracy = 0.0;
+  std::size_t examples = 0;
+};
+
+/// Certifies `model` on each example of `probe` within an L-inf ball of
+/// radius epsilon. An example is certified iff the entire output interval
+/// classifies it as its true label.
+RobustnessResult certify_robustness(const MlpModel& model, const Dataset& probe,
+                                    double epsilon);
+
+/// True iff the single input `x` with label `y` is certified at epsilon.
+bool certified_at(const MlpModel& model, const Vec& x, double y, double epsilon);
+
+/// Largest epsilon (within [0, hi], to `tol`) at which `x` is certified —
+/// bisection on the monotone certification predicate.
+double max_certified_epsilon(const MlpModel& model, const Vec& x, double y,
+                             double hi = 1.0, double tol = 1e-4);
+
+}  // namespace iobt::learn

@@ -1,0 +1,36 @@
+#pragma once
+// Messages exchanged over the simulated network.
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/time.h"
+
+namespace iobt::net {
+
+/// Identifier of a network node. Dense indices: nodes are created 0..N-1.
+using NodeId = std::uint32_t;
+
+/// Destination value meaning "all nodes in radio range" (single-hop
+/// broadcast).
+inline constexpr NodeId kBroadcast = std::numeric_limits<NodeId>::max();
+
+/// A datagram. `kind` routes the message to the right handler on the
+/// receiving node; `payload` carries an arbitrary typed value (std::any —
+/// this is a simulation, so we pass structured data instead of bytes, but
+/// `size_bytes` still drives transmission time and bandwidth accounting).
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::string kind;
+  std::any payload;
+  std::size_t size_bytes = 0;
+  /// Number of hops this message has traversed so far (set by the network).
+  int hops = 0;
+  /// Virtual time the original send() was issued (set by the network).
+  sim::SimTime sent_at;
+};
+
+}  // namespace iobt::net

@@ -1,0 +1,191 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace iobt::net {
+
+std::string to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kOutOfRange: return "out_of_range";
+    case DropReason::kChannelLoss: return "channel_loss";
+    case DropReason::kNodeDown: return "node_down";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kQueueOverflow: return "queue_overflow";
+  }
+  return "unknown";
+}
+
+Network::Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng)
+    : sim_(simulator), channel_(std::move(channel)), rng_(rng) {}
+
+NodeId Network::add_node(sim::Vec2 position, RadioProfile profile) {
+  nodes_.push_back(Endpoint{position, profile, nullptr, true, 0, sim::SimTime::zero()});
+  route_cache_.emplace_back();
+  invalidate_routes();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_handler(NodeId id, Handler h) { nodes_.at(id).handler = std::move(h); }
+
+void Network::set_position(NodeId id, sim::Vec2 p) {
+  nodes_.at(id).position = p;
+  invalidate_routes();
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  nodes_.at(id).up = up;
+  invalidate_routes();
+}
+
+void Network::drop(DropReason reason, const Message& msg) {
+  ++frames_dropped_;
+  metrics_.count("net.drop." + to_string(reason));
+  if (drop_hook_) drop_hook_(reason, msg);
+}
+
+bool Network::transmit(NodeId src, NodeId dst, Message msg,
+                       const std::vector<NodeId>* remaining_path) {
+  Endpoint& s = nodes_.at(src);
+  Endpoint& d = nodes_.at(dst);
+  if (!s.up || !d.up) {
+    drop(DropReason::kNodeDown, msg);
+    return false;
+  }
+  if (!channel_.in_range(s.position, s.profile, d.position, d.profile)) {
+    drop(DropReason::kOutOfRange, msg);
+    return false;
+  }
+
+  // Half-duplex transmitter: frames serialize on the sender's radio.
+  const sim::Duration tx = ChannelModel::transmission_delay(s.profile, msg.size_bytes);
+  const sim::SimTime start = std::max(sim_.now(), s.tx_free_at);
+  s.tx_free_at = start + tx;
+  const sim::SimTime arrive = s.tx_free_at + hop_latency_;
+
+  s.bytes_sent += msg.size_bytes;
+  metrics_.count("net.bytes_sent", static_cast<double>(msg.size_bytes));
+  metrics_.count("net.frames_sent");
+  if (transmit_hook_) transmit_hook_(src, msg.size_bytes);
+
+  // Loss is decided now (deterministically from the RNG stream) but takes
+  // effect at arrival time.
+  const double loss = channel_.loss_probability(s.position, s.profile, d.position,
+                                                d.profile, sim_.now());
+  const bool lost = rng_.bernoulli(loss);
+
+  std::vector<NodeId> path_tail;
+  if (remaining_path) path_tail = *remaining_path;
+
+  sim_.schedule_at(
+      arrive,
+      [this, dst, msg = std::move(msg), lost, path_tail = std::move(path_tail)]() mutable {
+        if (lost) {
+          drop(DropReason::kChannelLoss, msg);
+          return;
+        }
+        Endpoint& recv = nodes_.at(dst);
+        if (!recv.up) {
+          drop(DropReason::kNodeDown, msg);
+          return;
+        }
+        ++msg.hops;
+        if (!path_tail.empty()) {
+          // Intermediate hop: forward along the precomputed path.
+          const NodeId next = path_tail.front();
+          std::vector<NodeId> rest(path_tail.begin() + 1, path_tail.end());
+          transmit(dst, next, std::move(msg), rest.empty() ? nullptr : &rest);
+          return;
+        }
+        metrics_.count("net.frames_delivered");
+        metrics_.observe("net.delivery_latency_s", (sim_.now() - msg.sent_at).to_seconds());
+        if (recv.handler) recv.handler(msg);
+      },
+      "net.deliver");
+  return true;
+}
+
+bool Network::send(NodeId src, NodeId dst, Message msg) {
+  msg.src = src;
+  msg.dst = dst;
+  msg.sent_at = sim_.now();
+  return transmit(src, dst, std::move(msg), nullptr);
+}
+
+std::size_t Network::broadcast(NodeId src, Message msg) {
+  msg.src = src;
+  msg.dst = kBroadcast;
+  msg.sent_at = sim_.now();
+  const Endpoint& s = nodes_.at(src);
+  if (!s.up) {
+    drop(DropReason::kNodeDown, msg);
+    return 0;
+  }
+  std::size_t put_on_air = 0;
+  for (NodeId other = 0; other < nodes_.size(); ++other) {
+    if (other == src || !nodes_[other].up) continue;
+    if (!channel_.in_range(s.position, s.profile, nodes_[other].position,
+                           nodes_[other].profile)) {
+      continue;
+    }
+    Message copy = msg;
+    if (transmit(src, other, std::move(copy), nullptr)) ++put_on_air;
+  }
+  return put_on_air;
+}
+
+const ShortestPaths& Network::cached_paths(NodeId src) {
+  RouteCacheEntry& entry = route_cache_.at(src);
+  if (entry.epoch != topology_epoch_) {
+    entry.paths = connectivity().shortest_paths(src);
+    entry.epoch = topology_epoch_;
+  }
+  return entry.paths;
+}
+
+bool Network::route_exists(NodeId src, NodeId dst) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) return false;
+  if (!nodes_[src].up || !nodes_[dst].up) return false;
+  return cached_paths(src).reachable(dst);
+}
+
+bool Network::route_and_send(NodeId src, NodeId dst, Message msg) {
+  msg.src = src;
+  msg.dst = dst;
+  msg.sent_at = sim_.now();
+  if (src == dst) {
+    // Local delivery, zero hops.
+    if (nodes_.at(src).handler) nodes_.at(src).handler(msg);
+    return true;
+  }
+  const auto path = cached_paths(src).path_to(dst);
+  if (path.size() < 2) {
+    drop(DropReason::kNoRoute, msg);
+    return false;
+  }
+  // path = [src, n1, n2, ..., dst]; first hop src->n1, tail n2..dst.
+  std::vector<NodeId> tail(path.begin() + 2, path.end());
+  return transmit(src, path[1], std::move(msg), tail.empty() ? nullptr : &tail);
+}
+
+Topology Network::connectivity() const {
+  Topology t(nodes_.size());
+  for (NodeId a = 0; a < nodes_.size(); ++a) {
+    if (!nodes_[a].up) continue;
+    for (NodeId b = a + 1; b < nodes_.size(); ++b) {
+      if (!nodes_[b].up) continue;
+      if (channel_.in_range(nodes_[a].position, nodes_[a].profile, nodes_[b].position,
+                            nodes_[b].profile)) {
+        t.add_edge(a, b, sim::distance(nodes_[a].position, nodes_[b].position));
+      }
+    }
+  }
+  return t;
+}
+
+std::uint64_t Network::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.bytes_sent;
+  return total;
+}
+
+}  // namespace iobt::net

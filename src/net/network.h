@@ -1,0 +1,140 @@
+#pragma once
+// Packet-level simulated wireless network.
+//
+// A Network owns the set of radio endpoints, delivers unicast and one-hop
+// broadcast frames with transmission delay + propagation latency + loss,
+// and forwards multi-hop traffic along shortest paths over the *current*
+// connectivity graph (recomputed lazily when positions or liveness
+// change). Per-node accounting (bytes, drops, energy callbacks) feeds the
+// experiment harnesses.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace iobt::net {
+
+/// Delivery callback installed per node: invoked (at the receive time) for
+/// every message addressed to, or broadcast within range of, the node.
+using Handler = std::function<void(const Message&)>;
+
+/// Why a send() failed to deliver.
+enum class DropReason { kOutOfRange, kChannelLoss, kNodeDown, kNoRoute, kQueueOverflow };
+
+std::string to_string(DropReason r);
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng);
+
+  // --- Node lifecycle ---------------------------------------------------
+
+  /// Registers a radio endpoint; returns its dense NodeId.
+  NodeId add_node(sim::Vec2 position, RadioProfile profile = {});
+  std::size_t node_count() const { return nodes_.size(); }
+
+  void set_handler(NodeId id, Handler h);
+  void set_position(NodeId id, sim::Vec2 p);
+  sim::Vec2 position(NodeId id) const { return nodes_.at(id).position; }
+  const RadioProfile& profile(NodeId id) const { return nodes_.at(id).profile; }
+
+  /// Takes a node offline: it neither sends, receives, nor forwards.
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const { return nodes_.at(id).up; }
+
+  // --- Traffic ----------------------------------------------------------
+
+  /// One-hop unicast. Delivery (or drop) is decided per-frame from the
+  /// channel model. Returns false if the frame was dropped at send time
+  /// (down node / out of range); channel loss is decided at delivery time.
+  bool send(NodeId src, NodeId dst, Message msg);
+
+  /// One-hop broadcast to every live node in radio range of src.
+  /// Returns number of frames put on the air.
+  std::size_t broadcast(NodeId src, Message msg);
+
+  /// Multi-hop unicast along the current shortest path (hop count metric).
+  /// Each hop is a real frame subject to loss; on a lost hop the message
+  /// dies (upper layers retry if they care). Returns false if no route.
+  bool route_and_send(NodeId src, NodeId dst, Message msg);
+
+  /// True if a multi-hop route currently exists.
+  bool route_exists(NodeId src, NodeId dst);
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Snapshot of the current connectivity graph among live nodes (edge
+  /// weight = distance). O(n^2); intended for analysis, not per-packet use.
+  Topology connectivity() const;
+
+  ChannelModel& channel() { return channel_; }
+  const ChannelModel& channel() const { return channel_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Fixed per-hop propagation + processing latency.
+  void set_hop_latency(sim::Duration d) { hop_latency_ = d; }
+
+  /// Called once per transmitted frame with (node, bytes): energy hooks.
+  void set_transmit_hook(std::function<void(NodeId, std::size_t)> hook) {
+    transmit_hook_ = std::move(hook);
+  }
+  /// Called on every drop with (reason, message).
+  void set_drop_hook(std::function<void(DropReason, const Message&)> hook) {
+    drop_hook_ = std::move(hook);
+  }
+
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
+
+  std::uint64_t bytes_sent(NodeId id) const { return nodes_.at(id).bytes_sent; }
+  std::uint64_t total_bytes_sent() const;
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Endpoint {
+    sim::Vec2 position;
+    RadioProfile profile;
+    Handler handler;
+    bool up = true;
+    std::uint64_t bytes_sent = 0;
+    /// Earliest time this radio's transmitter is free (half-duplex FIFO).
+    sim::SimTime tx_free_at;
+  };
+
+  /// Puts one frame on the air src->dst; handles loss + delivery event.
+  /// Returns true if the frame was scheduled (not necessarily delivered).
+  bool transmit(NodeId src, NodeId dst, Message msg,
+                const std::vector<NodeId>* remaining_path);
+
+  void drop(DropReason reason, const Message& msg);
+  void invalidate_routes() { ++topology_epoch_; }
+
+  sim::Simulator& sim_;
+  ChannelModel channel_;
+  sim::Rng rng_;
+  std::vector<Endpoint> nodes_;
+  sim::Duration hop_latency_ = sim::Duration::millis(1);
+  std::function<void(NodeId, std::size_t)> transmit_hook_;
+  std::function<void(DropReason, const Message&)> drop_hook_;
+  sim::MetricsRegistry metrics_;
+  std::uint64_t frames_dropped_ = 0;
+
+  // Shortest-path cache keyed by source, invalidated by epoch bumps.
+  std::uint64_t topology_epoch_ = 0;
+  struct RouteCacheEntry {
+    std::uint64_t epoch = ~0ULL;
+    ShortestPaths paths;
+  };
+  mutable std::vector<RouteCacheEntry> route_cache_;
+  const ShortestPaths& cached_paths(NodeId src);
+};
+
+}  // namespace iobt::net

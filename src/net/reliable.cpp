@@ -1,0 +1,99 @@
+#include "net/reliable.h"
+
+namespace iobt::net {
+
+namespace {
+/// Wire envelope: the sequence id plus the user payload/kind.
+struct Envelope {
+  std::uint64_t seq = 0;
+  Message inner;
+};
+struct Ack {
+  std::uint64_t seq = 0;
+};
+constexpr std::size_t kAckBytes = 16;
+constexpr std::size_t kEnvelopeOverhead = 16;
+}  // namespace
+
+ReliableChannel::ReliableChannel(sim::Simulator& simulator, Dispatcher& dispatcher,
+                                 std::string kind_prefix, ReliableConfig config)
+    : sim_(simulator), disp_(dispatcher), prefix_(std::move(kind_prefix)), cfg_(config) {}
+
+void ReliableChannel::listen(NodeId node, std::function<void(const Message&)> on_receive) {
+  disp_.on(node, data_kind(),
+           [this, node, on_receive = std::move(on_receive)](const Message& m) {
+             const auto& env = std::any_cast<const Envelope&>(m.payload);
+             // Always ack (the previous ack may have been lost)...
+             Message ack;
+             ack.kind = ack_kind();
+             ack.size_bytes = kAckBytes;
+             ack.payload = Ack{env.seq};
+             disp_.network().route_and_send(node, m.src, std::move(ack));
+             // ...but deliver each seq only once.
+             auto& seen = delivered_[node];
+             if (seen.count(env.seq)) return;
+             seen.insert(env.seq);
+             Message inner = env.inner;
+             inner.src = m.src;
+             inner.dst = m.dst;
+             inner.hops = m.hops;
+             inner.sent_at = m.sent_at;
+             on_receive(inner);
+           });
+}
+
+std::uint64_t ReliableChannel::send(NodeId src, NodeId dst, Message msg,
+                                    std::function<void(bool)> on_result) {
+  // Sender-side ACK endpoint is installed lazily, once per source node.
+  disp_.on(src, ack_kind(), [this](const Message& m) {
+    const auto& ack = std::any_cast<const Ack&>(m.payload);
+    auto it = pending_.find(ack.seq);
+    if (it == pending_.end() || it->second.done) return;
+    it->second.done = true;
+    ++acked_;
+    if (it->second.on_result) it->second.on_result(true);
+    pending_.erase(it);
+  });
+
+  const std::uint64_t seq = next_seq_++;
+  Pending p;
+  p.src = src;
+  p.dst = dst;
+  p.msg = std::move(msg);
+  p.attempts_left = cfg_.max_attempts;
+  p.on_result = std::move(on_result);
+  pending_[seq] = std::move(p);
+  transmit(seq);
+  return seq;
+}
+
+void ReliableChannel::transmit(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end() || it->second.done) return;
+  Pending& p = it->second;
+  if (p.attempts_left <= 0) {
+    ++failed_;
+    if (p.on_result) p.on_result(false);
+    pending_.erase(it);
+    return;
+  }
+  if (p.attempts_left < cfg_.max_attempts) ++retransmissions_;
+  --p.attempts_left;
+
+  Message frame;
+  frame.kind = data_kind();
+  frame.size_bytes = p.msg.size_bytes + kEnvelopeOverhead;
+  Envelope env;
+  env.seq = seq;
+  env.inner = p.msg;
+  frame.payload = std::move(env);
+  disp_.network().route_and_send(p.src, p.dst, std::move(frame));
+  arm_timer(seq);
+}
+
+void ReliableChannel::arm_timer(std::uint64_t seq) {
+  sim_.schedule_in(
+      cfg_.rto, [this, seq]() { transmit(seq); }, "rel.rto");
+}
+
+}  // namespace iobt::net

@@ -1,0 +1,81 @@
+#pragma once
+// Reliable delivery over the lossy battlefield network: stop-and-wait ARQ
+// with bounded retransmissions, built on the Dispatcher.
+//
+// §II's "disadvantaged assets" drop frames routinely; mission traffic that
+// must arrive (orders, detections, challenge responses) needs an
+// acknowledgment discipline rather than per-service hand-rolled retries.
+// ReliableChannel wraps route_and_send with sequence numbers, ACKs,
+// duplicate suppression at the receiver, and per-message delivery/failure
+// callbacks, so upper layers learn definitively whether the network got
+// their message through.
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/dispatcher.h"
+
+namespace iobt::net {
+
+struct ReliableConfig {
+  /// Retransmission timeout per attempt.
+  sim::Duration rto = sim::Duration::seconds(2.0);
+  /// Attempts before giving up (first send + retries).
+  int max_attempts = 4;
+};
+
+class ReliableChannel {
+ public:
+  /// `kind_prefix` namespaces this channel's frames so multiple channels
+  /// can coexist on one dispatcher.
+  ReliableChannel(sim::Simulator& simulator, Dispatcher& dispatcher,
+                  std::string kind_prefix = "rel", ReliableConfig config = {});
+
+  /// Installs the receive/ack endpoint on a node. `on_receive` gets each
+  /// unique payload exactly once (duplicates from retransmissions are
+  /// acked but suppressed).
+  void listen(NodeId node, std::function<void(const Message&)> on_receive);
+
+  /// Sends `msg` from src to dst with at-least-once delivery semantics and
+  /// duplicate suppression (so effectively exactly-once for the caller).
+  /// `on_result(true)` once the ACK arrives, `on_result(false)` after the
+  /// final attempt times out. Returns the transfer's sequence id.
+  std::uint64_t send(NodeId src, NodeId dst, Message msg,
+                     std::function<void(bool)> on_result = nullptr);
+
+  std::size_t acked() const { return acked_; }
+  std::size_t failed() const { return failed_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Pending {
+    NodeId src;
+    NodeId dst;
+    Message msg;
+    int attempts_left;
+    std::function<void(bool)> on_result;
+    bool done = false;
+  };
+
+  void transmit(std::uint64_t seq);
+  void arm_timer(std::uint64_t seq);
+
+  std::string data_kind() const { return prefix_ + ".data"; }
+  std::string ack_kind() const { return prefix_ + ".ack"; }
+
+  sim::Simulator& sim_;
+  Dispatcher& disp_;
+  std::string prefix_;
+  ReliableConfig cfg_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Receiver-side dedup: seqs already delivered per node.
+  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> delivered_;
+  std::size_t acked_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t retransmissions_ = 0;
+};
+
+}  // namespace iobt::net

@@ -1,0 +1,119 @@
+#pragma once
+// Undirected weighted graphs: the connectivity structure of an IoBT.
+//
+// Topology is a value type (cheap enough to copy for what-if analysis).
+// It provides the graph algorithms every other module leans on: shortest
+// paths, connected components, spanning trees, and standard generators
+// (random geometric for forward-deployed radio networks, grids for urban
+// street layouts, stars/rings/k-nearest for learning-topology sweeps).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/geometry.h"
+#include "sim/rng.h"
+
+namespace iobt::net {
+
+/// An undirected edge with a metric (latency, cost, ...) attached.
+struct Edge {
+  NodeId a = 0;
+  NodeId b = 0;
+  double weight = 1.0;
+};
+
+/// Result of a shortest-path computation from one source.
+struct ShortestPaths {
+  NodeId source = 0;
+  /// dist[v] = total weight of the shortest source->v path; infinity if
+  /// unreachable.
+  std::vector<double> dist;
+  /// parent[v] = predecessor of v on the shortest path; source's parent and
+  /// unreachable nodes' parents are nullopt.
+  std::vector<std::optional<NodeId>> parent;
+
+  bool reachable(NodeId v) const;
+  /// Reconstructs the source->v node sequence (inclusive). Empty if
+  /// unreachable.
+  std::vector<NodeId> path_to(NodeId v) const;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t node_count) : adjacency_(node_count) {}
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Appends a new isolated node; returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge. Parallel edges are rejected (weight of the
+  /// existing edge is updated instead). Self-loops are ignored.
+  void add_edge(NodeId a, NodeId b, double weight = 1.0);
+  /// Removes the edge if present.
+  void remove_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const;
+  /// Weight of the edge, or nullopt if absent.
+  std::optional<double> edge_weight(NodeId a, NodeId b) const;
+  void set_edge_weight(NodeId a, NodeId b, double weight) { add_edge(a, b, weight); }
+
+  /// Neighbors of `v` with edge weights.
+  struct Neighbor {
+    NodeId id;
+    double weight;
+  };
+  const std::vector<Neighbor>& neighbors(NodeId v) const { return adjacency_.at(v); }
+  std::size_t degree(NodeId v) const { return adjacency_.at(v).size(); }
+
+  /// All edges, each reported once with a <= b.
+  std::vector<Edge> edges() const;
+
+  /// Dijkstra from `source` using edge weights (must be non-negative).
+  ShortestPaths shortest_paths(NodeId source) const;
+  /// BFS hop distance from `source` (ignores weights).
+  std::vector<int> hop_distances(NodeId source) const;
+
+  /// Connected-component label per node (labels are 0-based, dense).
+  std::vector<int> components() const;
+  int component_count() const;
+  bool connected() const { return node_count() == 0 || component_count() == 1; }
+
+  /// Minimum spanning forest via Kruskal. Returns selected edges.
+  std::vector<Edge> minimum_spanning_forest() const;
+
+  // --- Generators -------------------------------------------------------
+
+  /// Random geometric graph: n nodes uniform in `area`, edge iff distance
+  /// <= radius. Edge weight = distance. Also returns positions.
+  static Topology random_geometric(std::size_t n, sim::Rect area, double radius,
+                                   sim::Rng& rng, std::vector<sim::Vec2>* positions);
+
+  /// w x h grid with unit-weight edges (urban street abstraction).
+  static Topology grid(std::size_t w, std::size_t h);
+
+  /// Ring of n nodes.
+  static Topology ring(std::size_t n);
+
+  /// Star: node 0 is the hub.
+  static Topology star(std::size_t n);
+
+  /// Each node connected to its k nearest neighbors by position.
+  static Topology k_nearest(const std::vector<sim::Vec2>& positions, std::size_t k);
+
+  /// Erdos-Renyi G(n, p).
+  static Topology erdos_renyi(std::size_t n, double p, sim::Rng& rng);
+
+  /// Two-tier hierarchy: `clusters` cliques of size `cluster_size`, with
+  /// cluster heads (node c*cluster_size) fully connected to each other.
+  static Topology hierarchical(std::size_t clusters, std::size_t cluster_size);
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace iobt::net

@@ -1,0 +1,120 @@
+#include "security/attacks.h"
+
+#include "things/population.h"
+
+namespace iobt::security {
+
+void AttackInjector::record(std::string type, std::string detail) {
+  log_.push_back({std::move(type), world_.simulator().now(), std::move(detail)});
+}
+
+void AttackInjector::schedule_jamming(sim::Vec2 center, double radius_m,
+                                      sim::SimTime start, sim::SimTime end,
+                                      double strength) {
+  // The jammer is registered immediately (the channel gates on its active
+  // window); the log entries are scheduled for experiment timelines.
+  world_.network().channel().add_jammer(
+      {.center = center, .radius_m = radius_m, .start = start, .end = end,
+       .induced_loss = strength});
+  world_.simulator().schedule_at(
+      start, [this] { record("jamming_on", ""); }, "attack.jam_on");
+  if (end < sim::SimTime::max()) {
+    world_.simulator().schedule_at(
+        end, [this] { record("jamming_off", ""); }, "attack.jam_off");
+  }
+}
+
+void AttackInjector::schedule_sensor_blackout(things::Modality modality,
+                                              sim::Rect region, sim::SimTime start,
+                                              sim::SimTime end, double severity) {
+  world_.add_sensing_disruption(
+      {.modality = modality, .region = region, .start = start, .end = end,
+       .severity = severity});
+  world_.simulator().schedule_at(
+      start,
+      [this, modality] {
+        record("sensor_blackout_on", things::to_string(modality));
+      },
+      "attack.blackout_on");
+  if (end < sim::SimTime::max()) {
+    world_.simulator().schedule_at(
+        end,
+        [this, modality] {
+          record("sensor_blackout_off", things::to_string(modality));
+        },
+        "attack.blackout_off");
+  }
+}
+
+void AttackInjector::schedule_node_kill(things::AssetId id, sim::SimTime when) {
+  world_.simulator().schedule_at(
+      when,
+      [this, id] {
+        world_.destroy_asset(id);
+        record("node_kill", "asset=" + std::to_string(id));
+      },
+      "attack.kill");
+}
+
+void AttackInjector::schedule_mass_kill(double fraction, sim::SimTime when,
+                                        std::function<bool(const things::Asset&)> pred,
+                                        sim::Rng rng) {
+  world_.simulator().schedule_at(
+      when,
+      [this, fraction, pred = std::move(pred), rng]() mutable {
+        std::size_t killed = 0;
+        for (const auto& a : world_.assets()) {
+          if (!world_.asset_live(a.id) || !pred(a)) continue;
+          if (rng.bernoulli(fraction)) {
+            world_.destroy_asset(a.id);
+            ++killed;
+          }
+        }
+        record("mass_kill", "killed=" + std::to_string(killed));
+      },
+      "attack.mass_kill");
+}
+
+void AttackInjector::schedule_capture(things::AssetId id, sim::SimTime when,
+                                      double captured_reliability) {
+  world_.simulator().schedule_at(
+      when,
+      [this, id, captured_reliability] {
+        things::Asset& a = world_.asset(id);
+        if (!a.alive) return;
+        a.affiliation = things::Affiliation::kRed;
+        a.emissions.responds_to_probe = false;
+        a.emissions.beacon_period_s = 0.0;
+        a.report_reliability = captured_reliability;
+        record("capture", "asset=" + std::to_string(id));
+      },
+      "attack.capture");
+}
+
+void AttackInjector::schedule_sybil(std::size_t count, sim::SimTime when,
+                                    sim::Rng rng) {
+  world_.simulator().schedule_at(
+      when,
+      [this, count, rng]() mutable {
+        const sim::Rect area = world_.area();
+        for (std::size_t i = 0; i < count; ++i) {
+          sim::Rng item = rng.child(i);
+          things::Asset a = things::make_asset_template(
+              things::DeviceClass::kSmartphone, things::Affiliation::kRed, item);
+          // Sybils *pretend* to cooperate: they answer probes and beacon
+          // like blue motes so they pass naive discovery.
+          a.emissions.responds_to_probe = true;
+          a.emissions.beacon_period_s = 30.0;
+          a.report_reliability = 0.1;  // their reports are poison
+          const sim::Vec2 pos = {item.uniform(area.min.x, area.max.x),
+                                 item.uniform(area.min.y, area.max.y)};
+          sybil_ids_.push_back(world_.add_asset(
+              std::move(a), pos,
+              things::radio_for_class(things::DeviceClass::kSmartphone)));
+        }
+        record("sybil", "count=" + std::to_string(count));
+      },
+      "attack.sybil");
+}
+
+}  // namespace iobt::security

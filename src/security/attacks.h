@@ -1,0 +1,80 @@
+#pragma once
+// Attack injection framework.
+//
+// The paper's environment is "contested and adversarial" (§II): jamming,
+// node capture, Sybil identities, data poisoning, and probe saturation.
+// AttackInjector scripts these against a World/Network on the simulation
+// clock so every experiment can be re-run with identical adversary
+// behaviour. Attacks are also the failure-injection mechanism for the
+// resilience tests.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/time.h"
+#include "things/world.h"
+
+namespace iobt::security {
+
+/// Record of one executed attack, for experiment logging.
+struct AttackEvent {
+  std::string type;
+  sim::SimTime at;
+  std::string detail;
+};
+
+class AttackInjector {
+ public:
+  explicit AttackInjector(things::World& world) : world_(world) {}
+
+  // --- Communications attacks -------------------------------------------
+
+  /// Jams a circular region during [start, end): frames with an endpoint
+  /// inside are lost with probability `strength`.
+  void schedule_jamming(sim::Vec2 center, double radius_m, sim::SimTime start,
+                        sim::SimTime end, double strength = 0.98);
+
+  /// Blinds a sensing modality inside a region during [start, end) —
+  /// smoke, obscurants, dazzling (§IV-B's "smoke or other phenomena
+  /// render visual tracking unreliable"). Severity 1.0 = total blackout.
+  void schedule_sensor_blackout(things::Modality modality, sim::Rect region,
+                                sim::SimTime start, sim::SimTime end,
+                                double severity = 1.0);
+
+  // --- Node attacks -------------------------------------------------------
+
+  /// Destroys an asset (kinetic strike / permanent capture) at `when`.
+  void schedule_node_kill(things::AssetId id, sim::SimTime when);
+
+  /// Kills a uniformly random fraction of assets matching `pred` at `when`.
+  void schedule_mass_kill(double fraction, sim::SimTime when,
+                          std::function<bool(const things::Asset&)> pred,
+                          sim::Rng rng);
+
+  /// Converts an asset to adversary control at `when`: its affiliation
+  /// flips to red, it stops answering probes, and its human/sensor reports
+  /// become unreliable (reliability drops to `captured_reliability`).
+  void schedule_capture(things::AssetId id, sim::SimTime when,
+                        double captured_reliability = 0.2);
+
+  // --- Identity attacks ---------------------------------------------------
+
+  /// Creates `count` Sybil assets at `when`: red smartphones that claim to
+  /// be blue sensor motes. Returns nothing at schedule time; created ids
+  /// are appended to `sybil_ids()` when the attack fires.
+  void schedule_sybil(std::size_t count, sim::SimTime when, sim::Rng rng);
+
+  const std::vector<things::AssetId>& sybil_ids() const { return sybil_ids_; }
+  const std::vector<AttackEvent>& log() const { return log_; }
+
+ private:
+  void record(std::string type, std::string detail);
+
+  things::World& world_;
+  std::vector<things::AssetId> sybil_ids_;
+  std::vector<AttackEvent> log_;
+};
+
+}  // namespace iobt::security

@@ -1,0 +1,70 @@
+#pragma once
+// Risk scoring for composite assets.
+//
+// Synthesis must return "composable assessments of risk" (§III) so that
+// "disciplined initiative may be exercised... as opposed to poorly-informed
+// gambling". We quantify the residual risk of operating a set of recruited
+// assets as a combination of: untrusted membership, attack surface
+// (network exposure), and single-point-of-failure structure.
+
+#include <cmath>
+#include <vector>
+
+#include "security/trust.h"
+
+namespace iobt::security {
+
+struct RiskInputs {
+  /// Trust score in (0,1) for each member of the composite.
+  std::vector<double> member_trust;
+  /// Fraction of members reachable only through one relay (articulation
+  /// exposure), in [0,1].
+  double spof_fraction = 0.0;
+  /// Fraction of members that are commercial/gray rather than certified
+  /// military devices ("co-existence of commercial IoT devices and
+  /// purposefully built... military devices", §II).
+  double uncertified_fraction = 0.0;
+  /// Environmental base rate of adversarial devices. A member with the
+  /// uninformative trust prior (0.5) is assessed exactly this adversary
+  /// probability; earned trust scales it down, earned distrust up (to
+  /// 2x). Treating raw (1 - trust) as P(adversary) would mark every
+  /// never-before-seen device a coin flip, which no doctrine does.
+  double adversary_base_rate = 0.05;
+};
+
+struct RiskReport {
+  /// Probability-like aggregate in [0,1]: 0 = no identified risk.
+  double residual_risk = 0.0;
+  /// Components, each in [0,1], for explainability.
+  double infiltration_risk = 0.0;   // chance >=1 member is adversarial
+  double structural_risk = 0.0;     // SPOF exposure
+  double provenance_risk = 0.0;     // uncertified membership
+};
+
+/// Combines component risks independently: 1 - prod(1 - r_i).
+inline double combine_independent(std::initializer_list<double> risks) {
+  double keep = 1.0;
+  for (double r : risks) keep *= (1.0 - std::min(1.0, std::max(0.0, r)));
+  return 1.0 - keep;
+}
+
+inline RiskReport assess_risk(const RiskInputs& in) {
+  RiskReport r;
+  // P(at least one member is adversarial): per-member probability is the
+  // base rate scaled by earned (dis)trust — trust 1 -> 0, prior 0.5 ->
+  // base rate, trust 0 -> 2x base rate — capped at 0.95.
+  double all_clean = 1.0;
+  for (double t : in.member_trust) {
+    const double p_bad =
+        std::min(0.95, std::max(0.0, 2.0 * in.adversary_base_rate * (1.0 - t)));
+    all_clean *= (1.0 - p_bad);
+  }
+  r.infiltration_risk = in.member_trust.empty() ? 0.0 : 1.0 - all_clean;
+  r.structural_risk = in.spof_fraction;
+  r.provenance_risk = 0.25 * in.uncertified_fraction;  // uncertified != hostile
+  r.residual_risk =
+      combine_independent({r.infiltration_risk, r.structural_risk, r.provenance_risk});
+  return r;
+}
+
+}  // namespace iobt::security

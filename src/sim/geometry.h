@@ -1,0 +1,87 @@
+#pragma once
+// Planar geometry for asset positions and radio range computations.
+//
+// The simulated operating area is a 2-D region in meters. Battlefield
+// terrain is abstracted to positions + an optional urban occlusion grid
+// (see net/channel.h); 2-D is sufficient for every algorithm in the paper,
+// which depends on connectivity and coverage, not on elevation.
+
+#include <cmath>
+#include <compare>
+
+namespace iobt::sim {
+
+/// A point or displacement in the plane, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+  /// Unit vector in this direction; the zero vector normalizes to zero.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Axis-aligned rectangle [min, max], used for operation areas and
+/// coverage cells.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr double width() const { return max.x - min.x; }
+  constexpr double height() const { return max.y - min.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Vec2 center() const { return {(min.x + max.x) / 2, (min.y + max.y) / 2}; }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Clamps a point into the rectangle.
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {p.x < min.x ? min.x : (p.x > max.x ? max.x : p.x),
+            p.y < min.y ? min.y : (p.y > max.y ? max.y : p.y)};
+  }
+};
+
+/// True iff segments pq and rs intersect (inclusive of touching).
+inline bool segments_intersect(Vec2 p, Vec2 q, Vec2 r, Vec2 s) {
+  auto cross = [](Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; };
+  auto sign = [](double v) { return v > 1e-12 ? 1 : (v < -1e-12 ? -1 : 0); };
+  const int d1 = sign(cross(q - p, r - p));
+  const int d2 = sign(cross(q - p, s - p));
+  const int d3 = sign(cross(s - r, p - r));
+  const int d4 = sign(cross(s - r, q - r));
+  if (d1 != d2 && d3 != d4) return true;
+  // Collinear touching cases.
+  auto on_segment = [](Vec2 a, Vec2 b, Vec2 c) {
+    return std::min(a.x, b.x) - 1e-12 <= c.x && c.x <= std::max(a.x, b.x) + 1e-12 &&
+           std::min(a.y, b.y) - 1e-12 <= c.y && c.y <= std::max(a.y, b.y) + 1e-12;
+  };
+  if (d1 == 0 && on_segment(p, q, r)) return true;
+  if (d2 == 0 && on_segment(p, q, s)) return true;
+  if (d3 == 0 && on_segment(r, s, p)) return true;
+  if (d4 == 0 && on_segment(r, s, q)) return true;
+  return false;
+}
+
+/// True iff the segment pq passes through (or touches) the rectangle.
+inline bool segment_intersects_rect(Vec2 p, Vec2 q, const Rect& r) {
+  if (r.contains(p) || r.contains(q)) return true;
+  const Vec2 a{r.min.x, r.min.y}, b{r.max.x, r.min.y}, c{r.max.x, r.max.y},
+      d{r.min.x, r.max.y};
+  return segments_intersect(p, q, a, b) || segments_intersect(p, q, b, c) ||
+         segments_intersect(p, q, c, d) || segments_intersect(p, q, d, a);
+}
+
+}  // namespace iobt::sim

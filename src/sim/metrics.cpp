@@ -1,0 +1,45 @@
+#include "sim/metrics.h"
+
+#include "sim/rng.h"
+
+namespace iobt::sim {
+
+void Summary::add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Welford's online mean/variance.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+
+  // Reservoir sampling for quantiles. The replacement index comes from a
+  // deterministic SplitMix64 stream keyed only by how many samples we have
+  // seen, so Summary stays reproducible without threading an Rng through.
+  ++seen_for_reservoir_;
+  if (reservoir_.size() < kReservoirCap) {
+    reservoir_.push_back(x);
+  } else {
+    std::uint64_t state = 0x5bf0d3a9c2e1f764ULL ^ seen_for_reservoir_;
+    const std::uint64_t r = splitmix64(state) % seen_for_reservoir_;
+    if (r < kReservoirCap) reservoir_[static_cast<std::size_t>(r)] = x;
+  }
+}
+
+double Summary::quantile(double q) const {
+  if (reservoir_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace iobt::sim

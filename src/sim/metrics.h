@@ -1,0 +1,93 @@
+#pragma once
+// Metrics collection for experiments.
+//
+// A MetricsRegistry owns named counters, gauges, and distribution summaries
+// that simulation components update as they run; benchmark harnesses read
+// them out at the end to print the experiment rows. Everything is plain
+// in-memory accumulation — no I/O on the hot path.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace iobt::sim {
+
+/// Online summary of a stream of samples: count/mean/variance via Welford,
+/// min/max, and exact quantiles from a bounded reservoir.
+class Summary {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Quantile in [0,1] computed from the reservoir (exact if fewer samples
+  /// than the reservoir capacity were added).
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  static constexpr std::size_t kReservoirCap = 4096;
+
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> reservoir_;
+  std::uint64_t seen_for_reservoir_ = 0;  // for reservoir sampling beyond cap
+};
+
+/// Named metrics, keyed by string. Keys are created on first touch.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` (default 1) to a counter.
+  void count(const std::string& key, double delta = 1.0) { counters_[key] += delta; }
+  /// Sets a gauge to its latest value.
+  void gauge(const std::string& key, double value) { gauges_[key] = value; }
+  /// Records one sample into a distribution summary.
+  void observe(const std::string& key, double sample) { summaries_[key].add(sample); }
+  /// Records a duration sample, in seconds.
+  void observe(const std::string& key, Duration d) { observe(key, d.to_seconds()); }
+
+  double counter(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  double gauge_value(const std::string& key) const {
+    auto it = gauges_.find(key);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  const Summary* summary(const std::string& key) const {
+    auto it = summaries_.find(key);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    summaries_.clear();
+  }
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace iobt::sim

@@ -1,0 +1,89 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace iobt::sim {
+
+std::string to_string(SimTime t) {
+  std::ostringstream os;
+  os << t.to_seconds() << "s";
+  return os.str();
+}
+
+std::string to_string(Duration d) {
+  std::ostringstream os;
+  os << d.to_seconds() << "s";
+  return os.str();
+}
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn, std::string_view tag) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: scheduling into the past (" +
+                           to_string(when) + " < now " + to_string(now_) + ")");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn), std::string(tag)});
+  return id;
+}
+
+EventId Simulator::schedule_in(Duration delay, EventFn fn, std::string_view tag) {
+  if (delay < Duration::zero()) {
+    throw std::logic_error("Simulator::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn), tag);
+}
+
+void Simulator::schedule_every(Duration period, std::function<bool()> fn,
+                               std::string_view tag) {
+  if (period <= Duration::zero()) {
+    throw std::logic_error("Simulator::schedule_every: period must be positive");
+  }
+  // Self-rescheduling closure; stops when fn returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::string tag_copy(tag);
+  auto body = std::make_shared<std::function<bool()>>(std::move(fn));
+  *tick = [this, period, body, tick, tag_copy]() {
+    if (!(*body)()) return;
+    auto self = tick;  // local copy: nested lambdas capture locals only
+    schedule_in(period, [self]() { (*self)(); }, tag_copy);
+  };
+  schedule_in(period, [tick]() { (*tick)(); }, tag_copy);
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // Copy out the top, pop, then run: the handler may schedule or cancel.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled events
+    assert(ev.when >= now_ && "event queue must be monotone");
+    now_ = ev.when;
+    ++executed_count_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Peek: do not execute events beyond the deadline; leave them queued.
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_for(Duration span) { run_until(now_ + span); }
+
+}  // namespace iobt::sim

@@ -1,0 +1,96 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// The simulator is single-threaded and fully deterministic: events at equal
+// timestamps execute in scheduling order (FIFO by a monotonically increasing
+// event id), so two runs with the same seed are bit-identical. Every iobt
+// substrate (network, assets, attacks, missions) runs on this kernel.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace iobt::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+/// The simulation scheduler: a priority queue of timed callbacks plus the
+/// virtual clock. Handlers may schedule further events and cancel pending
+/// ones; cancellation is lazy (tombstoned).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Advances only while events execute.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (must be >= now()).
+  /// `tag` is a free-form label used in diagnostics. Returns an id usable
+  /// with cancel().
+  EventId schedule_at(SimTime when, EventFn fn, std::string_view tag = {});
+
+  /// Schedules `fn` after `delay` (must be >= 0).
+  EventId schedule_in(Duration delay, EventFn fn, std::string_view tag = {});
+
+  /// Schedules `fn` every `period`, starting one period from now, until it
+  /// returns false. Periodic events cannot be cancelled by id; return false
+  /// from the callback to stop.
+  void schedule_every(Duration period, std::function<bool()> fn,
+                      std::string_view tag = {});
+
+  /// Marks a pending event as cancelled. Cancelling an already-executed or
+  /// unknown id is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Executes the next pending event, advancing the clock. Returns false if
+  /// the queue is empty (simulation quiescent).
+  bool step();
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs events with timestamp <= deadline, then sets the clock to exactly
+  /// `deadline` (even if no event landed on it). Later events stay queued.
+  void run_until(SimTime deadline);
+
+  /// Equivalent to run_until(now() + span).
+  void run_for(Duration span);
+
+  /// Number of events executed so far (diagnostic).
+  std::uint64_t executed_count() const { return executed_count_; }
+  /// Number of events currently pending (including tombstoned ones).
+  std::size_t pending_count() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    EventFn fn;
+    std::string tag;
+  };
+  struct Later {
+    // Min-heap: earliest time first; ties broken by insertion order so that
+    // equal-time events run FIFO (determinism).
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace iobt::sim

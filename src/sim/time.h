@@ -1,0 +1,82 @@
+#pragma once
+// Virtual time for the iobt discrete-event simulator.
+//
+// Time is kept as an integer count of nanoseconds so that event ordering is
+// exact and runs are bit-reproducible across platforms (no floating-point
+// accumulation drift). Helpers convert to/from seconds for human-facing
+// configuration and reporting.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace iobt::sim {
+
+/// A point in virtual time, in integer nanoseconds since simulation start.
+///
+/// SimTime is a strong type: it cannot be silently mixed with raw integers
+/// or wall-clock times. Arithmetic with Duration is provided.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  /// Construct from (possibly fractional) seconds. Rounds toward zero.
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms * 1'000'000); }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us * 1'000); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double to_seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// A span of virtual time, in integer nanoseconds. May be negative in
+/// intermediate arithmetic but should be non-negative when scheduling.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1'000); }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double to_seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+constexpr SimTime operator+(SimTime t, Duration d) { return SimTime(t.nanos() + d.nanos()); }
+constexpr SimTime operator-(SimTime t, Duration d) { return SimTime(t.nanos() - d.nanos()); }
+constexpr Duration operator-(SimTime a, SimTime b) { return Duration(a.nanos() - b.nanos()); }
+constexpr Duration operator+(Duration a, Duration b) { return Duration(a.nanos() + b.nanos()); }
+constexpr Duration operator-(Duration a, Duration b) { return Duration(a.nanos() - b.nanos()); }
+constexpr Duration operator*(Duration d, double k) {
+  return Duration(static_cast<std::int64_t>(static_cast<double>(d.nanos()) * k));
+}
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+/// Formats as fractional seconds, e.g. "12.034s", for traces and logs.
+std::string to_string(SimTime t);
+std::string to_string(Duration d);
+
+}  // namespace iobt::sim

@@ -1,0 +1,139 @@
+#include "social/service.h"
+
+#include <cmath>
+
+namespace iobt::social {
+
+namespace {
+constexpr const char* kReport = "social.report";
+constexpr std::size_t kReportBytes = 40;
+}  // namespace
+
+SocialSensingService::SocialSensingService(things::World& world,
+                                           net::Dispatcher& dispatcher,
+                                           things::AssetId collector,
+                                           std::vector<things::AssetId> reporters,
+                                           SocialSensingConfig config)
+    : world_(world),
+      disp_(dispatcher),
+      collector_(collector),
+      reporters_(std::move(reporters)),
+      cfg_(config),
+      stream_(config.claim_window) {
+  for (std::size_t i = 0; i < reporters_.size(); ++i) {
+    source_index_[reporters_[i]] = static_cast<std::uint32_t>(i);
+  }
+  disp_.on(world_.asset(collector_).node, kReport, [this](const net::Message& m) {
+    // Accept both single reports (external senders) and batches.
+    if (const auto* batch = std::any_cast<CellReportBatch>(&m.payload)) {
+      auto it = source_index_.find(batch->source);
+      if (it == source_index_.end()) return;  // unregistered source: ignore
+      for (const auto& [cell, occupied] : batch->cells) {
+        stream_.add(Claim{it->second, cell, occupied});
+      }
+      return;
+    }
+    if (const auto* r = std::any_cast<CellReport>(&m.payload)) {
+      auto it = source_index_.find(r->source);
+      if (it == source_index_.end()) return;
+      stream_.add(Claim{it->second, r->cell, r->occupied});
+    }
+  });
+}
+
+std::uint32_t SocialSensingService::cell_of(sim::Vec2 p) const {
+  const sim::Rect area = world_.area();
+  const double fx = (p.x - area.min.x) / std::max(1e-9, area.width());
+  const double fy = (p.y - area.min.y) / std::max(1e-9, area.height());
+  const auto n = static_cast<std::uint32_t>(cfg_.grid_cells);
+  const auto cx = std::min(n - 1, static_cast<std::uint32_t>(fx * n));
+  const auto cy = std::min(n - 1, static_cast<std::uint32_t>(fy * n));
+  return cy * n + cx;
+}
+
+void SocialSensingService::start() {
+  for (const auto r : reporters_) {
+    world_.simulator().schedule_every(
+        cfg_.report_period,
+        [this, r]() {
+          if (!world_.asset_live(r)) return false;
+          reporter_tick(r);
+          return true;
+        },
+        "social.report_loop");
+  }
+}
+
+void SocialSensingService::reporter_tick(things::AssetId reporter) {
+  const things::Asset& human = world_.asset(reporter);
+  const sim::Vec2 at = world_.asset_position(reporter);
+  const sim::SimTime now = world_.simulator().now();
+  sim::Rng rng = world_.rng().child(0x50C1A100ULL + reporter)
+                     .child(static_cast<std::uint64_t>(now.nanos()));
+
+  // Ground truth occupancy per cell, restricted to the report kind.
+  std::vector<bool> occ(cell_count(), false);
+  for (const auto& [tid, pos] : world_.active_target_positions()) {
+    if (!cfg_.target_kind.empty() && world_.target(tid).kind != cfg_.target_kind) {
+      continue;
+    }
+    occ[cell_of(pos)] = true;
+  }
+
+  // The human reports on EVERY cell whose center they can observe, not
+  // just their own — overlapping coverage across reporters is what makes
+  // coordinated liars statistically identifiable (a source that only ever
+  // reports on cells nobody else sees is unfalsifiable).
+  const sim::Rect area = world_.area();
+  const auto n = cfg_.grid_cells;
+  std::vector<std::pair<std::uint32_t, bool>> reports;
+  for (std::uint32_t cy = 0; cy < n; ++cy) {
+    for (std::uint32_t cx = 0; cx < n; ++cx) {
+      const sim::Vec2 center{
+          area.min.x + (cx + 0.5) * area.width() / static_cast<double>(n),
+          area.min.y + (cy + 0.5) * area.height() / static_cast<double>(n)};
+      if (sim::distance(at, center) > cfg_.observation_radius_m) continue;
+      const std::uint32_t cell = cy * static_cast<std::uint32_t>(n) + cx;
+      // Correct with the human's ground-truth reliability — this models
+      // perception error, bias, and deliberate deception alike.
+      const bool truth = occ[cell];
+      reports.push_back(
+          {cell, rng.bernoulli(human.report_reliability) ? truth : !truth});
+    }
+  }
+  if (reports.empty()) return;
+
+  net::Message m;
+  m.kind = kReport;
+  m.size_bytes = kReportBytes + 4 * reports.size();
+  m.payload = CellReportBatch{reporter, std::move(reports)};
+  // Humans may be multiple hops from the collector.
+  world_.network().route_and_send(human.node, world_.asset(collector_).node,
+                                  std::move(m));
+}
+
+TruthDiscoveryResult SocialSensingService::fuse(security::TrustRegistry* trust) {
+  auto result = stream_.run_em(reporters_.size(), cell_count());
+  if (trust) {
+    for (const auto& [asset_id, idx] : source_index_) {
+      // Convert estimated reliability into trust evidence: one weighted
+      // observation per fusion round.
+      const double r = result.source_reliability[idx];
+      trust->record(asset_id, r >= 0.5, std::abs(r - 0.5) * 2.0);
+    }
+  }
+  return result;
+}
+
+std::vector<bool> SocialSensingService::ground_truth_occupancy() const {
+  std::vector<bool> occ(cell_count(), false);
+  for (const auto& [tid, pos] : world_.active_target_positions()) {
+    if (!cfg_.target_kind.empty() && world_.target(tid).kind != cfg_.target_kind) {
+      continue;
+    }
+    occ[cell_of(pos)] = true;
+  }
+  return occ;
+}
+
+}  // namespace iobt::social

@@ -1,0 +1,77 @@
+#pragma once
+// In-network social sensing: human assets periodically report on the
+// occupancy of grid cells around them; a collector fuses the claims with
+// EM truth discovery and feeds estimated reliabilities into the trust
+// registry ("fact-finding algorithms ... characterize reliability of
+// sources ... and compute confidence in results", §III-A).
+
+#include <vector>
+
+#include "net/dispatcher.h"
+#include "security/trust.h"
+#include "social/claims.h"
+#include "things/world.h"
+
+namespace iobt::social {
+
+struct SocialSensingConfig {
+  /// Spatial resolution: the world is divided into cells x cells.
+  std::size_t grid_cells = 10;
+  /// How often each human looks around and reports.
+  sim::Duration report_period = sim::Duration::seconds(20.0);
+  /// Radius a human can credibly report about.
+  double observation_radius_m = 150.0;
+  /// Only targets of this kind count as "occupancy" (empty = any).
+  std::string target_kind;
+  std::size_t claim_window = 20000;
+};
+
+/// Claim payload carried in REPORT frames. One frame batches every cell
+/// the reporter observed this tick.
+struct CellReport {
+  std::uint32_t source = 0;
+  std::uint32_t cell = 0;
+  bool occupied = false;
+};
+
+struct CellReportBatch {
+  std::uint32_t source = 0;
+  std::vector<std::pair<std::uint32_t, bool>> cells;  // (cell, occupied)
+};
+
+class SocialSensingService {
+ public:
+  SocialSensingService(things::World& world, net::Dispatcher& dispatcher,
+                       things::AssetId collector,
+                       std::vector<things::AssetId> reporters,
+                       SocialSensingConfig config = {});
+
+  /// Starts reporter loops.
+  void start();
+
+  /// Runs EM over the current claim window. Also refreshes trust scores
+  /// for reporters from the estimated reliabilities.
+  TruthDiscoveryResult fuse(security::TrustRegistry* trust = nullptr);
+
+  /// Ground-truth occupancy per cell (scoring only).
+  std::vector<bool> ground_truth_occupancy() const;
+
+  std::size_t cell_count() const { return cfg_.grid_cells * cfg_.grid_cells; }
+  std::uint32_t cell_of(sim::Vec2 p) const;
+  std::size_t claims_received() const { return stream_.size(); }
+  const std::vector<things::AssetId>& reporters() const { return reporters_; }
+
+ private:
+  void reporter_tick(things::AssetId reporter);
+
+  things::World& world_;
+  net::Dispatcher& disp_;
+  things::AssetId collector_;
+  std::vector<things::AssetId> reporters_;
+  SocialSensingConfig cfg_;
+  StreamingClaims stream_;
+  /// reporter asset id -> dense source index for the EM matrix.
+  std::unordered_map<things::AssetId, std::uint32_t> source_index_;
+};
+
+}  // namespace iobt::social

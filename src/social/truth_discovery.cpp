@@ -1,0 +1,179 @@
+#include "social/truth_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace iobt::social {
+
+namespace {
+
+/// Deduplicated report matrix: for each (source, variable) the last value.
+struct Reports {
+  // reports[j] = list of (source, value) for variable j.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> by_variable;
+  // per-source count of claims (for reliability estimation denominators).
+  std::vector<double> claims_per_source;
+
+  Reports(const std::vector<Claim>& claims, std::size_t num_sources,
+          std::size_t num_variables) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> last;
+    for (const Claim& c : claims) {
+      if (c.source < num_sources && c.variable < num_variables) {
+        last[{c.source, c.variable}] = c.value;
+      }
+    }
+    by_variable.resize(num_variables);
+    claims_per_source.assign(num_sources, 0.0);
+    for (const auto& [key, value] : last) {
+      by_variable[key.second].push_back({key.first, value});
+      claims_per_source[key.first] += 1.0;
+    }
+  }
+};
+
+}  // namespace
+
+TruthDiscoveryResult em_truth_discovery(const std::vector<Claim>& claims,
+                                        std::size_t num_sources,
+                                        std::size_t num_variables,
+                                        const EmOptions& opts) {
+  TruthDiscoveryResult res;
+  res.truth_probability.assign(num_variables, opts.prior_true);
+  res.source_reliability.assign(num_sources, opts.initial_reliability);
+  if (num_variables == 0 || num_sources == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  const Reports rep(claims, num_sources, num_variables);
+
+  // Per-source model: a_i = P(source says true | variable true),
+  //                   b_i = P(source says true | variable false).
+  std::vector<double> a(num_sources, opts.initial_reliability);
+  std::vector<double> b(num_sources, 1.0 - opts.initial_reliability);
+  double d = opts.prior_true;  // shared prior P(variable true)
+
+  std::vector<double> z(num_variables, opts.prior_true);  // posterior truths
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    // ---- E-step: posterior of each variable given current rates.
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < num_variables; ++j) {
+      if (rep.by_variable[j].empty()) {
+        // No evidence: stay at the configured prior. Letting unreported
+        // variables track the *estimated* prior d creates a degenerate
+        // feedback loop (they follow d, then inflate d in the M-step).
+        z[j] = opts.prior_true;
+        continue;
+      }
+      // Work in log space for numerical stability with many sources.
+      double log_true = std::log(std::max(d, 1e-12));
+      double log_false = std::log(std::max(1.0 - d, 1e-12));
+      for (const auto& [i, said_true] : rep.by_variable[j]) {
+        const double ai = std::clamp(a[i], opts.rate_floor, 1.0 - opts.rate_floor);
+        const double bi = std::clamp(b[i], opts.rate_floor, 1.0 - opts.rate_floor);
+        log_true += std::log(said_true ? ai : 1.0 - ai);
+        log_false += std::log(said_true ? bi : 1.0 - bi);
+      }
+      const double m = std::max(log_true, log_false);
+      const double pt = std::exp(log_true - m);
+      const double pf = std::exp(log_false - m);
+      const double post = pt / (pt + pf);
+      max_delta = std::max(max_delta, std::abs(post - z[j]));
+      z[j] = post;
+    }
+
+    // ---- M-step: re-estimate a_i, b_i and the prior d.
+    std::vector<double> said_true_and_true(num_sources, 0.0);
+    std::vector<double> said_true_and_false(num_sources, 0.0);
+    std::vector<double> observed_true(num_sources, 0.0);
+    std::vector<double> observed_false(num_sources, 0.0);
+    double total_true = 0.0;
+    double reported_vars = 0.0;
+    for (std::size_t j = 0; j < num_variables; ++j) {
+      if (rep.by_variable[j].empty()) continue;  // see E-step note on prior drift
+      total_true += z[j];
+      reported_vars += 1.0;
+      for (const auto& [i, said_true] : rep.by_variable[j]) {
+        observed_true[i] += z[j];
+        observed_false[i] += 1.0 - z[j];
+        if (said_true) {
+          said_true_and_true[i] += z[j];
+          said_true_and_false[i] += 1.0 - z[j];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < num_sources; ++i) {
+      if (observed_true[i] > 1e-9) a[i] = said_true_and_true[i] / observed_true[i];
+      if (observed_false[i] > 1e-9) b[i] = said_true_and_false[i] / observed_false[i];
+      a[i] = std::clamp(a[i], opts.rate_floor, 1.0 - opts.rate_floor);
+      b[i] = std::clamp(b[i], opts.rate_floor, 1.0 - opts.rate_floor);
+    }
+    d = reported_vars > 0.0 ? std::clamp(total_true / reported_vars, 0.01, 0.99)
+                            : opts.prior_true;
+
+    res.iterations = iter;
+    if (max_delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  res.truth_probability = z;
+  // Reliability = P(claim correct) under the estimated model: a source's
+  // claim about a true variable is correct when it says true (a_i), about
+  // a false variable when it says false (1 - b_i); weight by prior d.
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    res.source_reliability[i] = d * a[i] + (1.0 - d) * (1.0 - b[i]);
+  }
+  return res;
+}
+
+std::vector<double> majority_vote(const std::vector<Claim>& claims,
+                                  std::size_t num_variables) {
+  std::vector<double> yes(num_variables, 0.0), total(num_variables, 0.0);
+  for (const Claim& c : claims) {
+    if (c.variable >= num_variables) continue;
+    total[c.variable] += 1.0;
+    if (c.value) yes[c.variable] += 1.0;
+  }
+  std::vector<double> out(num_variables, 0.5);
+  for (std::size_t j = 0; j < num_variables; ++j) {
+    if (total[j] > 0.0) out[j] = yes[j] / total[j];
+  }
+  return out;
+}
+
+std::vector<double> weighted_bayes(const std::vector<Claim>& claims,
+                                   const std::vector<double>& reliability,
+                                   std::size_t num_variables, double prior_true) {
+  std::vector<double> log_odds(
+      num_variables, std::log(prior_true / std::max(1e-12, 1.0 - prior_true)));
+  for (const Claim& c : claims) {
+    if (c.variable >= num_variables || c.source >= reliability.size()) continue;
+    const double r = std::clamp(reliability[c.source], 0.01, 0.99);
+    // A claim of `true` multiplies odds by r / (1 - r); `false` divides.
+    const double delta = std::log(r / (1.0 - r));
+    log_odds[c.variable] += c.value ? delta : -delta;
+  }
+  std::vector<double> out(num_variables);
+  for (std::size_t j = 0; j < num_variables; ++j) {
+    out[j] = 1.0 / (1.0 + std::exp(-log_odds[j]));
+  }
+  return out;
+}
+
+double decision_accuracy(const std::vector<double>& truth_probability,
+                         const std::vector<bool>& ground_truth) {
+  if (truth_probability.empty() || truth_probability.size() != ground_truth.size()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < ground_truth.size(); ++j) {
+    if ((truth_probability[j] > 0.5) == ground_truth[j]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ground_truth.size());
+}
+
+}  // namespace iobt::social

@@ -1,0 +1,77 @@
+#pragma once
+// Truth discovery from unreliable human (and device) claims.
+//
+// Implements the estimation-theoretic social-sensing model of the paper's
+// refs [1-4] (Wang et al.): binary latent variables ("is there a hazard in
+// cell j?"), sources with unknown reliability, and maximum-likelihood
+// estimation via EM. The E-step computes posterior truth probabilities
+// given per-source true/false-positive rates; the M-step re-estimates the
+// rates from the expected assignments. Majority voting and a
+// known-reliability Bayesian fuser are provided as the baseline and the
+// oracle bound for experiment E3.
+
+#include <cstdint>
+#include <vector>
+
+namespace iobt::social {
+
+/// One claim: `source` asserts that binary `variable` has `value`.
+/// Sources only report positives in many crowd-sensing settings; this
+/// implementation supports both explicit positive and negative claims.
+struct Claim {
+  std::uint32_t source = 0;
+  std::uint32_t variable = 0;
+  bool value = true;
+};
+
+struct EmOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+  /// Initial per-source correctness probability.
+  double initial_reliability = 0.8;
+  /// Prior probability that a variable is true.
+  double prior_true = 0.5;
+  /// Clamp for estimated rates, keeping EM away from degenerate 0/1.
+  double rate_floor = 0.01;
+};
+
+struct TruthDiscoveryResult {
+  /// Posterior P(variable j is true), per variable.
+  std::vector<double> truth_probability;
+  /// Estimated per-source reliability: P(source's claim is correct).
+  std::vector<double> source_reliability;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Hard decisions at threshold 0.5.
+  std::vector<bool> decisions() const {
+    std::vector<bool> d(truth_probability.size());
+    for (std::size_t j = 0; j < d.size(); ++j) d[j] = truth_probability[j] > 0.5;
+    return d;
+  }
+};
+
+/// EM truth discovery. `claims` may contain multiple claims per
+/// (source, variable); later claims overwrite earlier ones.
+TruthDiscoveryResult em_truth_discovery(const std::vector<Claim>& claims,
+                                        std::size_t num_sources,
+                                        std::size_t num_variables,
+                                        const EmOptions& opts = {});
+
+/// Baseline: per-variable fraction of positive claims (>=0.5 -> true).
+std::vector<double> majority_vote(const std::vector<Claim>& claims,
+                                  std::size_t num_variables);
+
+/// Oracle bound: Bayesian fusion with *known* per-source reliabilities.
+/// reliability[i] = P(source i reports the true value).
+std::vector<double> weighted_bayes(const std::vector<Claim>& claims,
+                                   const std::vector<double>& reliability,
+                                   std::size_t num_variables,
+                                   double prior_true = 0.5);
+
+/// Scoring helper for experiments: fraction of variables whose hard
+/// decision matches ground truth.
+double decision_accuracy(const std::vector<double>& truth_probability,
+                         const std::vector<bool>& ground_truth);
+
+}  // namespace iobt::social

@@ -1,0 +1,460 @@
+#include "synthesis/composer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iobt::synthesis {
+
+namespace {
+
+/// Cells a sensing requirement needs covered to meet its fraction.
+std::size_t needed_cells(const SensingRequirement& r) {
+  const std::size_t total = r.grid_resolution * r.grid_resolution;
+  return static_cast<std::size_t>(
+      std::ceil(r.coverage_fraction * static_cast<double>(total) - 1e-9));
+}
+
+sim::Vec2 cell_center(const SensingRequirement& r, std::size_t cell) {
+  const std::size_t res = r.grid_resolution;
+  const std::size_t cx = cell % res, cy = cell / res;
+  return {r.region.min.x + (static_cast<double>(cx) + 0.5) * r.region.width() /
+                               static_cast<double>(res),
+          r.region.min.y + (static_cast<double>(cy) + 0.5) * r.region.height() /
+                               static_cast<double>(res)};
+}
+
+/// Relative weights making actuation/compute commensurable with cells in
+/// the greedy gain function.
+constexpr double kActuatorGain = 5.0;
+constexpr double kComputeGainScale = 5.0;
+
+}  // namespace
+
+Composer::Composer(const MissionSpec& spec, std::vector<Candidate> candidates,
+                   std::function<int(std::size_t)> reach_hops)
+    : spec_(spec), candidates_(std::move(candidates)), reach_hops_(std::move(reach_hops)) {
+  // Admission gates: trust and comms reach.
+  hops_.resize(candidates_.size(), -1);
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    hops_[i] = reach_hops_ ? reach_hops_(i) : 0;
+    if (candidates_[i].trust < spec_.min_member_trust) continue;
+    if (hops_[i] < 0 || hops_[i] > spec_.comms.max_hops) continue;
+    admissible_.push_back(i);
+  }
+
+  // Precompute the coverage relation candidate x cell per requirement.
+  cover_.cell_count.resize(spec_.sensing.size());
+  cover_.covers.resize(spec_.sensing.size());
+  for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+    const auto& req = spec_.sensing[r];
+    const std::size_t cells = req.grid_resolution * req.grid_resolution;
+    cover_.cell_count[r] = cells;
+    cover_.covers[r].assign(candidates_.size(), {});
+    for (std::size_t i : admissible_) {
+      const Candidate& c = candidates_[i];
+      // Best matching sensor for this requirement.
+      double best_range = -1.0;
+      for (const auto& s : c.sensors) {
+        if (s.modality == req.modality && s.quality >= req.min_quality) {
+          best_range = std::max(best_range, s.range_m);
+        }
+      }
+      if (best_range < 0.0) continue;
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        if (sim::distance(c.position, cell_center(req, cell)) <= best_range) {
+          cover_.covers[r][i].push_back(cell);
+        }
+      }
+    }
+  }
+}
+
+double Composer::marginal_gain(std::size_t cand,
+                               const std::vector<std::vector<bool>>& covered,
+                               const std::vector<std::size_t>& still_needed_cells,
+                               const std::vector<std::size_t>& actuation_deficit,
+                               double compute_deficit) const {
+  ++evaluations_;
+  const Candidate& c = candidates_[cand];
+  double gain = 0.0;
+  for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+    if (still_needed_cells[r] == 0) continue;
+    std::size_t newly = 0;
+    for (std::size_t cell : cover_.covers[r][cand]) {
+      if (!covered[r][cell]) ++newly;
+    }
+    gain += static_cast<double>(std::min(newly, still_needed_cells[r]));
+  }
+  for (std::size_t a = 0; a < spec_.actuation.size(); ++a) {
+    if (actuation_deficit[a] == 0) continue;
+    const auto& req = spec_.actuation[a];
+    if (!req.region.contains(c.position)) continue;
+    for (const auto& act : c.actuators) {
+      if (act.kind == req.kind) {
+        gain += kActuatorGain;
+        break;
+      }
+    }
+  }
+  if (compute_deficit > 0.0 && spec_.compute.total_flops > 0.0) {
+    gain += kComputeGainScale * std::min(c.compute.flops, compute_deficit) /
+            spec_.compute.total_flops;
+  }
+  return gain;
+}
+
+Composite Composer::greedy() {
+  Composite out;
+  std::vector<std::vector<bool>> covered(spec_.sensing.size());
+  std::vector<std::size_t> still_needed(spec_.sensing.size());
+  for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+    covered[r].assign(cover_.cell_count[r], false);
+    still_needed[r] = needed_cells(spec_.sensing[r]);
+  }
+  std::vector<std::size_t> act_deficit(spec_.actuation.size());
+  for (std::size_t a = 0; a < spec_.actuation.size(); ++a) {
+    act_deficit[a] = spec_.actuation[a].count;
+  }
+  double compute_deficit = spec_.compute.total_flops;
+
+  std::vector<bool> selected(candidates_.size(), false);
+  while (true) {
+    // Done when every requirement is satisfied.
+    bool done = compute_deficit <= 0.0;
+    for (std::size_t r = 0; r < still_needed.size() && done; ++r) {
+      done = still_needed[r] == 0;
+    }
+    for (std::size_t a = 0; a < act_deficit.size() && done; ++a) {
+      done = act_deficit[a] == 0;
+    }
+    if (done) break;
+
+    std::size_t best = candidates_.size();
+    double best_ratio = 0.0;
+    for (std::size_t i : admissible_) {
+      if (selected[i]) continue;
+      const double g =
+          marginal_gain(i, covered, still_needed, act_deficit, compute_deficit);
+      if (g <= 0.0) continue;
+      const double ratio = g / std::max(1e-9, candidates_[i].cost);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == candidates_.size()) break;  // no candidate helps: stuck
+
+    // Commit the pick.
+    selected[best] = true;
+    out.member_indices.push_back(best);
+    const Candidate& c = candidates_[best];
+    for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+      for (std::size_t cell : cover_.covers[r][best]) {
+        if (!covered[r][cell]) {
+          covered[r][cell] = true;
+          if (still_needed[r] > 0) --still_needed[r];
+        }
+      }
+    }
+    for (std::size_t a = 0; a < spec_.actuation.size(); ++a) {
+      if (act_deficit[a] == 0 || !spec_.actuation[a].region.contains(c.position)) {
+        continue;
+      }
+      for (const auto& act : c.actuators) {
+        if (act.kind == spec_.actuation[a].kind) {
+          --act_deficit[a];
+          break;
+        }
+      }
+    }
+    compute_deficit -= c.compute.flops;
+  }
+  finalize(out);
+  return out;
+}
+
+Composite Composer::local_search() {
+  Composite cur = greedy();
+  if (!cur.assurance.meets_spec) return cur;  // nothing to polish
+
+  // Pass 1: eliminate redundant members, most expensive first.
+  std::vector<std::size_t> order = cur.member_indices;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return candidates_[a].cost > candidates_[b].cost;
+  });
+  for (std::size_t victim : order) {
+    std::vector<std::size_t> trial;
+    for (std::size_t m : cur.member_indices) {
+      if (m != victim) trial.push_back(m);
+    }
+    const Assurance a = evaluate(trial);
+    cur.evaluations = evaluations_;
+    if (a.meets_spec) {
+      cur.member_indices = std::move(trial);
+      cur.assurance = a;
+    }
+  }
+
+  // Pass 2: 1-swap descent — replace a member with a cheaper non-member.
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 3) {
+    improved = false;
+    for (std::size_t mi = 0; mi < cur.member_indices.size(); ++mi) {
+      const std::size_t old = cur.member_indices[mi];
+      for (std::size_t cand : admissible_) {
+        if (candidates_[cand].cost >= candidates_[old].cost) continue;
+        bool already = false;
+        for (std::size_t m : cur.member_indices) already |= (m == cand);
+        if (already) continue;
+        auto trial = cur.member_indices;
+        trial[mi] = cand;
+        const Assurance a = evaluate(trial);
+        if (a.meets_spec) {
+          cur.member_indices = std::move(trial);
+          cur.assurance = a;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+  finalize(cur);
+  return cur;
+}
+
+Composite Composer::exact() {
+  // Branch & bound over admissible candidates, minimizing total cost.
+  // Exponential: guarded to small instances; callers wanting scale use
+  // greedy/local-search.
+  if (admissible_.size() > 26) return local_search();
+
+  std::vector<std::size_t> order = admissible_;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return candidates_[a].cost < candidates_[b].cost;
+  });
+
+  std::vector<std::size_t> best_set;
+  double best_cost = std::numeric_limits<double>::infinity();
+  {
+    // Seed the bound with the greedy solution.
+    Composite g = local_search();
+    if (g.assurance.meets_spec) {
+      best_set = g.member_indices;
+      best_cost = 0.0;
+      for (std::size_t m : g.member_indices) best_cost += candidates_[m].cost;
+    }
+  }
+
+  std::vector<std::size_t> current;
+  double current_cost = 0.0;
+  std::function<void(std::size_t)> dfs = [&](std::size_t depth) {
+    if (current_cost >= best_cost) return;  // bound
+    const Assurance a = evaluate(current);
+    if (a.meets_spec) {
+      best_cost = current_cost;
+      best_set = current;
+      return;  // adding more only raises cost
+    }
+    if (depth == order.size()) return;
+    // Branch: include order[depth], then exclude it.
+    current.push_back(order[depth]);
+    current_cost += candidates_[order[depth]].cost;
+    dfs(depth + 1);
+    current.pop_back();
+    current_cost -= candidates_[order[depth]].cost;
+    dfs(depth + 1);
+  };
+  dfs(0);
+
+  Composite out;
+  out.member_indices = best_set;
+  finalize(out);
+  return out;
+}
+
+Composite Composer::compose(Solver solver) {
+  evaluations_ = 0;
+  switch (solver) {
+    case Solver::kGreedy: return greedy();
+    case Solver::kLocalSearch: return local_search();
+    case Solver::kExact: return exact();
+  }
+  return greedy();
+}
+
+Composite Composer::repair(const Composite& damaged,
+                           const std::vector<std::uint32_t>& lost_assets) {
+  evaluations_ = 0;
+  // Drop lost members, then greedily extend until feasible again.
+  std::vector<std::size_t> members;
+  for (std::size_t m : damaged.member_indices) {
+    bool lost = false;
+    for (std::uint32_t la : lost_assets) lost |= (candidates_[m].asset == la);
+    if (!lost) members.push_back(m);
+  }
+
+  std::vector<bool> selected(candidates_.size(), false);
+  for (std::size_t m : members) selected[m] = true;
+  // Lost assets are dead: never re-recruit them.
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    for (std::uint32_t la : lost_assets) {
+      if (candidates_[i].asset == la) selected[i] = true;
+    }
+  }
+
+  while (true) {
+    const Assurance a = evaluate(members);
+    if (a.meets_spec) break;
+    // Rebuild deficit state from the assurance.
+    std::vector<std::vector<bool>> covered(spec_.sensing.size());
+    std::vector<std::size_t> still_needed(spec_.sensing.size());
+    for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+      covered[r].assign(cover_.cell_count[r], false);
+      for (std::size_t m : members) {
+        for (std::size_t cell : cover_.covers[r][m]) covered[r][cell] = true;
+      }
+      std::size_t have = 0;
+      for (bool b : covered[r]) have += b ? 1 : 0;
+      const std::size_t need = needed_cells(spec_.sensing[r]);
+      still_needed[r] = have >= need ? 0 : need - have;
+    }
+    std::vector<std::size_t> act_deficit(spec_.actuation.size());
+    for (std::size_t i = 0; i < spec_.actuation.size(); ++i) {
+      act_deficit[i] = a.actuation_counts[i] >= spec_.actuation[i].count
+                           ? 0
+                           : spec_.actuation[i].count - a.actuation_counts[i];
+    }
+    const double compute_deficit = spec_.compute.total_flops - a.total_flops;
+
+    std::size_t best = candidates_.size();
+    double best_ratio = 0.0;
+    for (std::size_t i : admissible_) {
+      if (selected[i]) continue;
+      const double g =
+          marginal_gain(i, covered, still_needed, act_deficit, compute_deficit);
+      if (g <= 0.0) continue;
+      const double ratio = g / std::max(1e-9, candidates_[i].cost);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == candidates_.size()) break;  // cannot repair further
+    selected[best] = true;
+    members.push_back(best);
+  }
+
+  Composite out;
+  out.member_indices = std::move(members);
+  finalize(out);
+  return out;
+}
+
+Assurance Composer::evaluate(const std::vector<std::size_t>& members) const {
+  ++evaluations_;
+  Assurance a;
+  a.sensing_coverage.resize(spec_.sensing.size(), 0.0);
+  for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+    std::vector<bool> covered(cover_.cell_count[r], false);
+    for (std::size_t m : members) {
+      for (std::size_t cell : cover_.covers[r][m]) covered[cell] = true;
+    }
+    std::size_t have = 0;
+    for (bool b : covered) have += b ? 1 : 0;
+    a.sensing_coverage[r] =
+        static_cast<double>(have) / static_cast<double>(cover_.cell_count[r]);
+  }
+  a.actuation_counts.resize(spec_.actuation.size(), 0);
+  for (std::size_t i = 0; i < spec_.actuation.size(); ++i) {
+    const auto& req = spec_.actuation[i];
+    for (std::size_t m : members) {
+      const Candidate& c = candidates_[m];
+      if (!req.region.contains(c.position)) continue;
+      for (const auto& act : c.actuators) {
+        if (act.kind == req.kind) {
+          ++a.actuation_counts[i];
+          break;
+        }
+      }
+    }
+  }
+  security::RiskInputs risk_in;
+  std::size_t uncertified = 0, fragile = 0;
+  for (std::size_t m : members) {
+    const Candidate& c = candidates_[m];
+    a.total_flops += c.compute.flops;
+    a.total_memory += c.compute.memory_bytes;
+    a.max_hops = std::max(a.max_hops, hops_[m]);
+    risk_in.member_trust.push_back(c.trust);
+    if (!c.certified) ++uncertified;
+    // Connectivity fragility: members at (or past) the hop budget's edge
+    // are one topology change away from falling out of the mission.
+    if (hops_[m] + 1 >= spec_.comms.max_hops) ++fragile;
+  }
+  if (!members.empty()) {
+    risk_in.uncertified_fraction =
+        static_cast<double>(uncertified) / static_cast<double>(members.size());
+    // Scaled: borderline connectivity is a partial, not certain, loss.
+    risk_in.spof_fraction =
+        0.5 * static_cast<double>(fragile) / static_cast<double>(members.size());
+  }
+  a.risk = security::assess_risk(risk_in);
+
+  bool ok = !members.empty();
+  for (std::size_t r = 0; r < spec_.sensing.size(); ++r) {
+    const std::size_t need = needed_cells(spec_.sensing[r]);
+    std::size_t have = static_cast<std::size_t>(
+        std::round(a.sensing_coverage[r] * static_cast<double>(cover_.cell_count[r])));
+    ok &= have >= need;
+  }
+  for (std::size_t i = 0; i < spec_.actuation.size(); ++i) {
+    ok &= a.actuation_counts[i] >= spec_.actuation[i].count;
+  }
+  ok &= a.total_flops >= spec_.compute.total_flops;
+  ok &= a.total_memory >= spec_.compute.total_memory_bytes;
+  ok &= a.risk.residual_risk <= spec_.max_residual_risk;
+  a.meets_spec = ok;
+  return a;
+}
+
+void Composer::finalize(Composite& c) const {
+  std::sort(c.member_indices.begin(), c.member_indices.end());
+  c.member_assets.clear();
+  for (std::size_t m : c.member_indices) {
+    c.member_assets.push_back(candidates_[m].asset);
+  }
+  c.assurance = evaluate(c.member_indices);
+  c.evaluations = evaluations_;
+}
+
+std::vector<Candidate> candidates_from_world(const things::World& world,
+                                             const security::TrustRegistry* trust) {
+  std::vector<Candidate> out;
+  for (const auto& a : world.assets()) {
+    if (!world.asset_live(a.id)) continue;
+    Candidate c;
+    c.asset = a.id;
+    c.position = world.asset_position(a.id);
+    c.sensors = a.sensors;
+    c.actuators = a.actuators;
+    c.compute = a.compute;
+    c.trust = trust ? trust->score(a.id) : 1.0;
+    c.certified = a.affiliation == things::Affiliation::kBlue &&
+                  a.device_class != things::DeviceClass::kSmartphone &&
+                  a.device_class != things::DeviceClass::kHuman;
+    switch (a.device_class) {
+      case things::DeviceClass::kEdgeServer: c.cost = 5.0; break;
+      case things::DeviceClass::kVehicle: c.cost = 4.0; break;
+      case things::DeviceClass::kDrone:
+      case things::DeviceClass::kGroundRobot: c.cost = 3.0; break;
+      case things::DeviceClass::kHuman: c.cost = 2.0; break;
+      default: c.cost = 1.0; break;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace iobt::synthesis

@@ -1,0 +1,129 @@
+#pragma once
+// Composition: recruiting a subset of discovered assets into a composite
+// that satisfies a MissionSpec, with quantified assurance (§III-B).
+//
+// The optimization problem is a multi-constraint weighted set cover
+// (NP-hard); three solvers with different cost/quality points are
+// provided, matching the paper's call for "clever solutions ... to address
+// tractability":
+//   * Greedy      — marginal-gain set cover; O(candidates * cells), the
+//                   only option at 10^4-node scale.
+//   * LocalSearch — greedy + redundant-member elimination and 1-swap
+//                   descent; better composites for medium scale.
+//   * Exact       — branch & bound on the member count; small instances
+//                   only, used to measure the greedy optimality gap.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+#include "security/risk.h"
+#include "security/trust.h"
+#include "synthesis/mission.h"
+#include "things/world.h"
+
+namespace iobt::synthesis {
+
+/// A recruitable asset as the composer sees it: claims plus trust. Build
+/// these from the discovery directory (operational path) or from the
+/// world (oracle path for tests/benches).
+struct Candidate {
+  std::uint32_t asset = 0;
+  sim::Vec2 position;
+  std::vector<things::SenseCapability> sensors;
+  std::vector<things::ActuateCapability> actuators;
+  things::ComputeProfile compute;
+  double trust = 1.0;
+  /// Purpose-built military device (vs commercial/gray; drives the
+  /// provenance component of risk).
+  bool certified = true;
+  /// Recruitment cost (energy/opportunity); greedy minimizes total cost.
+  double cost = 1.0;
+};
+
+/// Everything the composer asserts about its output (§III: "aggregate
+/// properties of the composite ... must be formally assured in an
+/// appropriately quantifiable and operationally relevant manner").
+struct Assurance {
+  /// Achieved coverage per sensing requirement, aligned with spec.sensing.
+  std::vector<double> sensing_coverage;
+  /// Achieved actuator counts per actuation requirement.
+  std::vector<std::size_t> actuation_counts;
+  double total_flops = 0.0;
+  double total_memory = 0.0;
+  /// Worst member->sink hop distance (-1 if some member unreachable).
+  int max_hops = 0;
+  security::RiskReport risk;
+  bool meets_spec = false;
+};
+
+struct Composite {
+  std::vector<std::size_t> member_indices;  // into the candidate vector
+  std::vector<std::uint32_t> member_assets; // candidate.asset for members
+  Assurance assurance;
+  /// Number of candidate evaluations performed (work metric for E1).
+  std::uint64_t evaluations = 0;
+};
+
+enum class Solver { kGreedy, kLocalSearch, kExact };
+
+class Composer {
+ public:
+  /// `reach_hops(candidate_index)` must return the hop distance from that
+  /// candidate to the mission sink on the current network (-1 if
+  /// unreachable). Candidates out of comms range are never recruited.
+  Composer(const MissionSpec& spec, std::vector<Candidate> candidates,
+           std::function<int(std::size_t)> reach_hops);
+
+  /// Runs the chosen solver. Always returns a composite (possibly
+  /// infeasible — check assurance.meets_spec).
+  Composite compose(Solver solver = Solver::kGreedy);
+
+  /// Re-synthesis after damage: removes lost members and greedily patches
+  /// the gaps with remaining candidates. Far cheaper than recomposing.
+  Composite repair(const Composite& damaged,
+                   const std::vector<std::uint32_t>& lost_assets);
+
+  /// Evaluates the assurance of an arbitrary member set (public so tests
+  /// and ablations can score hand-built composites).
+  Assurance evaluate(const std::vector<std::size_t>& members) const;
+
+  const std::vector<Candidate>& candidates() const { return candidates_; }
+  /// Indices of candidates admissible under trust/comms gates.
+  const std::vector<std::size_t>& admissible() const { return admissible_; }
+
+ private:
+  struct CellCover {
+    // For sensing requirement r, cells_[r] has grid_resolution^2 entries;
+    // covers_[r][i] lists the cell ids candidate i covers.
+    std::vector<std::size_t> cell_count;
+    std::vector<std::vector<std::vector<std::size_t>>> covers;  // [req][cand]
+  };
+
+  Composite greedy();
+  Composite local_search();
+  Composite exact();
+  void finalize(Composite& c) const;
+
+  double marginal_gain(std::size_t cand,
+                       const std::vector<std::vector<bool>>& covered,
+                       const std::vector<std::size_t>& still_needed_cells,
+                       const std::vector<std::size_t>& actuation_deficit,
+                       double compute_deficit) const;
+
+  MissionSpec spec_;
+  std::vector<Candidate> candidates_;
+  std::function<int(std::size_t)> reach_hops_;
+  std::vector<std::size_t> admissible_;
+  std::vector<int> hops_;  // cached reach for each candidate
+  CellCover cover_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+/// Builds composer candidates from ground truth (oracle path). `trust`
+/// may be null (all candidates fully trusted).
+std::vector<Candidate> candidates_from_world(const things::World& world,
+                                             const security::TrustRegistry* trust);
+
+}  // namespace iobt::synthesis

@@ -1,0 +1,109 @@
+#include "synthesis/decompose.h"
+
+#include <algorithm>
+#include <set>
+
+namespace iobt::synthesis {
+
+namespace {
+
+/// The sub-rectangle of `region` at tile (tx, ty) of a tiles x tiles grid.
+sim::Rect tile_rect(const sim::Rect& region, std::size_t tiles, std::size_t tx,
+                    std::size_t ty) {
+  const double w = region.width() / static_cast<double>(tiles);
+  const double h = region.height() / static_cast<double>(tiles);
+  return {{region.min.x + w * static_cast<double>(tx),
+           region.min.y + h * static_cast<double>(ty)},
+          {region.min.x + w * static_cast<double>(tx + 1),
+           region.min.y + h * static_cast<double>(ty + 1)}};
+}
+
+/// Longest sensor range a candidate offers (0 if none) — the overlap
+/// margin needed so border cells stay coverable from either tile.
+double max_sensor_range(const std::vector<Candidate>& candidates) {
+  double r = 0.0;
+  for (const auto& c : candidates) {
+    for (const auto& s : c.sensors) r = std::max(r, s.range_m);
+  }
+  return r;
+}
+
+}  // namespace
+
+DecomposedResult compose_decomposed(const MissionSpec& spec,
+                                    const std::vector<Candidate>& candidates,
+                                    const std::function<int(std::size_t)>& reach_hops,
+                                    std::size_t tiles) {
+  DecomposedResult out;
+  if (tiles == 0) tiles = 1;
+  const double margin = max_sensor_range(candidates);
+
+  std::set<std::uint32_t> member_assets;
+  for (std::size_t ty = 0; ty < tiles; ++ty) {
+    for (std::size_t tx = 0; tx < tiles; ++tx) {
+      // Per-tile spec: only the sensing slices; aggregates handled later.
+      MissionSpec sub;
+      sub.name = spec.name + ".tile";
+      sub.comms = spec.comms;
+      sub.min_member_trust = spec.min_member_trust;
+      sub.max_residual_risk = 1.0;  // risk is assessed on the whole
+      for (const auto& req : spec.sensing) {
+        SensingRequirement r = req;
+        r.region = tile_rect(req.region, tiles, tx, ty);
+        r.grid_resolution =
+            std::max<std::size_t>(2, req.grid_resolution / tiles);
+        sub.sensing.push_back(r);
+      }
+
+      // Candidate slice: anything whose sensors could reach this tile.
+      // Use the union of all sub-requirement tiles, padded by the longest
+      // sensor range, as the eligibility window.
+      sim::Rect window = sub.sensing.empty() ? sim::Rect{{0, 0}, {0, 0}}
+                                             : sub.sensing.front().region;
+      for (const auto& r : sub.sensing) {
+        window.min.x = std::min(window.min.x, r.region.min.x);
+        window.min.y = std::min(window.min.y, r.region.min.y);
+        window.max.x = std::max(window.max.x, r.region.max.x);
+        window.max.y = std::max(window.max.y, r.region.max.y);
+      }
+      const sim::Rect reach{{window.min.x - margin, window.min.y - margin},
+                            {window.max.x + margin, window.max.y + margin}};
+      std::vector<Candidate> slice;
+      std::vector<std::size_t> slice_to_global;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (reach.contains(candidates[i].position)) {
+          slice.push_back(candidates[i]);
+          slice_to_global.push_back(i);
+        }
+      }
+      if (slice.empty()) continue;
+
+      Composer sub_comp(sub, slice,
+                        [&](std::size_t local) {
+                          return reach_hops ? reach_hops(slice_to_global[local]) : 0;
+                        });
+      const Composite sub_result = sub_comp.compose(Solver::kGreedy);
+      out.total_evaluations += sub_result.evaluations;
+      out.critical_path_evaluations =
+          std::max(out.critical_path_evaluations, sub_result.evaluations);
+      ++out.subproblems;
+      for (std::uint32_t a : sub_result.member_assets) member_assets.insert(a);
+    }
+  }
+
+  // Aggregate requirements (compute, actuation) topped up on the full
+  // problem, seeded with the tile members — one cheap repair-style pass.
+  Composer full(spec, candidates, reach_hops);
+  Composite seeded;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (member_assets.count(candidates[i].asset)) {
+      seeded.member_indices.push_back(i);
+      seeded.member_assets.push_back(candidates[i].asset);
+    }
+  }
+  out.composite = full.repair(seeded, {});  // extend-until-feasible
+  out.total_evaluations += out.composite.evaluations;
+  return out;
+}
+
+}  // namespace iobt::synthesis

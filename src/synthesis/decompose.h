@@ -1,0 +1,42 @@
+#pragma once
+// Hierarchical problem decomposition for synthesis tractability (§III-B:
+// "clever solutions must be developed to address tractability. They may
+// include a judicious choice of constraints to reduce search space, or
+// perhaps a hierarchical problem decomposition that exploits independence
+// relations between subproblems").
+//
+// The sensing requirements of a mission over a large region decompose
+// spatially: a candidate can only cover cells near itself, so splitting
+// the region into a k x k grid of tiles yields near-independent
+// subproblems (candidates near tile borders appear in both neighbours —
+// the overlap preserves feasibility at a small duplication cost).
+// Aggregate requirements (compute, actuation counts) are solved once on
+// the merged composite. The result trades a bounded amount of solution
+// cost for solving k^2 problems of 1/k^2 the size — and those subproblems
+// can in principle run on different staff cells in parallel.
+
+#include "synthesis/composer.h"
+
+namespace iobt::synthesis {
+
+struct DecomposedResult {
+  Composite composite;
+  /// Candidate evaluations summed over all subproblems (the work metric).
+  std::uint64_t total_evaluations = 0;
+  /// Largest single subproblem's evaluations — the parallel critical path.
+  std::uint64_t critical_path_evaluations = 0;
+  std::size_t subproblems = 0;
+};
+
+/// Composes `spec` by splitting every sensing requirement's region into a
+/// `tiles` x `tiles` grid and solving each tile independently with the
+/// greedy solver, then topping up aggregate (compute/actuation)
+/// requirements greedily on the merged member set. `reach_hops` as in
+/// Composer. The returned composite's assurance is evaluated against the
+/// ORIGINAL spec.
+DecomposedResult compose_decomposed(const MissionSpec& spec,
+                                    const std::vector<Candidate>& candidates,
+                                    const std::function<int(std::size_t)>& reach_hops,
+                                    std::size_t tiles);
+
+}  // namespace iobt::synthesis

@@ -1,0 +1,82 @@
+#include "synthesis/mission.h"
+
+namespace iobt::synthesis {
+
+std::string to_string(GoalKind k) {
+  switch (k) {
+    case GoalKind::kPersistentSurveillance: return "persistent_surveillance";
+    case GoalKind::kTrackDispersedGroup: return "track_dispersed_group";
+    case GoalKind::kEvacuationSupport: return "evacuation_support";
+    case GoalKind::kSoldierHealthMonitoring: return "soldier_health_monitoring";
+    case GoalKind::kDisasterRelief: return "disaster_relief";
+  }
+  return "unknown";
+}
+
+MissionSpec derive_spec(const Goal& goal) {
+  MissionSpec spec;
+  spec.name = to_string(goal.kind);
+  const sim::Rect& area = goal.area;
+  const double k = goal.intensity;
+
+  switch (goal.kind) {
+    case GoalKind::kPersistentSurveillance:
+      // Wide-area watch: visual + radar redundancy so one jammed modality
+      // does not blind the mission, modest analytics, relaxed latency.
+      spec.sensing.push_back({things::Modality::kCamera, area, 0.8, 0.5, 12});
+      spec.sensing.push_back({things::Modality::kRadar, area, 0.6, 0.5, 12});
+      spec.compute = {1e10 * k, 8e9 * k};
+      spec.comms.max_hops = 10;
+      break;
+
+    case GoalKind::kTrackDispersedGroup:
+      // The §III-B example: tight visual coverage for identification,
+      // acoustic as a cueing layer, serious fusion compute, short loop.
+      spec.sensing.push_back({things::Modality::kCamera, area, 0.9, 0.6, 14});
+      spec.sensing.push_back({things::Modality::kAcoustic, area, 0.7, 0.4, 10});
+      spec.compute = {5e10 * k, 1.6e10 * k};
+      spec.comms.max_hops = 5;
+      spec.min_member_trust = 0.5;  // tracking data is sensitive
+      break;
+
+    case GoalKind::kEvacuationSupport:
+      // §I's non-combatant evacuation: crowd sensing along the corridor
+      // (acoustic carries further than door-jamb occupancy tags, so it is
+      // the area-coverage workhorse; cameras confirm), signage actuation
+      // to direct the flow, relays for the inevitably damaged
+      // infrastructure.
+      spec.sensing.push_back({things::Modality::kAcoustic, area, 0.5, 0.4, 10});
+      spec.sensing.push_back({things::Modality::kCamera, area, 0.5, 0.4, 10});
+      spec.actuation.push_back(
+          {things::ActuationKind::kSignage, area,
+           static_cast<std::size_t>(2 * k < 1 ? 1 : 2 * k)});
+      spec.actuation.push_back({things::ActuationKind::kRelay, area, 2});
+      spec.compute = {1e10 * k, 4e9 * k};
+      spec.comms.max_hops = 6;
+      break;
+
+    case GoalKind::kSoldierHealthMonitoring:
+      // Physiological telemetry only reaches wearables; low compute, but
+      // a short loop (medical alerts).
+      spec.sensing.push_back({things::Modality::kPhysiological, area, 0.5, 0.6, 8});
+      spec.compute = {1e9 * k, 1e9 * k};
+      spec.comms.max_hops = 4;
+      break;
+
+    case GoalKind::kDisasterRelief:
+      // Humanitarian mission (§I): hazard detection, relays to restore
+      // connectivity, and a deliberately low trust bar — gray civilian
+      // devices are the bulk of what is available.
+      spec.sensing.push_back({things::Modality::kChemical, area, 0.6, 0.4, 10});
+      spec.sensing.push_back({things::Modality::kOccupancy, area, 0.6, 0.4, 10});
+      spec.actuation.push_back({things::ActuationKind::kRelay, area, 3});
+      spec.compute = {5e9 * k, 2e9 * k};
+      spec.comms.max_hops = 12;
+      spec.min_member_trust = 0.3;
+      spec.max_residual_risk = 0.95;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace iobt::synthesis

@@ -1,0 +1,84 @@
+#pragma once
+// Mission specification: the typed requirement vocabulary that synthesis
+// reduces goals into (§III-B: "automatic reasoning from goals to means to
+// derive requirements and constraints from high-level goal
+// specifications").
+
+#include <string>
+#include <vector>
+
+#include "sim/geometry.h"
+#include "sim/time.h"
+#include "things/capability.h"
+
+namespace iobt::synthesis {
+
+/// "Cover `coverage_fraction` of `region` with `modality` sensing of at
+/// least `min_quality`". Coverage is evaluated on a grid of
+/// `grid_resolution` x `grid_resolution` cells over the region.
+struct SensingRequirement {
+  things::Modality modality = things::Modality::kCamera;
+  sim::Rect region;
+  double coverage_fraction = 0.9;
+  double min_quality = 0.5;
+  std::size_t grid_resolution = 10;
+};
+
+/// "At least `count` actuators of `kind` inside `region`."
+struct ActuationRequirement {
+  things::ActuationKind kind = things::ActuationKind::kRelay;
+  sim::Rect region;
+  std::size_t count = 1;
+};
+
+/// Aggregate compute the composite must muster (for in-network analytics).
+struct ComputeRequirement {
+  double total_flops = 0.0;
+  double total_memory_bytes = 0.0;
+};
+
+/// Communications constraints: every member must reach the sink within
+/// `max_hops` network hops (a proxy for the latency requirement derived
+/// from the goal's decision-loop deadline).
+struct CommsRequirement {
+  int max_hops = 8;
+};
+
+struct MissionSpec {
+  std::string name;
+  std::vector<SensingRequirement> sensing;
+  std::vector<ActuationRequirement> actuation;
+  ComputeRequirement compute;
+  CommsRequirement comms;
+
+  /// Admission: candidates below this trust score are not recruited.
+  double min_member_trust = 0.4;
+  /// Assurance: synthesized composites with residual risk above this are
+  /// reported infeasible ("quantifiable and operationally relevant").
+  double max_residual_risk = 0.9;
+};
+
+/// High-level goal templates (§III-B's example: "track a collection of
+/// insurgents and report on their activities and rendezvous points within
+/// a certain geographic area"). derive_spec() is the goals->means reasoner:
+/// it expands a template into the typed requirement set above.
+enum class GoalKind {
+  kPersistentSurveillance,  // wide-area multi-modal watch
+  kTrackDispersedGroup,     // the insurgent-tracking example
+  kEvacuationSupport,       // corridor sensing + signage + relays
+  kSoldierHealthMonitoring, // physiological telemetry
+  kDisasterRelief,          // chemical/occupancy + relays, low trust bar
+};
+
+struct Goal {
+  GoalKind kind = GoalKind::kPersistentSurveillance;
+  sim::Rect area;
+  /// Scales coverage/actuation intensity, e.g. expected crowd/target size.
+  double intensity = 1.0;
+};
+
+MissionSpec derive_spec(const Goal& goal);
+
+std::string to_string(GoalKind k);
+
+}  // namespace iobt::synthesis

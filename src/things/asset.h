@@ -1,0 +1,74 @@
+#pragma once
+// The asset: one battlefield "thing". Holds ground-truth attributes (class,
+// affiliation, capabilities, reliability) that scenario generators set and
+// that algorithms must *infer* through the network — never read directly.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+#include "things/capability.h"
+#include "things/energy.h"
+#include "things/mobility.h"
+
+namespace iobt::things {
+
+using AssetId = std::uint32_t;
+
+/// Traffic/emission profile used by passive discovery and side-channel
+/// detection (§III-A: "discovery of gray/red nodes using side channel
+/// emanations"). Red assets typically don't answer probes but still leak
+/// RF emissions.
+struct EmissionProfile {
+  /// If > 0, the asset emits a beacon frame every this many seconds.
+  double beacon_period_s = 0.0;
+  /// Whether the asset answers active discovery probes.
+  bool responds_to_probe = true;
+  /// Rate of incidental RF side-channel emanations (per second) detectable
+  /// by RF-spectrum sensors even when the asset is silent at the protocol
+  /// level.
+  double side_channel_rate_hz = 0.1;
+};
+
+struct Asset {
+  AssetId id = 0;
+  DeviceClass device_class = DeviceClass::kSensorMote;
+  Affiliation affiliation = Affiliation::kBlue;  // ground truth
+  net::NodeId node = 0;                          // network endpoint
+
+  std::vector<SenseCapability> sensors;
+  std::vector<ActuateCapability> actuators;
+  ComputeProfile compute;
+  EnergyModel energy;
+  EmissionProfile emissions;
+
+  /// Mobility strategy; null means stationary.
+  std::shared_ptr<MobilityModel> mobility;
+
+  /// For human assets: probability that a claim the human makes is correct
+  /// (the social-sensing reliability parameter, refs [1-4]); ground truth.
+  double report_reliability = 1.0;
+
+  /// Alive = powered and not destroyed. Dead assets are off the network.
+  bool alive = true;
+
+  bool has_sensor(Modality m) const {
+    return sensor(m) != nullptr;
+  }
+  const SenseCapability* sensor(Modality m) const {
+    for (const auto& s : sensors) {
+      if (s.modality == m) return &s;
+    }
+    return nullptr;
+  }
+  bool has_actuator(ActuationKind k) const {
+    for (const auto& a : actuators) {
+      if (a.kind == k) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace iobt::things

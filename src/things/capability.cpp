@@ -1,0 +1,55 @@
+#include "things/capability.h"
+
+namespace iobt::things {
+
+std::string to_string(Affiliation a) {
+  switch (a) {
+    case Affiliation::kBlue: return "blue";
+    case Affiliation::kRed: return "red";
+    case Affiliation::kGray: return "gray";
+  }
+  return "unknown";
+}
+
+std::string to_string(Modality m) {
+  switch (m) {
+    case Modality::kCamera: return "camera";
+    case Modality::kSeismic: return "seismic";
+    case Modality::kAcoustic: return "acoustic";
+    case Modality::kRadar: return "radar";
+    case Modality::kLidar: return "lidar";
+    case Modality::kOccupancy: return "occupancy";
+    case Modality::kRfSpectrum: return "rf_spectrum";
+    case Modality::kChemical: return "chemical";
+    case Modality::kPhysiological: return "physiological";
+  }
+  return "unknown";
+}
+
+std::string to_string(ActuationKind a) {
+  switch (a) {
+    case ActuationKind::kRelay: return "relay";
+    case ActuationKind::kSignage: return "signage";
+    case ActuationKind::kDoorLock: return "door_lock";
+    case ActuationKind::kDemolition: return "demolition";
+    case ActuationKind::kVehicle: return "vehicle";
+  }
+  return "unknown";
+}
+
+std::string to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kTag: return "tag";
+    case DeviceClass::kSensorMote: return "sensor_mote";
+    case DeviceClass::kWearable: return "wearable";
+    case DeviceClass::kSmartphone: return "smartphone";
+    case DeviceClass::kDrone: return "drone";
+    case DeviceClass::kGroundRobot: return "ground_robot";
+    case DeviceClass::kVehicle: return "vehicle";
+    case DeviceClass::kEdgeServer: return "edge_server";
+    case DeviceClass::kHuman: return "human";
+  }
+  return "unknown";
+}
+
+}  // namespace iobt::things

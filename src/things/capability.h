@@ -1,0 +1,97 @@
+#pragma once
+// The capability vocabulary shared by assets (what a thing can do) and
+// mission requirements (what a mission needs). Keeping both sides in one
+// typed vocabulary is what makes goals->means reasoning (synthesis) a
+// typed reduction rather than string matching — see DESIGN.md §5.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace iobt::things {
+
+/// Ownership/allegiance of an asset. This is *ground truth* known to the
+/// scenario generator; algorithms must infer it (discovery, trust).
+enum class Affiliation : std::uint8_t { kBlue, kRed, kGray };
+
+std::string to_string(Affiliation a);
+
+/// Sensing modalities named in the paper (§III: "from tiny occupancy
+/// sensors to drones with three-dimensional Radar and LiDar sensors";
+/// §IV-B: "seismic sensing may be used when smoke or other phenomena
+/// render visual tracking unreliable").
+enum class Modality : std::uint8_t {
+  kCamera,
+  kSeismic,
+  kAcoustic,
+  kRadar,
+  kLidar,
+  kOccupancy,
+  kRfSpectrum,
+  kChemical,
+  kPhysiological,  // soldier-state monitoring (§II)
+};
+inline constexpr std::size_t kModalityCount = 9;
+inline constexpr std::array<Modality, kModalityCount> kAllModalities = {
+    Modality::kCamera,    Modality::kSeismic,  Modality::kAcoustic,
+    Modality::kRadar,     Modality::kLidar,    Modality::kOccupancy,
+    Modality::kRfSpectrum, Modality::kChemical, Modality::kPhysiological,
+};
+
+std::string to_string(Modality m);
+
+/// One sensing capability an asset carries.
+struct SenseCapability {
+  Modality modality = Modality::kCamera;
+  /// Detection range, meters.
+  double range_m = 100.0;
+  /// Probability of detecting an in-range event at point-blank distance;
+  /// decays with distance (see sensors.h).
+  double quality = 0.9;
+  /// False positive rate per observation window.
+  double false_positive_rate = 0.01;
+};
+
+/// Actuation classes from the paper's examples (§VI: demolition charges
+/// that withhold near humans; evacuation route signage; relays).
+enum class ActuationKind : std::uint8_t {
+  kRelay,        // communications relay
+  kSignage,      // route marking / crowd direction
+  kDoorLock,     // infrastructure control
+  kDemolition,   // safety-interlocked charge (§VI example)
+  kVehicle,      // mobility as actuation (repositioning)
+};
+
+std::string to_string(ActuationKind a);
+
+struct ActuateCapability {
+  ActuationKind kind = ActuationKind::kRelay;
+  double range_m = 10.0;
+};
+
+/// Compute/storage capability. Spans "small on-board compute devices to
+/// powerful edge clouds with GPUs" (§III).
+struct ComputeProfile {
+  double flops = 1e8;          // sustained floating-point throughput
+  double memory_bytes = 64e6;  // working memory
+  double storage_bytes = 1e9;  // persistent storage
+};
+
+/// Hardware classes of battlefield things (§II: "sensors, actuators,
+/// devices (computers, weapons, vehicles, robots, human-wearables, etc)").
+enum class DeviceClass : std::uint8_t {
+  kTag,          // disposable unattended sensor tag
+  kSensorMote,   // fixed sensor node
+  kWearable,     // human-worn device
+  kSmartphone,   // gray-civilian commodity device
+  kDrone,        // aerial, mobile, radar/lidar-capable
+  kGroundRobot,  // mobile ground actuator/sensor platform
+  kVehicle,      // manned vehicle with strong radio/compute
+  kEdgeServer,   // fixed edge cloud
+  kHuman,        // a human information source / decision agent
+};
+inline constexpr std::size_t kDeviceClassCount = 9;
+
+std::string to_string(DeviceClass c);
+
+}  // namespace iobt::things

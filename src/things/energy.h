@@ -1,0 +1,44 @@
+#pragma once
+// Energy accounting for disadvantaged assets (§II: "limitations on energy,
+// power, storage, and bandwidth"). Each asset owns an EnergyModel; the
+// network's transmit hook and the sensing/compute paths drain it. A dead
+// asset is taken offline by the World tick.
+
+#include <algorithm>
+
+namespace iobt::things {
+
+class EnergyModel {
+ public:
+  /// `capacity_j` <= 0 means mains/vehicle powered (never depletes).
+  explicit EnergyModel(double capacity_j = 0.0) : capacity_j_(capacity_j),
+                                                  remaining_j_(capacity_j) {}
+
+  bool unlimited() const { return capacity_j_ <= 0.0; }
+  bool depleted() const { return !unlimited() && remaining_j_ <= 0.0; }
+  double remaining_j() const { return unlimited() ? 0.0 : remaining_j_; }
+  double fraction_remaining() const {
+    return unlimited() ? 1.0 : std::max(0.0, remaining_j_ / capacity_j_);
+  }
+
+  /// Energy cost knobs (joules).
+  double tx_cost_per_byte = 2e-6;
+  double sense_cost_per_obs = 5e-4;
+  double compute_cost_per_mflop = 1e-5;
+  double idle_cost_per_s = 1e-4;
+
+  void drain(double joules) {
+    if (!unlimited()) remaining_j_ = std::max(0.0, remaining_j_ - joules);
+  }
+  void drain_tx(std::size_t bytes) { drain(tx_cost_per_byte * static_cast<double>(bytes)); }
+  void drain_sense() { drain(sense_cost_per_obs); }
+  void drain_compute(double mflops) { drain(compute_cost_per_mflop * mflops); }
+  void drain_idle(double seconds) { drain(idle_cost_per_s * seconds); }
+  void recharge_full() { remaining_j_ = capacity_j_; }
+
+ private:
+  double capacity_j_;
+  double remaining_j_;
+};
+
+}  // namespace iobt::things

@@ -1,0 +1,85 @@
+#include "things/mobility.h"
+
+#include <cmath>
+
+namespace iobt::things {
+
+RandomWaypoint::RandomWaypoint(sim::Rect area, double speed_mps, double pause_s,
+                               sim::Rng rng)
+    : area_(area), speed_(speed_mps), pause_s_(pause_s), rng_(rng) {}
+
+sim::Vec2 RandomWaypoint::step(sim::Vec2 current, double dt_s) {
+  while (dt_s > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double used = std::min(pause_left_, dt_s);
+      pause_left_ -= used;
+      dt_s -= used;
+      continue;
+    }
+    if (!has_target_) {
+      target_ = {rng_.uniform(area_.min.x, area_.max.x),
+                 rng_.uniform(area_.min.y, area_.max.y)};
+      has_target_ = true;
+    }
+    const double dist = sim::distance(current, target_);
+    const double reach = speed_ * dt_s;
+    if (reach >= dist) {
+      current = target_;
+      has_target_ = false;
+      pause_left_ = pause_s_;
+      dt_s -= speed_ > 0.0 ? dist / speed_ : dt_s;
+    } else {
+      current = current + (target_ - current).normalized() * reach;
+      dt_s = 0.0;
+    }
+  }
+  return area_.clamp(current);
+}
+
+GridPatrol::GridPatrol(sim::Rect area, double block_m, double speed_mps, sim::Rng rng)
+    : area_(area), block_m_(block_m), speed_(speed_mps), rng_(rng) {
+  heading_ = {1.0, 0.0};
+  until_turn_m_ = block_m_;
+}
+
+void GridPatrol::pick_heading(sim::Vec2 at) {
+  // Choose among the four street directions, excluding ones that would
+  // immediately leave the area.
+  static constexpr sim::Vec2 kDirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  std::vector<double> weights(4, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    const sim::Vec2 probe = at + kDirs[i] * block_m_;
+    if (!area_.contains(probe)) weights[static_cast<std::size_t>(i)] = 0.0;
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    heading_ = (area_.center() - at).normalized();
+    return;
+  }
+  heading_ = kDirs[rng_.categorical(weights)];
+}
+
+sim::Vec2 GridPatrol::step(sim::Vec2 current, double dt_s) {
+  double travel = speed_ * dt_s;
+  while (travel > 0.0) {
+    if (until_turn_m_ <= 0.0) {
+      pick_heading(current);
+      until_turn_m_ = block_m_;
+    }
+    const double leg = std::min(travel, until_turn_m_);
+    current = area_.clamp(current + heading_ * leg);
+    travel -= leg;
+    until_turn_m_ -= leg;
+  }
+  return current;
+}
+
+sim::Vec2 SeekPoint::step(sim::Vec2 current, double dt_s) {
+  const double dist = sim::distance(current, goal_);
+  const double reach = speed_ * dt_s;
+  if (reach >= dist) return goal_;
+  return current + (goal_ - current).normalized() * reach;
+}
+
+}  // namespace iobt::things

@@ -1,0 +1,77 @@
+#pragma once
+// Mobility models. Positions advance in discrete ticks driven by the World;
+// models are deterministic functions of their Rng substream.
+
+#include <memory>
+
+#include "sim/geometry.h"
+#include "sim/rng.h"
+
+namespace iobt::things {
+
+/// Strategy interface: given the current position and elapsed seconds,
+/// produce the next position. Implementations keep their own state.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual sim::Vec2 step(sim::Vec2 current, double dt_s) = 0;
+};
+
+/// Never moves (fixed infrastructure, unattended sensors).
+class Stationary final : public MobilityModel {
+ public:
+  sim::Vec2 step(sim::Vec2 current, double /*dt_s*/) override { return current; }
+};
+
+/// Classic random waypoint inside an area: pick a uniform destination,
+/// travel at the configured speed, pause, repeat.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(sim::Rect area, double speed_mps, double pause_s, sim::Rng rng);
+  sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+
+ private:
+  sim::Rect area_;
+  double speed_;
+  double pause_s_;
+  sim::Rng rng_;
+  sim::Vec2 target_;
+  bool has_target_ = false;
+  double pause_left_ = 0.0;
+};
+
+/// Patrols along axis-aligned streets of an urban grid: moves in straight
+/// segments, turning at intersections (grid pitch `block_m`).
+class GridPatrol final : public MobilityModel {
+ public:
+  GridPatrol(sim::Rect area, double block_m, double speed_mps, sim::Rng rng);
+  sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+
+ private:
+  void pick_heading(sim::Vec2 at);
+
+  sim::Rect area_;
+  double block_m_;
+  double speed_;
+  sim::Rng rng_;
+  sim::Vec2 heading_;       // unit vector along a street axis
+  double until_turn_m_ = 0; // distance to the next intersection decision
+};
+
+/// Moves toward a fixed rally point and stops there (evacuation flows).
+class SeekPoint final : public MobilityModel {
+ public:
+  SeekPoint(sim::Vec2 goal, double speed_mps) : goal_(goal), speed_(speed_mps) {}
+  sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+  bool arrived(sim::Vec2 current, double tol_m = 1.0) const {
+    return sim::distance(current, goal_) <= tol_m;
+  }
+  void set_goal(sim::Vec2 g) { goal_ = g; }
+  sim::Vec2 goal() const { return goal_; }
+
+ private:
+  sim::Vec2 goal_;
+  double speed_;
+};
+
+}  // namespace iobt::things

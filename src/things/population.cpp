@@ -1,0 +1,273 @@
+#include "things/population.h"
+
+namespace iobt::things {
+
+PopulationConfig small_team_config() {
+  PopulationConfig c;
+  c.sensor_motes = 8;
+  c.wearables = 4;
+  c.smartphones = 6;
+  c.drones = 3;
+  c.ground_robots = 2;
+  c.vehicles = 2;
+  c.edge_servers = 1;
+  c.humans = 4;
+  return c;
+}
+
+PopulationConfig company_config() {
+  PopulationConfig c;
+  c.tags = 40;
+  c.sensor_motes = 80;
+  c.wearables = 40;
+  c.smartphones = 60;
+  c.drones = 20;
+  c.ground_robots = 15;
+  c.vehicles = 20;
+  c.edge_servers = 5;
+  c.humans = 20;
+  return c;
+}
+
+PopulationConfig urban_scenario_config(std::size_t scale) {
+  PopulationConfig c;
+  c.tags = 10 * scale;
+  c.sensor_motes = 25 * scale;
+  c.wearables = 10 * scale;
+  c.smartphones = 30 * scale;
+  c.drones = 6 * scale;
+  c.ground_robots = 4 * scale;
+  c.vehicles = 6 * scale;
+  c.edge_servers = 2 * scale;
+  c.humans = 7 * scale;
+  return c;
+}
+
+net::RadioProfile radio_for_class(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kTag: return {.range_m = 80, .data_rate_bps = 2.5e5, .base_loss = 0.03};
+    case DeviceClass::kSensorMote:
+      return {.range_m = 150, .data_rate_bps = 2.5e5, .base_loss = 0.02};
+    case DeviceClass::kWearable:
+      return {.range_m = 120, .data_rate_bps = 1e6, .base_loss = 0.02};
+    case DeviceClass::kSmartphone:
+      return {.range_m = 200, .data_rate_bps = 5e6, .base_loss = 0.02};
+    case DeviceClass::kDrone: return {.range_m = 600, .data_rate_bps = 1e7, .base_loss = 0.01};
+    case DeviceClass::kGroundRobot:
+      return {.range_m = 300, .data_rate_bps = 5e6, .base_loss = 0.02};
+    case DeviceClass::kVehicle:
+      return {.range_m = 800, .data_rate_bps = 2e7, .base_loss = 0.01};
+    case DeviceClass::kEdgeServer:
+      return {.range_m = 1000, .data_rate_bps = 1e8, .base_loss = 0.005};
+    case DeviceClass::kHuman:
+      // Humans communicate via a carried radio/phone.
+      return {.range_m = 200, .data_rate_bps = 1e6, .base_loss = 0.02};
+  }
+  return {};
+}
+
+namespace {
+
+/// Per-class battery (joules). <= 0 means effectively unlimited.
+double battery_for_class(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kTag: return 200.0;
+    case DeviceClass::kSensorMote: return 2'000.0;
+    case DeviceClass::kWearable: return 5'000.0;
+    case DeviceClass::kSmartphone: return 20'000.0;
+    case DeviceClass::kDrone: return 100'000.0;
+    case DeviceClass::kGroundRobot: return 300'000.0;
+    case DeviceClass::kVehicle: return 0.0;
+    case DeviceClass::kEdgeServer: return 0.0;
+    case DeviceClass::kHuman: return 20'000.0;  // their carried device
+  }
+  return 0.0;
+}
+
+ComputeProfile compute_for_class(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kTag: return {.flops = 1e6, .memory_bytes = 1e5, .storage_bytes = 1e6};
+    case DeviceClass::kSensorMote:
+      return {.flops = 1e7, .memory_bytes = 1e6, .storage_bytes = 1e7};
+    case DeviceClass::kWearable:
+      return {.flops = 1e8, .memory_bytes = 6.4e7, .storage_bytes = 1e9};
+    case DeviceClass::kSmartphone:
+      return {.flops = 5e9, .memory_bytes = 4e9, .storage_bytes = 6.4e10};
+    case DeviceClass::kDrone:
+      return {.flops = 2e10, .memory_bytes = 8e9, .storage_bytes = 1.28e11};
+    case DeviceClass::kGroundRobot:
+      return {.flops = 5e10, .memory_bytes = 1.6e10, .storage_bytes = 5e11};
+    case DeviceClass::kVehicle:
+      return {.flops = 1e11, .memory_bytes = 3.2e10, .storage_bytes = 1e12};
+    case DeviceClass::kEdgeServer:
+      return {.flops = 1e13, .memory_bytes = 2.56e11, .storage_bytes = 1e13};
+    case DeviceClass::kHuman:
+      return {.flops = 5e9, .memory_bytes = 4e9, .storage_bytes = 6.4e10};
+  }
+  return {};
+}
+
+}  // namespace
+
+Asset make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng) {
+  Asset a;
+  a.device_class = cls;
+  a.affiliation = aff;
+  a.compute = compute_for_class(cls);
+  a.energy = EnergyModel(battery_for_class(cls));
+
+  switch (cls) {
+    case DeviceClass::kTag:
+      a.sensors.push_back({Modality::kOccupancy, 30.0, 0.85, 0.02});
+      a.emissions = {.beacon_period_s = 60.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.02};
+      break;
+    case DeviceClass::kSensorMote: {
+      // Mix of seismic / acoustic / chemical motes.
+      const std::size_t pick = rng.categorical({0.4, 0.4, 0.2});
+      const Modality m = pick == 0 ? Modality::kSeismic
+                         : pick == 1 ? Modality::kAcoustic
+                                     : Modality::kChemical;
+      a.sensors.push_back({m, 200.0, 0.8, 0.02});
+      a.emissions = {.beacon_period_s = 30.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.05};
+      break;
+    }
+    case DeviceClass::kWearable:
+      a.sensors.push_back({Modality::kPhysiological, 1.0, 0.95, 0.005});
+      a.sensors.push_back({Modality::kAcoustic, 50.0, 0.6, 0.03});
+      a.emissions = {.beacon_period_s = 10.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.2};
+      break;
+    case DeviceClass::kSmartphone:
+      a.sensors.push_back({Modality::kCamera, 120.0, 0.75, 0.03});
+      a.sensors.push_back({Modality::kAcoustic, 60.0, 0.65, 0.03});
+      a.emissions = {.beacon_period_s = 15.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.5};
+      break;
+    case DeviceClass::kDrone:
+      a.sensors.push_back({Modality::kCamera, 400.0, 0.9, 0.02});
+      a.sensors.push_back({Modality::kRadar, 600.0, 0.85, 0.02});
+      a.sensors.push_back({Modality::kLidar, 300.0, 0.92, 0.01});
+      a.actuators.push_back({ActuationKind::kRelay, 600.0});
+      a.actuators.push_back({ActuationKind::kVehicle, 0.0});
+      a.emissions = {.beacon_period_s = 5.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 1.0};
+      break;
+    case DeviceClass::kGroundRobot:
+      a.sensors.push_back({Modality::kCamera, 150.0, 0.85, 0.02});
+      a.sensors.push_back({Modality::kLidar, 150.0, 0.9, 0.01});
+      a.actuators.push_back({ActuationKind::kVehicle, 0.0});
+      a.actuators.push_back({ActuationKind::kSignage, 30.0});
+      a.emissions = {.beacon_period_s = 5.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.8};
+      break;
+    case DeviceClass::kVehicle:
+      a.sensors.push_back({Modality::kRadar, 500.0, 0.88, 0.02});
+      a.sensors.push_back({Modality::kRfSpectrum, 800.0, 0.8, 0.05});
+      a.actuators.push_back({ActuationKind::kRelay, 800.0});
+      a.actuators.push_back({ActuationKind::kVehicle, 0.0});
+      a.emissions = {.beacon_period_s = 5.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 1.5};
+      break;
+    case DeviceClass::kEdgeServer:
+      a.sensors.push_back({Modality::kRfSpectrum, 1000.0, 0.9, 0.02});
+      a.emissions = {.beacon_period_s = 5.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 2.0};
+      break;
+    case DeviceClass::kHuman:
+      // Humans "sense" what they can see/hear and report claims.
+      a.sensors.push_back({Modality::kCamera, 80.0, 0.7, 0.05});
+      a.sensors.push_back({Modality::kAcoustic, 120.0, 0.6, 0.05});
+      a.emissions = {.beacon_period_s = 20.0, .responds_to_probe = true,
+                     .side_channel_rate_hz = 0.3};
+      break;
+  }
+
+  // Adversary-controlled assets hide from active discovery (§III-A) but
+  // still leak side-channel emanations.
+  if (aff == Affiliation::kRed) {
+    a.emissions.responds_to_probe = false;
+    a.emissions.beacon_period_s = 0.0;
+  }
+  return a;
+}
+
+namespace {
+
+std::shared_ptr<MobilityModel> mobility_for_class(DeviceClass cls, sim::Rect area,
+                                                  sim::Rng& rng, bool mobile) {
+  if (!mobile) return nullptr;
+  switch (cls) {
+    case DeviceClass::kDrone:
+      return std::make_shared<RandomWaypoint>(area, 15.0, 2.0, rng.child("mob"));
+    case DeviceClass::kGroundRobot:
+      return std::make_shared<GridPatrol>(area, 100.0, 2.0, rng.child("mob"));
+    case DeviceClass::kVehicle:
+      return std::make_shared<GridPatrol>(area, 100.0, 8.0, rng.child("mob"));
+    case DeviceClass::kSmartphone:
+    case DeviceClass::kHuman:
+    case DeviceClass::kWearable:
+      return std::make_shared<RandomWaypoint>(area, 1.4, 30.0, rng.child("mob"));
+    default:
+      return nullptr;
+  }
+}
+
+Affiliation draw_ambient_affiliation(const PopulationConfig& cfg, sim::Rng& rng) {
+  const double u = rng.uniform();
+  if (u < cfg.red_fraction) return Affiliation::kRed;
+  if (u < cfg.red_fraction + cfg.gray_fraction) return Affiliation::kGray;
+  return Affiliation::kBlue;
+}
+
+}  // namespace
+
+std::vector<AssetId> build_population(World& world, const PopulationConfig& cfg,
+                                      sim::Rng& rng) {
+  std::vector<AssetId> created;
+  created.reserve(cfg.total());
+
+  struct ClassCount {
+    DeviceClass cls;
+    std::size_t n;
+    bool ambient;  // affiliation drawn from the red/gray mix
+  };
+  const ClassCount plan[] = {
+      {DeviceClass::kTag, cfg.tags, true},
+      {DeviceClass::kSensorMote, cfg.sensor_motes, true},
+      {DeviceClass::kWearable, cfg.wearables, false},
+      {DeviceClass::kSmartphone, cfg.smartphones, true},
+      {DeviceClass::kDrone, cfg.drones, false},
+      {DeviceClass::kGroundRobot, cfg.ground_robots, false},
+      {DeviceClass::kVehicle, cfg.vehicles, false},
+      {DeviceClass::kEdgeServer, cfg.edge_servers, false},
+      {DeviceClass::kHuman, cfg.humans, true},
+  };
+
+  const sim::Rect area = world.area();
+  for (const auto& [cls, n, ambient] : plan) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Rng item_rng = rng.child(sim::fnv1a(to_string(cls)) ^ i);
+      const Affiliation aff =
+          ambient ? draw_ambient_affiliation(cfg, item_rng) : Affiliation::kBlue;
+      Asset a = make_asset_template(cls, aff, item_rng);
+      if (cls == DeviceClass::kHuman) {
+        if (aff == Affiliation::kRed) {
+          a.report_reliability = 1.0 - cfg.red_lie_probability;
+        } else {
+          a.report_reliability =
+              item_rng.uniform(cfg.human_reliability_min, cfg.human_reliability_max);
+        }
+      }
+      const bool mobile = item_rng.bernoulli(cfg.mobile_fraction);
+      a.mobility = mobility_for_class(cls, area, item_rng, mobile);
+      const sim::Vec2 pos = {item_rng.uniform(area.min.x, area.max.x),
+                             item_rng.uniform(area.min.y, area.max.y)};
+      created.push_back(world.add_asset(std::move(a), pos, radio_for_class(cls)));
+    }
+  }
+  return created;
+}
+
+}  // namespace iobt::things

@@ -1,0 +1,61 @@
+#pragma once
+// Population generation: builds a heterogeneous blue/red/gray asset mix
+// with class-typical capabilities ("extreme heterogeneity", §II) and
+// registers it with a World. This is the synthetic stand-in for a real
+// deployed force plus the surrounding civilian device population.
+
+#include <cstddef>
+
+#include "things/world.h"
+
+namespace iobt::things {
+
+/// How many of each device class to create, and the affiliation mix for
+/// classes that can belong to anyone (smartphones, sensor motes, humans).
+struct PopulationConfig {
+  std::size_t tags = 0;
+  std::size_t sensor_motes = 0;
+  std::size_t wearables = 0;
+  std::size_t smartphones = 0;
+  std::size_t drones = 0;
+  std::size_t ground_robots = 0;
+  std::size_t vehicles = 0;
+  std::size_t edge_servers = 0;
+  std::size_t humans = 0;
+
+  /// Fraction of the "ambient" classes (smartphones, motes, humans) that
+  /// are red (adversary-controlled) and gray (neutral). The rest are blue.
+  double red_fraction = 0.05;
+  double gray_fraction = 0.25;
+
+  /// Human report reliability is drawn uniform in [min, max] for blue/gray
+  /// humans; red humans lie with probability red_lie_probability.
+  double human_reliability_min = 0.6;
+  double human_reliability_max = 0.95;
+  double red_lie_probability = 0.8;
+
+  /// Fraction of mobile classes that actually move.
+  double mobile_fraction = 0.7;
+
+  std::size_t total() const {
+    return tags + sensor_motes + wearables + smartphones + drones + ground_robots +
+           vehicles + edge_servers + humans;
+  }
+};
+
+/// Convenience mixes used by tests, examples, and benches.
+PopulationConfig small_team_config();          // ~30 assets
+PopulationConfig company_config();             // ~300 assets
+PopulationConfig urban_scenario_config(std::size_t scale);  // scale * ~100
+
+/// Creates the population inside `world` (positions uniform over the
+/// world's area). Returns the created AssetIds in creation order.
+std::vector<AssetId> build_population(World& world, const PopulationConfig& cfg,
+                                      sim::Rng& rng);
+
+/// Class-typical asset templates (capabilities, energy, radio). Exposed so
+/// tests can build single assets.
+Asset make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng);
+net::RadioProfile radio_for_class(DeviceClass cls);
+
+}  // namespace iobt::things

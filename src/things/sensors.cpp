@@ -1,0 +1,56 @@
+#include "things/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iobt::things {
+
+double detection_probability(const SenseCapability& cap, double distance_m) {
+  if (distance_m > cap.range_m || cap.range_m <= 0.0) return 0.0;
+  const double frac = distance_m / cap.range_m;
+  return std::clamp(cap.quality * (1.0 - frac * frac), 0.0, cap.quality);
+}
+
+double position_noise_stddev(const SenseCapability& cap, double distance_m) {
+  const double frac = cap.range_m > 0.0 ? std::min(1.0, distance_m / cap.range_m) : 1.0;
+  return 1.0 + frac * 0.1 * cap.range_m;
+}
+
+std::vector<Observation> sense_targets(
+    const Asset& asset, const SenseCapability& cap, sim::Vec2 asset_position,
+    const std::vector<std::pair<TargetId, sim::Vec2>>& targets, sim::SimTime now,
+    sim::Rect area, sim::Rng& rng) {
+  std::vector<Observation> out;
+  for (const auto& [tid, tpos] : targets) {
+    const double d = sim::distance(asset_position, tpos);
+    const double p = detection_probability(cap, d);
+    if (p <= 0.0 || !rng.bernoulli(p)) continue;
+    const double sigma = position_noise_stddev(cap, d);
+    Observation obs;
+    obs.sensor = asset.id;
+    obs.modality = cap.modality;
+    obs.time = now;
+    obs.position = area.clamp({tpos.x + rng.normal(0.0, sigma),
+                               tpos.y + rng.normal(0.0, sigma)});
+    obs.confidence = p;
+    obs.truth_target = tid;
+    out.push_back(obs);
+  }
+  // False positives: a spurious detection somewhere within sensing range.
+  if (rng.bernoulli(cap.false_positive_rate)) {
+    const double r = cap.range_m * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    Observation obs;
+    obs.sensor = asset.id;
+    obs.modality = cap.modality;
+    obs.time = now;
+    obs.position = area.clamp(
+        {asset_position.x + r * std::cos(theta), asset_position.y + r * std::sin(theta)});
+    obs.confidence = cap.quality * 0.5;
+    obs.truth_target = std::nullopt;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+}  // namespace iobt::things

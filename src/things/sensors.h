@@ -1,0 +1,58 @@
+#pragma once
+// Sensor observation model.
+//
+// Sensing is modelled generatively: the World holds ground-truth targets;
+// when an asset senses, each in-range target is detected with a
+// distance-decayed probability, position estimates carry Gaussian noise,
+// and false positives appear at the sensor's false-positive rate. Fields
+// marked "ground truth" exist for scoring only and must not be read by
+// inference algorithms.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/geometry.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "things/asset.h"
+#include "things/capability.h"
+
+namespace iobt::things {
+
+using TargetId = std::uint32_t;
+
+/// One sensor reading.
+struct Observation {
+  AssetId sensor = 0;
+  Modality modality = Modality::kCamera;
+  sim::SimTime time;
+  /// Estimated target position (noisy).
+  sim::Vec2 position;
+  /// Detection confidence reported by the sensor, in (0, 1].
+  double confidence = 1.0;
+
+  // --- Ground truth (scoring only) ---------------------------------------
+  /// The real target this observation corresponds to; nullopt for false
+  /// positives.
+  std::optional<TargetId> truth_target;
+};
+
+/// Detection probability of a sensor for a target at distance d:
+/// quality * (1 - (d / range)^2), clamped to [0, quality]; zero beyond
+/// range. Simple, monotone, and gives the coverage-vs-density tradeoffs
+/// the synthesis experiments need.
+double detection_probability(const SenseCapability& cap, double distance_m);
+
+/// Position noise standard deviation at distance d: grows linearly from
+/// 1m at point blank to 0.1 * range at the edge.
+double position_noise_stddev(const SenseCapability& cap, double distance_m);
+
+/// Generates the observations one sensing sweep produces, given the true
+/// target positions. `rng` must be the sensing asset's own substream.
+std::vector<Observation> sense_targets(
+    const Asset& asset, const SenseCapability& cap, sim::Vec2 asset_position,
+    const std::vector<std::pair<TargetId, sim::Vec2>>& targets, sim::SimTime now,
+    sim::Rect area, sim::Rng& rng);
+
+}  // namespace iobt::things

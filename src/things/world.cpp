@@ -1,0 +1,132 @@
+#include "things/world.h"
+
+#include <cassert>
+
+namespace iobt::things {
+
+World::World(sim::Simulator& simulator, net::Network& network, sim::Rect area,
+             sim::Rng rng)
+    : sim_(simulator), net_(network), area_(area), rng_(rng) {}
+
+AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radio) {
+  const auto id = static_cast<AssetId>(assets_.size());
+  asset.id = id;
+  asset.node = net_.add_node(position, radio);
+  assets_.push_back(std::move(asset));
+  for (const auto& hook : added_hooks_) hook(id);
+  return id;
+}
+
+void World::destroy_asset(AssetId id) {
+  Asset& a = assets_.at(id);
+  if (!a.alive) return;
+  a.alive = false;
+  net_.set_node_up(a.node, false);
+  for (const auto& hook : down_hooks_) hook(id);
+}
+
+bool World::asset_live(AssetId id) const {
+  const Asset& a = assets_.at(id);
+  return a.alive && !a.energy.depleted();
+}
+
+std::size_t World::live_asset_count() const {
+  std::size_t n = 0;
+  for (const Asset& a : assets_) {
+    if (a.alive && !a.energy.depleted()) ++n;
+  }
+  return n;
+}
+
+TargetId World::add_target(sim::Vec2 position, std::shared_ptr<MobilityModel> mobility,
+                           std::string kind) {
+  const auto id = static_cast<TargetId>(targets_.size());
+  targets_.push_back(Target{id, position, std::move(mobility), std::move(kind), true});
+  return id;
+}
+
+std::vector<std::pair<TargetId, sim::Vec2>> World::active_target_positions() const {
+  std::vector<std::pair<TargetId, sim::Vec2>> out;
+  out.reserve(targets_.size());
+  for (const Target& t : targets_) {
+    if (t.active) out.push_back({t.id, t.position});
+  }
+  return out;
+}
+
+void World::start(sim::Duration period) {
+  assert(!started_ && "World::start called twice");
+  started_ = true;
+
+  // Charge transmit energy to the owning asset, via a node->asset index so
+  // the per-frame hook is O(1).
+  auto node_to_asset = std::make_shared<std::vector<AssetId>>();
+  node_to_asset->resize(net_.node_count(), 0);
+  for (const Asset& a : assets_) (*node_to_asset)[a.node] = a.id;
+  net_.set_transmit_hook([this, node_to_asset](net::NodeId node, std::size_t bytes) {
+    if (node < node_to_asset->size()) {
+      assets_[(*node_to_asset)[node]].energy.drain_tx(bytes);
+    }
+  });
+
+  const double dt_s = period.to_seconds();
+  sim_.schedule_every(
+      period,
+      [this, dt_s]() {
+        tick(dt_s);
+        return true;
+      },
+      "world.tick");
+}
+
+void World::tick(double dt_s) {
+  for (Asset& a : assets_) {
+    if (!a.alive) continue;
+    a.energy.drain_idle(dt_s);
+    if (a.energy.depleted()) {
+      destroy_asset(a.id);
+      continue;
+    }
+    if (a.mobility) {
+      const sim::Vec2 from = net_.position(a.node);
+      const sim::Vec2 to = area_.clamp(a.mobility->step(from, dt_s));
+      if (!(to == from)) net_.set_position(a.node, to);
+    }
+  }
+  for (Target& t : targets_) {
+    if (t.active && t.mobility) t.position = area_.clamp(t.mobility->step(t.position, dt_s));
+  }
+}
+
+std::vector<Observation> World::sense(AssetId asset_id, Modality modality) {
+  Asset& a = assets_.at(asset_id);
+  if (!asset_live(asset_id)) return {};
+  const SenseCapability* cap = a.sensor(modality);
+  if (!cap) return {};
+  a.energy.drain_sense();
+  sim::Rng sensor_rng = rng_.child(0xABCD0000ULL + asset_id).child(
+      static_cast<std::uint64_t>(sim_.now().nanos()));
+  const sim::Vec2 at = net_.position(a.node);
+  // Environmental disruptions degrade the effective sensor quality while
+  // the platform sits inside an affected region.
+  SenseCapability effective = *cap;
+  for (const auto& d : disruptions_) {
+    if (d.modality == modality && d.active_at(sim_.now()) && d.region.contains(at)) {
+      effective.quality *= (1.0 - d.severity);
+    }
+  }
+  return sense_targets(a, effective, at, active_target_positions(), sim_.now(),
+                       area_, sensor_rng);
+}
+
+std::vector<Observation> World::sense_all(Modality modality) {
+  std::vector<Observation> out;
+  for (const Asset& a : assets_) {
+    if (a.affiliation != Affiliation::kBlue) continue;
+    auto obs = sense(a.id, modality);
+    out.insert(out.end(), obs.begin(), obs.end());
+  }
+  return out;
+}
+
+}  // namespace iobt::things

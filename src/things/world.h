@@ -1,0 +1,137 @@
+#pragma once
+// The World: ground truth for one scenario.
+//
+// Owns the asset population and the targets (entities missions want to
+// track/protect), advances mobility on a fixed tick, mirrors positions
+// into the Network, drains idle energy, and takes depleted or destroyed
+// assets offline. Algorithms observe the world only through the network
+// and through sense() — never by reading ground truth.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/geometry.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "things/asset.h"
+#include "things/sensors.h"
+
+namespace iobt::things {
+
+/// Environmental sensing disruption (smoke, dust, weather, optical
+/// dazzling): while active, sensors of `modality` whose platform is inside
+/// `region` lose `severity` of their quality. This is the physical-layer
+/// counterpart of RF jamming — §IV-B's "smoke or other phenomena render
+/// visual tracking unreliable".
+struct SensingDisruption {
+  Modality modality = Modality::kCamera;
+  sim::Rect region;
+  sim::SimTime start;
+  sim::SimTime end = sim::SimTime::max();
+  /// Fraction of sensor quality removed, in [0, 1].
+  double severity = 1.0;
+
+  bool active_at(sim::SimTime t) const { return t >= start && t < end; }
+};
+
+/// A ground-truth entity of interest (insurgent group, civilian cluster,
+/// vehicle convoy, hazard) that sensors can detect.
+struct Target {
+  TargetId id = 0;
+  sim::Vec2 position;
+  std::shared_ptr<MobilityModel> mobility;
+  /// Labels targets for mission semantics ("civilian", "hostile", ...).
+  std::string kind;
+  bool active = true;
+};
+
+class World {
+ public:
+  World(sim::Simulator& simulator, net::Network& network, sim::Rect area, sim::Rng rng);
+
+  sim::Rect area() const { return area_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+
+  // --- Population -------------------------------------------------------
+
+  /// Registers an asset: creates its network endpoint at `position` with
+  /// `radio`, assigns ids, and returns the AssetId. The Asset's `node` and
+  /// `id` fields are filled in.
+  AssetId add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radio);
+
+  Asset& asset(AssetId id) { return assets_.at(id); }
+  const Asset& asset(AssetId id) const { return assets_.at(id); }
+  std::size_t asset_count() const { return assets_.size(); }
+  const std::vector<Asset>& assets() const { return assets_; }
+
+  sim::Vec2 asset_position(AssetId id) const { return net_.position(assets_.at(id).node); }
+
+  /// Kills an asset (adversary capture/strike or energy depletion): takes
+  /// the network node down and marks it dead. Fires on_asset_down hooks.
+  void destroy_asset(AssetId id);
+  /// Live = alive and energy not depleted.
+  bool asset_live(AssetId id) const;
+  std::size_t live_asset_count() const;
+
+  /// Hook invoked whenever an asset goes down (failure, attack, energy).
+  void on_asset_down(std::function<void(AssetId)> fn) {
+    down_hooks_.push_back(std::move(fn));
+  }
+
+  /// Hook invoked whenever an asset is added — services use this to
+  /// install firmware on late arrivals (e.g. Sybils injected mid-run).
+  void on_asset_added(std::function<void(AssetId)> fn) {
+    added_hooks_.push_back(std::move(fn));
+  }
+
+  // --- Targets ----------------------------------------------------------
+
+  TargetId add_target(sim::Vec2 position, std::shared_ptr<MobilityModel> mobility,
+                      std::string kind);
+  Target& target(TargetId id) { return targets_.at(id); }
+  const Target& target(TargetId id) const { return targets_.at(id); }
+  const std::vector<Target>& targets() const { return targets_; }
+  std::vector<std::pair<TargetId, sim::Vec2>> active_target_positions() const;
+
+  // --- Simulation loop --------------------------------------------------
+
+  /// Starts the mobility/energy tick (default 1 s of virtual time).
+  void start(sim::Duration tick = sim::Duration::seconds(1.0));
+
+  /// One sensing sweep by `asset_id` with its `modality` sensor. Returns
+  /// empty if the asset is down or lacks the modality. Drains energy.
+  /// Active sensing disruptions degrade the effective sensor quality.
+  std::vector<Observation> sense(AssetId asset_id, Modality modality);
+
+  /// Registers an environmental sensing disruption (smoke, weather, ...).
+  void add_sensing_disruption(SensingDisruption d) {
+    disruptions_.push_back(d);
+  }
+  const std::vector<SensingDisruption>& sensing_disruptions() const {
+    return disruptions_;
+  }
+
+  /// All observations a full sweep over every live blue asset produces.
+  std::vector<Observation> sense_all(Modality modality);
+
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  void tick(double dt_s);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  sim::Rect area_;
+  sim::Rng rng_;
+  std::vector<Asset> assets_;
+  std::vector<Target> targets_;
+  std::vector<SensingDisruption> disruptions_;
+  std::vector<std::function<void(AssetId)>> down_hooks_;
+  std::vector<std::function<void(AssetId)>> added_hooks_;
+  bool started_ = false;
+};
+
+}  // namespace iobt::things

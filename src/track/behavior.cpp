@@ -1,0 +1,138 @@
+#include "track/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iobt::track {
+
+std::size_t MarkovMotionModel::cell_of(sim::Vec2 p) const {
+  const double fx = (p.x - area_.min.x) / std::max(1e-9, area_.width());
+  const double fy = (p.y - area_.min.y) / std::max(1e-9, area_.height());
+  const auto cx = std::min(n_ - 1, static_cast<std::size_t>(
+                                       std::max(0.0, fx) * static_cast<double>(n_)));
+  const auto cy = std::min(n_ - 1, static_cast<std::size_t>(
+                                       std::max(0.0, fy) * static_cast<double>(n_)));
+  return cy * n_ + cx;
+}
+
+void MarkovMotionModel::observe(sim::Vec2 from, sim::Vec2 to) {
+  const std::size_t f = cell_of(from), t = cell_of(to);
+  auto& row = counts_[f];
+  for (auto& [cell, count] : row) {
+    if (cell == t) {
+      count += 1.0;
+      return;
+    }
+  }
+  row.push_back({t, 1.0});
+}
+
+double MarkovMotionModel::transition_probability(std::size_t from,
+                                                 std::size_t to) const {
+  const auto& row = counts_.at(from);
+  if (row.empty()) return to == from ? 1.0 : 0.0;  // stay-put prior
+  double total = 0.0, hit = 0.0;
+  for (const auto& [cell, count] : row) {
+    total += count;
+    if (cell == to) hit = count;
+  }
+  return total > 0.0 ? hit / total : 0.0;
+}
+
+std::size_t MarkovMotionModel::predict_next_cell(sim::Vec2 from) const {
+  const std::size_t f = cell_of(from);
+  const auto& row = counts_[f];
+  if (row.empty()) return f;
+  std::size_t best = row[0].first;
+  double best_count = row[0].second;
+  for (const auto& [cell, count] : row) {
+    if (count > best_count || (count == best_count && cell < best)) {
+      best = cell;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double MarkovMotionModel::top1_accuracy(
+    const std::vector<std::pair<sim::Vec2, sim::Vec2>>& test) const {
+  if (test.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& [from, to] : test) {
+    if (predict_next_cell(from) == cell_of(to)) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(test.size());
+}
+
+std::optional<Rendezvous> predict_rendezvous(const MultiTargetTracker& tracker,
+                                             const RendezvousConfig& cfg) {
+  const auto tracks = tracker.confirmed_tracks();
+  if (tracks.size() < cfg.min_participants) return std::nullopt;
+
+  std::optional<Rendezvous> best;
+  for (double t = cfg.require_future ? cfg.step_s : 0.0; t <= cfg.horizon_s;
+       t += cfg.step_s) {
+    // Extrapolated positions at time t.
+    std::vector<sim::Vec2> at;
+    at.reserve(tracks.size());
+    for (const Track* tr : tracks) {
+      const auto e = tr->filter.estimate();
+      at.push_back(e.position + e.velocity * t);
+    }
+    // Greedy grouping: for each seed track, collect others whose
+    // extrapolation lands within 2*radius of it, then refine around the
+    // group centroid.
+    for (std::size_t seed = 0; seed < at.size(); ++seed) {
+      std::vector<std::size_t> group;
+      for (std::size_t j = 0; j < at.size(); ++j) {
+        if (sim::distance(at[seed], at[j]) <= 2.0 * cfg.radius_m) group.push_back(j);
+      }
+      if (group.size() < cfg.min_participants) continue;
+      sim::Vec2 centroid{0, 0};
+      for (std::size_t j : group) centroid = centroid + at[j];
+      centroid = centroid * (1.0 / static_cast<double>(group.size()));
+      double mean_d = 0.0;
+      std::vector<std::size_t> members;
+      for (std::size_t j : group) {
+        if (sim::distance(at[j], centroid) <= cfg.radius_m) members.push_back(j);
+      }
+      if (members.size() < cfg.min_participants) continue;
+      for (std::size_t j : members) mean_d += sim::distance(at[j], centroid);
+      mean_d /= static_cast<double>(members.size());
+
+      // Skip meetings already in progress when asked for predictions.
+      if (cfg.require_future) {
+        sim::Vec2 now_centroid{0, 0};
+        for (std::size_t j : members) {
+          now_centroid = now_centroid + tracks[j]->filter.estimate().position;
+        }
+        now_centroid = now_centroid * (1.0 / static_cast<double>(members.size()));
+        bool already = true;
+        for (std::size_t j : members) {
+          already &= sim::distance(tracks[j]->filter.estimate().position,
+                                   now_centroid) <= cfg.radius_m;
+        }
+        if (already) continue;
+      }
+
+      const bool better =
+          !best || members.size() > best->participants.size() ||
+          (members.size() == best->participants.size() && mean_d < best->tightness_m);
+      if (better) {
+        Rendezvous r;
+        r.point = centroid;
+        r.eta_s = t;
+        r.tightness_m = mean_d;
+        for (std::size_t j : members) r.participants.push_back(tracks[j]->id);
+        std::sort(r.participants.begin(), r.participants.end());
+        r.participants.erase(
+            std::unique(r.participants.begin(), r.participants.end()),
+            r.participants.end());
+        best = std::move(r);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace iobt::track

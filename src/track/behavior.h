@@ -1,0 +1,84 @@
+#pragma once
+// Behavior prediction over tracks (§II: battlefield services "predict
+// behaviors/activities"; §III-B: "track a collection of insurgents and
+// report on their activities and rendezvous points").
+//
+// Two predictors:
+//  * MarkovMotionModel — learns a first-order transition model over grid
+//    cells from observed track histories, then predicts where a target
+//    goes next. Captures habitual movement (patrol routes, corridors)
+//    that straight-line extrapolation misses.
+//  * RendezvousDetector — extrapolates confirmed tracks forward under
+//    constant velocity and looks for a time horizon at which several
+//    tracks converge within a radius: a predicted rendezvous, reported
+//    with location, time-to-event, and the participating tracks.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/geometry.h"
+#include "track/tracker.h"
+
+namespace iobt::track {
+
+/// First-order Markov model over an n x n grid of cells.
+class MarkovMotionModel {
+ public:
+  MarkovMotionModel(sim::Rect area, std::size_t grid_n)
+      : area_(area), n_(grid_n), counts_(grid_n * grid_n) {}
+
+  std::size_t cell_of(sim::Vec2 p) const;
+  std::size_t cell_count() const { return n_ * n_; }
+
+  /// Feeds one observed transition (consecutive positions of one target).
+  void observe(sim::Vec2 from, sim::Vec2 to);
+
+  /// P(next = to-cell | current = from-cell). Unseen from-cells fall back
+  /// to "stay put" (the max-likelihood prior for slow targets).
+  double transition_probability(std::size_t from, std::size_t to) const;
+
+  /// Most likely next cell from a position.
+  std::size_t predict_next_cell(sim::Vec2 from) const;
+
+  /// Fraction of held-out transitions whose true next cell is the model's
+  /// argmax (scoring helper).
+  double top1_accuracy(const std::vector<std::pair<sim::Vec2, sim::Vec2>>& test) const;
+
+ private:
+  sim::Rect area_;
+  std::size_t n_;
+  /// counts_[from] = sparse (to, count) pairs.
+  std::vector<std::vector<std::pair<std::size_t, double>>> counts_;
+};
+
+struct Rendezvous {
+  sim::Vec2 point;
+  /// Seconds from now at which the convergence is tightest.
+  double eta_s = 0.0;
+  /// Track ids predicted to converge.
+  std::vector<TrackId> participants;
+  /// Mean distance of participants from the point at the ETA (m).
+  double tightness_m = 0.0;
+};
+
+struct RendezvousConfig {
+  /// Extrapolation horizon and step.
+  double horizon_s = 300.0;
+  double step_s = 10.0;
+  /// Convergence radius: participants within this of their centroid.
+  double radius_m = 80.0;
+  /// Minimum tracks converging to call it a rendezvous.
+  std::size_t min_participants = 2;
+  /// Ignore groups that are ALREADY within the radius (that is a meeting
+  /// in progress, not a prediction).
+  bool require_future = true;
+};
+
+/// Scans the horizon for the tightest future convergence of confirmed
+/// tracks under constant-velocity extrapolation. Returns nullopt if no
+/// group of min_participants ever falls within radius_m.
+std::optional<Rendezvous> predict_rendezvous(const MultiTargetTracker& tracker,
+                                             const RendezvousConfig& cfg = {});
+
+}  // namespace iobt::track

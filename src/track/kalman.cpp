@@ -1,0 +1,96 @@
+#include "track/kalman.h"
+
+#include <cmath>
+
+namespace iobt::track {
+
+Kalman2D::Kalman2D(sim::Vec2 initial_position, double initial_sigma,
+                   double process_noise, double measurement_sigma)
+    : q_(process_noise), r_(measurement_sigma) {
+  x_ = {initial_position.x, initial_position.y, 0.0, 0.0};
+  for (auto& row : p_) row.fill(0.0);
+  p_[0][0] = p_[1][1] = initial_sigma * initial_sigma;
+  // Unknown initial velocity: generous prior.
+  p_[2][2] = p_[3][3] = 25.0;
+}
+
+void Kalman2D::predict(double dt_s) {
+  const double dt = dt_s;
+  // x' = F x with F = [I, dt*I; 0, I].
+  x_[0] += dt * x_[2];
+  x_[1] += dt * x_[3];
+
+  // P' = F P F^T + Q (discretized white-accel model).
+  // Compute F P first (only rows 0,1 change).
+  std::array<std::array<double, 4>, 4> fp = p_;
+  for (int c = 0; c < 4; ++c) {
+    fp[0][c] = p_[0][c] + dt * p_[2][c];
+    fp[1][c] = p_[1][c] + dt * p_[3][c];
+  }
+  // Then (F P) F^T (only columns 0,1 change).
+  std::array<std::array<double, 4>, 4> fpf = fp;
+  for (int r = 0; r < 4; ++r) {
+    fpf[r][0] = fp[r][0] + dt * fp[r][2];
+    fpf[r][1] = fp[r][1] + dt * fp[r][3];
+  }
+  p_ = fpf;
+
+  // Q for white acceleration: blocks [dt^4/4, dt^3/2; dt^3/2, dt^2] * q.
+  const double dt2 = dt * dt, dt3 = dt2 * dt, dt4 = dt3 * dt;
+  p_[0][0] += q_ * dt4 / 4.0;
+  p_[1][1] += q_ * dt4 / 4.0;
+  p_[0][2] += q_ * dt3 / 2.0;
+  p_[2][0] += q_ * dt3 / 2.0;
+  p_[1][3] += q_ * dt3 / 2.0;
+  p_[3][1] += q_ * dt3 / 2.0;
+  p_[2][2] += q_ * dt2;
+  p_[3][3] += q_ * dt2;
+}
+
+void Kalman2D::update(sim::Vec2 measured, double measurement_sigma) {
+  const double r = measurement_sigma > 0.0 ? measurement_sigma : r_;
+  const double rr = r * r;
+  // H = [I2, 0]; S = H P H^T + R is 2x2.
+  const double s00 = p_[0][0] + rr;
+  const double s11 = p_[1][1] + rr;
+  const double s01 = p_[0][1];
+  const double det = s00 * s11 - s01 * s01;
+  if (std::abs(det) < 1e-12) return;  // degenerate: skip the update
+  const double i00 = s11 / det, i11 = s00 / det, i01 = -s01 / det;
+
+  // K = P H^T S^{-1}: 4x2.
+  std::array<std::array<double, 2>, 4> k{};
+  for (int i = 0; i < 4; ++i) {
+    k[i][0] = p_[i][0] * i00 + p_[i][1] * i01;
+    k[i][1] = p_[i][0] * i01 + p_[i][1] * i11;
+  }
+
+  const double y0 = measured.x - x_[0];
+  const double y1 = measured.y - x_[1];
+  for (int i = 0; i < 4; ++i) x_[i] += k[i][0] * y0 + k[i][1] * y1;
+
+  // P = (I - K H) P: only the first two columns of KH are nonzero.
+  std::array<std::array<double, 4>, 4> np{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      np[i][j] = p_[i][j] - (k[i][0] * p_[0][j] + k[i][1] * p_[1][j]);
+    }
+  }
+  p_ = np;
+}
+
+StateEstimate Kalman2D::estimate() const {
+  StateEstimate e;
+  e.position = {x_[0], x_[1]};
+  e.velocity = {x_[2], x_[3]};
+  e.position_sigma = std::sqrt(std::max(0.0, (p_[0][0] + p_[1][1]) / 2.0));
+  return e;
+}
+
+double Kalman2D::gate_distance(sim::Vec2 measured) const {
+  const double sigma =
+      std::sqrt(std::max(1e-9, (p_[0][0] + p_[1][1]) / 2.0) + r_ * r_);
+  return sim::distance(measured, {x_[0], x_[1]}) / sigma;
+}
+
+}  // namespace iobt::track

@@ -1,0 +1,55 @@
+#pragma once
+// 2-D constant-velocity Kalman filtering for target tracking.
+//
+// The paper's flagship mission is "track a collection of insurgents and
+// report on their activities and rendezvous points" (§III-B) using noisy,
+// intermittent, multi-sensor detections. The Kalman filter is the
+// state-estimation workhorse: state [x, y, vx, vy], position-only
+// measurements, constant-velocity process model with tunable acceleration
+// noise. Everything is hand-rolled 4x4 linear algebra — no external
+// dependencies, fully deterministic.
+
+#include <array>
+
+#include "sim/geometry.h"
+
+namespace iobt::track {
+
+/// Track state estimate: position, velocity, and the covariance diagonal
+/// that downstream consumers (gating, fusion weights) care about.
+struct StateEstimate {
+  sim::Vec2 position;
+  sim::Vec2 velocity;
+  /// Position uncertainty: sqrt of the covariance trace over x, y.
+  double position_sigma = 0.0;
+};
+
+class Kalman2D {
+ public:
+  /// `process_noise` is the accel-noise intensity q (m^2/s^3-ish);
+  /// `measurement_sigma` the per-axis position noise of detections.
+  Kalman2D(sim::Vec2 initial_position, double initial_sigma, double process_noise,
+           double measurement_sigma);
+
+  /// Propagates the state dt seconds forward.
+  void predict(double dt_s);
+
+  /// Fuses one position measurement. Optionally override the measurement
+  /// noise (per-detection confidence).
+  void update(sim::Vec2 measured, double measurement_sigma = -1.0);
+
+  StateEstimate estimate() const;
+
+  /// Mahalanobis-like gating distance of a measurement from the predicted
+  /// position (in units of standard deviations, isotropic approximation).
+  double gate_distance(sim::Vec2 measured) const;
+
+ private:
+  // State: [x, y, vx, vy]. Covariance kept as a full symmetric 4x4.
+  std::array<double, 4> x_{};
+  std::array<std::array<double, 4>, 4> p_{};
+  double q_;
+  double r_;
+};
+
+}  // namespace iobt::track

@@ -1,0 +1,94 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace iobt::track {
+
+void MultiTargetTracker::step(double dt_s, const std::vector<Detection>& detections) {
+  for (Track& t : tracks_) t.filter.predict(dt_s);
+
+  // Greedy global-nearest-neighbour: repeatedly take the (track, det)
+  // pair with the smallest gate distance under the gate, one each.
+  std::vector<bool> det_used(detections.size(), false);
+  std::vector<bool> trk_used(tracks_.size(), false);
+  while (true) {
+    double best = cfg_.gate_sigmas;
+    std::size_t bi = tracks_.size(), bj = detections.size();
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+      if (trk_used[i]) continue;
+      for (std::size_t j = 0; j < detections.size(); ++j) {
+        if (det_used[j]) continue;
+        const double d = tracks_[i].filter.gate_distance(detections[j].position);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == tracks_.size()) break;
+    trk_used[bi] = true;
+    det_used[bj] = true;
+    const Detection& det = detections[bj];
+    // Low trust -> inflated effective measurement noise: the report pulls
+    // the track weakly instead of being believed outright.
+    const double eff_sigma =
+        det.sigma / std::max(0.05, std::min(1.0, det.source_trust));
+    tracks_[bi].filter.update(det.position, eff_sigma);
+    ++tracks_[bi].hits;
+    tracks_[bi].consecutive_misses = 0;
+    if (tracks_[bi].hits >= cfg_.confirm_hits) tracks_[bi].confirmed = true;
+  }
+
+  // Misses age unmatched tracks.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!trk_used[i]) ++tracks_[i].consecutive_misses;
+  }
+  std::erase_if(tracks_, [this](const Track& t) {
+    return t.consecutive_misses > cfg_.max_misses;
+  });
+
+  // Unassociated detections spawn tentative tracks — but only from
+  // sources trusted enough to seed mission-level situational awareness.
+  for (std::size_t j = 0; j < detections.size(); ++j) {
+    if (det_used[j]) continue;
+    if (detections[j].source_trust < cfg_.min_spawn_trust) continue;
+    Track t{next_id_++,
+            Kalman2D(detections[j].position, cfg_.initial_sigma, cfg_.process_noise,
+                     cfg_.default_sigma),
+            1, 0, cfg_.confirm_hits <= 1};
+    tracks_.push_back(std::move(t));
+  }
+}
+
+std::vector<const Track*> MultiTargetTracker::confirmed_tracks() const {
+  std::vector<const Track*> out;
+  for (const Track& t : tracks_) {
+    if (t.confirmed) out.push_back(&t);
+  }
+  return out;
+}
+
+double MultiTargetTracker::tracking_error(const std::vector<sim::Vec2>& truth,
+                                          double cutoff_m) const {
+  const auto confirmed = confirmed_tracks();
+  if (truth.empty()) {
+    return confirmed.empty() ? 0.0 : cutoff_m;  // pure clutter
+  }
+  double total = 0.0;
+  for (const auto& tp : truth) {
+    double nearest = cutoff_m;
+    for (const Track* t : confirmed) {
+      nearest = std::min(nearest, sim::distance(tp, t->filter.estimate().position));
+    }
+    total += nearest;
+  }
+  // Cardinality penalty for spurious tracks beyond the truth count.
+  if (confirmed.size() > truth.size()) {
+    total += cutoff_m * static_cast<double>(confirmed.size() - truth.size());
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace iobt::track

@@ -1,0 +1,278 @@
+// Tests for discovery: directory lifecycle, probe/beacon/side-channel
+// evidence channels, adversary identification, churn robustness, and
+// challenge-response characterization.
+
+#include <gtest/gtest.h>
+
+#include "discovery/characterize.h"
+#include "discovery/service.h"
+#include "things/population.h"
+
+namespace iobt::discovery {
+namespace {
+
+using sim::Duration;
+using sim::Rng;
+using sim::SimTime;
+
+// ------------------------------------------------------------ Directory ----
+
+TEST(AssetDirectory, UpsertTracksTimes) {
+  AssetDirectory dir;
+  auto& e1 = dir.upsert(5, SimTime::seconds(10));
+  EXPECT_EQ(e1.first_seen, SimTime::seconds(10));
+  auto& e2 = dir.upsert(5, SimTime::seconds(20));
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_EQ(e2.first_seen, SimTime::seconds(10));
+  EXPECT_EQ(e2.last_seen, SimTime::seconds(20));
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(AssetDirectory, PruneEvictsStale) {
+  AssetDirectory dir(Duration::seconds(60));
+  dir.upsert(1, SimTime::seconds(0));
+  dir.upsert(2, SimTime::seconds(50));
+  EXPECT_EQ(dir.prune(SimTime::seconds(100)), 1u);
+  EXPECT_EQ(dir.find(1), nullptr);
+  EXPECT_NE(dir.find(2), nullptr);
+}
+
+TEST(AssetDirectory, StandingClassification) {
+  AssetDirectory dir;
+  auto& coop = dir.upsert(1, SimTime::zero());
+  coop.answered_probe = true;
+  EXPECT_EQ(coop.standing(), Standing::kCooperative);
+
+  auto& hider = dir.upsert(2, SimTime::zero());
+  hider.side_channel_hit = true;
+  EXPECT_EQ(hider.standing(), Standing::kSuspect);
+
+  auto& liar = dir.upsert(3, SimTime::zero());
+  liar.answered_probe = true;
+  liar.challenges_failed = 3;
+  liar.challenges_passed = 1;
+  EXPECT_EQ(liar.standing(), Standing::kSuspect);
+
+  auto& unknown = dir.upsert(4, SimTime::zero());
+  EXPECT_EQ(unknown.standing(), Standing::kUnknown);
+}
+
+// --------------------------------------------------------------- Service ----
+
+struct DiscoveryFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network net{sim, net::ChannelModel(2.0, 0.0), Rng(5)};
+  things::World world{sim, net, {{0, 0}, {800, 800}}, Rng(6)};
+  net::Dispatcher disp{net};
+
+  things::AssetId add(things::DeviceClass cls, things::Affiliation aff,
+                      sim::Vec2 pos) {
+    Rng r(world.asset_count() + 21);
+    return world.add_asset(things::make_asset_template(cls, aff, r), pos,
+                           things::radio_for_class(cls));
+  }
+};
+
+TEST_F(DiscoveryFixture, ProbeDiscoversCooperativeAssets) {
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  const auto mote = add(things::DeviceClass::kSensorMote,
+                        things::Affiliation::kBlue, {450, 400});
+  const auto phone = add(things::DeviceClass::kSmartphone,
+                         things::Affiliation::kGray, {350, 400});
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(10);
+  cfg.scan_period = Duration::seconds(1e7);  // effectively off
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.start();
+  sim.run_until(SimTime::seconds(30));
+
+  ASSERT_NE(svc.directory().find(mote), nullptr);
+  ASSERT_NE(svc.directory().find(phone), nullptr);
+  EXPECT_TRUE(svc.directory().find(mote)->answered_probe);
+  EXPECT_EQ(svc.directory().find(mote)->standing(), Standing::kCooperative);
+  EXPECT_EQ(svc.directory().find(mote)->claimed_class,
+            things::DeviceClass::kSensorMote);
+  EXPECT_GT(svc.recall(), 0.99);
+}
+
+TEST_F(DiscoveryFixture, RedAssetsInvisibleToProbesFoundBySideChannel) {
+  // Vehicle collector has an RF-spectrum sensor (range 800).
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  const auto red = add(things::DeviceClass::kSmartphone,
+                       things::Affiliation::kRed, {420, 400});
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(10);
+  cfg.scan_period = Duration::seconds(10);
+  cfg.scan_window_s = 10.0;  // red side_channel_rate 0.5 -> p ~ 0.99 * quality
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.start();
+  sim.run_until(SimTime::seconds(60));
+
+  const DiscoveredAsset* e = svc.directory().find(red);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->answered_probe);
+  EXPECT_TRUE(e->side_channel_hit);
+  EXPECT_EQ(e->standing(), Standing::kSuspect);
+  EXPECT_GT(svc.suspect_recall(), 0.99);
+  EXPECT_GT(svc.suspect_precision(), 0.99);
+}
+
+TEST_F(DiscoveryFixture, BeaconsDiscoverWithoutProbing) {
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  const auto drone = add(things::DeviceClass::kDrone,
+                         things::Affiliation::kBlue, {500, 400});
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(1e7);  // probing off
+  cfg.scan_period = Duration::seconds(1e7);   // scanning off
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.start();
+  sim.run_until(SimTime::seconds(30));  // drone beacons every 5 s
+
+  const DiscoveredAsset* e = svc.directory().find(drone);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->observed_beacon);
+  EXPECT_FALSE(e->answered_probe);
+  EXPECT_EQ(e->standing(), Standing::kCooperative);
+}
+
+TEST_F(DiscoveryFixture, DeadAssetsExpireFromDirectory) {
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  const auto mote = add(things::DeviceClass::kSensorMote,
+                        things::Affiliation::kBlue, {450, 400});
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(10);
+  cfg.scan_period = Duration::seconds(1e7);
+  cfg.staleness = Duration::seconds(40);
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.start();
+  sim.run_until(SimTime::seconds(30));
+  ASSERT_NE(svc.directory().find(mote), nullptr);
+
+  world.destroy_asset(mote);
+  sim.run_until(SimTime::seconds(120));
+  EXPECT_EQ(svc.directory().find(mote), nullptr);  // pruned after staleness
+  EXPECT_GT(svc.recall(), 0.99);                   // recall ignores dead assets
+}
+
+TEST_F(DiscoveryFixture, SybilsAdvertiseForgedClass) {
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  // A red smartphone that answers probes (Sybil behaviour).
+  Rng r(99);
+  auto sybil = things::make_asset_template(things::DeviceClass::kSmartphone,
+                                           things::Affiliation::kRed, r);
+  sybil.emissions.responds_to_probe = true;
+  const auto sid = world.add_asset(
+      std::move(sybil), {420, 400},
+      things::radio_for_class(things::DeviceClass::kSmartphone));
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(10);
+  cfg.scan_period = Duration::seconds(1e7);
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.install_responder(sid);
+  svc.start();
+  sim.run_until(SimTime::seconds(30));
+
+  const DiscoveredAsset* e = svc.directory().find(sid);
+  ASSERT_NE(e, nullptr);
+  // The forged advert claims a benign mote class, not a smartphone.
+  EXPECT_EQ(e->claimed_class, things::DeviceClass::kSensorMote);
+  EXPECT_EQ(e->standing(), Standing::kCooperative);  // fools naive discovery
+}
+
+// ------------------------------------------------------ Characterization ----
+
+TEST_F(DiscoveryFixture, ChallengesConfirmHonestAndExposeLiars) {
+  const auto collector = add(things::DeviceClass::kVehicle,
+                             things::Affiliation::kBlue, {400, 400});
+  const auto honest = add(things::DeviceClass::kSensorMote,
+                          things::Affiliation::kBlue, {450, 400});
+  // Sybil claims a seismic sensor it does not have.
+  Rng r(99);
+  auto sybil = things::make_asset_template(things::DeviceClass::kSmartphone,
+                                           things::Affiliation::kRed, r);
+  sybil.emissions.responds_to_probe = true;
+  sybil.sensors.clear();  // no real sensors at all
+  const auto liar = world.add_asset(
+      std::move(sybil), {350, 400},
+      things::radio_for_class(things::DeviceClass::kSmartphone));
+
+  DiscoveryConfig dcfg;
+  dcfg.probe_period = Duration::seconds(10);
+  dcfg.scan_period = Duration::seconds(1e7);
+  DiscoveryService svc(world, disp, {collector}, dcfg);
+  svc.install_responder(liar);
+  svc.start();
+
+  security::TrustRegistry trust;
+  CharacterizationConfig ccfg;
+  ccfg.challenge_period = Duration::seconds(5);
+  CharacterizationService chars(world, disp, svc, trust, collector, ccfg);
+  chars.start();
+
+  sim.run_until(SimTime::seconds(600));
+
+  ASSERT_GT(chars.challenges_issued(), 20u);
+  const DiscoveredAsset* he = svc.directory().find(honest);
+  const DiscoveredAsset* le = svc.directory().find(liar);
+  ASSERT_NE(he, nullptr);
+  ASSERT_NE(le, nullptr);
+  EXPECT_GT(he->challenges_passed, he->challenges_failed);
+  EXPECT_GT(trust.score(honest), trust.score(liar));
+  EXPECT_GT(trust.score(honest), 0.6);
+  EXPECT_LT(trust.score(liar), 0.55);
+}
+
+// Churn sweep: discovery stays fresh as assets die and appear.
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, RecallSurvivesChurn) {
+  sim::Simulator sim;
+  net::Network net{sim, net::ChannelModel(2.0, 0.0), Rng(5)};
+  things::World world{sim, net, {{0, 0}, {600, 600}}, Rng(6)};
+  net::Dispatcher disp{net};
+
+  Rng r(7);
+  const auto collector = world.add_asset(
+      things::make_asset_template(things::DeviceClass::kEdgeServer,
+                                  things::Affiliation::kBlue, r),
+      {300, 300}, things::radio_for_class(things::DeviceClass::kEdgeServer));
+  std::vector<things::AssetId> motes;
+  for (int i = 0; i < 20; ++i) {
+    motes.push_back(world.add_asset(
+        things::make_asset_template(things::DeviceClass::kSensorMote,
+                                    things::Affiliation::kBlue, r),
+        {150.0 + 15 * i, 300.0},
+        things::radio_for_class(things::DeviceClass::kSensorMote)));
+  }
+
+  DiscoveryConfig cfg;
+  cfg.probe_period = Duration::seconds(10);
+  cfg.scan_period = Duration::seconds(1e7);
+  cfg.staleness = Duration::seconds(45);
+  DiscoveryService svc(world, disp, {collector}, cfg);
+  svc.start();
+
+  // Kill one mote every `churn_period` seconds.
+  const int churn_period = GetParam();
+  for (std::size_t k = 0; k < 5; ++k) {
+    sim.schedule_at(SimTime::seconds((k + 1) * churn_period),
+                    [&world, &motes, k] { world.destroy_asset(motes[k]); });
+  }
+  sim.run_until(SimTime::seconds(5 * churn_period + 100));
+  EXPECT_GT(svc.recall(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, ChurnSweep, ::testing::Values(20, 60, 120));
+
+}  // namespace
+}  // namespace iobt::discovery

@@ -1,0 +1,178 @@
+// Tests for dataflow service composition: graph validation, rate
+// analysis, and operator placement.
+
+#include <gtest/gtest.h>
+
+#include "flow/graph.h"
+#include "flow/placement.h"
+
+namespace iobt::flow {
+namespace {
+
+// ---------------------------------------------------------------- Graph ----
+
+FlowGraph linear_graph() {
+  // source(10/s) -> filter(sel 0.2) -> sink
+  FlowGraph g;
+  const auto s = g.add({.kind = OpKind::kSource, .name = "s", .source_rate_hz = 10});
+  const auto f = g.add({.kind = OpKind::kFilter,
+                        .name = "f",
+                        .flops_per_item = 1e6,
+                        .selectivity = 0.2,
+                        .out_bytes_per_item = 100});
+  const auto k = g.add({.kind = OpKind::kSink, .name = "k"});
+  g.connect(s, f);
+  g.connect(f, k);
+  return g;
+}
+
+TEST(FlowGraph, ValidLinearGraph) {
+  const auto g = linear_graph();
+  EXPECT_FALSE(g.validate().has_value());
+  EXPECT_EQ(g.topological_order(), (std::vector<OperatorId>{0, 1, 2}));
+}
+
+TEST(FlowGraph, RejectsCycle) {
+  FlowGraph g;
+  const auto a = g.add({.kind = OpKind::kFilter, .name = "a"});
+  const auto b = g.add({.kind = OpKind::kFilter, .name = "b"});
+  g.connect(a, b);
+  g.connect(b, a);
+  ASSERT_TRUE(g.validate().has_value());
+  EXPECT_NE(g.validate()->find("cycle"), std::string::npos);
+}
+
+TEST(FlowGraph, RejectsSourceWithInputsAndOrphans) {
+  FlowGraph g;
+  const auto s = g.add({.kind = OpKind::kSource, .name = "s"});
+  const auto f = g.add({.kind = OpKind::kFilter, .name = "orphan"});
+  (void)f;
+  EXPECT_TRUE(g.validate().has_value());  // orphan filter has no inputs
+  FlowGraph g2;
+  const auto s2 = g2.add({.kind = OpKind::kSource, .name = "s2"});
+  const auto s3 = g2.add({.kind = OpKind::kSource, .name = "s3"});
+  g2.connect(s2, s3);
+  EXPECT_TRUE(g2.validate().has_value());  // source with inputs
+  (void)s;
+}
+
+TEST(FlowGraph, RateAnalysisPropagatesSelectivity) {
+  const auto g = linear_graph();
+  const auto r = g.analyze_rates();
+  EXPECT_DOUBLE_EQ(r[0].output_rate_hz, 10.0);
+  EXPECT_DOUBLE_EQ(r[1].input_rate_hz, 10.0);
+  EXPECT_DOUBLE_EQ(r[1].output_rate_hz, 2.0);
+  EXPECT_DOUBLE_EQ(r[1].flops_rate, 10.0 * 1e6);
+  EXPECT_DOUBLE_EQ(r[1].out_bandwidth_bps, 2.0 * 100 * 8);
+  EXPECT_DOUBLE_EQ(r[2].input_rate_hz, 2.0);
+}
+
+TEST(FlowGraph, FuseSumsInputRates) {
+  const auto g = make_tracking_service(4, 2.0);
+  ASSERT_FALSE(g.validate().has_value());
+  const auto r = g.analyze_rates();
+  // detect sees 4 cameras x 2 Hz = 8 items/s.
+  const auto& detect = g.operators()[4];
+  EXPECT_EQ(detect.name, "detect");
+  EXPECT_DOUBLE_EQ(r[detect.id].input_rate_hz, 8.0);
+  EXPECT_DOUBLE_EQ(r[detect.id].output_rate_hz, 0.8);
+  EXPECT_GT(g.total_flops_rate(), 4e9);  // detector dominates
+}
+
+// ------------------------------------------------------------ Placement ----
+
+PlacementProblem two_host_problem() {
+  PlacementProblem p;
+  p.graph = linear_graph();
+  p.hosts = {{0, 1e7}, {1, 1e12}};  // tiny mote, big edge server
+  p.hops = {{0, 3}, {3, 0}};
+  p.pinned = {{0, 0}};  // source runs on the mote (that's where the sensor is)
+  return p;
+}
+
+TEST(Placement, RespectsPinningAndCapacity) {
+  const auto p = two_host_problem();
+  const auto pl = place(p);
+  ASSERT_TRUE(pl.feasible) << pl.infeasible_reason;
+  EXPECT_EQ(pl.host[0], 0u);  // pinned
+  // The filter needs 1e7 FLOPS sustained (10/s x 1e6); the mote has
+  // exactly 1e7 capacity but already hosts the source; the big host must
+  // take the filter.
+  EXPECT_EQ(pl.host[1], 1u);
+  for (double load : pl.host_load) EXPECT_LE(load, 1.0 + 1e-9);
+}
+
+TEST(Placement, ColocatesToSaveBandwidthWhenCapacityAllows) {
+  PlacementProblem p;
+  p.graph = linear_graph();
+  p.hosts = {{0, 1e12}, {1, 1e12}};  // both huge
+  p.hops = {{0, 5}, {5, 0}};
+  p.pinned = {{0, 0}};
+  const auto pl = place(p);
+  ASSERT_TRUE(pl.feasible);
+  // Everything fits on host 0; moving anything to host 1 costs hops.
+  EXPECT_EQ(pl.host[1], 0u);
+  EXPECT_EQ(pl.host[2], 0u);
+  EXPECT_DOUBLE_EQ(pl.network_cost_bps_hops, 0.0);
+}
+
+TEST(Placement, InfeasibleWhenNothingFits) {
+  PlacementProblem p;
+  p.graph = linear_graph();
+  p.hosts = {{0, 1e3}};  // hopeless
+  p.hops = {{0}};
+  const auto pl = place(p);
+  EXPECT_FALSE(pl.feasible);
+  EXPECT_FALSE(pl.infeasible_reason.empty());
+}
+
+TEST(Placement, EvaluateFlagsMovedPin) {
+  const auto p = two_host_problem();
+  const auto pl = evaluate_placement(p, {1, 1, 1});  // pin violated
+  EXPECT_FALSE(pl.feasible);
+  EXPECT_NE(pl.infeasible_reason.find("pinned"), std::string::npos);
+}
+
+TEST(Placement, LatencyGrowsWithHops) {
+  PlacementProblem p = two_host_problem();
+  const auto near = evaluate_placement(p, {0, 1, 1});
+  PlacementProblem far = p;
+  far.hops = {{0, 30}, {30, 0}};
+  const auto far_pl = evaluate_placement(far, {0, 1, 1});
+  EXPECT_GT(far_pl.critical_path_latency_s, near.critical_path_latency_s);
+}
+
+TEST(Placement, TrackingServicePlacesOnHeterogeneousFleet) {
+  PlacementProblem p;
+  p.graph = make_tracking_service(4, 2.0);
+  // 4 camera motes (tiny), 1 vehicle (medium), 1 edge server (big).
+  p.hosts = {{0, 2e6}, {1, 2e6}, {2, 2e6}, {3, 2e6}, {4, 5e9}, {5, 1e12}};
+  p.hops.assign(6, std::vector<int>(6, 2));
+  for (int i = 0; i < 6; ++i) p.hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  // Cameras pinned to their motes; sink pinned to the edge server.
+  p.pinned = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {7, 5}};  // sink -> edge server
+  const auto pl = place(p);
+  ASSERT_TRUE(pl.feasible) << pl.infeasible_reason;
+  // The heavy detector (4e9 FLOPS sustained) only fits on the edge server.
+  EXPECT_EQ(pl.host[4], 5u);
+  EXPECT_LT(pl.critical_path_latency_s, 5.0);
+}
+
+TEST(Placement, HostHopsFromTopology) {
+  const auto topo = net::Topology::ring(6);
+  const auto hops = host_hops_from_topology(topo, {0, 3, 5});
+  EXPECT_EQ(hops[0][0], 0);
+  EXPECT_EQ(hops[0][1], 3);  // 0 -> 3 on a 6-ring
+  EXPECT_EQ(hops[0][2], 1);  // 0 -> 5
+  EXPECT_EQ(hops[1][2], 2);  // 3 -> 5
+}
+
+TEST(Placement, UnreachableHostsGetSentinelHops) {
+  net::Topology t(4);
+  t.add_edge(0, 1);  // 2,3 isolated
+  const auto hops = host_hops_from_topology(t, {0, 2});
+  EXPECT_EQ(hops[0][1], 1000);
+}
+
+}  // namespace
+}  // namespace iobt::flow

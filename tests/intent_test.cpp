@@ -1,0 +1,248 @@
+// Tests for game-theoretic command by intent: potential-game structure,
+// convergence of best-response dynamics, welfare vs the centralized
+// baseline, and hierarchical decomposition.
+
+#include <gtest/gtest.h>
+
+#include "intent/games.h"
+#include "intent/security_game.h"
+
+namespace iobt::intent {
+namespace {
+
+using sim::Rng;
+
+TaskAllocationGame tiny_game() {
+  // 2 agents, 2 tasks. Agent 0 is great at task 0, agent 1 at task 1.
+  return TaskAllocationGame({{0.9, 0.1}, {0.1, 0.9}}, {1.0, 1.0});
+}
+
+TEST(Game, WelfareOfEmptyAssignmentIsZero) {
+  const auto g = tiny_game();
+  JointAction idle(2, g.idle_action());
+  EXPECT_DOUBLE_EQ(g.welfare(idle), 0.0);
+}
+
+TEST(Game, WelfareMatchesClosedForm) {
+  const auto g = tiny_game();
+  // Both agents on task 0: P(success) = 1 - 0.1 * 0.9 = 0.91.
+  JointAction joint = {0, 0};
+  EXPECT_NEAR(g.welfare(joint), 1.0 - (1.0 - 0.9) * (1.0 - 0.1), 1e-12);
+  // Split: 0.9 + 0.9.
+  joint = {0, 1};
+  EXPECT_NEAR(g.welfare(joint), 1.8, 1e-12);
+}
+
+TEST(Game, UtilityIsMarginalContribution) {
+  const auto g = tiny_game();
+  JointAction joint = {0, 0};
+  // Welfare with both on task 0 = 0.91; with agent 1 idle = 0.9.
+  EXPECT_NEAR(g.utility(1, joint), 0.91 - 0.9, 1e-12);
+  // WLU property: utility change equals welfare change for a unilateral
+  // move (exact potential game).
+  JointAction moved = {0, 1};
+  const double du = g.utility(1, moved) - g.utility(1, joint);
+  const double dw = g.welfare(moved) - g.welfare(joint);
+  EXPECT_NEAR(du, dw, 1e-12);
+}
+
+TEST(Game, IdleUtilityIsZero) {
+  const auto g = tiny_game();
+  JointAction joint = {g.idle_action(), 0};
+  EXPECT_DOUBLE_EQ(g.utility(0, joint), 0.0);
+}
+
+TEST(BestResponse, PicksSpecializedTask) {
+  const auto g = tiny_game();
+  JointAction joint(2, g.idle_action());
+  EXPECT_EQ(g.best_response(0, joint), 0u);
+  EXPECT_EQ(g.best_response(1, joint), 1u);
+}
+
+TEST(BestResponse, TieKeepsCurrentAction) {
+  // Symmetric game: both tasks identical; agent already on task 1 stays.
+  TaskAllocationGame g({{0.5, 0.5}}, {1.0, 1.0});
+  JointAction joint = {1};
+  EXPECT_EQ(g.best_response(0, joint), 1u);
+}
+
+TEST(Dynamics, ConvergesToEfficientSplitOnTinyGame) {
+  const auto g = tiny_game();
+  const auto r = best_response_dynamics(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.final_welfare, 1.8, 1e-12);
+  EXPECT_EQ(r.final_action, (JointAction{0, 1}));
+}
+
+TEST(Dynamics, AlwaysConvergesOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto g = TaskAllocationGame::random_instance(20, 8, rng);
+    const auto r = best_response_dynamics(g);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    // At equilibrium, no agent can improve: spot-check every agent.
+    for (std::size_t i = 0; i < g.num_agents(); ++i) {
+      EXPECT_EQ(g.best_response(i, r.final_action), r.final_action[i]);
+    }
+  }
+}
+
+TEST(Dynamics, WelfareMonotoneAcrossRounds) {
+  // Potential-game property: each accepted unilateral move raises welfare,
+  // so the final welfare is at least the start welfare.
+  Rng rng(3);
+  const auto g = TaskAllocationGame::random_instance(15, 6, rng);
+  JointAction start(g.num_agents(), 0);  // everyone piled on task 0
+  const double w0 = g.welfare(start);
+  const auto r = best_response_dynamics(g, start);
+  EXPECT_GE(r.final_welfare, w0 - 1e-12);
+}
+
+TEST(Dynamics, NearCentralizedWelfare) {
+  // Price of anarchy for submodular welfare with marginal-contribution
+  // utilities is bounded; empirically BR reaches >= 60% of greedy.
+  double worst_ratio = 1.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7);
+    const auto g = TaskAllocationGame::random_instance(25, 10, rng);
+    const auto br = best_response_dynamics(g);
+    const auto ct = centralized_greedy(g);
+    ASSERT_GT(ct.final_welfare, 0.0);
+    worst_ratio = std::min(worst_ratio, br.final_welfare / ct.final_welfare);
+  }
+  EXPECT_GE(worst_ratio, 0.6);
+}
+
+TEST(Dynamics, LogLinearApproachesBestResponseWelfare) {
+  Rng grng(5);
+  const auto g = TaskAllocationGame::random_instance(12, 5, grng);
+  const auto br = best_response_dynamics(g);
+  Rng rng(6);
+  const auto ll = log_linear_dynamics(g, rng, 0.02, 30000);
+  EXPECT_GE(ll.final_welfare, 0.9 * br.final_welfare);
+}
+
+TEST(Hierarchical, StitchedActionIsValidAndReasonable) {
+  Rng rng(9);
+  const auto g = TaskAllocationGame::random_instance(30, 12, rng);
+  const auto flat = best_response_dynamics(g);
+  const auto hier = hierarchical_decomposition(g, 3);
+  ASSERT_EQ(hier.final_action.size(), g.num_agents());
+  for (std::size_t a : hier.final_action) EXPECT_LE(a, g.idle_action());
+  EXPECT_TRUE(hier.converged);
+  // Decomposition trades welfare for locality but should stay in the same
+  // ballpark.
+  EXPECT_GE(hier.final_welfare, 0.5 * flat.final_welfare);
+}
+
+TEST(Hierarchical, SingleClusterEqualsFlatDynamics) {
+  Rng rng(10);
+  const auto g = TaskAllocationGame::random_instance(10, 4, rng);
+  const auto flat = best_response_dynamics(g);
+  const auto one = hierarchical_decomposition(g, 1);
+  EXPECT_NEAR(one.final_welfare, flat.final_welfare, 1e-9);
+}
+
+TEST(CentralizedGreedy, AssignsEveryUsefulAgentOnce) {
+  const auto g = tiny_game();
+  const auto r = centralized_greedy(g);
+  EXPECT_NEAR(r.final_welfare, 1.8, 1e-12);
+  EXPECT_EQ(r.moves, 2u);
+}
+
+
+// --------------------------------------------------------- Security game ----
+
+TEST(SecurityGame, MatchingPenniesValueIsHalf) {
+  // Classic: payoff 1 on match, 0 on mismatch; value = 0.5, both mix 50/50.
+  MatrixGame g{{{1, 0}, {0, 1}}};
+  const auto eq = solve_fictitious_play(g, 50000);
+  EXPECT_NEAR(eq.value, 0.5, 0.01);
+  EXPECT_NEAR(eq.row_strategy[0], 0.5, 0.05);
+  EXPECT_NEAR(eq.col_strategy[0], 0.5, 0.05);
+  EXPECT_LE(eq.value_lower, eq.value_upper + 1e-9);
+}
+
+TEST(SecurityGame, DominantStrategyIsFound) {
+  // Row 0 dominates row 1 everywhere: play it with probability ~1.
+  MatrixGame g{{{3, 2}, {1, 0}}};
+  const auto eq = solve_fictitious_play(g, 20000);
+  EXPECT_GT(eq.row_strategy[0], 0.99);
+  EXPECT_NEAR(eq.value, 2.0, 0.01);  // attacker picks column 1
+}
+
+TEST(SecurityGame, ValueBoundsBracketTrueValue) {
+  // Random-ish 3x3 game: bounds must bracket and be tight-ish.
+  MatrixGame g{{{0.2, 0.8, 0.4}, {0.9, 0.1, 0.5}, {0.6, 0.6, 0.3}}};
+  const auto eq = solve_fictitious_play(g, 100000);
+  EXPECT_LE(eq.value_lower, eq.value_upper + 1e-9);
+  EXPECT_LT(eq.value_upper - eq.value_lower, 0.05);
+}
+
+TEST(SecurityGame, RoutingGamePayoffMatrix) {
+  // Two routes, two jammable nodes; route 0 passes node 5, route 1 none.
+  const auto g = make_routing_game({{1, 5, 9}, {1, 6, 9}}, {5, 7}, 0.1);
+  EXPECT_DOUBLE_EQ(g.payoff[0][0], 0.1);  // route 0 jammed at 5
+  EXPECT_DOUBLE_EQ(g.payoff[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(g.payoff[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(g.payoff[1][1], 1.0);
+  // Defender should pure-play route 1 (never jammed).
+  const auto eq = solve_fictitious_play(g, 10000);
+  EXPECT_GT(eq.row_strategy[1], 0.99);
+  EXPECT_NEAR(eq.value, 1.0, 0.01);
+}
+
+TEST(SecurityGame, DiverseRoutesAvoidSharedInteriors) {
+  // 4x4 grid: corner-to-corner admits at least 2 interior-disjoint routes.
+  const auto topo = net::Topology::grid(4, 4);
+  const auto routes = diverse_routes(topo, 0, 15, 3);
+  ASSERT_GE(routes.size(), 2u);
+  // Interior vertices of route 0 and route 1 are disjoint.
+  for (std::size_t i = 1; i + 1 < routes[0].size(); ++i) {
+    for (std::size_t j = 1; j + 1 < routes[1].size(); ++j) {
+      EXPECT_NE(routes[0][i], routes[1][j]);
+    }
+  }
+}
+
+TEST(SecurityGame, MixedRoutingBeatsPureUnderJamming) {
+  // Grid corner-to-corner, jammer can hit any interior vertex. The mixed
+  // defense's guaranteed value must beat committing to the single best
+  // pure route (which the jammer then targets).
+  const auto topo = net::Topology::grid(4, 4);
+  const auto routes = diverse_routes(topo, 0, 15, 3);
+  ASSERT_GE(routes.size(), 2u);
+  std::vector<net::NodeId> jammable;
+  for (net::NodeId v = 1; v < 15; ++v) jammable.push_back(v);
+  const auto g = make_routing_game(routes, jammable, 0.1);
+  const auto eq = solve_fictitious_play(g, 50000);
+
+  // Pure-route guarantee: the jammer knows the route and jams it.
+  double best_pure = 0.0;
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    double worst = 1e9;
+    for (std::size_t a = 0; a < jammable.size(); ++a) {
+      worst = std::min(worst, g.payoff[r][a]);
+    }
+    best_pure = std::max(best_pure, worst);
+  }
+  EXPECT_GT(eq.value_lower, best_pure + 0.2);  // mixing pays
+}
+
+// Scale sweep: convergence rounds grow slowly with the number of agents
+// (the paper's scalability claim: agents optimize "without explicit
+// coordination ... minimizing overhead").
+class ScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScaleSweep, ConvergesWithinRoundBudget) {
+  Rng rng(GetParam());
+  const auto g = TaskAllocationGame::random_instance(GetParam(), GetParam() / 3 + 2, rng);
+  const auto r = best_response_dynamics(g, {}, 200);
+  EXPECT_TRUE(r.converged) << "agents=" << GetParam();
+  EXPECT_LE(r.rounds, 50u) << "agents=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Agents, ScaleSweep, ::testing::Values(5, 20, 50, 100));
+
+}  // namespace
+}  // namespace iobt::intent

@@ -1,0 +1,613 @@
+// Tests for the network substrate: topology algorithms and generators,
+// channel model, packet delivery, multi-hop routing, jamming, partitions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/channel.h"
+#include "net/dispatcher.h"
+#include "net/network.h"
+#include "net/reliable.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace iobt::net {
+namespace {
+
+using sim::Duration;
+using sim::Rect;
+using sim::Rng;
+using sim::Simulator;
+using sim::SimTime;
+using sim::Vec2;
+
+// ------------------------------------------------------------- Topology ----
+
+TEST(Topology, AddRemoveEdges) {
+  Topology t(4);
+  t.add_edge(0, 1, 2.0);
+  t.add_edge(1, 2);
+  EXPECT_EQ(t.edge_count(), 2u);
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(1, 0));  // undirected
+  EXPECT_DOUBLE_EQ(*t.edge_weight(0, 1), 2.0);
+  t.remove_edge(0, 1);
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_EQ(t.edge_count(), 1u);
+  t.remove_edge(0, 3);  // absent: no-op
+  EXPECT_EQ(t.edge_count(), 1u);
+}
+
+TEST(Topology, ParallelEdgeUpdatesWeight) {
+  Topology t(2);
+  t.add_edge(0, 1, 1.0);
+  t.add_edge(0, 1, 5.0);
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(*t.edge_weight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*t.edge_weight(1, 0), 5.0);
+}
+
+TEST(Topology, SelfLoopIgnored) {
+  Topology t(2);
+  t.add_edge(1, 1);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(Topology, AddEdgeOutOfRangeThrows) {
+  Topology t(2);
+  EXPECT_THROW(t.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(Topology, ShortestPathsLine) {
+  // 0 -1- 1 -1- 2 -1- 3, plus a heavy shortcut 0-3.
+  Topology t(4);
+  t.add_edge(0, 1, 1.0);
+  t.add_edge(1, 2, 1.0);
+  t.add_edge(2, 3, 1.0);
+  t.add_edge(0, 3, 10.0);
+  const auto sp = t.shortest_paths(0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 3.0);
+  EXPECT_EQ(sp.path_to(3), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Topology, ShortestPathsUnreachable) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  const auto sp = t.shortest_paths(0);
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_TRUE(sp.path_to(2).empty());
+  EXPECT_TRUE(sp.reachable(0));
+  EXPECT_EQ(sp.path_to(0), (std::vector<NodeId>{0}));
+}
+
+TEST(Topology, HopDistances) {
+  Topology t = Topology::ring(6);
+  const auto d = t.hop_distances(0);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[5], 1);
+}
+
+TEST(Topology, ComponentsAndConnectivity) {
+  Topology t(5);
+  t.add_edge(0, 1);
+  t.add_edge(2, 3);
+  EXPECT_EQ(t.component_count(), 3);  // {0,1} {2,3} {4}
+  EXPECT_FALSE(t.connected());
+  t.add_edge(1, 2);
+  t.add_edge(3, 4);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, MinimumSpanningForest) {
+  Topology t(4);
+  t.add_edge(0, 1, 1.0);
+  t.add_edge(1, 2, 2.0);
+  t.add_edge(0, 2, 10.0);
+  t.add_edge(2, 3, 1.0);
+  const auto mst = t.minimum_spanning_forest();
+  ASSERT_EQ(mst.size(), 3u);
+  double total = 0;
+  for (const auto& e : mst) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+TEST(Topology, GeneratorShapes) {
+  EXPECT_EQ(Topology::ring(5).edge_count(), 5u);
+  EXPECT_EQ(Topology::star(5).edge_count(), 4u);
+  EXPECT_EQ(Topology::star(5).degree(0), 4u);
+  const auto g = Topology::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);  // vertical + horizontal
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, HierarchicalGenerator) {
+  const auto t = Topology::hierarchical(3, 4);
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_TRUE(t.connected());
+  // Cluster heads (0, 4, 8) form a mesh.
+  EXPECT_TRUE(t.has_edge(0, 4));
+  EXPECT_TRUE(t.has_edge(4, 8));
+  // Non-heads of different clusters are not directly linked.
+  EXPECT_FALSE(t.has_edge(1, 5));
+}
+
+TEST(Topology, RandomGeometricRespectsRadius) {
+  Rng rng(1);
+  std::vector<Vec2> pos;
+  const auto t = Topology::random_geometric(50, Rect{{0, 0}, {1000, 1000}}, 200.0, rng, &pos);
+  ASSERT_EQ(pos.size(), 50u);
+  for (const auto& e : t.edges()) {
+    EXPECT_LE(sim::distance(pos[e.a], pos[e.b]), 200.0 + 1e-9);
+    EXPECT_NEAR(e.weight, sim::distance(pos[e.a], pos[e.b]), 1e-9);
+  }
+}
+
+TEST(Topology, KNearestMinimumDegree) {
+  Rng rng(2);
+  std::vector<Vec2> pos(20);
+  for (auto& p : pos) p = {rng.uniform(0, 100), rng.uniform(0, 100)};
+  const auto t = Topology::k_nearest(pos, 3);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_GE(t.degree(v), 3u);
+}
+
+TEST(Topology, ErdosRenyiEdgeCountNearExpectation) {
+  Rng rng(3);
+  const std::size_t n = 100;
+  const double p = 0.1;
+  const auto t = Topology::erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(t.edge_count()), expected, expected * 0.25);
+}
+
+// -------------------------------------------------------------- Channel ----
+
+TEST(Channel, InRangeUsesMinOfRanges) {
+  ChannelModel ch;
+  RadioProfile big{.range_m = 500};
+  RadioProfile small{.range_m = 100};
+  EXPECT_TRUE(ch.in_range({0, 0}, big, {90, 0}, small));
+  EXPECT_FALSE(ch.in_range({0, 0}, big, {150, 0}, small));
+}
+
+TEST(Channel, LossGrowsWithDistance) {
+  ChannelModel ch;
+  RadioProfile r{.range_m = 100, .base_loss = 0.01};
+  const double near = ch.loss_probability({0, 0}, r, {10, 0}, r, SimTime::zero());
+  const double far = ch.loss_probability({0, 0}, r, {95, 0}, r, SimTime::zero());
+  EXPECT_LT(near, far);
+  EXPECT_GE(near, 0.01);
+  const double out = ch.loss_probability({0, 0}, r, {150, 0}, r, SimTime::zero());
+  EXPECT_DOUBLE_EQ(out, 1.0);
+}
+
+TEST(Channel, JammerRaisesLossWhileActive) {
+  ChannelModel ch;
+  ch.add_jammer({.center = {0, 0},
+                 .radius_m = 50,
+                 .start = SimTime::seconds(10),
+                 .end = SimTime::seconds(20),
+                 .induced_loss = 0.99});
+  RadioProfile r{.range_m = 100, .base_loss = 0.01};
+  const double before = ch.loss_probability({0, 0}, r, {10, 0}, r, SimTime::seconds(5));
+  const double during = ch.loss_probability({0, 0}, r, {10, 0}, r, SimTime::seconds(15));
+  const double after = ch.loss_probability({0, 0}, r, {10, 0}, r, SimTime::seconds(25));
+  EXPECT_LT(before, 0.1);
+  EXPECT_DOUBLE_EQ(during, 0.99);
+  EXPECT_LT(after, 0.1);
+}
+
+TEST(Channel, TransmissionDelayScalesWithSize) {
+  RadioProfile r{.data_rate_bps = 1e6};
+  EXPECT_EQ(ChannelModel::transmission_delay(r, 125000).nanos(),
+            Duration::seconds(1.0).nanos());
+}
+
+// -------------------------------------------------------------- Network ----
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  ChannelModel clean_channel{2.0, 0.0};  // no edge loss for determinism
+  Network net{sim, clean_channel, Rng(99)};
+
+  NodeId add(Vec2 p, double range = 300.0, double base_loss = 0.0) {
+    return net.add_node(p, RadioProfile{.range_m = range,
+                                        .data_rate_bps = 1e6,
+                                        .base_loss = base_loss});
+  }
+};
+
+TEST_F(NetFixture, UnicastDelivers) {
+  const NodeId a = add({0, 0}), b = add({100, 0});
+  int got = 0;
+  net.set_handler(b, [&](const Message& m) {
+    ++got;
+    EXPECT_EQ(m.kind, "ping");
+    EXPECT_EQ(m.src, a);
+    EXPECT_EQ(m.hops, 1);
+  });
+  EXPECT_TRUE(net.send(a, b, Message{.kind = "ping", .size_bytes = 100}));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, DeliveryLatencyIncludesTransmissionAndHop) {
+  const NodeId a = add({0, 0}), b = add({100, 0});
+  SimTime arrival;
+  net.set_handler(b, [&](const Message&) { arrival = sim.now(); });
+  // 125000 bytes at 1 Mbps = 1 s + 1 ms hop latency.
+  net.send(a, b, Message{.kind = "blob", .size_bytes = 125000});
+  sim.run();
+  EXPECT_EQ(arrival.nanos(), (SimTime::seconds(1.0) + Duration::millis(1)).nanos());
+}
+
+TEST_F(NetFixture, HalfDuplexSerializesFrames) {
+  const NodeId a = add({0, 0}), b = add({100, 0});
+  std::vector<SimTime> arrivals;
+  net.set_handler(b, [&](const Message&) { arrivals.push_back(sim.now()); });
+  net.send(a, b, Message{.kind = "x", .size_bytes = 125000});  // 1 s on air
+  net.send(a, b, Message{.kind = "y", .size_bytes = 125000});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second frame waits for the first to finish transmitting.
+  EXPECT_EQ((arrivals[1] - arrivals[0]).nanos(), Duration::seconds(1.0).nanos());
+}
+
+TEST_F(NetFixture, OutOfRangeDropsAtSendTime) {
+  const NodeId a = add({0, 0}, 100.0), b = add({500, 0}, 100.0);
+  EXPECT_FALSE(net.send(a, b, Message{.kind = "p", .size_bytes = 10}));
+  EXPECT_EQ(net.frames_dropped(), 1u);
+}
+
+TEST_F(NetFixture, DownNodeNeitherSendsNorReceives) {
+  const NodeId a = add({0, 0}), b = add({100, 0});
+  int got = 0;
+  net.set_handler(b, [&](const Message&) { ++got; });
+  net.set_node_up(b, false);
+  EXPECT_FALSE(net.send(a, b, Message{.kind = "p", .size_bytes = 10}));
+  net.set_node_up(b, true);
+  net.set_node_up(a, false);
+  EXPECT_FALSE(net.send(a, b, Message{.kind = "p", .size_bytes = 10}));
+  sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, BroadcastReachesOnlyNodesInRange) {
+  const NodeId a = add({0, 0}, 150.0);
+  const NodeId near1 = add({100, 0});
+  const NodeId near2 = add({0, 120});
+  const NodeId far = add({400, 0});
+  int near_got = 0, far_got = 0;
+  net.set_handler(near1, [&](const Message&) { ++near_got; });
+  net.set_handler(near2, [&](const Message&) { ++near_got; });
+  net.set_handler(far, [&](const Message&) { ++far_got; });
+  EXPECT_EQ(net.broadcast(a, Message{.kind = "hello", .size_bytes = 10}), 2u);
+  sim.run();
+  EXPECT_EQ(near_got, 2);
+  EXPECT_EQ(far_got, 0);
+}
+
+TEST_F(NetFixture, MultiHopRouting) {
+  // Chain 0 - 1 - 2 - 3 with 200 m spacing, 300 m range.
+  const NodeId n0 = add({0, 0}), n1 = add({200, 0}), n2 = add({400, 0}),
+               n3 = add({600, 0});
+  (void)n1;
+  (void)n2;
+  int got = 0;
+  net.set_handler(n3, [&](const Message& m) {
+    ++got;
+    EXPECT_EQ(m.hops, 3);
+    EXPECT_EQ(m.src, n0);
+  });
+  EXPECT_TRUE(net.route_exists(n0, n3));
+  EXPECT_TRUE(net.route_and_send(n0, n3, Message{.kind = "data", .size_bytes = 50}));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, RouteFailsAcrossPartition) {
+  const NodeId a = add({0, 0}, 100.0);
+  const NodeId b = add({1000, 0}, 100.0);
+  EXPECT_FALSE(net.route_exists(a, b));
+  EXPECT_FALSE(net.route_and_send(a, b, Message{.kind = "p", .size_bytes = 10}));
+}
+
+TEST_F(NetFixture, RouteRecomputedAfterNodeFailure) {
+  const NodeId n0 = add({0, 0}), relay = add({200, 0}), n2 = add({400, 0});
+  EXPECT_TRUE(net.route_exists(n0, n2));
+  net.set_node_up(relay, false);
+  EXPECT_FALSE(net.route_exists(n0, n2));
+  net.set_node_up(relay, true);
+  EXPECT_TRUE(net.route_exists(n0, n2));
+}
+
+TEST_F(NetFixture, RouteRecomputedAfterMovement) {
+  const NodeId a = add({0, 0}), b = add({1000, 0});
+  EXPECT_FALSE(net.route_exists(a, b));
+  net.set_position(b, {250, 0});
+  EXPECT_TRUE(net.route_exists(a, b));
+}
+
+TEST_F(NetFixture, SelfSendDeliversLocally) {
+  const NodeId a = add({0, 0});
+  int got = 0;
+  net.set_handler(a, [&](const Message& m) {
+    ++got;
+    EXPECT_EQ(m.hops, 0);
+  });
+  EXPECT_TRUE(net.route_and_send(a, a, Message{.kind = "self", .size_bytes = 1}));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, ConnectivitySnapshotMatchesRanges) {
+  add({0, 0});
+  add({100, 0});
+  add({1000, 1000});
+  const Topology t = net.connectivity();
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_FALSE(t.has_edge(0, 2));
+}
+
+TEST_F(NetFixture, TransmitHookAndByteAccounting) {
+  const NodeId a = add({0, 0}), b = add({100, 0});
+  std::size_t hook_bytes = 0;
+  net.set_transmit_hook([&](NodeId n, std::size_t bytes) {
+    EXPECT_EQ(n, a);
+    hook_bytes += bytes;
+  });
+  net.send(a, b, Message{.kind = "p", .size_bytes = 77});
+  sim.run();
+  EXPECT_EQ(hook_bytes, 77u);
+  EXPECT_EQ(net.bytes_sent(a), 77u);
+  EXPECT_EQ(net.total_bytes_sent(), 77u);
+}
+
+TEST(NetworkLoss, LossyChannelDropsSomeFrames) {
+  Simulator sim;
+  ChannelModel lossy(2.0, 0.0);
+  Network net(sim, lossy, Rng(7));
+  const NodeId a = net.add_node({0, 0}, {.range_m = 300, .data_rate_bps = 1e6,
+                                         .base_loss = 0.5});
+  const NodeId b = net.add_node({10, 0}, {.range_m = 300, .data_rate_bps = 1e6,
+                                          .base_loss = 0.5});
+  int got = 0;
+  net.set_handler(b, [&](const Message&) { ++got; });
+  const int sent = 1000;
+  for (int i = 0; i < sent; ++i) net.send(a, b, Message{.kind = "p", .size_bytes = 10});
+  sim.run();
+  EXPECT_GT(got, 300);
+  EXPECT_LT(got, 700);
+  EXPECT_EQ(net.frames_dropped(), static_cast<std::uint64_t>(sent - got));
+}
+
+TEST(NetworkJam, JammingBlocksTrafficDuringWindow) {
+  Simulator sim;
+  ChannelModel ch(2.0, 0.0);
+  ch.add_jammer({.center = {0, 0},
+                 .radius_m = 500,
+                 .start = SimTime::seconds(10),
+                 .end = SimTime::seconds(20),
+                 .induced_loss = 1.0});
+  Network net(sim, ch, Rng(7));
+  const NodeId a = net.add_node({0, 0}, {.range_m = 300, .base_loss = 0.0});
+  const NodeId b = net.add_node({100, 0}, {.range_m = 300, .base_loss = 0.0});
+  int got = 0;
+  net.set_handler(b, [&](const Message&) { ++got; });
+
+  // One frame per second for 30 s.
+  for (int t = 0; t < 30; ++t) {
+    sim.schedule_at(SimTime::seconds(t), [&net, a, b] {
+      net.send(a, b, Message{.kind = "p", .size_bytes = 10});
+    });
+  }
+  sim.run();
+  EXPECT_EQ(got, 20);  // the 10 frames inside [10, 20) are jammed
+}
+
+
+// ------------------------------------------------------ Urban occlusion ----
+
+TEST(Channel, BuildingBlocksLineOfSight) {
+  ChannelModel ch(2.0, 0.0);
+  ch.add_building({{40, -10}, {60, 10}});  // wall between x=40..60
+  RadioProfile r{.range_m = 300, .base_loss = 0.0};
+  EXPECT_FALSE(ch.in_range({0, 0}, r, {100, 0}, r));  // LoS crosses the wall
+  EXPECT_TRUE(ch.in_range({0, 0}, r, {100, 50}, r));  // path above the wall
+  EXPECT_DOUBLE_EQ(ch.loss_probability({0, 0}, r, {100, 0}, r, SimTime::zero()),
+                   1.0);
+}
+
+TEST(Channel, EndpointInsideBuildingIsBlocked) {
+  ChannelModel ch(2.0, 0.0);
+  ch.add_building({{40, -10}, {60, 10}});
+  EXPECT_TRUE(ch.line_of_sight_blocked({50, 0}, {200, 0}));
+}
+
+TEST(NetworkUrban, RoutingBendsAroundBuilding) {
+  Simulator sim;
+  ChannelModel ch(2.0, 0.0);
+  // A wall splits the direct corridor; a relay sits above it.
+  ch.add_building({{90, -50}, {110, 50}});
+  Network net(sim, ch, Rng(5));
+  const NodeId a = net.add_node({0, 0}, {.range_m = 160, .base_loss = 0.0});
+  const NodeId b = net.add_node({200, 0}, {.range_m = 160, .base_loss = 0.0});
+  const NodeId relay = net.add_node({100, 120}, {.range_m = 160, .base_loss = 0.0});
+  EXPECT_FALSE(net.connectivity().has_edge(a, b));  // wall blocks direct link
+  ASSERT_TRUE(net.route_exists(a, b));              // but the relay sees over
+  int got_hops = -1;
+  net.set_handler(b, [&](const Message& m) { got_hops = m.hops; });
+  ASSERT_TRUE(net.route_and_send(a, b, Message{.kind = "p", .size_bytes = 8}));
+  sim.run();
+  EXPECT_EQ(got_hops, 2);
+  (void)relay;
+}
+
+TEST(Geometry, SegmentRectIntersection) {
+  const sim::Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(sim::segment_intersects_rect({-5, 5}, {15, 5}, r));   // through
+  EXPECT_TRUE(sim::segment_intersects_rect({5, 5}, {20, 20}, r));   // from inside
+  EXPECT_FALSE(sim::segment_intersects_rect({-5, 15}, {15, 15}, r)); // above
+  EXPECT_FALSE(sim::segment_intersects_rect({-5, -5}, {-1, 15}, r)); // left of
+  EXPECT_TRUE(sim::segment_intersects_rect({-5, -5}, {5, 25}, r));   // clips corner area
+}
+
+
+// ----------------------------------------------------------- Dispatcher ----
+
+TEST(Dispatcher, RoutesByKindAndSupportsOffAndDefault) {
+  Simulator sim;
+  Network net(sim, ChannelModel(2.0, 0.0), Rng(3));
+  const NodeId a = net.add_node({0, 0}, {.range_m = 300, .base_loss = 0.0});
+  const NodeId b = net.add_node({100, 0}, {.range_m = 300, .base_loss = 0.0});
+  Dispatcher disp(net);
+  int pings = 0, pongs = 0, unrouted = 0;
+  disp.on(b, "ping", [&](const Message&) { ++pings; });
+  disp.on(b, "pong", [&](const Message&) { ++pongs; });
+  disp.set_default([&](const Message&) { ++unrouted; });
+
+  net.send(a, b, Message{.kind = "ping", .size_bytes = 8});
+  net.send(a, b, Message{.kind = "pong", .size_bytes = 8});
+  net.send(a, b, Message{.kind = "mystery", .size_bytes = 8});
+  sim.run();
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(pongs, 1);
+  EXPECT_EQ(unrouted, 1);
+
+  disp.off(b, "ping");
+  net.send(a, b, Message{.kind = "ping", .size_bytes = 8});
+  sim.run();
+  EXPECT_EQ(pings, 1);     // handler removed
+  EXPECT_EQ(unrouted, 2);  // falls through to default
+}
+
+TEST(Dispatcher, ReplacingHandlerTakesEffect) {
+  Simulator sim;
+  Network net(sim, ChannelModel(2.0, 0.0), Rng(3));
+  const NodeId a = net.add_node({0, 0}, {.range_m = 300, .base_loss = 0.0});
+  const NodeId b = net.add_node({100, 0}, {.range_m = 300, .base_loss = 0.0});
+  Dispatcher disp(net);
+  int first = 0, second = 0;
+  disp.on(b, "k", [&](const Message&) { ++first; });
+  disp.on(b, "k", [&](const Message&) { ++second; });
+  net.send(a, b, Message{.kind = "k", .size_bytes = 8});
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+// ------------------------------------------------------------- Reliable ----
+
+struct ReliableFixture : ::testing::Test {
+  Simulator sim;
+  ChannelModel lossy{2.0, 0.0};
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Dispatcher> disp;
+  std::unique_ptr<ReliableChannel> rel;
+  NodeId a = 0, b = 0;
+
+  void init(double base_loss, ReliableConfig cfg = {}) {
+    net = std::make_unique<Network>(sim, lossy, Rng(11));
+    a = net->add_node({0, 0}, {.range_m = 300, .data_rate_bps = 1e6,
+                               .base_loss = base_loss});
+    b = net->add_node({100, 0}, {.range_m = 300, .data_rate_bps = 1e6,
+                                 .base_loss = base_loss});
+    disp = std::make_unique<Dispatcher>(*net);
+    rel = std::make_unique<ReliableChannel>(sim, *disp, "rel", cfg);
+  }
+};
+
+TEST_F(ReliableFixture, DeliversOnCleanChannel) {
+  init(0.0);
+  int got = 0;
+  bool result = false;
+  rel->listen(b, [&](const Message& m) {
+    ++got;
+    EXPECT_EQ(m.kind, "order");
+  });
+  rel->send(a, b, Message{.kind = "order", .size_bytes = 64},
+            [&](bool ok) { result = ok; });
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(result);
+  EXPECT_EQ(rel->retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, RetransmitsThroughLossAndDeliversOnce) {
+  init(0.4);  // 40% per-frame loss: raw delivery would be a coin flip
+  int got = 0;
+  int succeeded = 0, failed_cb = 0;
+  rel->listen(b, [&](const Message&) { ++got; });
+  const int sent = 50;
+  for (int i = 0; i < sent; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 32},
+              [&](bool ok) { ok ? ++succeeded : ++failed_cb; });
+  }
+  sim.run();
+  // With 4 attempts at ~0.36 round-trip success each, nearly all succeed.
+  EXPECT_GT(succeeded, 40);
+  // The application sees each message at most once (dedup), and sees at
+  // least every acked one; a message may arrive while its ACKs all die,
+  // so `got` can exceed `succeeded` — that is the at-least-once residue.
+  EXPECT_GE(got, succeeded);
+  EXPECT_LE(got, sent);
+  EXPECT_EQ(succeeded + failed_cb, sent);
+  EXPECT_GT(rel->retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, ReportsFailureWhenPeerUnreachable) {
+  init(0.0);
+  net->set_node_up(b, false);
+  bool result = true;
+  rel->send(a, b, Message{.kind = "d", .size_bytes = 8},
+            [&](bool ok) { result = ok; });
+  sim.run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(rel->failed(), 1u);
+}
+
+TEST_F(ReliableFixture, DuplicateDataFramesAreSuppressed) {
+  // Force duplicate delivery by making the ACK path lossy only: simulate
+  // by sending the same payload twice from the app level with clean
+  // channel — the channel dedups by sequence, so two sends = two
+  // deliveries (distinct seqs), while retransmits of one seq = one.
+  init(0.0, {.rto = sim::Duration::seconds(1.0), .max_attempts = 3});
+  int got = 0;
+  rel->listen(b, [&](const Message&) { ++got; });
+  rel->send(a, b, Message{.kind = "d", .size_bytes = 8});
+  rel->send(a, b, Message{.kind = "d", .size_bytes = 8});
+  sim.run();
+  EXPECT_EQ(got, 2);
+}
+
+// Determinism: identical seeds => identical delivery counts, even with loss.
+class NetDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetDeterminism, SameSeedSameOutcome) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    Network net(sim, ChannelModel(), Rng(seed));
+    std::vector<NodeId> ids;
+    Rng layout(123);
+    for (int i = 0; i < 30; ++i) {
+      ids.push_back(net.add_node({layout.uniform(0, 500), layout.uniform(0, 500)},
+                                 {.range_m = 200, .base_loss = 0.2}));
+    }
+    int got = 0;
+    for (auto id : ids) net.set_handler(id, [&](const Message&) { ++got; });
+    for (int i = 0; i < 100; ++i) {
+      net.send(ids[static_cast<std::size_t>(i) % ids.size()],
+               ids[static_cast<std::size_t>(i * 7 + 1) % ids.size()],
+               Message{.kind = "p", .size_bytes = 20});
+    }
+    sim.run();
+    return got;
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetDeterminism, ::testing::Values(1ULL, 7ULL, 1234ULL));
+
+}  // namespace
+}  // namespace iobt::net

@@ -1,0 +1,223 @@
+// Cross-module property tests: invariants that must hold over randomized
+// inputs, parameterized by seed. These complement the per-module unit
+// tests with the "for all" style checks the guides call for.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "intent/games.h"
+#include "learn/aggregation.h"
+#include "net/network.h"
+#include "social/claims.h"
+#include "synthesis/composer.h"
+#include "track/kalman.h"
+
+namespace iobt {
+namespace {
+
+using sim::Rng;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------------------- Composer ----
+
+TEST_P(SeedSweep, ComposerCoverageMonotoneInMembers) {
+  Rng rng(GetParam());
+  std::vector<synthesis::Candidate> cands;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    synthesis::Candidate c;
+    c.asset = i;
+    c.position = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    c.sensors = {{things::Modality::kCamera, rng.uniform(100, 400), 0.9, 0.01}};
+    cands.push_back(std::move(c));
+  }
+  synthesis::MissionSpec spec;
+  spec.sensing.push_back({things::Modality::kCamera, {{0, 0}, {1000, 1000}}, 0.5,
+                          0.5, 6});
+  synthesis::Composer comp(spec, cands, [](std::size_t) { return 1; });
+
+  // Coverage of a growing prefix of members never decreases.
+  std::vector<std::size_t> members;
+  double prev = -1.0;
+  for (std::size_t i = 0; i < cands.size(); i += 3) {
+    members.push_back(i);
+    const auto a = comp.evaluate(members);
+    EXPECT_GE(a.sensing_coverage[0], prev - 1e-12);
+    EXPECT_GE(a.sensing_coverage[0], 0.0);
+    EXPECT_LE(a.sensing_coverage[0], 1.0);
+    prev = a.sensing_coverage[0];
+  }
+}
+
+TEST_P(SeedSweep, ComposerOutputIsSortedUniqueAndAdmissible) {
+  Rng rng(GetParam() * 13 + 1);
+  std::vector<synthesis::Candidate> cands;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    synthesis::Candidate c;
+    c.asset = i;
+    c.position = {rng.uniform(0, 800), rng.uniform(0, 800)};
+    c.sensors = {{things::Modality::kCamera, rng.uniform(100, 300), 0.8, 0.01}};
+    c.trust = rng.uniform(0.2, 1.0);
+    cands.push_back(std::move(c));
+  }
+  synthesis::MissionSpec spec;
+  spec.sensing.push_back({things::Modality::kCamera, {{0, 0}, {800, 800}}, 0.6, 0.5, 5});
+  spec.min_member_trust = 0.5;
+  synthesis::Composer comp(spec, cands, [](std::size_t) { return 1; });
+  const auto c = comp.compose(synthesis::Solver::kGreedy);
+
+  EXPECT_TRUE(std::is_sorted(c.member_indices.begin(), c.member_indices.end()));
+  std::set<std::size_t> uniq(c.member_indices.begin(), c.member_indices.end());
+  EXPECT_EQ(uniq.size(), c.member_indices.size());
+  for (std::size_t m : c.member_indices) {
+    EXPECT_GE(cands[m].trust, 0.5);  // admission gate respected
+  }
+}
+
+// ------------------------------------------------------------- Potential ----
+
+TEST_P(SeedSweep, WluIsExactPotential) {
+  // For every unilateral deviation, utility delta == welfare delta.
+  Rng rng(GetParam() * 7 + 3);
+  const auto g = intent::TaskAllocationGame::random_instance(8, 4, rng);
+  intent::JointAction joint(8, 0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    joint[i] = static_cast<std::size_t>(rng.uniform_int(0, 4));  // incl. idle
+  }
+  for (std::size_t agent = 0; agent < 8; ++agent) {
+    for (std::size_t action = 0; action <= 4; ++action) {
+      intent::JointAction moved = joint;
+      moved[agent] = action;
+      const double du = g.utility(agent, moved) - g.utility(agent, joint);
+      const double dw = g.welfare(moved) - g.welfare(joint);
+      EXPECT_NEAR(du, dw, 1e-10);
+    }
+  }
+}
+
+// ----------------------------------------------------------- Aggregation ----
+
+TEST_P(SeedSweep, AggregatorsArePermutationInvariant) {
+  Rng rng(GetParam() * 31 + 5);
+  std::vector<learn::Vec> updates;
+  for (int i = 0; i < 9; ++i) {
+    learn::Vec v(4);
+    for (double& x : v) x = rng.normal(0, 2);
+    updates.push_back(std::move(v));
+  }
+  auto shuffled = updates;
+  rng.shuffle(shuffled);
+  for (auto rule : {learn::AggregationRule::kMean, learn::AggregationRule::kMedian,
+                    learn::AggregationRule::kTrimmedMean,
+                    learn::AggregationRule::kGeometricMedian}) {
+    const auto a = learn::aggregate(rule, updates, 2);
+    const auto b = learn::aggregate(rule, shuffled, 2);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k], b[k], 1e-9) << learn::to_string(rule) << " coord " << k;
+    }
+  }
+}
+
+TEST_P(SeedSweep, RobustAggregatesStayInCoordinateRange) {
+  // Median/trimmed-mean outputs lie within the per-coordinate min/max of
+  // the inputs (mean does too, trivially).
+  Rng rng(GetParam() * 17 + 11);
+  std::vector<learn::Vec> updates;
+  for (int i = 0; i < 7; ++i) {
+    learn::Vec v(3);
+    for (double& x : v) x = rng.uniform(-10, 10);
+    updates.push_back(std::move(v));
+  }
+  for (auto rule : {learn::AggregationRule::kMedian,
+                    learn::AggregationRule::kTrimmedMean}) {
+    const auto a = learn::aggregate(rule, updates, 2);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      double lo = 1e18, hi = -1e18;
+      for (const auto& u : updates) {
+        lo = std::min(lo, u[k]);
+        hi = std::max(hi, u[k]);
+      }
+      EXPECT_GE(a[k], lo - 1e-12);
+      EXPECT_LE(a[k], hi + 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------------ Truth discovery ----
+
+TEST_P(SeedSweep, EmIsClaimOrderInvariant) {
+  Rng rng(GetParam() * 41 + 2);
+  social::ClaimGenConfig cfg;
+  cfg.num_sources = 20;
+  cfg.num_variables = 50;
+  cfg.adversary_fraction = 0.2;
+  auto g = social::generate_claims(cfg, rng);
+  auto shuffled = g.claims;
+  rng.shuffle(shuffled);
+  const auto a = social::em_truth_discovery(g.claims, 20, 50);
+  const auto b = social::em_truth_discovery(shuffled, 20, 50);
+  for (std::size_t j = 0; j < 50; ++j) {
+    EXPECT_NEAR(a.truth_probability[j], b.truth_probability[j], 1e-9);
+  }
+}
+
+// --------------------------------------------------------------- Kalman ----
+
+TEST_P(SeedSweep, KalmanSigmaStaysPositiveAndBounded) {
+  Rng rng(GetParam() * 3 + 7);
+  track::Kalman2D kf({0, 0}, 20.0, rng.uniform(0.01, 2.0), rng.uniform(1.0, 10.0));
+  for (int i = 0; i < 200; ++i) {
+    kf.predict(rng.uniform(0.1, 2.0));
+    if (rng.bernoulli(0.7)) {
+      kf.update({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    }
+    const auto e = kf.estimate();
+    EXPECT_GT(e.position_sigma, 0.0);
+    EXPECT_LT(e.position_sigma, 1e4);  // never blows up
+    EXPECT_TRUE(std::isfinite(e.position.x));
+    EXPECT_TRUE(std::isfinite(e.position.y));
+  }
+}
+
+// -------------------------------------------------------------- Network ----
+
+TEST_P(SeedSweep, MultiHopHopCountMatchesShortestPath) {
+  sim::Simulator sim;
+  net::Network net(sim, net::ChannelModel(2.0, 0.0), Rng(GetParam()));
+  Rng layout(GetParam() * 19 + 23);
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 25; ++i) {
+    ids.push_back(net.add_node({layout.uniform(0, 600), layout.uniform(0, 600)},
+                               {.range_m = 220, .base_loss = 0.0}));
+  }
+  const auto topo = net.connectivity();
+  const auto bfs_hops = topo.hop_distances(ids[0]);
+  // The network routes along DISTANCE-weighted shortest paths, so the hop
+  // count must equal that path's length and can never beat the BFS bound.
+  const auto sp = topo.shortest_paths(ids[0]);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dst =
+        ids[static_cast<std::size_t>(layout.uniform_int(1, 24))];
+    if (bfs_hops[dst] < 0) {
+      EXPECT_FALSE(net.route_exists(ids[0], dst));
+      continue;
+    }
+    const int expected =
+        static_cast<int>(sp.path_to(dst).size()) - 1;
+    int got_hops = -1;
+    net.set_handler(dst, [&](const net::Message& m) { got_hops = m.hops; });
+    ASSERT_TRUE(net.route_and_send(ids[0], dst, {.kind = "p", .size_bytes = 8}));
+    sim.run();
+    EXPECT_EQ(got_hops, expected);
+    EXPECT_GE(got_hops, bfs_hops[dst]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL, 13ULL));
+
+}  // namespace
+}  // namespace iobt

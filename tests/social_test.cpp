@@ -1,0 +1,270 @@
+// Tests for social sensing: EM truth discovery, baselines, streaming
+// window, and the in-network reporting service.
+
+#include <gtest/gtest.h>
+
+#include "net/dispatcher.h"
+#include "social/claims.h"
+#include "social/service.h"
+#include "social/truth_discovery.h"
+#include "things/population.h"
+
+namespace iobt::social {
+namespace {
+
+using sim::Rng;
+
+// -------------------------------------------------------- EM algorithm ----
+
+TEST(EmTruthDiscovery, EmptyInputsConvergeTrivially) {
+  const auto r = em_truth_discovery({}, 0, 0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.truth_probability.empty());
+}
+
+TEST(EmTruthDiscovery, UnanimousReliableSources) {
+  // Three sources all assert var 0 true and var 1 false.
+  std::vector<Claim> claims = {{0, 0, true},  {1, 0, true},  {2, 0, true},
+                               {0, 1, false}, {1, 1, false}, {2, 1, false}};
+  const auto r = em_truth_discovery(claims, 3, 2);
+  EXPECT_GT(r.truth_probability[0], 0.9);
+  EXPECT_LT(r.truth_probability[1], 0.1);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(EmTruthDiscovery, RecoversTruthFromNoisySources) {
+  Rng rng(1);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 40;
+  cfg.num_variables = 200;
+  cfg.report_density = 0.4;
+  const auto g = generate_claims(cfg, rng);
+  const auto r = em_truth_discovery(g.claims, cfg.num_sources, cfg.num_variables);
+  EXPECT_GT(decision_accuracy(r.truth_probability, g.ground_truth), 0.95);
+}
+
+TEST(EmTruthDiscovery, EstimatesSourceReliabilityOrdering) {
+  Rng rng(2);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 30;
+  cfg.num_variables = 300;
+  cfg.report_density = 0.5;
+  cfg.honest_reliability_min = 0.55;
+  cfg.honest_reliability_max = 0.95;
+  const auto g = generate_claims(cfg, rng);
+  const auto r = em_truth_discovery(g.claims, cfg.num_sources, cfg.num_variables);
+  // Correlation between true and estimated reliability should be strongly
+  // positive (allow sign-flip-free check via rank agreement on extremes).
+  double best_true = -1, worst_true = 2;
+  std::size_t best_i = 0, worst_i = 0;
+  for (std::size_t i = 0; i < cfg.num_sources; ++i) {
+    if (g.true_reliability[i] > best_true) {
+      best_true = g.true_reliability[i];
+      best_i = i;
+    }
+    if (g.true_reliability[i] < worst_true) {
+      worst_true = g.true_reliability[i];
+      worst_i = i;
+    }
+  }
+  EXPECT_GT(r.source_reliability[best_i], r.source_reliability[worst_i]);
+}
+
+TEST(EmTruthDiscovery, BeatsVotingUnderCoordinatedLiars) {
+  Rng rng(3);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 50;
+  cfg.num_variables = 300;
+  cfg.report_density = 0.4;
+  cfg.adversary_fraction = 0.4;       // 40% consistently inverted sources
+  cfg.adversary_lie_probability = 0.95;
+  const auto g = generate_claims(cfg, rng);
+
+  const auto em = em_truth_discovery(g.claims, cfg.num_sources, cfg.num_variables);
+  const auto vote = majority_vote(g.claims, cfg.num_variables);
+  const double em_acc = decision_accuracy(em.truth_probability, g.ground_truth);
+  const double vote_acc = decision_accuracy(vote, g.ground_truth);
+  EXPECT_GT(em_acc, vote_acc);
+  EXPECT_GT(em_acc, 0.85);
+}
+
+TEST(EmTruthDiscovery, OracleBayesUpperBoundsVoting) {
+  Rng rng(4);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 30;
+  cfg.num_variables = 200;
+  cfg.adversary_fraction = 0.3;
+  const auto g = generate_claims(cfg, rng);
+  const auto oracle =
+      weighted_bayes(g.claims, g.true_reliability, cfg.num_variables, cfg.prior_true);
+  const auto vote = majority_vote(g.claims, cfg.num_variables);
+  EXPECT_GE(decision_accuracy(oracle, g.ground_truth) + 1e-9,
+            decision_accuracy(vote, g.ground_truth));
+}
+
+TEST(EmTruthDiscovery, DeterministicForFixedInput) {
+  Rng rng(5);
+  const auto g = generate_claims({}, rng);
+  const auto r1 = em_truth_discovery(g.claims, 50, 100);
+  const auto r2 = em_truth_discovery(g.claims, 50, 100);
+  EXPECT_EQ(r1.truth_probability, r2.truth_probability);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(MajorityVote, CountsFractions) {
+  std::vector<Claim> claims = {{0, 0, true}, {1, 0, true}, {2, 0, false}};
+  const auto v = majority_vote(claims, 2);
+  EXPECT_NEAR(v[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);  // no claims: prior
+}
+
+TEST(WeightedBayes, ReliableSourceDominates) {
+  // Source 0 (r=0.95) says true; sources 1,2 (r=0.55) say false.
+  std::vector<Claim> claims = {{0, 0, true}, {1, 0, false}, {2, 0, false}};
+  const auto v = weighted_bayes(claims, {0.95, 0.55, 0.55}, 1);
+  EXPECT_GT(v[0], 0.5);
+}
+
+// ------------------------------------------------------------ Streaming ----
+
+TEST(StreamingClaims, WindowEvictsOldest) {
+  StreamingClaims s(3);
+  for (std::uint32_t i = 0; i < 5; ++i) s.add({i, 0, true});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.window()[0].source, 2u);  // 0 and 1 evicted
+}
+
+TEST(StreamingClaims, RunEmOnWindow) {
+  StreamingClaims s(100);
+  for (std::uint32_t i = 0; i < 5; ++i) s.add({i, 0, true});
+  const auto r = s.run_em(5, 1);
+  EXPECT_GT(r.truth_probability[0], 0.9);
+}
+
+// ----------------------------------------------------------- Generation ----
+
+TEST(ClaimGeneration, RespectsDensityAndCounts) {
+  Rng rng(6);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 20;
+  cfg.num_variables = 100;
+  cfg.report_density = 0.25;
+  const auto g = generate_claims(cfg, rng);
+  EXPECT_EQ(g.ground_truth.size(), 100u);
+  EXPECT_EQ(g.true_reliability.size(), 20u);
+  const double expected = 20 * 100 * 0.25;
+  EXPECT_NEAR(static_cast<double>(g.claims.size()), expected, expected * 0.3);
+}
+
+TEST(ClaimGeneration, AdversaryFractionRoughlyHonored) {
+  Rng rng(7);
+  ClaimGenConfig cfg;
+  cfg.num_sources = 500;
+  cfg.adversary_fraction = 0.3;
+  const auto g = generate_claims(cfg, rng);
+  int adv = 0;
+  for (bool b : g.is_adversary) adv += b ? 1 : 0;
+  EXPECT_NEAR(adv / 500.0, 0.3, 0.07);
+}
+
+// -------------------------------------------------------------- Service ----
+
+struct SocialFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network net{sim, net::ChannelModel(2.0, 0.0), Rng(5)};
+  things::World world{sim, net, {{0, 0}, {1000, 1000}}, Rng(6)};
+  net::Dispatcher disp{net};
+
+  things::AssetId add_human(sim::Vec2 pos, double reliability) {
+    Rng r(world.asset_count() + 10);
+    auto a = things::make_asset_template(things::DeviceClass::kHuman,
+                                         things::Affiliation::kGray, r);
+    a.report_reliability = reliability;
+    return world.add_asset(std::move(a), pos,
+                           things::radio_for_class(things::DeviceClass::kHuman));
+  }
+  things::AssetId add_collector(sim::Vec2 pos) {
+    Rng r(world.asset_count() + 10);
+    auto a = things::make_asset_template(things::DeviceClass::kEdgeServer,
+                                         things::Affiliation::kBlue, r);
+    return world.add_asset(std::move(a), pos,
+                           things::radio_for_class(things::DeviceClass::kEdgeServer));
+  }
+};
+
+TEST_F(SocialFixture, CellIndexingCoversGrid) {
+  const auto collector = add_collector({500, 500});
+  SocialSensingConfig cfg;
+  cfg.grid_cells = 4;
+  SocialSensingService svc(world, disp, collector, {}, cfg);
+  EXPECT_EQ(svc.cell_count(), 16u);
+  EXPECT_EQ(svc.cell_of({0, 0}), 0u);
+  EXPECT_EQ(svc.cell_of({999, 999}), 15u);
+  EXPECT_EQ(svc.cell_of({999, 0}), 3u);
+  EXPECT_EQ(svc.cell_of({0, 999}), 12u);
+}
+
+TEST_F(SocialFixture, ReportsFlowAndFuseFindsOccupiedCells) {
+  // Within single-hop range of the human radios (200 m).
+  const auto collector = add_collector({300, 300});
+  std::vector<things::AssetId> humans;
+  // A crowd of decent observers near a real target.
+  for (int i = 0; i < 12; ++i) {
+    humans.push_back(add_human({200.0 + 10 * i, 200.0}, 0.85));
+  }
+  world.add_target({210, 205}, nullptr, "hostile");
+
+  SocialSensingConfig cfg;
+  cfg.grid_cells = 5;
+  cfg.report_period = sim::Duration::seconds(10);
+  cfg.observation_radius_m = 150.0;
+  SocialSensingService svc(world, disp, collector, humans, cfg);
+  svc.start();
+  sim.run_until(sim::SimTime::seconds(200));
+
+  EXPECT_GT(svc.claims_received(), 100u);
+  security::TrustRegistry trust;
+  const auto result = svc.fuse(&trust);
+  const auto truth = svc.ground_truth_occupancy();
+  EXPECT_GT(decision_accuracy(result.truth_probability, truth), 0.9);
+  // Trust scores were refreshed for reporters.
+  EXPECT_GT(trust.subject_count(), 0u);
+}
+
+TEST_F(SocialFixture, UnregisteredSourcesIgnored) {
+  const auto collector = add_collector({500, 500});
+  const auto outsider = add_human({400, 400}, 0.9);
+  SocialSensingService svc(world, disp, collector, {}, {});
+  // Outsider sends a forged report directly.
+  net::Message m;
+  m.kind = "social.report";
+  m.size_bytes = 40;
+  m.payload = CellReport{outsider, 0, true};
+  net.send(world.asset(outsider).node, world.asset(collector).node, std::move(m));
+  sim.run();
+  EXPECT_EQ(svc.claims_received(), 0u);
+}
+
+// Property sweep: EM accuracy degrades gracefully with adversary fraction
+// but stays above voting.
+class AdversarySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdversarySweep, EmNotWorseThanVoting) {
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam() * 100));
+  ClaimGenConfig cfg;
+  cfg.num_sources = 40;
+  cfg.num_variables = 200;
+  cfg.report_density = 0.4;
+  cfg.adversary_fraction = GetParam();
+  const auto g = generate_claims(cfg, rng);
+  const auto em = em_truth_discovery(g.claims, cfg.num_sources, cfg.num_variables);
+  const auto vote = majority_vote(g.claims, cfg.num_variables);
+  EXPECT_GE(decision_accuracy(em.truth_probability, g.ground_truth) + 0.02,
+            decision_accuracy(vote, g.ground_truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AdversarySweep,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4));
+
+}  // namespace
+}  // namespace iobt::social

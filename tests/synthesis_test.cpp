@@ -1,0 +1,375 @@
+// Tests for assured synthesis: goals->means derivation, composition
+// solvers, assurance quantification, trust gating, and repair.
+
+#include <gtest/gtest.h>
+
+#include "synthesis/composer.h"
+#include "synthesis/decompose.h"
+#include "synthesis/mission.h"
+#include "things/population.h"
+
+namespace iobt::synthesis {
+namespace {
+
+using sim::Rect;
+using sim::Rng;
+using sim::Vec2;
+
+const Rect kArea{{0, 0}, {1000, 1000}};
+
+Candidate make_sensor_candidate(std::uint32_t id, Vec2 pos, things::Modality m,
+                                double range, double quality = 0.9,
+                                double cost = 1.0) {
+  Candidate c;
+  c.asset = id;
+  c.position = pos;
+  c.sensors = {{m, range, quality, 0.01}};
+  c.cost = cost;
+  return c;
+}
+
+MissionSpec simple_camera_spec(double coverage = 0.5, std::size_t res = 4) {
+  MissionSpec spec;
+  spec.name = "test";
+  spec.sensing.push_back({things::Modality::kCamera, kArea, coverage, 0.5, res});
+  return spec;
+}
+
+int always_reachable(std::size_t) { return 1; }
+
+// -------------------------------------------------------- Goals -> means ----
+
+TEST(DeriveSpec, EveryGoalKindProducesRequirements) {
+  for (GoalKind k : {GoalKind::kPersistentSurveillance, GoalKind::kTrackDispersedGroup,
+                     GoalKind::kEvacuationSupport, GoalKind::kSoldierHealthMonitoring,
+                     GoalKind::kDisasterRelief}) {
+    const MissionSpec spec = derive_spec({k, kArea, 1.0});
+    EXPECT_FALSE(spec.sensing.empty()) << to_string(k);
+    EXPECT_GT(spec.compute.total_flops, 0.0) << to_string(k);
+    EXPECT_GT(spec.comms.max_hops, 0) << to_string(k);
+    EXPECT_EQ(spec.name, to_string(k));
+  }
+}
+
+TEST(DeriveSpec, IntensityScalesCompute) {
+  const auto lo = derive_spec({GoalKind::kPersistentSurveillance, kArea, 1.0});
+  const auto hi = derive_spec({GoalKind::kPersistentSurveillance, kArea, 4.0});
+  EXPECT_GT(hi.compute.total_flops, lo.compute.total_flops);
+}
+
+TEST(DeriveSpec, TrackingDemandsShorterLoopAndMoreTrust) {
+  const auto track = derive_spec({GoalKind::kTrackDispersedGroup, kArea, 1.0});
+  const auto relief = derive_spec({GoalKind::kDisasterRelief, kArea, 1.0});
+  EXPECT_LT(track.comms.max_hops, relief.comms.max_hops);
+  EXPECT_GT(track.min_member_trust, relief.min_member_trust);
+}
+
+// ------------------------------------------------------------ Composition ----
+
+TEST(Composer, GreedyCoversRequirement) {
+  // 4 cameras in the quadrant centers with big range: each covers its
+  // quadrant; full coverage needs all four.
+  std::vector<Candidate> cands;
+  cands.push_back(make_sensor_candidate(0, {250, 250}, things::Modality::kCamera, 360));
+  cands.push_back(make_sensor_candidate(1, {750, 250}, things::Modality::kCamera, 360));
+  cands.push_back(make_sensor_candidate(2, {250, 750}, things::Modality::kCamera, 360));
+  cands.push_back(make_sensor_candidate(3, {750, 750}, things::Modality::kCamera, 360));
+  MissionSpec spec = simple_camera_spec(0.9, 4);
+  Composer comp(spec, cands, always_reachable);
+  const Composite c = comp.compose(Solver::kGreedy);
+  EXPECT_TRUE(c.assurance.meets_spec);
+  EXPECT_EQ(c.member_assets.size(), 4u);
+  EXPECT_GE(c.assurance.sensing_coverage[0], 0.9);
+}
+
+TEST(Composer, InfeasibleWhenNoCapableCandidates) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_sensor_candidate(0, {500, 500}, things::Modality::kSeismic, 400));
+  Composer comp(simple_camera_spec(), cands, always_reachable);
+  const Composite c = comp.compose(Solver::kGreedy);
+  EXPECT_FALSE(c.assurance.meets_spec);
+}
+
+TEST(Composer, QualityFloorFiltersWeakSensors) {
+  std::vector<Candidate> cands;
+  cands.push_back(
+      make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 900, 0.3));
+  MissionSpec spec = simple_camera_spec(0.5);
+  spec.sensing[0].min_quality = 0.5;  // candidate quality 0.3 is excluded
+  Composer comp(spec, cands, always_reachable);
+  EXPECT_FALSE(comp.compose().assurance.meets_spec);
+}
+
+TEST(Composer, TrustGateExcludesUntrusted) {
+  std::vector<Candidate> cands;
+  auto good = make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 900);
+  auto bad = make_sensor_candidate(1, {500, 500}, things::Modality::kCamera, 900);
+  bad.trust = 0.2;
+  cands = {good, bad};
+  MissionSpec spec = simple_camera_spec(0.5);
+  spec.min_member_trust = 0.4;
+  Composer comp(spec, cands, always_reachable);
+  ASSERT_EQ(comp.admissible().size(), 1u);
+  EXPECT_EQ(comp.admissible()[0], 0u);
+  const Composite c = comp.compose();
+  EXPECT_TRUE(c.assurance.meets_spec);
+  EXPECT_EQ(c.member_assets, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Composer, CommsGateExcludesUnreachable) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 900));
+  cands.push_back(make_sensor_candidate(1, {500, 500}, things::Modality::kCamera, 900));
+  MissionSpec spec = simple_camera_spec(0.5);
+  spec.comms.max_hops = 3;
+  // Candidate 0 unreachable, candidate 1 is 2 hops away.
+  Composer comp(spec, cands, [](std::size_t i) { return i == 0 ? -1 : 2; });
+  ASSERT_EQ(comp.admissible().size(), 1u);
+  EXPECT_EQ(comp.admissible()[0], 1u);
+}
+
+TEST(Composer, ComputeAndActuationRequirements) {
+  std::vector<Candidate> cands;
+  auto sensor = make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 900);
+  sensor.compute.flops = 1e9;
+  Candidate compute_node;
+  compute_node.asset = 1;
+  compute_node.position = {100, 100};
+  compute_node.compute.flops = 1e12;
+  Candidate actuator;
+  actuator.asset = 2;
+  actuator.position = {500, 500};
+  actuator.actuators = {{things::ActuationKind::kSignage, 30.0}};
+  cands = {sensor, compute_node, actuator};
+
+  MissionSpec spec = simple_camera_spec(0.5);
+  spec.compute.total_flops = 5e11;
+  spec.actuation.push_back({things::ActuationKind::kSignage, kArea, 1});
+  Composer comp(spec, cands, always_reachable);
+  const Composite c = comp.compose();
+  EXPECT_TRUE(c.assurance.meets_spec);
+  EXPECT_EQ(c.member_assets.size(), 3u);  // needs all three roles
+  EXPECT_GE(c.assurance.total_flops, 5e11);
+  EXPECT_EQ(c.assurance.actuation_counts[0], 1u);
+}
+
+TEST(Composer, LocalSearchNeverWorseThanGreedy) {
+  Rng rng(11);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera,
+        rng.uniform(150, 400), 0.9, rng.uniform(1.0, 3.0)));
+  }
+  MissionSpec spec = simple_camera_spec(0.7, 8);
+  Composer comp(spec, cands, always_reachable);
+  const Composite g = comp.compose(Solver::kGreedy);
+  const Composite ls = comp.compose(Solver::kLocalSearch);
+  ASSERT_TRUE(g.assurance.meets_spec);
+  ASSERT_TRUE(ls.assurance.meets_spec);
+  double gc = 0, lc = 0;
+  for (std::size_t m : g.member_indices) gc += cands[m].cost;
+  for (std::size_t m : ls.member_indices) lc += cands[m].cost;
+  EXPECT_LE(lc, gc + 1e-9);
+}
+
+TEST(Composer, ExactMatchesOrBeatsLocalSearchOnSmallInstances) {
+  Rng rng(13);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera,
+        rng.uniform(200, 500), 0.9, rng.uniform(1.0, 2.0)));
+  }
+  MissionSpec spec = simple_camera_spec(0.5, 5);
+  Composer comp(spec, cands, always_reachable);
+  const Composite ls = comp.compose(Solver::kLocalSearch);
+  const Composite ex = comp.compose(Solver::kExact);
+  if (ls.assurance.meets_spec) {
+    ASSERT_TRUE(ex.assurance.meets_spec);
+    double lc = 0, ec = 0;
+    for (std::size_t m : ls.member_indices) lc += cands[m].cost;
+    for (std::size_t m : ex.member_indices) ec += cands[m].cost;
+    EXPECT_LE(ec, lc + 1e-9);
+  }
+}
+
+TEST(Composer, RiskGateRejectsUntrustworthyComposite) {
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto c = make_sensor_candidate(i, {500, 500}, things::Modality::kCamera, 900);
+    c.trust = 0.55;  // admissible but collectively risky
+    c.certified = false;
+    cands.push_back(c);
+  }
+  MissionSpec spec = simple_camera_spec(0.5);
+  spec.min_member_trust = 0.5;
+  spec.max_residual_risk = 0.2;  // strict assurance bar
+  Composer comp(spec, cands, always_reachable);
+  const Composite c = comp.compose();
+  EXPECT_FALSE(c.assurance.meets_spec);
+  EXPECT_GT(c.assurance.risk.residual_risk, 0.2);
+}
+
+TEST(Composer, RepairRestoresFeasibilityAfterLoss) {
+  // Two redundant cameras per quadrant; kill one per quadrant.
+  std::vector<Candidate> cands;
+  std::uint32_t id = 0;
+  for (double x : {250.0, 750.0}) {
+    for (double y : {250.0, 750.0}) {
+      cands.push_back(make_sensor_candidate(id++, {x, y}, things::Modality::kCamera, 360));
+      cands.push_back(
+          make_sensor_candidate(id++, {x + 10, y + 10}, things::Modality::kCamera, 360));
+    }
+  }
+  MissionSpec spec = simple_camera_spec(0.9, 4);
+  Composer comp(spec, cands, always_reachable);
+  Composite c = comp.compose(Solver::kGreedy);
+  ASSERT_TRUE(c.assurance.meets_spec);
+
+  // Lose two selected members.
+  std::vector<std::uint32_t> lost = {c.member_assets[0], c.member_assets[1]};
+  const Composite repaired = comp.repair(c, lost);
+  EXPECT_TRUE(repaired.assurance.meets_spec);
+  for (std::uint32_t l : lost) {
+    for (std::uint32_t m : repaired.member_assets) EXPECT_NE(m, l);
+  }
+}
+
+TEST(Composer, RepairCheaperThanRecompose) {
+  Rng rng(17);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera,
+        rng.uniform(200, 400)));
+  }
+  MissionSpec spec = simple_camera_spec(0.8, 8);
+  Composer comp(spec, cands, always_reachable);
+  Composite c = comp.compose(Solver::kGreedy);
+  ASSERT_TRUE(c.assurance.meets_spec);
+  const std::uint64_t full_cost = c.evaluations;
+
+  const Composite repaired = comp.repair(c, {c.member_assets[0]});
+  EXPECT_TRUE(repaired.assurance.meets_spec);
+  EXPECT_LT(repaired.evaluations, full_cost);
+}
+
+TEST(Composer, EvaluateEmptySetIsInfeasible) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 900));
+  Composer comp(simple_camera_spec(0.5), cands, always_reachable);
+  EXPECT_FALSE(comp.evaluate({}).meets_spec);
+}
+
+TEST(CandidatesFromWorld, MapsAssetsAndTrust) {
+  sim::Simulator sim;
+  net::Network net{sim, net::ChannelModel(2.0, 0.0), Rng(5)};
+  things::World world{sim, net, kArea, Rng(6)};
+  Rng r(1);
+  const auto drone = world.add_asset(
+      things::make_asset_template(things::DeviceClass::kDrone,
+                                  things::Affiliation::kBlue, r),
+      {100, 100}, things::radio_for_class(things::DeviceClass::kDrone));
+  const auto phone = world.add_asset(
+      things::make_asset_template(things::DeviceClass::kSmartphone,
+                                  things::Affiliation::kGray, r),
+      {200, 200}, things::radio_for_class(things::DeviceClass::kSmartphone));
+  world.destroy_asset(phone);
+
+  security::TrustRegistry trust;
+  trust.record(drone, true);
+  const auto cands = candidates_from_world(world, &trust);
+  ASSERT_EQ(cands.size(), 1u);  // dead assets excluded
+  EXPECT_EQ(cands[0].asset, drone);
+  EXPECT_TRUE(cands[0].certified);
+  EXPECT_GT(cands[0].trust, 0.5);
+  EXPECT_DOUBLE_EQ(cands[0].cost, 3.0);
+}
+
+
+// -------------------------------------------------------- Decomposition ----
+
+TEST(Decompose, TiledSolveIsFeasibleAndBoundedWorse) {
+  Rng rng(31);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera,
+        rng.uniform(150, 300)));
+  }
+  MissionSpec spec = simple_camera_spec(0.7, 12);
+  Composer flat(spec, cands, always_reachable);
+  const Composite f = flat.compose(Solver::kGreedy);
+  ASSERT_TRUE(f.assurance.meets_spec);
+
+  const auto d = compose_decomposed(spec, cands, always_reachable, 2);
+  EXPECT_TRUE(d.composite.assurance.meets_spec);
+  EXPECT_EQ(d.subproblems, 4u);
+  // Duplication cost is bounded: at most ~2x the flat member count.
+  EXPECT_LE(d.composite.member_assets.size(), 2 * f.member_assets.size());
+  // Parallel critical path is smaller than the flat solve's total work.
+  EXPECT_LT(d.critical_path_evaluations, f.evaluations);
+}
+
+TEST(Decompose, SingleTileMatchesFlatGreedyFeasibility) {
+  Rng rng(33);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera,
+        rng.uniform(200, 400)));
+  }
+  MissionSpec spec = simple_camera_spec(0.6, 6);
+  Composer flat(spec, cands, always_reachable);
+  const auto d = compose_decomposed(spec, cands, always_reachable, 1);
+  EXPECT_EQ(flat.compose().assurance.meets_spec, d.composite.assurance.meets_spec);
+}
+
+TEST(Decompose, HandlesAggregateRequirements) {
+  Rng rng(35);
+  std::vector<Candidate> cands;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    auto c = make_sensor_candidate(i, {rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                                   things::Modality::kCamera, rng.uniform(200, 350));
+    c.compute.flops = 1e9;
+    cands.push_back(c);
+  }
+  Candidate edge;
+  edge.asset = 1000;
+  edge.position = {500, 500};
+  edge.compute.flops = 1e12;
+  cands.push_back(edge);
+
+  MissionSpec spec = simple_camera_spec(0.6, 8);
+  spec.compute.total_flops = 5e11;  // only the edge server satisfies this
+  const auto d = compose_decomposed(spec, cands, always_reachable, 2);
+  EXPECT_TRUE(d.composite.assurance.meets_spec);
+  bool has_edge = false;
+  for (auto a : d.composite.member_assets) has_edge |= (a == 1000);
+  EXPECT_TRUE(has_edge);  // the top-up pass recruited the compute node
+}
+
+// Property sweep: greedy output is always feasible when the oracle says a
+// feasible single-candidate solution exists.
+class CoverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageSweep, GreedyFeasibleWhenGiantSensorExists) {
+  std::vector<Candidate> cands;
+  // One sensor covering everything plus noise candidates.
+  cands.push_back(make_sensor_candidate(0, {500, 500}, things::Modality::kCamera, 800));
+  Rng rng(23);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    cands.push_back(make_sensor_candidate(
+        i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, things::Modality::kCamera, 100));
+  }
+  MissionSpec spec = simple_camera_spec(GetParam(), 6);
+  Composer comp(spec, cands, always_reachable);
+  EXPECT_TRUE(comp.compose().assurance.meets_spec) << "coverage=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, CoverageSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace iobt::synthesis

@@ -1,0 +1,386 @@
+// Tests for the asset substrate: capabilities, energy, mobility, sensing,
+// world lifecycle, population generation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "things/population.h"
+#include "things/sensors.h"
+#include "things/world.h"
+
+namespace iobt::things {
+namespace {
+
+using sim::Duration;
+using sim::Rect;
+using sim::Rng;
+using sim::Simulator;
+using sim::Vec2;
+
+const Rect kArea{{0, 0}, {1000, 1000}};
+
+struct WorldFixture : ::testing::Test {
+  Simulator sim;
+  net::ChannelModel channel{2.0, 0.0};
+  net::Network net{sim, channel, Rng(5)};
+  World world{sim, net, kArea, Rng(6)};
+};
+
+// --------------------------------------------------------------- Energy ----
+
+TEST(Energy, UnlimitedNeverDepletes) {
+  EnergyModel e(0.0);
+  EXPECT_TRUE(e.unlimited());
+  e.drain(1e9);
+  EXPECT_FALSE(e.depleted());
+  EXPECT_DOUBLE_EQ(e.fraction_remaining(), 1.0);
+}
+
+TEST(Energy, DrainsToDepletion) {
+  EnergyModel e(10.0);
+  e.drain(4.0);
+  EXPECT_DOUBLE_EQ(e.remaining_j(), 6.0);
+  EXPECT_DOUBLE_EQ(e.fraction_remaining(), 0.6);
+  e.drain(100.0);
+  EXPECT_TRUE(e.depleted());
+  EXPECT_DOUBLE_EQ(e.remaining_j(), 0.0);
+  e.recharge_full();
+  EXPECT_FALSE(e.depleted());
+}
+
+TEST(Energy, CostKnobs) {
+  EnergyModel e(1.0);
+  e.tx_cost_per_byte = 0.001;
+  e.drain_tx(100);
+  EXPECT_NEAR(e.remaining_j(), 0.9, 1e-12);
+}
+
+// ------------------------------------------------------------- Mobility ----
+
+TEST(Mobility, StationaryStaysPut) {
+  Stationary s;
+  EXPECT_EQ(s.step({5, 5}, 100.0), (Vec2{5, 5}));
+}
+
+TEST(Mobility, RandomWaypointStaysInAreaAndMoves) {
+  RandomWaypoint m(kArea, 10.0, 0.0, Rng(1));
+  Vec2 p{500, 500};
+  double total_moved = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 q = m.step(p, 1.0);
+    EXPECT_TRUE(kArea.contains(q));
+    total_moved += sim::distance(p, q);
+    p = q;
+  }
+  EXPECT_GT(total_moved, 100.0);
+  // Speed limit respected per step.
+  RandomWaypoint m2(kArea, 10.0, 0.0, Rng(2));
+  Vec2 a{500, 500};
+  const Vec2 b = m2.step(a, 1.0);
+  EXPECT_LE(sim::distance(a, b), 10.0 + 1e-9);
+}
+
+TEST(Mobility, RandomWaypointPauses) {
+  RandomWaypoint m(kArea, 1000.0, 5.0, Rng(3));
+  // With extreme speed the walker reaches its waypoint within the step and
+  // then pauses; over a short horizon total displacement is bounded.
+  Vec2 p{500, 500};
+  p = m.step(p, 1.0);       // reaches first waypoint, starts pause
+  const Vec2 paused = m.step(p, 1.0);  // inside the 5 s pause
+  EXPECT_EQ(p, paused);
+}
+
+TEST(Mobility, GridPatrolMovesAlongAxes) {
+  GridPatrol m(kArea, 100.0, 5.0, Rng(4));
+  Vec2 p{500, 500};
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 q = m.step(p, 1.0);
+    EXPECT_TRUE(kArea.contains(q));
+    // Axis-aligned motion: at most one coordinate changes per small step
+    // (may corner exactly at an intersection, so allow both to move but
+    // total displacement bounded by speed * dt).
+    EXPECT_LE(sim::distance(p, q), 5.0 + 1e-9);
+    p = q;
+  }
+}
+
+TEST(Mobility, SeekPointArrivesAndStops) {
+  SeekPoint m({10, 0}, 3.0);
+  Vec2 p{0, 0};
+  p = m.step(p, 1.0);
+  EXPECT_NEAR(p.x, 3.0, 1e-9);
+  for (int i = 0; i < 10; ++i) p = m.step(p, 1.0);
+  EXPECT_EQ(p, (Vec2{10, 0}));
+  EXPECT_TRUE(m.arrived(p));
+}
+
+// -------------------------------------------------------------- Sensors ----
+
+TEST(Sensors, DetectionProbabilityDecaysWithDistance) {
+  SenseCapability cap{Modality::kCamera, 100.0, 0.9, 0.0};
+  EXPECT_DOUBLE_EQ(detection_probability(cap, 0.0), 0.9);
+  EXPECT_GT(detection_probability(cap, 30.0), detection_probability(cap, 80.0));
+  EXPECT_DOUBLE_EQ(detection_probability(cap, 150.0), 0.0);
+}
+
+TEST(Sensors, SenseTargetsFindsCloseTargets) {
+  Rng rng(9);
+  Asset a;
+  a.id = 3;
+  SenseCapability cap{Modality::kCamera, 100.0, 1.0, 0.0};
+  std::vector<std::pair<TargetId, Vec2>> targets = {{0, {10, 0}}, {1, {500, 500}}};
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto obs = sense_targets(a, cap, {0, 0}, targets, sim::SimTime::zero(),
+                                   kArea, rng);
+    for (const auto& o : obs) {
+      ASSERT_TRUE(o.truth_target.has_value());
+      EXPECT_EQ(*o.truth_target, 0u);  // far target never seen
+      EXPECT_EQ(o.sensor, 3u);
+      EXPECT_EQ(o.modality, Modality::kCamera);
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 90);  // p(detect at 10 m of 100 m range) = 0.99
+}
+
+TEST(Sensors, FalsePositivesHaveNoTruthTarget) {
+  Rng rng(10);
+  Asset a;
+  SenseCapability cap{Modality::kCamera, 100.0, 0.0, 1.0};  // only FPs
+  int fps = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto obs = sense_targets(a, cap, {500, 500}, {}, sim::SimTime::zero(),
+                                   kArea, rng);
+    for (const auto& o : obs) {
+      EXPECT_FALSE(o.truth_target.has_value());
+      EXPECT_TRUE(kArea.contains(o.position));
+      ++fps;
+    }
+  }
+  EXPECT_EQ(fps, 50);
+}
+
+TEST(Sensors, PositionNoiseGrowsWithDistance) {
+  SenseCapability cap{Modality::kRadar, 200.0, 0.9, 0.0};
+  EXPECT_LT(position_noise_stddev(cap, 0.0), position_noise_stddev(cap, 190.0));
+}
+
+// ---------------------------------------------------------------- Asset ----
+
+TEST(Asset, CapabilityLookup) {
+  Rng rng(1);
+  Asset a = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, rng);
+  EXPECT_TRUE(a.has_sensor(Modality::kCamera));
+  EXPECT_TRUE(a.has_sensor(Modality::kRadar));
+  EXPECT_FALSE(a.has_sensor(Modality::kChemical));
+  EXPECT_NE(a.sensor(Modality::kLidar), nullptr);
+  EXPECT_TRUE(a.has_actuator(ActuationKind::kRelay));
+  EXPECT_FALSE(a.has_actuator(ActuationKind::kDemolition));
+}
+
+TEST(Asset, RedAssetsHideFromProbes) {
+  Rng rng(1);
+  Asset red = make_asset_template(DeviceClass::kSmartphone, Affiliation::kRed, rng);
+  Asset blue = make_asset_template(DeviceClass::kSmartphone, Affiliation::kBlue, rng);
+  EXPECT_FALSE(red.emissions.responds_to_probe);
+  EXPECT_DOUBLE_EQ(red.emissions.beacon_period_s, 0.0);
+  EXPECT_TRUE(blue.emissions.responds_to_probe);
+  EXPECT_GT(red.emissions.side_channel_rate_hz, 0.0);  // still leaks
+}
+
+// ---------------------------------------------------------------- World ----
+
+TEST_F(WorldFixture, AddAssetAssignsIdsAndNodes) {
+  Rng r(1);
+  const AssetId a = world.add_asset(
+      make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r), {10, 10},
+      radio_for_class(DeviceClass::kSensorMote));
+  const AssetId b = world.add_asset(
+      make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, r), {20, 20},
+      radio_for_class(DeviceClass::kDrone));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_NE(world.asset(a).node, world.asset(b).node);
+  EXPECT_EQ(world.asset_position(a), (Vec2{10, 10}));
+  EXPECT_EQ(world.live_asset_count(), 2u);
+}
+
+TEST_F(WorldFixture, DestroyAssetTakesNodeDownAndFiresHook) {
+  Rng r(1);
+  const AssetId a = world.add_asset(
+      make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r), {10, 10},
+      radio_for_class(DeviceClass::kSensorMote));
+  AssetId hook_id = 999;
+  world.on_asset_down([&](AssetId id) { hook_id = id; });
+  world.destroy_asset(a);
+  EXPECT_FALSE(world.asset_live(a));
+  EXPECT_FALSE(net.node_up(world.asset(a).node));
+  EXPECT_EQ(hook_id, a);
+  // Destroying twice does not re-fire.
+  hook_id = 999;
+  world.destroy_asset(a);
+  EXPECT_EQ(hook_id, 999u);
+}
+
+TEST_F(WorldFixture, TickMovesMobileAssetsAndTargets) {
+  Rng r(1);
+  Asset drone = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, r);
+  drone.mobility = std::make_shared<RandomWaypoint>(kArea, 20.0, 0.0, Rng(50));
+  const AssetId a = world.add_asset(std::move(drone), {500, 500},
+                                    radio_for_class(DeviceClass::kDrone));
+  const TargetId t = world.add_target(
+      {100, 100}, std::make_shared<RandomWaypoint>(kArea, 5.0, 0.0, Rng(51)), "civilian");
+  world.start(Duration::seconds(1.0));
+  sim.run_until(sim::SimTime::seconds(30));
+  EXPECT_NE(world.asset_position(a), (Vec2{500, 500}));
+  EXPECT_NE(world.target(t).position, (Vec2{100, 100}));
+  EXPECT_TRUE(kArea.contains(world.asset_position(a)));
+}
+
+TEST_F(WorldFixture, EnergyDepletionKillsAsset) {
+  Rng r(1);
+  Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  mote.energy = EnergyModel(0.5);  // tiny battery
+  mote.energy.idle_cost_per_s = 0.1;
+  const AssetId a = world.add_asset(std::move(mote), {10, 10},
+                                    radio_for_class(DeviceClass::kSensorMote));
+  int downs = 0;
+  world.on_asset_down([&](AssetId) { ++downs; });
+  world.start(Duration::seconds(1.0));
+  sim.run_until(sim::SimTime::seconds(10));
+  EXPECT_FALSE(world.asset_live(a));
+  EXPECT_EQ(downs, 1);
+}
+
+TEST_F(WorldFixture, SenseRequiresModalityAndLife) {
+  Rng r(1);
+  Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  mote.sensors = {{Modality::kSeismic, 200.0, 1.0, 0.0}};
+  const AssetId a = world.add_asset(std::move(mote), {100, 100},
+                                    radio_for_class(DeviceClass::kSensorMote));
+  // Point-blank target: detection probability ~1 even on a single draw.
+  world.add_target({100.5, 100}, nullptr, "vehicle");
+  EXPECT_FALSE(world.sense(a, Modality::kSeismic).empty());
+  EXPECT_TRUE(world.sense(a, Modality::kCamera).empty());  // no such sensor
+  world.destroy_asset(a);
+  EXPECT_TRUE(world.sense(a, Modality::kSeismic).empty());
+}
+
+TEST_F(WorldFixture, SenseAllOnlyUsesBlueAssets) {
+  Rng r(1);
+  Asset blue = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  blue.sensors = {{Modality::kSeismic, 500.0, 1.0, 0.0}};
+  Asset red = make_asset_template(DeviceClass::kSensorMote, Affiliation::kRed, r);
+  red.sensors = {{Modality::kSeismic, 500.0, 1.0, 0.0}};
+  const AssetId b = world.add_asset(std::move(blue), {100, 100},
+                                    radio_for_class(DeviceClass::kSensorMote));
+  world.add_asset(std::move(red), {100, 100}, radio_for_class(DeviceClass::kSensorMote));
+  world.add_target({120, 100}, nullptr, "vehicle");
+  const auto obs = world.sense_all(Modality::kSeismic);
+  for (const auto& o : obs) EXPECT_EQ(o.sensor, b);
+}
+
+// ----------------------------------------------------------- Population ----
+
+TEST_F(WorldFixture, BuildPopulationCreatesConfiguredCounts) {
+  PopulationConfig cfg = small_team_config();
+  Rng r(77);
+  const auto ids = build_population(world, cfg, r);
+  EXPECT_EQ(ids.size(), cfg.total());
+  EXPECT_EQ(world.asset_count(), cfg.total());
+
+  std::map<DeviceClass, int> by_class;
+  for (const auto& a : world.assets()) ++by_class[a.device_class];
+  EXPECT_EQ(by_class[DeviceClass::kDrone], 3);
+  EXPECT_EQ(by_class[DeviceClass::kEdgeServer], 1);
+  EXPECT_EQ(by_class[DeviceClass::kHuman], 4);
+}
+
+TEST_F(WorldFixture, PopulationAffiliationMixRoughlyMatchesConfig) {
+  PopulationConfig cfg;
+  cfg.smartphones = 600;
+  cfg.red_fraction = 0.1;
+  cfg.gray_fraction = 0.3;
+  Rng r(78);
+  build_population(world, cfg, r);
+  int red = 0, gray = 0, blue = 0;
+  for (const auto& a : world.assets()) {
+    switch (a.affiliation) {
+      case Affiliation::kRed: ++red; break;
+      case Affiliation::kGray: ++gray; break;
+      case Affiliation::kBlue: ++blue; break;
+    }
+  }
+  EXPECT_NEAR(red / 600.0, 0.1, 0.05);
+  EXPECT_NEAR(gray / 600.0, 0.3, 0.07);
+  EXPECT_GT(blue, 0);
+}
+
+TEST_F(WorldFixture, PopulationIsDeterministicPerSeed) {
+  PopulationConfig cfg = small_team_config();
+  Rng r1(99);
+  build_population(world, cfg, r1);
+  std::vector<Vec2> pos1;
+  for (const auto& a : world.assets()) pos1.push_back(world.asset_position(a.id));
+
+  Simulator sim2;
+  net::Network net2{sim2, net::ChannelModel(2.0, 0.0), Rng(5)};
+  World world2{sim2, net2, kArea, Rng(6)};
+  Rng r2(99);
+  build_population(world2, cfg, r2);
+  std::vector<Vec2> pos2;
+  for (const auto& a : world2.assets()) pos2.push_back(world2.asset_position(a.id));
+  EXPECT_EQ(pos1, pos2);
+}
+
+TEST_F(WorldFixture, HumansHaveReliabilityInConfiguredRange) {
+  PopulationConfig cfg;
+  cfg.humans = 200;
+  cfg.red_fraction = 0.0;
+  cfg.gray_fraction = 0.0;
+  cfg.human_reliability_min = 0.6;
+  cfg.human_reliability_max = 0.95;
+  Rng r(100);
+  build_population(world, cfg, r);
+  for (const auto& a : world.assets()) {
+    EXPECT_GE(a.report_reliability, 0.6);
+    EXPECT_LE(a.report_reliability, 0.95);
+  }
+}
+
+TEST(PopulationConfigs, ScalesAreOrdered) {
+  EXPECT_LT(small_team_config().total(), company_config().total());
+  EXPECT_LT(urban_scenario_config(1).total(), urban_scenario_config(4).total());
+  EXPECT_EQ(urban_scenario_config(2).total(), 2 * urban_scenario_config(1).total());
+}
+
+// Property: every device class template has a radio and some capability.
+class ClassTemplates : public ::testing::TestWithParam<DeviceClass> {};
+
+TEST_P(ClassTemplates, TemplatesAreWellFormed) {
+  Rng r(7);
+  const Asset a = make_asset_template(GetParam(), Affiliation::kBlue, r);
+  const auto radio = radio_for_class(GetParam());
+  EXPECT_GT(radio.range_m, 0.0);
+  EXPECT_GT(radio.data_rate_bps, 0.0);
+  EXPECT_FALSE(a.sensors.empty() && a.actuators.empty());
+  EXPECT_GT(a.compute.flops, 0.0);
+  for (const auto& s : a.sensors) {
+    EXPECT_GT(s.range_m, 0.0);
+    EXPECT_GT(s.quality, 0.0);
+    EXPECT_LE(s.quality, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, ClassTemplates,
+    ::testing::Values(DeviceClass::kTag, DeviceClass::kSensorMote,
+                      DeviceClass::kWearable, DeviceClass::kSmartphone,
+                      DeviceClass::kDrone, DeviceClass::kGroundRobot,
+                      DeviceClass::kVehicle, DeviceClass::kEdgeServer,
+                      DeviceClass::kHuman));
+
+}  // namespace
+}  // namespace iobt::things
