@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_autonomy.cpp" "bench/CMakeFiles/bench_autonomy.dir/bench_autonomy.cpp.o" "gcc" "bench/CMakeFiles/bench_autonomy.dir/bench_autonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iobt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/iobt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/iobt_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/iobt_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/iobt_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/iobt_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/iobt_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/iobt_intent.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/iobt_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/iobt_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/things/CMakeFiles/iobt_things.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/iobt_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

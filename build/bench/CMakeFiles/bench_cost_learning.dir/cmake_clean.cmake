@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_learning.dir/bench_cost_learning.cpp.o"
+  "CMakeFiles/bench_cost_learning.dir/bench_cost_learning.cpp.o.d"
+  "bench_cost_learning"
+  "bench_cost_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intent.dir/bench_intent.cpp.o"
+  "CMakeFiles/bench_intent.dir/bench_intent.cpp.o.d"
+  "bench_intent"
+  "bench_intent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

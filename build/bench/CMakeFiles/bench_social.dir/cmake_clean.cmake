@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_social.dir/bench_social.cpp.o"
+  "CMakeFiles/bench_social.dir/bench_social.cpp.o.d"
+  "bench_social"
+  "bench_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tomography.dir/bench_tomography.cpp.o"
+  "CMakeFiles/bench_tomography.dir/bench_tomography.cpp.o.d"
+  "bench_tomography"
+  "bench_tomography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

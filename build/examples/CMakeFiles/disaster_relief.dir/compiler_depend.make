@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for disaster_relief.
+# This may be replaced when dependencies are built.

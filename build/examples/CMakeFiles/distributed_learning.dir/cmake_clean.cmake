@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_learning.dir/distributed_learning.cpp.o"
+  "CMakeFiles/distributed_learning.dir/distributed_learning.cpp.o.d"
+  "distributed_learning"
+  "distributed_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("things")
+subdirs("discovery")
+subdirs("social")
+subdirs("synthesis")
+subdirs("adapt")
+subdirs("intent")
+subdirs("learn")
+subdirs("diag")
+subdirs("track")
+subdirs("flow")
+subdirs("security")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/allocation.cpp" "src/adapt/CMakeFiles/iobt_adapt.dir/allocation.cpp.o" "gcc" "src/adapt/CMakeFiles/iobt_adapt.dir/allocation.cpp.o.d"
+  "/root/repo/src/adapt/monitor.cpp" "src/adapt/CMakeFiles/iobt_adapt.dir/monitor.cpp.o" "gcc" "src/adapt/CMakeFiles/iobt_adapt.dir/monitor.cpp.o.d"
+  "/root/repo/src/adapt/reflex.cpp" "src/adapt/CMakeFiles/iobt_adapt.dir/reflex.cpp.o" "gcc" "src/adapt/CMakeFiles/iobt_adapt.dir/reflex.cpp.o.d"
+  "/root/repo/src/adapt/selfstab.cpp" "src/adapt/CMakeFiles/iobt_adapt.dir/selfstab.cpp.o" "gcc" "src/adapt/CMakeFiles/iobt_adapt.dir/selfstab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/things/CMakeFiles/iobt_things.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_adapt.dir/allocation.cpp.o"
+  "CMakeFiles/iobt_adapt.dir/allocation.cpp.o.d"
+  "CMakeFiles/iobt_adapt.dir/monitor.cpp.o"
+  "CMakeFiles/iobt_adapt.dir/monitor.cpp.o.d"
+  "CMakeFiles/iobt_adapt.dir/reflex.cpp.o"
+  "CMakeFiles/iobt_adapt.dir/reflex.cpp.o.d"
+  "CMakeFiles/iobt_adapt.dir/selfstab.cpp.o"
+  "CMakeFiles/iobt_adapt.dir/selfstab.cpp.o.d"
+  "libiobt_adapt.a"
+  "libiobt_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

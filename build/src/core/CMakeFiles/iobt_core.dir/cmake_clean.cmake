@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_core.dir/runtime.cpp.o"
+  "CMakeFiles/iobt_core.dir/runtime.cpp.o.d"
+  "libiobt_core.a"
+  "libiobt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_diag.dir/health.cpp.o"
+  "CMakeFiles/iobt_diag.dir/health.cpp.o.d"
+  "CMakeFiles/iobt_diag.dir/tomography.cpp.o"
+  "CMakeFiles/iobt_diag.dir/tomography.cpp.o.d"
+  "libiobt_diag.a"
+  "libiobt_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

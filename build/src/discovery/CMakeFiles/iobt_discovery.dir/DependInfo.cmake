@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/characterize.cpp" "src/discovery/CMakeFiles/iobt_discovery.dir/characterize.cpp.o" "gcc" "src/discovery/CMakeFiles/iobt_discovery.dir/characterize.cpp.o.d"
+  "/root/repo/src/discovery/service.cpp" "src/discovery/CMakeFiles/iobt_discovery.dir/service.cpp.o" "gcc" "src/discovery/CMakeFiles/iobt_discovery.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/things/CMakeFiles/iobt_things.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/iobt_security.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

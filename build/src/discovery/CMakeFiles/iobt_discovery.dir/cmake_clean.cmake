@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_discovery.dir/characterize.cpp.o"
+  "CMakeFiles/iobt_discovery.dir/characterize.cpp.o.d"
+  "CMakeFiles/iobt_discovery.dir/service.cpp.o"
+  "CMakeFiles/iobt_discovery.dir/service.cpp.o.d"
+  "libiobt_discovery.a"
+  "libiobt_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

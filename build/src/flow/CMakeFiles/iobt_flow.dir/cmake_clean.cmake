@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_flow.dir/graph.cpp.o"
+  "CMakeFiles/iobt_flow.dir/graph.cpp.o.d"
+  "CMakeFiles/iobt_flow.dir/placement.cpp.o"
+  "CMakeFiles/iobt_flow.dir/placement.cpp.o.d"
+  "libiobt_flow.a"
+  "libiobt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_intent.dir/games.cpp.o"
+  "CMakeFiles/iobt_intent.dir/games.cpp.o.d"
+  "CMakeFiles/iobt_intent.dir/security_game.cpp.o"
+  "CMakeFiles/iobt_intent.dir/security_game.cpp.o.d"
+  "libiobt_intent.a"
+  "libiobt_intent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_intent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

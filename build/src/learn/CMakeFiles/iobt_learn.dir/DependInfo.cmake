@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/adversarial.cpp" "src/learn/CMakeFiles/iobt_learn.dir/adversarial.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/adversarial.cpp.o.d"
+  "/root/repo/src/learn/aggregation.cpp" "src/learn/CMakeFiles/iobt_learn.dir/aggregation.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/aggregation.cpp.o.d"
+  "/root/repo/src/learn/continual.cpp" "src/learn/CMakeFiles/iobt_learn.dir/continual.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/continual.cpp.o.d"
+  "/root/repo/src/learn/cost.cpp" "src/learn/CMakeFiles/iobt_learn.dir/cost.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/cost.cpp.o.d"
+  "/root/repo/src/learn/data.cpp" "src/learn/CMakeFiles/iobt_learn.dir/data.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/data.cpp.o.d"
+  "/root/repo/src/learn/federated.cpp" "src/learn/CMakeFiles/iobt_learn.dir/federated.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/federated.cpp.o.d"
+  "/root/repo/src/learn/model.cpp" "src/learn/CMakeFiles/iobt_learn.dir/model.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/model.cpp.o.d"
+  "/root/repo/src/learn/safety.cpp" "src/learn/CMakeFiles/iobt_learn.dir/safety.cpp.o" "gcc" "src/learn/CMakeFiles/iobt_learn.dir/safety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_learn.dir/adversarial.cpp.o"
+  "CMakeFiles/iobt_learn.dir/adversarial.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/aggregation.cpp.o"
+  "CMakeFiles/iobt_learn.dir/aggregation.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/continual.cpp.o"
+  "CMakeFiles/iobt_learn.dir/continual.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/cost.cpp.o"
+  "CMakeFiles/iobt_learn.dir/cost.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/data.cpp.o"
+  "CMakeFiles/iobt_learn.dir/data.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/federated.cpp.o"
+  "CMakeFiles/iobt_learn.dir/federated.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/model.cpp.o"
+  "CMakeFiles/iobt_learn.dir/model.cpp.o.d"
+  "CMakeFiles/iobt_learn.dir/safety.cpp.o"
+  "CMakeFiles/iobt_learn.dir/safety.cpp.o.d"
+  "libiobt_learn.a"
+  "libiobt_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

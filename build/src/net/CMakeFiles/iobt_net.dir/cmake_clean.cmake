@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_net.dir/channel.cpp.o"
+  "CMakeFiles/iobt_net.dir/channel.cpp.o.d"
+  "CMakeFiles/iobt_net.dir/network.cpp.o"
+  "CMakeFiles/iobt_net.dir/network.cpp.o.d"
+  "CMakeFiles/iobt_net.dir/reliable.cpp.o"
+  "CMakeFiles/iobt_net.dir/reliable.cpp.o.d"
+  "CMakeFiles/iobt_net.dir/topology.cpp.o"
+  "CMakeFiles/iobt_net.dir/topology.cpp.o.d"
+  "libiobt_net.a"
+  "libiobt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_security.dir/attacks.cpp.o"
+  "CMakeFiles/iobt_security.dir/attacks.cpp.o.d"
+  "libiobt_security.a"
+  "libiobt_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

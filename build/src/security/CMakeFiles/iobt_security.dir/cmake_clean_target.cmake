@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiobt_security.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_sim.dir/metrics.cpp.o"
+  "CMakeFiles/iobt_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/iobt_sim.dir/rng.cpp.o"
+  "CMakeFiles/iobt_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/iobt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/iobt_sim.dir/simulator.cpp.o.d"
+  "libiobt_sim.a"
+  "libiobt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

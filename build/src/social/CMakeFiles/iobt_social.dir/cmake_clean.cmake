@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_social.dir/service.cpp.o"
+  "CMakeFiles/iobt_social.dir/service.cpp.o.d"
+  "CMakeFiles/iobt_social.dir/truth_discovery.cpp.o"
+  "CMakeFiles/iobt_social.dir/truth_discovery.cpp.o.d"
+  "libiobt_social.a"
+  "libiobt_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_synthesis.dir/composer.cpp.o"
+  "CMakeFiles/iobt_synthesis.dir/composer.cpp.o.d"
+  "CMakeFiles/iobt_synthesis.dir/decompose.cpp.o"
+  "CMakeFiles/iobt_synthesis.dir/decompose.cpp.o.d"
+  "CMakeFiles/iobt_synthesis.dir/mission.cpp.o"
+  "CMakeFiles/iobt_synthesis.dir/mission.cpp.o.d"
+  "libiobt_synthesis.a"
+  "libiobt_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/things/capability.cpp" "src/things/CMakeFiles/iobt_things.dir/capability.cpp.o" "gcc" "src/things/CMakeFiles/iobt_things.dir/capability.cpp.o.d"
+  "/root/repo/src/things/mobility.cpp" "src/things/CMakeFiles/iobt_things.dir/mobility.cpp.o" "gcc" "src/things/CMakeFiles/iobt_things.dir/mobility.cpp.o.d"
+  "/root/repo/src/things/population.cpp" "src/things/CMakeFiles/iobt_things.dir/population.cpp.o" "gcc" "src/things/CMakeFiles/iobt_things.dir/population.cpp.o.d"
+  "/root/repo/src/things/sensors.cpp" "src/things/CMakeFiles/iobt_things.dir/sensors.cpp.o" "gcc" "src/things/CMakeFiles/iobt_things.dir/sensors.cpp.o.d"
+  "/root/repo/src/things/world.cpp" "src/things/CMakeFiles/iobt_things.dir/world.cpp.o" "gcc" "src/things/CMakeFiles/iobt_things.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

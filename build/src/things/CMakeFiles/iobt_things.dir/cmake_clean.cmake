@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_things.dir/capability.cpp.o"
+  "CMakeFiles/iobt_things.dir/capability.cpp.o.d"
+  "CMakeFiles/iobt_things.dir/mobility.cpp.o"
+  "CMakeFiles/iobt_things.dir/mobility.cpp.o.d"
+  "CMakeFiles/iobt_things.dir/population.cpp.o"
+  "CMakeFiles/iobt_things.dir/population.cpp.o.d"
+  "CMakeFiles/iobt_things.dir/sensors.cpp.o"
+  "CMakeFiles/iobt_things.dir/sensors.cpp.o.d"
+  "CMakeFiles/iobt_things.dir/world.cpp.o"
+  "CMakeFiles/iobt_things.dir/world.cpp.o.d"
+  "libiobt_things.a"
+  "libiobt_things.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_things.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

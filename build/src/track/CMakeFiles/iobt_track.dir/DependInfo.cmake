@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/behavior.cpp" "src/track/CMakeFiles/iobt_track.dir/behavior.cpp.o" "gcc" "src/track/CMakeFiles/iobt_track.dir/behavior.cpp.o.d"
+  "/root/repo/src/track/kalman.cpp" "src/track/CMakeFiles/iobt_track.dir/kalman.cpp.o" "gcc" "src/track/CMakeFiles/iobt_track.dir/kalman.cpp.o.d"
+  "/root/repo/src/track/tracker.cpp" "src/track/CMakeFiles/iobt_track.dir/tracker.cpp.o" "gcc" "src/track/CMakeFiles/iobt_track.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobt_track.dir/behavior.cpp.o"
+  "CMakeFiles/iobt_track.dir/behavior.cpp.o.d"
+  "CMakeFiles/iobt_track.dir/kalman.cpp.o"
+  "CMakeFiles/iobt_track.dir/kalman.cpp.o.d"
+  "CMakeFiles/iobt_track.dir/tracker.cpp.o"
+  "CMakeFiles/iobt_track.dir/tracker.cpp.o.d"
+  "libiobt_track.a"
+  "libiobt_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobt_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/discovery_test.cpp" "tests/CMakeFiles/test_discovery.dir/discovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_discovery.dir/discovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/discovery/CMakeFiles/iobt_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/iobt_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/things/CMakeFiles/iobt_things.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iobt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iobt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_intent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_social.dir/social_test.cpp.o"
+  "CMakeFiles/test_social.dir/social_test.cpp.o.d"
+  "test_social"
+  "test_social.pdb"
+  "test_social[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

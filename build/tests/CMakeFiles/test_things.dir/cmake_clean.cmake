@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_things.dir/things_test.cpp.o"
+  "CMakeFiles/test_things.dir/things_test.cpp.o.d"
+  "test_things"
+  "test_things.pdb"
+  "test_things[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_things.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_track.dir/track_test.cpp.o"
+  "CMakeFiles/test_track.dir/track_test.cpp.o.d"
+  "test_track"
+  "test_track.pdb"
+  "test_track[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
