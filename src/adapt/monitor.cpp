@@ -17,7 +17,7 @@ void InvariantMonitor::start() {
         check_now();
         return true;
       },
-      "adapt.monitor");
+      tick_tag_);
 }
 
 void InvariantMonitor::check_now() {

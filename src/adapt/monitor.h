@@ -28,7 +28,8 @@ struct ViolationRecord {
 class InvariantMonitor {
  public:
   InvariantMonitor(sim::Simulator& simulator, sim::Duration check_period)
-      : sim_(simulator), period_(check_period) {}
+      : sim_(simulator), period_(check_period),
+        tick_tag_(simulator.intern("adapt.monitor")) {}
 
   /// Registers a named invariant. `predicate` returns true while the
   /// invariant HOLDS. `on_violation` (optional) fires once per violation
@@ -62,6 +63,7 @@ class InvariantMonitor {
 
   sim::Simulator& sim_;
   sim::Duration period_;
+  sim::TagId tick_tag_;
   std::vector<Watched> watched_;
   std::vector<ViolationRecord> history_;
   bool started_ = false;

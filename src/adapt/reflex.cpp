@@ -47,7 +47,7 @@ void ReflexEngine::arm() {
         }
         return true;
       },
-      "reflex.escalation");
+      escalation_tag_);
 }
 
 void ReflexEngine::fire(std::size_t binding_index) {

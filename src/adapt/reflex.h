@@ -32,7 +32,8 @@ struct FiredReflex {
 class ReflexEngine {
  public:
   ReflexEngine(sim::Simulator& simulator, InvariantMonitor& monitor)
-      : sim_(simulator), monitor_(monitor) {}
+      : sim_(simulator), monitor_(monitor),
+        escalation_tag_(simulator.intern("reflex.escalation")) {}
 
   /// Binds an escalation chain of actions to an invariant. When the
   /// invariant is violated, chain[0] runs; if violation persists through
@@ -64,6 +65,7 @@ class ReflexEngine {
 
   sim::Simulator& sim_;
   InvariantMonitor& monitor_;
+  sim::TagId escalation_tag_;
   std::vector<Binding> bindings_;
   std::vector<FiredReflex> log_;
   bool armed_ = false;

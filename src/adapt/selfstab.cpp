@@ -34,6 +34,7 @@ SpanningTreeProtocol::SpanningTreeProtocol(things::World& world,
 void SpanningTreeProtocol::start() {
   if (started_) return;
   started_ = true;
+  const sim::TagId hello_tag = world_.simulator().intern("tree.hello_loop");
   for (const auto id : members_) {
     world_.simulator().schedule_every(
         hello_period_,
@@ -42,7 +43,7 @@ void SpanningTreeProtocol::start() {
           tick(id);
           return true;
         },
-        "tree.hello_loop");
+        hello_tag);
   }
 }
 

@@ -241,7 +241,7 @@ std::optional<MissionId> Runtime::launch_mission(const synthesis::Goal& goal,
         mission_sweep(id);
         return true;
       },
-      "mission.sweep");
+      sim_.intern("mission.sweep"));
   return id;
 }
 

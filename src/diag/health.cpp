@@ -57,7 +57,7 @@ void HealthService::start() {
         tick();
         return true;
       },
-      "health.probe_loop");
+      world_.simulator().intern("health.probe_loop"));
 }
 
 void HealthService::tick() {

@@ -70,7 +70,7 @@ void CharacterizationService::start() {
         tick();
         return true;
       },
-      "char.loop");
+      world_.simulator().intern("char.loop"));
 }
 
 void CharacterizationService::tick() {

@@ -105,7 +105,7 @@ void DiscoveryService::install_responder(things::AssetId id) {
           world_.network().broadcast(asset.node, std::move(b));
           return true;
         },
-        "disc.beacon_loop");
+        world_.simulator().intern("disc.beacon_loop"));
   }
 }
 
@@ -161,6 +161,8 @@ void DiscoveryService::relay_beacon(things::AssetId relay, const net::Message& m
 void DiscoveryService::start() {
   if (started_) return;
   started_ = true;
+  const sim::TagId probe_tag = world_.simulator().intern("disc.probe_loop");
+  const sim::TagId scan_tag = world_.simulator().intern("disc.scan_loop");
   for (const auto c : collectors_) {
     world_.simulator().schedule_every(
         cfg_.probe_period,
@@ -169,7 +171,7 @@ void DiscoveryService::start() {
           probe_tick(c);
           return true;
         },
-        "disc.probe_loop");
+        probe_tag);
     world_.simulator().schedule_every(
         cfg_.scan_period,
         [this, c]() {
@@ -177,7 +179,7 @@ void DiscoveryService::start() {
           scan_tick(c);
           return true;
         },
-        "disc.scan_loop");
+        scan_tag);
   }
   // Shared prune loop.
   world_.simulator().schedule_every(
@@ -186,7 +188,7 @@ void DiscoveryService::start() {
         directory_.prune(world_.simulator().now());
         return true;
       },
-      "disc.prune_loop");
+      world_.simulator().intern("disc.prune_loop"));
 }
 
 void DiscoveryService::probe_tick(things::AssetId collector) {

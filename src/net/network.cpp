@@ -16,7 +16,8 @@ std::string to_string(DropReason r) {
 }
 
 Network::Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng)
-    : sim_(simulator), channel_(std::move(channel)), rng_(rng) {}
+    : sim_(simulator), channel_(std::move(channel)), rng_(rng),
+      deliver_tag_(simulator.intern("net.deliver")) {}
 
 NodeId Network::add_node(sim::Vec2 position, RadioProfile profile) {
   nodes_.push_back(Endpoint{position, profile, nullptr, true, 0, sim::SimTime::zero()});
@@ -100,7 +101,7 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
         metrics_.observe("net.delivery_latency_s", (sim_.now() - msg.sent_at).to_seconds());
         if (recv.handler) recv.handler(msg);
       },
-      "net.deliver");
+      deliver_tag_);
   return true;
 }
 

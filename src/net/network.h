@@ -120,6 +120,7 @@ class Network {
   sim::Simulator& sim_;
   ChannelModel channel_;
   sim::Rng rng_;
+  sim::TagId deliver_tag_;  // interned once: tags every in-flight frame event
   std::vector<Endpoint> nodes_;
   sim::Duration hop_latency_ = sim::Duration::millis(1);
   std::function<void(NodeId, std::size_t)> transmit_hook_;

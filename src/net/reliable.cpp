@@ -3,36 +3,47 @@
 namespace iobt::net {
 
 namespace {
-/// Wire envelope: the sequence id plus the user payload/kind.
+/// Wire envelope: transfer id (echoed by the ACK for sender-side matching),
+/// per-flow sequence (receiver-side dedup), the sender's low watermark
+/// (every flow seq < low is resolved — lets the receiver compact its dedup
+/// window past holes left by abandoned transfers) and the user payload.
 struct Envelope {
+  std::uint64_t xfer = 0;
   std::uint64_t seq = 0;
+  std::uint64_t low = 0;
   Message inner;
 };
 struct Ack {
-  std::uint64_t seq = 0;
+  std::uint64_t xfer = 0;
 };
 constexpr std::size_t kAckBytes = 16;
-constexpr std::size_t kEnvelopeOverhead = 16;
+constexpr std::size_t kEnvelopeOverhead = 32;
 }  // namespace
 
 ReliableChannel::ReliableChannel(sim::Simulator& simulator, Dispatcher& dispatcher,
                                  std::string kind_prefix, ReliableConfig config)
-    : sim_(simulator), disp_(dispatcher), prefix_(std::move(kind_prefix)), cfg_(config) {}
+    : sim_(simulator), disp_(dispatcher), prefix_(std::move(kind_prefix)),
+      cfg_(config), rto_tag_(simulator.intern(prefix_ + ".rto")) {}
 
 void ReliableChannel::listen(NodeId node, std::function<void(const Message&)> on_receive) {
   disp_.on(node, data_kind(),
            [this, node, on_receive = std::move(on_receive)](const Message& m) {
              const auto& env = std::any_cast<const Envelope&>(m.payload);
-             // Always ack (the previous ack may have been lost)...
-             Message ack;
-             ack.kind = ack_kind();
-             ack.size_bytes = kAckBytes;
-             ack.payload = Ack{env.seq};
-             disp_.network().route_and_send(node, m.src, std::move(ack));
-             // ...but deliver each seq only once.
-             auto& seen = delivered_[node];
-             if (seen.count(env.seq)) return;
-             seen.insert(env.seq);
+             // Always ack (the previous ack may have been lost) — except
+             // watermark-only release frames (xfer 0), which are fire-and-
+             // forget.
+             if (env.xfer != 0) {
+               Message ack;
+               ack.kind = ack_kind();
+               ack.size_bytes = kAckBytes;
+               ack.payload = Ack{env.xfer};
+               disp_.network().route_and_send(node, m.src, std::move(ack));
+             }
+             // Deliver each flow seq only once. The sender's watermark
+             // lets the window forget abandoned holes first.
+             SeqWindow& window = delivered_[flow_key(node, m.src)];
+             if (env.low > 0) window.advance_to(env.low - 1);
+             if (env.seq == 0 || !window.insert(env.seq)) return;
              Message inner = env.inner;
              inner.src = m.src;
              inner.dst = m.dst;
@@ -42,39 +53,63 @@ void ReliableChannel::listen(NodeId node, std::function<void(const Message&)> on
            });
 }
 
-std::uint64_t ReliableChannel::send(NodeId src, NodeId dst, Message msg,
-                                    std::function<void(bool)> on_result) {
-  // Sender-side ACK endpoint is installed lazily, once per source node.
+void ReliableChannel::install_ack_endpoint(NodeId src) {
+  // Installed lazily, once per source node; repeated sends reuse it.
+  if (!ack_installed_.insert(src).second) return;
   disp_.on(src, ack_kind(), [this](const Message& m) {
     const auto& ack = std::any_cast<const Ack&>(m.payload);
-    auto it = pending_.find(ack.seq);
+    auto it = pending_.find(ack.xfer);
     if (it == pending_.end() || it->second.done) return;
     it->second.done = true;
+    sim_.cancel(it->second.rto_timer);  // the retransmit is moot now
     ++acked_;
-    if (it->second.on_result) it->second.on_result(true);
+    resolve_flow_seq(it->second.src, it->second.dst, it->second.flow_seq);
+    auto on_result = std::move(it->second.on_result);
     pending_.erase(it);
+    if (on_result) on_result(true);
   });
+}
 
-  const std::uint64_t seq = next_seq_++;
+std::uint64_t ReliableChannel::send(NodeId src, NodeId dst, Message msg,
+                                    std::function<void(bool)> on_result) {
+  install_ack_endpoint(src);
+
+  const std::uint64_t xfer = next_xfer_++;
   Pending p;
   p.src = src;
   p.dst = dst;
   p.msg = std::move(msg);
+  p.flow_seq = ++flow_next_seq_[flow_key(src, dst)];
+  flow_outstanding_[flow_key(src, dst)].insert(p.flow_seq);
   p.attempts_left = cfg_.max_attempts;
   p.on_result = std::move(on_result);
-  pending_[seq] = std::move(p);
-  transmit(seq);
-  return seq;
+  pending_[xfer] = std::move(p);
+  transmit(xfer);
+  return xfer;
 }
 
-void ReliableChannel::transmit(std::uint64_t seq) {
-  auto it = pending_.find(seq);
+void ReliableChannel::transmit(std::uint64_t xfer) {
+  auto it = pending_.find(xfer);
   if (it == pending_.end() || it->second.done) return;
   Pending& p = it->second;
+  p.rto_timer = sim::kNoEvent;  // the previous timer fired (or first send)
   if (p.attempts_left <= 0) {
     ++failed_;
-    if (p.on_result) p.on_result(false);
+    // Give up: resolve the flow seq so later frames advertise past the
+    // hole, and push the raised watermark out in a best-effort release
+    // frame (seq/xfer 0: never delivered, never acked) so the receiver
+    // can forget the hole even if no further data traffic follows.
+    resolve_flow_seq(p.src, p.dst, p.flow_seq);
+    Message release;
+    release.kind = data_kind();
+    release.size_bytes = kEnvelopeOverhead;
+    Envelope renv;
+    renv.low = flow_low(flow_key(p.src, p.dst));
+    release.payload = std::move(renv);
+    disp_.network().route_and_send(p.src, p.dst, std::move(release));
+    auto on_result = std::move(p.on_result);
     pending_.erase(it);
+    if (on_result) on_result(false);
     return;
   }
   if (p.attempts_left < cfg_.max_attempts) ++retransmissions_;
@@ -84,16 +119,42 @@ void ReliableChannel::transmit(std::uint64_t seq) {
   frame.kind = data_kind();
   frame.size_bytes = p.msg.size_bytes + kEnvelopeOverhead;
   Envelope env;
-  env.seq = seq;
+  env.xfer = xfer;
+  env.seq = p.flow_seq;
+  env.low = flow_low(flow_key(p.src, p.dst));
   env.inner = p.msg;
   frame.payload = std::move(env);
   disp_.network().route_and_send(p.src, p.dst, std::move(frame));
-  arm_timer(seq);
+  arm_timer(xfer);
 }
 
-void ReliableChannel::arm_timer(std::uint64_t seq) {
-  sim_.schedule_in(
-      cfg_.rto, [this, seq]() { transmit(seq); }, "rel.rto");
+void ReliableChannel::arm_timer(std::uint64_t xfer) {
+  auto it = pending_.find(xfer);
+  if (it == pending_.end()) return;
+  it->second.rto_timer = sim_.schedule_in(
+      cfg_.rto, [this, xfer]() { transmit(xfer); }, rto_tag_);
+}
+
+std::uint64_t ReliableChannel::flow_low(std::uint64_t flow) const {
+  auto it = flow_outstanding_.find(flow);
+  if (it != flow_outstanding_.end() && !it->second.empty())
+    return *it->second.begin();
+  auto next = flow_next_seq_.find(flow);
+  return (next == flow_next_seq_.end() ? 0 : next->second) + 1;
+}
+
+void ReliableChannel::resolve_flow_seq(NodeId src, NodeId dst,
+                                       std::uint64_t seq) {
+  auto it = flow_outstanding_.find(flow_key(src, dst));
+  if (it == flow_outstanding_.end()) return;
+  it->second.erase(seq);
+  if (it->second.empty()) flow_outstanding_.erase(it);
+}
+
+std::size_t ReliableChannel::dedup_tail_entries() const {
+  std::size_t total = 0;
+  for (const auto& [key, window] : delivered_) total += window.tail_size();
+  return total;
 }
 
 }  // namespace iobt::net

@@ -5,13 +5,24 @@
 // §II's "disadvantaged assets" drop frames routinely; mission traffic that
 // must arrive (orders, detections, challenge responses) needs an
 // acknowledgment discipline rather than per-service hand-rolled retries.
-// ReliableChannel wraps route_and_send with sequence numbers, ACKs,
-// duplicate suppression at the receiver, and per-message delivery/failure
-// callbacks, so upper layers learn definitively whether the network got
-// their message through.
+// ReliableChannel wraps route_and_send with per-flow sequence numbers,
+// ACKs, duplicate suppression at the receiver, and per-message
+// delivery/failure callbacks, so upper layers learn definitively whether
+// the network got their message through.
+//
+// Resource discipline (long missions must not leak):
+//  - the RTO timer armed for each attempt is cancelled as soon as the ACK
+//    arrives (or the transfer fails), so the simulator quiesces promptly;
+//  - the sender-side ACK endpoint is installed once per source node;
+//  - receiver-side dedup state is a compacted window per (node, peer):
+//    the highest contiguously-resolved sequence plus a sparse tail. Every
+//    data frame advertises the sender's lowest still-outstanding seq, so
+//    the receiver can forget holes left by abandoned (failed) transfers;
+//    the tail is bounded by the sender's in-flight window, not by mission
+//    length or loss history.
 
 #include <functional>
-#include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -24,6 +35,45 @@ struct ReliableConfig {
   sim::Duration rto = sim::Duration::seconds(2.0);
   /// Attempts before giving up (first send + retries).
   int max_attempts = 4;
+};
+
+/// Compacted received-sequence tracker for one (receiver, sender) flow:
+/// every seq <= base has been delivered or abandoned by the sender; `tail`
+/// holds the sparse out-of-order seqs above base.
+class SeqWindow {
+ public:
+  /// Records `seq` as delivered. Returns false if it was already seen.
+  bool insert(std::uint64_t seq) {
+    if (seq <= base_ || tail_.count(seq) != 0) return false;
+    tail_.insert(seq);
+    compact();
+    return true;
+  }
+
+  /// Advances base to at least `new_base` (the sender advertised that all
+  /// seqs <= new_base are resolved — delivered or given up on — so holes
+  /// below it will never be retransmitted and need not be remembered).
+  void advance_to(std::uint64_t new_base) {
+    if (new_base <= base_) return;
+    base_ = new_base;
+    tail_.erase(tail_.begin(), tail_.upper_bound(base_));
+    compact();
+  }
+
+  std::uint64_t base() const { return base_; }
+  std::size_t tail_size() const { return tail_.size(); }
+
+ private:
+  void compact() {
+    auto it = tail_.begin();
+    while (it != tail_.end() && *it == base_ + 1) {
+      ++base_;
+      it = tail_.erase(it);
+    }
+  }
+
+  std::uint64_t base_ = 0;  // flow seqs start at 1
+  std::set<std::uint64_t> tail_;
 };
 
 class ReliableChannel {
@@ -41,38 +91,68 @@ class ReliableChannel {
   /// Sends `msg` from src to dst with at-least-once delivery semantics and
   /// duplicate suppression (so effectively exactly-once for the caller).
   /// `on_result(true)` once the ACK arrives, `on_result(false)` after the
-  /// final attempt times out. Returns the transfer's sequence id.
+  /// final attempt times out. Returns the transfer id.
   std::uint64_t send(NodeId src, NodeId dst, Message msg,
                      std::function<void(bool)> on_result = nullptr);
 
   std::size_t acked() const { return acked_; }
   std::size_t failed() const { return failed_; }
   std::size_t retransmissions() const { return retransmissions_; }
+  /// Transfers still awaiting an ACK or final timeout. A fully-ACKed
+  /// exchange leaves this at 0 with no timers pending in the simulator.
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Total sparse (out-of-order) entries across all receiver dedup
+  /// windows. Bounded by in-flight transfers (in-order lossless traffic
+  /// keeps it at 0), regardless of volume or loss history.
+  std::size_t dedup_tail_entries() const;
+  /// Source nodes with an installed ACK endpoint (one per sending node,
+  /// no matter how many sends it issues).
+  std::size_t ack_endpoints_installed() const { return ack_installed_.size(); }
 
  private:
   struct Pending {
     NodeId src;
     NodeId dst;
     Message msg;
+    std::uint64_t flow_seq = 0;
     int attempts_left;
     std::function<void(bool)> on_result;
+    sim::EventId rto_timer = sim::kNoEvent;
     bool done = false;
   };
 
-  void transmit(std::uint64_t seq);
-  void arm_timer(std::uint64_t seq);
+  void install_ack_endpoint(NodeId src);
+  void transmit(std::uint64_t xfer);
+  void arm_timer(std::uint64_t xfer);
+  /// Lowest seq of `flow` still awaiting ACK/failure (next_seq+1 if none) —
+  /// the watermark advertised on the wire so receivers can compact.
+  std::uint64_t flow_low(std::uint64_t flow) const;
+  /// Marks `seq` of (src,dst) resolved (acked or given up), raising the
+  /// advertised watermark for subsequent frames.
+  void resolve_flow_seq(NodeId src, NodeId dst, std::uint64_t seq);
 
   std::string data_kind() const { return prefix_ + ".data"; }
   std::string ack_kind() const { return prefix_ + ".ack"; }
+
+  static std::uint64_t flow_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
 
   sim::Simulator& sim_;
   Dispatcher& disp_;
   std::string prefix_;
   ReliableConfig cfg_;
-  std::uint64_t next_seq_ = 1;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  /// Receiver-side dedup: seqs already delivered per node.
-  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> delivered_;
+  sim::TagId rto_tag_;
+  std::uint64_t next_xfer_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // by transfer id
+  /// Per-(src,dst) flow sequence counters (wire seqs start at 1).
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_next_seq_;
+  /// Per-flow seqs not yet resolved; *begin() is the advertised watermark.
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> flow_outstanding_;
+  /// Receiver-side dedup: (receiver, sender) -> compacted seq window.
+  std::unordered_map<std::uint64_t, SeqWindow> delivered_;
+  /// Source nodes whose ACK endpoint is already installed.
+  std::unordered_set<NodeId> ack_installed_;
   std::size_t acked_ = 0;
   std::size_t failed_ = 0;
   std::size_t retransmissions_ = 0;

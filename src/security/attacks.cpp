@@ -17,10 +17,10 @@ void AttackInjector::schedule_jamming(sim::Vec2 center, double radius_m,
       {.center = center, .radius_m = radius_m, .start = start, .end = end,
        .induced_loss = strength});
   world_.simulator().schedule_at(
-      start, [this] { record("jamming_on", ""); }, "attack.jam_on");
+      start, [this] { record("jamming_on", ""); }, world_.simulator().intern("attack.jam_on"));
   if (end < sim::SimTime::max()) {
     world_.simulator().schedule_at(
-        end, [this] { record("jamming_off", ""); }, "attack.jam_off");
+        end, [this] { record("jamming_off", ""); }, world_.simulator().intern("attack.jam_off"));
   }
 }
 
@@ -35,14 +35,14 @@ void AttackInjector::schedule_sensor_blackout(things::Modality modality,
       [this, modality] {
         record("sensor_blackout_on", things::to_string(modality));
       },
-      "attack.blackout_on");
+      world_.simulator().intern("attack.blackout_on"));
   if (end < sim::SimTime::max()) {
     world_.simulator().schedule_at(
         end,
         [this, modality] {
           record("sensor_blackout_off", things::to_string(modality));
         },
-        "attack.blackout_off");
+        world_.simulator().intern("attack.blackout_off"));
   }
 }
 
@@ -53,7 +53,7 @@ void AttackInjector::schedule_node_kill(things::AssetId id, sim::SimTime when) {
         world_.destroy_asset(id);
         record("node_kill", "asset=" + std::to_string(id));
       },
-      "attack.kill");
+      world_.simulator().intern("attack.kill"));
 }
 
 void AttackInjector::schedule_mass_kill(double fraction, sim::SimTime when,
@@ -72,7 +72,7 @@ void AttackInjector::schedule_mass_kill(double fraction, sim::SimTime when,
         }
         record("mass_kill", "killed=" + std::to_string(killed));
       },
-      "attack.mass_kill");
+      world_.simulator().intern("attack.mass_kill"));
 }
 
 void AttackInjector::schedule_capture(things::AssetId id, sim::SimTime when,
@@ -88,7 +88,7 @@ void AttackInjector::schedule_capture(things::AssetId id, sim::SimTime when,
         a.report_reliability = captured_reliability;
         record("capture", "asset=" + std::to_string(id));
       },
-      "attack.capture");
+      world_.simulator().intern("attack.capture"));
 }
 
 void AttackInjector::schedule_sybil(std::size_t count, sim::SimTime when,
@@ -114,7 +114,7 @@ void AttackInjector::schedule_sybil(std::size_t count, sim::SimTime when,
         }
         record("sybil", "count=" + std::to_string(count));
       },
-      "attack.sybil");
+      world_.simulator().intern("attack.sybil"));
 }
 
 }  // namespace iobt::security

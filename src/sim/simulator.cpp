@@ -1,6 +1,9 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -19,17 +22,58 @@ std::string to_string(Duration d) {
   return os.str();
 }
 
-EventId Simulator::schedule_at(SimTime when, EventFn fn, std::string_view tag) {
+std::uint32_t Simulator::acquire_slot(EventFn fn, TagId tag) {
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    Slot& s = slots_[index];
+    free_head_ = s.next_free;
+    s.next_free = kNoSlot;
+    s.fn = std::move(fn);
+    s.tag = tag;
+    s.live = true;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    Slot s;
+    s.fn = std::move(fn);
+    s.tag = tag;
+    s.live = true;
+    slots_.push_back(std::move(s));
+  }
+  return index;
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = nullptr;
+  s.live = false;
+  ++s.generation;  // invalidates outstanding EventIds and heap entries
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+Simulator::TagStats& Simulator::stats_for(TagId tag) {
+  if (tag >= stats_.size()) {
+    stats_.resize(std::max<std::size_t>(tags_.size(), tag + 1));
+  }
+  return stats_[tag];
+}
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn, TagId tag) {
   if (when < now_) {
     throw std::logic_error("Simulator::schedule_at: scheduling into the past (" +
                            to_string(when) + " < now " + to_string(now_) + ")");
   }
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn), std::string(tag)});
-  return id;
+  const std::uint32_t slot = acquire_slot(std::move(fn), tag);
+  const std::uint32_t gen = slots_[slot].generation;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), Earliest{});
+  ++live_count_;
+  ++stats_for(tag).scheduled;
+  return (static_cast<EventId>(gen) << 32) | slot;
 }
 
-EventId Simulator::schedule_in(Duration delay, EventFn fn, std::string_view tag) {
+EventId Simulator::schedule_in(Duration delay, EventFn fn, TagId tag) {
   if (delay < Duration::zero()) {
     throw std::logic_error("Simulator::schedule_in: negative delay");
   }
@@ -37,34 +81,94 @@ EventId Simulator::schedule_in(Duration delay, EventFn fn, std::string_view tag)
 }
 
 void Simulator::schedule_every(Duration period, std::function<bool()> fn,
-                               std::string_view tag) {
+                               TagId tag) {
   if (period <= Duration::zero()) {
     throw std::logic_error("Simulator::schedule_every: period must be positive");
   }
-  // Self-rescheduling closure; stops when fn returns false.
-  auto tick = std::make_shared<std::function<void()>>();
-  std::string tag_copy(tag);
-  auto body = std::make_shared<std::function<bool()>>(std::move(fn));
-  *tick = [this, period, body, tick, tag_copy]() {
-    if (!(*body)()) return;
-    auto self = tick;  // local copy: nested lambdas capture locals only
-    schedule_in(period, [self]() { (*self)(); }, tag_copy);
+  // One shared state per loop; each tick re-arms by copying `tick` (a
+  // this+shared_ptr capture) into the next slot. The self-reference cycle
+  // (state->tick captures state) is broken when the callback stops.
+  struct PeriodicState {
+    std::function<bool()> body;
+    Duration period;
+    TagId tag;
+    EventFn tick;
   };
-  schedule_in(period, [tick]() { (*tick)(); }, tag_copy);
+  auto state = std::make_shared<PeriodicState>();
+  state->body = std::move(fn);
+  state->period = period;
+  state->tag = tag;
+  state->tick = [this, state]() {
+    if (!state->body()) {
+      state->tick = nullptr;  // break the shared_ptr cycle
+      return;
+    }
+    schedule_at(now_ + state->period, state->tick, state->tag);
+  };
+  schedule_in(period, state->tick, tag);
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != gen) return;  // already fired or cancelled
+  ++stats_for(s.tag).cancelled;
+  release_slot(slot);
+  --live_count_;
+  ++stale_count_;
+  maybe_compact();
+}
+
+void Simulator::prune_stale_top() {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Earliest{});
+    heap_.pop_back();
+    --stale_count_;
+  }
+}
+
+void Simulator::maybe_compact() {
+  // Cancelled entries stay in the heap until they surface; if a churn-heavy
+  // workload lets them dominate, filter them out in one O(n) pass.
+  if (stale_count_ < 64 || stale_count_ < 2 * live_count_) return;
+  std::erase_if(heap_, [this](const HeapEntry& e) { return !entry_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Earliest{});
+  stale_count_ = 0;
+}
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // Copy out the top, pop, then run: the handler may schedule or cancel.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled events
-    assert(ev.when >= now_ && "event queue must be monotone");
-    now_ = ev.when;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Earliest{});
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    if (!entry_live(e)) {  // cancelled after scheduling
+      --stale_count_;
+      continue;
+    }
+    assert(e.when >= now_ && "event queue must be monotone");
+    now_ = e.when;
+    // Move the callback out and free the slot before invoking: the handler
+    // may cancel its own (now stale) id or schedule events that reuse the
+    // slot, both of which must be safe.
+    Slot& s = slots_[e.slot];
+    EventFn fn = std::move(s.fn);
+    const TagId tag = s.tag;
+    release_slot(e.slot);
+    --live_count_;
     ++executed_count_;
-    ev.fn();
+    TagStats& st = stats_for(tag);
+    ++st.executed;
+    if (timing_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      st.busy_ns += std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    } else {
+      fn();
+    }
     return true;
   }
   return false;
@@ -76,14 +180,51 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    // Peek: do not execute events beyond the deadline; leave them queued.
-    if (queue_.top().when > deadline) break;
+  for (;;) {
+    prune_stale_top();  // ensure front() is a live event before peeking
+    if (heap_.empty() || heap_.front().when > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run_for(Duration span) { run_until(now_ + span); }
+
+std::vector<TagProfileRow> Simulator::profile() const {
+  std::vector<TagProfileRow> rows;
+  for (TagId id = 0; id < stats_.size(); ++id) {
+    const TagStats& st = stats_[id];
+    if (st.scheduled == 0 && st.executed == 0 && st.cancelled == 0) continue;
+    const std::string label = id == kUntagged      ? "(untagged)"
+                              : id < tags_.size() ? tags_.name(id)
+                                                  : "(unknown)";
+    rows.push_back(TagProfileRow{label,
+                                 st.scheduled, st.executed, st.cancelled,
+                                 st.busy_ns * 1e-6});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const TagProfileRow& a, const TagProfileRow& b) {
+              if (a.busy_ms != b.busy_ms) return a.busy_ms > b.busy_ms;
+              if (a.executed != b.executed) return a.executed > b.executed;
+              return a.tag < b.tag;
+            });
+  return rows;
+}
+
+std::string Simulator::profile_table() const {
+  std::ostringstream os;
+  os << "tag                        scheduled   executed  cancelled    busy_ms\n";
+  for (const auto& r : profile()) {
+    os << r.tag;
+    for (std::size_t i = r.tag.size(); i < 25; ++i) os << ' ';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %10llu %10llu %10llu %10.3f\n",
+                  static_cast<unsigned long long>(r.scheduled),
+                  static_cast<unsigned long long>(r.executed),
+                  static_cast<unsigned long long>(r.cancelled), r.busy_ms);
+    os << buf;
+  }
+  return os.str();
+}
 
 }  // namespace iobt::sim

@@ -52,6 +52,8 @@ std::uint32_t SocialSensingService::cell_of(sim::Vec2 p) const {
 }
 
 void SocialSensingService::start() {
+  const sim::TagId report_tag =
+      world_.simulator().intern("social.report_loop");
   for (const auto r : reporters_) {
     world_.simulator().schedule_every(
         cfg_.report_period,
@@ -60,7 +62,7 @@ void SocialSensingService::start() {
           reporter_tick(r);
           return true;
         },
-        "social.report_loop");
+        report_tag);
   }
 }
 

@@ -76,7 +76,7 @@ void World::start(sim::Duration period) {
         tick(dt_s);
         return true;
       },
-      "world.tick");
+      sim_.intern("world.tick"));
 }
 
 void World::tick(double dt_s) {

@@ -581,6 +581,104 @@ TEST_F(ReliableFixture, DuplicateDataFramesAreSuppressed) {
   EXPECT_EQ(got, 2);
 }
 
+TEST_F(ReliableFixture, RtoTimersCancelledOnAckSoRunQuiesces) {
+  // Regression: the RTO timer must be cancelled when the ACK arrives.
+  // Before the fix, run() ground through one dead retransmit timer per
+  // message, dragging virtual time out to the RTO horizon.
+  init(0.0);  // clean channel: every message acks on the first attempt
+  int got = 0;
+  rel->listen(b, [&](const Message&) { ++got; });
+  const int sent = 1000;
+  int succeeded = 0;
+  for (int i = 0; i < sent; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 16},
+              [&](bool ok) { succeeded += ok ? 1 : 0; });
+  }
+  sim.run();
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(succeeded, sent);
+  EXPECT_EQ(rel->acked(), static_cast<std::size_t>(sent));
+  // No transfer left pending, no timer left in the simulator.
+  EXPECT_EQ(rel->pending_count(), 0u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  // Prompt quiescence: the clock stops when the last ACK lands, well
+  // before the 2s RTO that leaked timers used to drag the run out to.
+  EXPECT_LT(sim.now(), SimTime::seconds(2.0));
+}
+
+TEST_F(ReliableFixture, AckEndpointInstalledOncePerSource) {
+  init(0.0);
+  rel->listen(b, [](const Message&) {});
+  for (int i = 0; i < 100; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 8});
+  }
+  sim.run();
+  EXPECT_EQ(rel->ack_endpoints_installed(), 1u);
+}
+
+TEST_F(ReliableFixture, DedupWindowCompactsInOrderTraffic) {
+  init(0.0);
+  int got = 0;
+  rel->listen(b, [&](const Message&) { ++got; });
+  const int sent = 500;
+  for (int i = 0; i < sent; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 8});
+  }
+  sim.run();
+  EXPECT_EQ(got, sent);
+  // In-order delivery: the window is pure base advancement, no sparse tail.
+  EXPECT_EQ(rel->dedup_tail_entries(), 0u);
+}
+
+TEST_F(ReliableFixture, DedupTailStaysBoundedUnderLoss) {
+  init(0.4);
+  int got = 0;
+  rel->listen(b, [&](const Message&) { ++got; });
+  const int sent = 50;
+  for (int i = 0; i < sent; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 8});
+  }
+  sim.run();
+  // Failed transfers leave holes in the flow-seq space, but each data frame
+  // advertises the sender's low watermark, so the receiver forgets abandoned
+  // holes instead of parking every later seq in the sparse tail forever.
+  // The residual tail is bounded by the transfers still unresolved when the
+  // last-arriving frame was sent — far below the total volume.
+  EXPECT_LE(rel->dedup_tail_entries(), static_cast<std::size_t>(sent) / 4);
+  EXPECT_EQ(rel->pending_count(), 0u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SeqWindow, InsertDedupsAndCompacts) {
+  SeqWindow w;
+  EXPECT_TRUE(w.insert(1));
+  EXPECT_FALSE(w.insert(1));  // duplicate
+  EXPECT_EQ(w.base(), 1u);
+  EXPECT_EQ(w.tail_size(), 0u);
+  EXPECT_TRUE(w.insert(3));  // out of order: parked in the tail
+  EXPECT_EQ(w.base(), 1u);
+  EXPECT_EQ(w.tail_size(), 1u);
+  EXPECT_FALSE(w.insert(3));
+  EXPECT_TRUE(w.insert(2));  // fills the hole: base sweeps through the tail
+  EXPECT_EQ(w.base(), 3u);
+  EXPECT_EQ(w.tail_size(), 0u);
+  EXPECT_FALSE(w.insert(2));  // below base: duplicate
+}
+
+TEST(SeqWindow, AdvanceToForgetsAbandonedHoles) {
+  SeqWindow w;
+  EXPECT_TRUE(w.insert(2));
+  EXPECT_TRUE(w.insert(4));  // holes at 1 and 3
+  EXPECT_EQ(w.base(), 0u);
+  EXPECT_EQ(w.tail_size(), 2u);
+  w.advance_to(3);  // sender abandoned 1 and 3: forget the holes
+  EXPECT_EQ(w.base(), 4u);  // ...and 4 compacts into the base
+  EXPECT_EQ(w.tail_size(), 0u);
+  EXPECT_FALSE(w.insert(1));  // a straggler frame of an abandoned seq: dropped
+  w.advance_to(2);  // stale watermark: no-op
+  EXPECT_EQ(w.base(), 4u);
+}
+
 // Determinism: identical seeds => identical delivery counts, even with loss.
 class NetDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
 

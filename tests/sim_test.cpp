@@ -238,6 +238,157 @@ TEST(Simulator, CancelUnknownIdIsNoop) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulator, CancelAlreadyFiredIdIsNoop) {
+  Simulator sim;
+  int ran = 0;
+  const EventId id = sim.schedule_at(SimTime::seconds(1.0), [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  sim.cancel(id);  // already executed: harmless
+  // The freed slot can be reused; the stale cancel must not affect it.
+  sim.schedule_at(SimTime::seconds(2.0), [&] { ++ran; });
+  sim.cancel(id);  // still a no-op even though the slot is reoccupied
+  sim.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.executed_count(), 2u);
+}
+
+TEST(Simulator, CancelFromInsideRunningHandler) {
+  Simulator sim;
+  bool later_ran = false;
+  EventId self_id = 0;
+  const EventId later = sim.schedule_at(SimTime::seconds(2.0),
+                                        [&] { later_ran = true; });
+  self_id = sim.schedule_at(SimTime::seconds(1.0), [&] {
+    sim.cancel(later);    // cancel a pending event from a handler
+    sim.cancel(self_id);  // cancelling the currently-running id: no-op
+  });
+  sim.run();
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(sim.executed_count(), 1u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, StaleIdDoesNotCancelSlotReuse) {
+  Simulator sim;
+  bool victim_ran = false;
+  // Schedule + cancel churn so the next schedule reuses a freed slot.
+  const EventId a = sim.schedule_at(SimTime::seconds(1.0), [] {});
+  sim.cancel(a);
+  const EventId b = sim.schedule_at(SimTime::seconds(1.0),
+                                    [&] { victim_ran = true; });
+  EXPECT_NE(a, b);  // generation stamp differs even if the slot is shared
+  sim.cancel(a);    // stale id must not kill the new occupant
+  sim.run();
+  EXPECT_TRUE(victim_ran);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(SimTime::seconds(1.0), [] {});
+  sim.schedule_at(SimTime::seconds(2.0), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.cancel(a);  // double-cancel does not underflow
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.executed_count(), 1u);
+}
+
+TEST(Simulator, RunUntilWithCancelledFrontEventsAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  const EventId a = sim.schedule_at(SimTime::seconds(1.0), [&] { ++ran; });
+  sim.schedule_at(SimTime::seconds(10.0), [&] { ++ran; });
+  sim.cancel(a);
+  sim.run_until(SimTime::seconds(5.0));  // front of the heap is stale
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5.0));
+  EXPECT_EQ(sim.pending_count(), 1u);  // post-deadline event stays queued
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, HeavyCancelChurnStaysConsistent) {
+  // Exercises slot reuse and heap compaction: far more cancels than
+  // survivors, interleaved with execution.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  std::vector<EventId> armed;
+  for (int round = 0; round < 20; ++round) {
+    for (const EventId id : armed) sim.cancel(id);
+    armed.clear();
+    for (int i = 0; i < 500; ++i) {
+      armed.push_back(sim.schedule_at(
+          SimTime::seconds(100.0 + round), [&] { ++fired; }));
+    }
+  }
+  EXPECT_EQ(sim.pending_count(), 500u);  // only the last round survives
+  sim.run();
+  EXPECT_EQ(fired, 500u);
+  EXPECT_EQ(sim.executed_count(), 500u);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+// ------------------------------------------------- Tags and profiling ----
+
+TEST(TagTable, InternIsIdempotentAndDense) {
+  TagTable t;
+  EXPECT_EQ(t.intern(""), kUntagged);
+  const TagId a = t.intern("net.deliver");
+  const TagId b = t.intern("rel.rto");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("net.deliver"), a);
+  EXPECT_EQ(t.name(a), "net.deliver");
+  EXPECT_EQ(t.size(), 3u);  // "", net.deliver, rel.rto
+}
+
+TEST(Simulator, ProfileCountsPerTag) {
+  Simulator sim;
+  const TagId rto = sim.intern("rel.rto");
+  const EventId cancelled =
+      sim.schedule_at(SimTime::seconds(1.0), [] {}, rto);
+  sim.schedule_at(SimTime::seconds(2.0), [] {}, rto);
+  sim.schedule_at(SimTime::seconds(3.0), [] {}, rto);
+  sim.schedule_at(SimTime::seconds(1.0), [] {}, "other.tag");
+  sim.cancel(cancelled);
+  sim.run();
+  bool found_rto = false, found_other = false;
+  for (const auto& row : sim.profile()) {
+    if (row.tag == "rel.rto") {
+      found_rto = true;
+      EXPECT_EQ(row.scheduled, 3u);
+      EXPECT_EQ(row.executed, 2u);
+      EXPECT_EQ(row.cancelled, 1u);
+    } else if (row.tag == "other.tag") {
+      found_other = true;
+      EXPECT_EQ(row.scheduled, 1u);
+      EXPECT_EQ(row.executed, 1u);
+      EXPECT_EQ(row.cancelled, 0u);
+    }
+  }
+  EXPECT_TRUE(found_rto);
+  EXPECT_TRUE(found_other);
+  EXPECT_NE(sim.profile_table().find("rel.rto"), std::string::npos);
+}
+
+TEST(Simulator, ProfilingAccumulatesBusyTimeWhenEnabled) {
+  Simulator sim;
+  sim.set_profiling(true);
+  sim.schedule_at(SimTime::seconds(1.0), [] {
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + static_cast<double>(i);
+  }, "work");
+  sim.run();
+  for (const auto& row : sim.profile()) {
+    if (row.tag == "work") {
+      EXPECT_GT(row.busy_ms, 0.0);
+    }
+  }
+}
+
 TEST(Simulator, HandlersCanScheduleMoreEvents) {
   Simulator sim;
   int count = 0;
@@ -354,9 +505,15 @@ TEST_P(SimDeterminism, IdenticalSeedsProduceIdenticalTraces) {
     Simulator sim;
     Rng rng(seed);
     std::vector<std::int64_t> trace;
+    std::vector<EventId> ids;
     for (int i = 0; i < 200; ++i) {
-      sim.schedule_at(SimTime::micros(rng.uniform_int(0, 1'000'000)),
-                      [&trace, &sim] { trace.push_back(sim.now().nanos()); });
+      ids.push_back(
+          sim.schedule_at(SimTime::micros(rng.uniform_int(0, 1'000'000)),
+                          [&trace, &sim] { trace.push_back(sim.now().nanos()); }));
+    }
+    // Random cancellations must be part of the deterministic trace too.
+    for (const EventId id : ids) {
+      if (rng.bernoulli(0.3)) sim.cancel(id);
     }
     sim.run();
     return trace;
