@@ -85,9 +85,10 @@ void Simulator::schedule_every(Duration period, std::function<bool()> fn,
   if (period <= Duration::zero()) {
     throw std::logic_error("Simulator::schedule_every: period must be positive");
   }
-  // One shared state per loop; each tick re-arms by copying `tick` (a
-  // this+shared_ptr capture) into the next slot. The self-reference cycle
-  // (state->tick captures state) is broken when the callback stops.
+  // One shared state per loop. Ownership: only the armed event's closure
+  // holds the state strongly; `state->tick` itself captures a weak_ptr, so
+  // there is no shared_ptr cycle and a loop still armed when the Simulator
+  // is destroyed is freed along with the slot slab.
   struct PeriodicState {
     std::function<bool()> body;
     Duration period;
@@ -98,14 +99,12 @@ void Simulator::schedule_every(Duration period, std::function<bool()> fn,
   state->body = std::move(fn);
   state->period = period;
   state->tag = tag;
-  state->tick = [this, state]() {
-    if (!state->body()) {
-      state->tick = nullptr;  // break the shared_ptr cycle
-      return;
-    }
-    schedule_at(now_ + state->period, state->tick, state->tag);
+  state->tick = [this, weak = std::weak_ptr<PeriodicState>(state)]() {
+    auto st = weak.lock();
+    if (!st || !st->body()) return;  // loop stopped (or state torn down)
+    schedule_at(now_ + st->period, [st]() { st->tick(); }, st->tag);
   };
-  schedule_in(period, state->tick, tag);
+  schedule_in(period, [state]() { state->tick(); }, tag);
 }
 
 void Simulator::cancel(EventId id) {
@@ -158,14 +157,16 @@ bool Simulator::step() {
     release_slot(e.slot);
     --live_count_;
     ++executed_count_;
-    TagStats& st = stats_for(tag);
-    ++st.executed;
+    ++stats_for(tag).executed;
     if (timing_) {
       const auto t0 = std::chrono::steady_clock::now();
       fn();
-      st.busy_ns += std::chrono::duration<double, std::nano>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+      // stats_for must be re-resolved here: if fn() scheduled an event with
+      // a previously-unseen tag, stats_ was resized and any reference taken
+      // before the call is dangling.
+      stats_for(tag).busy_ns += std::chrono::duration<double, std::nano>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
     } else {
       fn();
     }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -389,6 +390,31 @@ TEST(Simulator, ProfilingAccumulatesBusyTimeWhenEnabled) {
   }
 }
 
+TEST(Simulator, ProfilingSurvivesNewTagsInternedByHandler) {
+  // Regression: step() used to hold a TagStats& across the handler call;
+  // a handler that interns fresh tags resizes stats_ and the post-handler
+  // busy-time write landed in freed memory (caught by ASan).
+  Simulator sim;
+  sim.set_profiling(true);
+  sim.schedule_at(SimTime::seconds(1.0), [&] {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_in(Duration::seconds(1.0), [] {},
+                      "fresh.tag." + std::to_string(i));
+    }
+  }, "spawner");
+  sim.run();
+  bool found = false;
+  for (const auto& row : sim.profile()) {
+    if (row.tag == "spawner") {
+      found = true;
+      EXPECT_EQ(row.executed, 1u);
+      EXPECT_GE(row.busy_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(sim.executed_count(), 65u);
+}
+
 TEST(Simulator, HandlersCanScheduleMoreEvents) {
   Simulator sim;
   int count = 0;
@@ -421,6 +447,25 @@ TEST(Simulator, PeriodicStopsWhenCallbackReturnsFalse) {
   sim.run();
   EXPECT_EQ(ticks, 4);
   EXPECT_EQ(sim.now(), SimTime::seconds(4.0));
+}
+
+TEST(Simulator, PeriodicStateFreedWhenSimulatorDestroyedWhileArmed) {
+  // Regression: the periodic loop's shared state used to hold itself alive
+  // through a state->tick->state shared_ptr cycle, leaking every loop still
+  // armed at Simulator teardown.
+  auto sentinel = std::make_shared<int>(0);
+  std::weak_ptr<int> observer = sentinel;
+  {
+    Simulator sim;
+    sim.schedule_every(Duration::seconds(1.0), [s = std::move(sentinel)] {
+      ++*s;
+      return true;  // never stops on its own
+    });
+    sim.run_for(Duration::seconds(3.0));
+    EXPECT_FALSE(observer.expired());
+    EXPECT_EQ(*observer.lock(), 3);
+  }
+  EXPECT_TRUE(observer.expired());
 }
 
 TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
