@@ -13,13 +13,15 @@
 // imitation on a ring. We sweep the initial parameter spread (diversity)
 // and report the population's best and mean performance after imitation
 // rounds — the diverse population finds the optimum, the homogeneous one
-// is stuck with its initial guess.
+// is stuck with its initial guess. Each spread is mean ± stddev over
+// kReps replications run on the ParallelRunner pool.
 
 #include <cmath>
 
 #include "adapt/control.h"
 #include "bench_util.h"
 #include "sim/rng.h"
+#include "sim/runner.h"
 
 namespace {
 
@@ -70,6 +72,8 @@ Outcome run(double initial_spread, std::size_t pop_size, sim::Rng& rng) {
   return out;
 }
 
+constexpr std::size_t kReps = 10;
+
 }  // namespace
 
 int main() {
@@ -79,21 +83,26 @@ int main() {
          "diverse groups outperform homogeneous groups; controllers adapt their "
          "parameterization by observing neighbors");
 
-  row("%-16s %-12s %-12s %-16s", "init_spread", "mean_perf", "best_perf",
+  const iobt::sim::ParallelRunner runner(
+      {.workers = bench_workers(), .repro_program = "bench_diversity"});
+
+  row("%-16s %-16s %-16s %-16s", "init_spread", "mean_perf", "best_perf",
       "final_diversity");
   for (double spread : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    double mean = 0, best = 0, div = 0;
-    const int trials = 10;
-    for (int t = 0; t < trials; ++t) {
-      sim::Rng rng(1 + 17 * static_cast<std::uint64_t>(t) +
-                   static_cast<std::uint64_t>(spread * 10));
-      const auto o = run(spread, 24, rng);
-      mean += o.mean_perf;
-      best += o.best_perf;
-      div += o.final_diversity;
+    std::vector<std::uint64_t> seeds(kReps);
+    for (std::size_t t = 0; t < kReps; ++t) {
+      seeds[t] = 1 + 17 * t + static_cast<std::uint64_t>(spread * 10);
     }
-    row("%-16.1f %-12.2f %-12.2f %-16.4f", spread, mean / trials, best / trials,
-        div / trials);
+    const auto outcome =
+        runner.run<Outcome>(seeds, [&](iobt::sim::ReplicationContext& ctx) {
+          iobt::sim::Rng rng(ctx.seed);
+          return run(spread, 24, rng);
+        });
+    row("%-16.1f %-16s %-16s %-16s", spread,
+        pm(outcome.stats([](const Outcome& o) { return o.mean_perf; }), 2).c_str(),
+        pm(outcome.stats([](const Outcome& o) { return o.best_perf; }), 2).c_str(),
+        pm(outcome.stats([](const Outcome& o) { return o.final_diversity; }), 4)
+            .c_str());
   }
   std::printf(
       "\n(perf = -squared distance to the true optimum at (3,-2); homogeneous\n"

@@ -17,6 +17,18 @@
 #include "bench_util.h"
 #include "intent/games.h"
 #include "intent/security_game.h"
+#include "sim/runner.h"
+
+namespace {
+
+struct BrTrial {
+  double rounds = 0;
+  double moves = 0;
+  double welfare = 0;
+  double ratio = 0;  // BR welfare / centralized-greedy welfare
+};
+
+}  // namespace
 
 int main() {
   using namespace iobt;
@@ -26,24 +38,34 @@ int main() {
          "agents optimizing local objectives converge to mission equilibria, "
          "scalably and without explicit coordination");
 
-  row("%-8s %-8s %-10s %-10s %-12s %-12s", "agents", "tasks", "BR_rounds",
+  const sim::ParallelRunner runner(
+      {.workers = bench_workers(), .repro_program = "bench_intent"});
+  constexpr std::size_t kReps = 8;
+
+  row("%-8s %-8s %-10s %-10s %-16s %-16s", "agents", "tasks", "BR_rounds",
       "BR_moves", "welfareBR", "BR/central");
   for (std::size_t n : {10u, 25u, 50u, 100u, 200u, 400u}) {
     const std::size_t tasks = n / 3 + 2;
-    double rounds = 0, moves = 0, ratio = 0, welfare = 0;
-    const int trials = 3;
-    for (int t = 0; t < trials; ++t) {
-      sim::Rng rng(n * 31 + static_cast<std::uint64_t>(t));
-      const auto g = intent::TaskAllocationGame::random_instance(n, tasks, rng);
-      const auto br = intent::best_response_dynamics(g);
-      const auto ct = intent::centralized_greedy(g);
-      rounds += static_cast<double>(br.rounds);
-      moves += static_cast<double>(br.moves);
-      welfare += br.final_welfare;
-      ratio += ct.final_welfare > 0 ? br.final_welfare / ct.final_welfare : 1.0;
-    }
-    row("%-8zu %-8zu %-10.1f %-10.1f %-12.2f %-12.3f", n, tasks, rounds / trials,
-        moves / trials, welfare / trials, ratio / trials);
+    const auto seeds = sim::ParallelRunner::seed_range(n * 31, kReps);
+    const auto outcome =
+        runner.run<BrTrial>(seeds, [&](sim::ReplicationContext& ctx) {
+          sim::Rng rng(ctx.seed);
+          const auto g = intent::TaskAllocationGame::random_instance(n, tasks, rng);
+          const auto br = intent::best_response_dynamics(g);
+          const auto ct = intent::centralized_greedy(g);
+          BrTrial out;
+          out.rounds = static_cast<double>(br.rounds);
+          out.moves = static_cast<double>(br.moves);
+          out.welfare = br.final_welfare;
+          out.ratio =
+              ct.final_welfare > 0 ? br.final_welfare / ct.final_welfare : 1.0;
+          return out;
+        });
+    row("%-8zu %-8zu %-10.1f %-10.1f %-16s %-16s", n, tasks,
+        outcome.stats([](const BrTrial& o) { return o.rounds; }).mean,
+        outcome.stats([](const BrTrial& o) { return o.moves; }).mean,
+        pm(outcome.stats([](const BrTrial& o) { return o.welfare; }), 2).c_str(),
+        pm(outcome.stats([](const BrTrial& o) { return o.ratio; })).c_str());
   }
 
   std::printf("\nhierarchical decomposition (200 agents, 68 tasks):\n");

@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "sim/rng.h"
+#include "sim/runner.h"
 #include "sim/simulator.h"
 
 namespace iobt {
@@ -212,48 +213,62 @@ int main() {
                 "composite IoBTs of 1,000s-10,000s of nodes must be exercised "
                 "within minutes -> the event kernel is the hot path");
 
-  // Seed (legacy) kernel baseline.
-  WorkloadResult legacy_churn, legacy_delivery, legacy_periodic;
-  {
-    LegacySimulator sim;
-    legacy_churn = churn_workload(sim, std::string_view("rel.rto"), kNodes,
-                                  kChurnRounds);
-    print_result("legacy", "churn", legacy_churn);
-  }
-  {
-    LegacySimulator sim;
-    legacy_delivery =
-        delivery_workload(sim, std::string_view("net.deliver"), kDeliveryEvents);
-    print_result("legacy", "delivery", legacy_delivery);
-  }
-  {
-    LegacySimulator sim;
-    legacy_periodic = periodic_workload(sim, std::string_view("svc.tick"),
-                                        kNodes, kPeriodicTicks);
-    print_result("legacy", "periodic", legacy_periodic);
-  }
-
-  // Slab kernel, tags pre-interned (the supported hot-path idiom).
-  WorkloadResult slab_churn, slab_delivery, slab_periodic;
+  // The six (kernel x workload) baseline cells run as independent
+  // replications through the ParallelRunner — each cell builds its own
+  // simulator from scratch. The pool is pinned to ONE worker so wall-time
+  // measurements never share a core; the runner still provides the
+  // seed-ordered result carrier and per-cell wall clocks.
   sim::Simulator profiled;  // reused for the profile demo below
-  {
-    sim::Simulator sim;
-    slab_churn =
-        churn_workload(sim, sim.intern("rel.rto"), kNodes, kChurnRounds);
-    print_result("slab", "churn", slab_churn);
-  }
-  {
-    sim::Simulator sim;
-    slab_delivery =
-        delivery_workload(sim, sim.intern("net.deliver"), kDeliveryEvents);
-    print_result("slab", "delivery", slab_delivery);
-  }
-  {
-    sim::Simulator sim;
-    slab_periodic =
-        periodic_workload(sim, sim.intern("svc.tick"), kNodes, kPeriodicTicks);
-    print_result("slab", "periodic", slab_periodic);
-  }
+  const sim::ParallelRunner cell_runner(
+      {.workers = 1, .repro_program = "bench_kernel"});
+  const auto cells = cell_runner.run<WorkloadResult>(
+      sim::ParallelRunner::seed_range(0, 6),
+      [&](sim::ReplicationContext& ctx) -> WorkloadResult {
+        switch (ctx.index) {
+          case 0: {
+            LegacySimulator sim;
+            return churn_workload(sim, std::string_view("rel.rto"), kNodes,
+                                  kChurnRounds);
+          }
+          case 1: {
+            LegacySimulator sim;
+            return delivery_workload(sim, std::string_view("net.deliver"),
+                                     kDeliveryEvents);
+          }
+          case 2: {
+            LegacySimulator sim;
+            return periodic_workload(sim, std::string_view("svc.tick"), kNodes,
+                                     kPeriodicTicks);
+          }
+          case 3: {
+            sim::Simulator sim;
+            return churn_workload(sim, sim.intern("rel.rto"), kNodes,
+                                  kChurnRounds);
+          }
+          case 4: {
+            sim::Simulator sim;
+            return delivery_workload(sim, sim.intern("net.deliver"),
+                                     kDeliveryEvents);
+          }
+          default: {
+            sim::Simulator sim;
+            return periodic_workload(sim, sim.intern("svc.tick"), kNodes,
+                                     kPeriodicTicks);
+          }
+        }
+      });
+  const WorkloadResult& legacy_churn = cells.replications[0].payload;
+  const WorkloadResult& legacy_delivery = cells.replications[1].payload;
+  const WorkloadResult& legacy_periodic = cells.replications[2].payload;
+  const WorkloadResult& slab_churn = cells.replications[3].payload;
+  const WorkloadResult& slab_delivery = cells.replications[4].payload;
+  const WorkloadResult& slab_periodic = cells.replications[5].payload;
+  print_result("legacy", "churn", legacy_churn);
+  print_result("legacy", "delivery", legacy_delivery);
+  print_result("legacy", "periodic", legacy_periodic);
+  print_result("slab", "churn", slab_churn);
+  print_result("slab", "delivery", slab_delivery);
+  print_result("slab", "periodic", slab_periodic);
 
   const double churn_speedup =
       slab_churn.ops_per_sec() / legacy_churn.ops_per_sec();

@@ -10,11 +10,28 @@
 //   (b) source-reliability estimation error (mean |est - true|) vs
 //       adversary fraction,
 //   (c) accuracy vs report density (how sparse can the crowd be).
+//
+// Every cell is mean ± stddev over kReps independent replications, executed
+// on the ParallelRunner worker pool; output is identical for any pool size.
 
 #include <cmath>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 #include "social/claims.h"
+
+namespace {
+
+struct TrialOut {
+  double em = 0;
+  double vote = 0;
+  double oracle = 0;
+  double rel_err = 0;
+};
+
+constexpr std::size_t kReps = 8;
+
+}  // namespace
 
 int main() {
   using namespace iobt;
@@ -23,13 +40,18 @@ int main() {
   header("E3: truth discovery",
          "discover ground truth from noisy conflicting claims; characterize sources");
 
-  row("%-12s %-8s %-8s %-8s %-14s", "adv_frac", "EM", "vote", "oracle", "rel_err(EM)");
+  const sim::ParallelRunner runner(
+      {.workers = bench_workers(), .repro_program = "bench_social"});
+
+  row("%-12s %-16s %-16s %-16s %-16s", "adv_frac", "EM", "vote", "oracle",
+      "rel_err(EM)");
   for (double adv : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-    // Average over several draws to smooth generator variance.
-    double em_acc = 0, vote_acc = 0, oracle_acc = 0, rel_err = 0;
-    const int trials = 5;
-    for (int t = 0; t < trials; ++t) {
-      sim::Rng rng(1000 * t + static_cast<std::uint64_t>(adv * 100));
+    std::vector<std::uint64_t> seeds(kReps);
+    for (std::size_t t = 0; t < kReps; ++t) {
+      seeds[t] = 1000 * t + static_cast<std::uint64_t>(adv * 100);
+    }
+    const auto outcome = runner.run<TrialOut>(seeds, [&](sim::ReplicationContext& ctx) {
+      sim::Rng rng(ctx.seed);
       social::ClaimGenConfig cfg;
       cfg.num_sources = 50;
       cfg.num_variables = 300;
@@ -42,26 +64,34 @@ int main() {
       const auto vote = social::majority_vote(g.claims, cfg.num_variables);
       const auto oracle = social::weighted_bayes(g.claims, g.true_reliability,
                                                  cfg.num_variables, cfg.prior_true);
-      em_acc += social::decision_accuracy(em.truth_probability, g.ground_truth);
-      vote_acc += social::decision_accuracy(vote, g.ground_truth);
-      oracle_acc += social::decision_accuracy(oracle, g.ground_truth);
+      TrialOut out;
+      out.em = social::decision_accuracy(em.truth_probability, g.ground_truth);
+      out.vote = social::decision_accuracy(vote, g.ground_truth);
+      out.oracle = social::decision_accuracy(oracle, g.ground_truth);
       double err = 0;
       for (std::size_t i = 0; i < cfg.num_sources; ++i) {
         err += std::abs(em.source_reliability[i] - g.true_reliability[i]);
       }
-      rel_err += err / static_cast<double>(cfg.num_sources);
-    }
-    row("%-12.1f %-8.3f %-8.3f %-8.3f %-14.3f", adv, em_acc / trials,
-        vote_acc / trials, oracle_acc / trials, rel_err / trials);
+      out.rel_err = err / static_cast<double>(cfg.num_sources);
+      ctx.metrics.observe("em.accuracy", out.em);
+      return out;
+    });
+    row("%-12.1f %-16s %-16s %-16s %-16s", adv,
+        pm(outcome.stats([](const TrialOut& o) { return o.em; })).c_str(),
+        pm(outcome.stats([](const TrialOut& o) { return o.vote; })).c_str(),
+        pm(outcome.stats([](const TrialOut& o) { return o.oracle; })).c_str(),
+        pm(outcome.stats([](const TrialOut& o) { return o.rel_err; })).c_str());
   }
 
   std::printf("\naccuracy vs report density (adv_frac=0.3):\n");
-  row("%-12s %-8s %-8s", "density", "EM", "vote");
+  row("%-12s %-16s %-16s", "density", "EM", "vote");
   for (double density : {0.05, 0.1, 0.2, 0.4, 0.8}) {
-    double em_acc = 0, vote_acc = 0;
-    const int trials = 5;
-    for (int t = 0; t < trials; ++t) {
-      sim::Rng rng(5000 + 1000 * t + static_cast<std::uint64_t>(density * 100));
+    std::vector<std::uint64_t> seeds(kReps);
+    for (std::size_t t = 0; t < kReps; ++t) {
+      seeds[t] = 5000 + 1000 * t + static_cast<std::uint64_t>(density * 100);
+    }
+    const auto outcome = runner.run<TrialOut>(seeds, [&](sim::ReplicationContext& ctx) {
+      sim::Rng rng(ctx.seed);
       social::ClaimGenConfig cfg;
       cfg.num_sources = 50;
       cfg.num_variables = 300;
@@ -71,10 +101,14 @@ int main() {
       const auto em =
           social::em_truth_discovery(g.claims, cfg.num_sources, cfg.num_variables);
       const auto vote = social::majority_vote(g.claims, cfg.num_variables);
-      em_acc += social::decision_accuracy(em.truth_probability, g.ground_truth);
-      vote_acc += social::decision_accuracy(vote, g.ground_truth);
-    }
-    row("%-12.2f %-8.3f %-8.3f", density, em_acc / trials, vote_acc / trials);
+      TrialOut out;
+      out.em = social::decision_accuracy(em.truth_probability, g.ground_truth);
+      out.vote = social::decision_accuracy(vote, g.ground_truth);
+      return out;
+    });
+    row("%-12.2f %-16s %-16s", density,
+        pm(outcome.stats([](const TrialOut& o) { return o.em; })).c_str(),
+        pm(outcome.stats([](const TrialOut& o) { return o.vote; })).c_str());
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "sim/rng.h"
+#include "sim/runner.h"
 #include "synthesis/composer.h"
 #include "flow/placement.h"
 #include "synthesis/decompose.h"
@@ -116,26 +117,48 @@ int main() {
 
   std::printf("\nsolver quality ladder (small instances, cost = recruited cost):\n");
   row("%-8s %-10s %-10s %-10s", "seed", "greedy", "localsrch", "exact");
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    sim::Rng rng(seed);
-    std::vector<Candidate> pool;
-    for (std::uint32_t i = 0; i < 18; ++i) {
-      Candidate c;
-      c.asset = i;
-      c.position = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
-      c.sensors = {{iobt::things::Modality::kCamera, rng.uniform(250, 500), 0.9, 0.02}};
-      c.cost = rng.uniform(1.0, 3.0);
-      pool.push_back(std::move(c));
+  {
+    struct LadderOut {
+      double greedy = 0, localsrch = 0, exact = 0;
+    };
+    const sim::ParallelRunner runner(
+        {.workers = bench::bench_workers(), .repro_program = "bench_synthesis"});
+    const auto seeds = sim::ParallelRunner::seed_range(1, 8);
+    const auto outcome =
+        runner.run<LadderOut>(seeds, [](sim::ReplicationContext& ctx) {
+          sim::Rng rng(ctx.seed);
+          std::vector<Candidate> pool;
+          for (std::uint32_t i = 0; i < 18; ++i) {
+            Candidate c;
+            c.asset = i;
+            c.position = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+            c.sensors = {
+                {iobt::things::Modality::kCamera, rng.uniform(250, 500), 0.9, 0.02}};
+            c.cost = rng.uniform(1.0, 3.0);
+            pool.push_back(std::move(c));
+          }
+          MissionSpec spec;
+          spec.sensing.push_back(
+              {iobt::things::Modality::kCamera, {{0, 0}, {1000, 1000}}, 0.6, 0.5, 6});
+          Composer comp(spec, pool, [](std::size_t) { return 1; });
+          LadderOut out;
+          out.greedy = total_cost(pool, comp.compose(Solver::kGreedy));
+          out.localsrch = total_cost(pool, comp.compose(Solver::kLocalSearch));
+          out.exact = total_cost(pool, comp.compose(Solver::kExact));
+          return out;
+        });
+    for (const auto& r : outcome.replications) {
+      row("%-8llu %-10.2f %-10.2f %-10.2f",
+          static_cast<unsigned long long>(r.seed), r.payload.greedy,
+          r.payload.localsrch, r.payload.exact);
     }
-    MissionSpec spec;
-    spec.sensing.push_back(
-        {iobt::things::Modality::kCamera, {{0, 0}, {1000, 1000}}, 0.6, 0.5, 6});
-    Composer comp(spec, pool, [](std::size_t) { return 1; });
-    const auto g = comp.compose(Solver::kGreedy);
-    const auto l = comp.compose(Solver::kLocalSearch);
-    const auto e = comp.compose(Solver::kExact);
-    row("%-8llu %-10.2f %-10.2f %-10.2f", static_cast<unsigned long long>(seed),
-        total_cost(pool, g), total_cost(pool, l), total_cost(pool, e));
+    row("%-8s %-10s %-10s %-10s", "mean±sd",
+        bench::pm(outcome.stats([](const LadderOut& o) { return o.greedy; }), 2)
+            .c_str(),
+        bench::pm(outcome.stats([](const LadderOut& o) { return o.localsrch; }), 2)
+            .c_str(),
+        bench::pm(outcome.stats([](const LadderOut& o) { return o.exact; }), 2)
+            .c_str());
   }
 
   std::printf(

@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "diag/tomography.h"
+#include "sim/runner.h"
 
 namespace {
 
@@ -37,18 +38,25 @@ int main() {
          "infer internal health from end-to-end observations; place monitors "
          "for identifiability");
 
+  const sim::ParallelRunner runner(
+      {.workers = bench::bench_workers(), .repro_program = "bench_tomography"});
+
   const auto grid = net::Topology::grid(5, 5);
   row("%-10s %-16s %-16s", "monitors", "greedy_ident", "random_ident");
   for (std::size_t k : {2u, 4u, 6u, 8u, 12u}) {
     const auto greedy = diag::greedy_monitor_placement(grid, k);
     const double gi = diag::TomographySystem(grid, greedy).identifiability();
-    double ri = 0;
-    const int trials = 5;
-    for (int t = 0; t < trials; ++t) {
-      sim::Rng rng(50 + static_cast<std::uint64_t>(t) * 17 + k);
-      ri += diag::TomographySystem(grid, random_monitors(25, k, rng)).identifiability();
-    }
-    row("%-10zu %-16.3f %-16.3f", k, gi, ri / trials);
+    constexpr std::size_t kReps = 8;
+    std::vector<std::uint64_t> seeds(kReps);
+    for (std::size_t t = 0; t < kReps; ++t) seeds[t] = 50 + t * 17 + k;
+    const auto outcome =
+        runner.run<double>(seeds, [&](sim::ReplicationContext& ctx) {
+          sim::Rng rng(ctx.seed);
+          return diag::TomographySystem(grid, random_monitors(25, k, rng))
+              .identifiability();
+        });
+    row("%-10zu %-16.3f %-16s", k, gi,
+        bench::pm(outcome.stats([](const double& x) { return x; })).c_str());
   }
 
   std::printf("\nestimation error vs measurement noise (5x5 grid, 12 monitors):\n");
@@ -80,30 +88,41 @@ int main() {
     std::vector<net::NodeId> all;
     for (net::NodeId v = 0; v < 25; ++v) all.push_back(v);
     diag::TomographySystem sys(grid, all);
+    struct PrTrial {
+      double precision = 0;
+      double recall = 0;
+    };
     for (std::size_t nfail : {1u, 2u, 4u, 6u}) {
-      double precision = 0, recall = 0;
-      const int trials = 10;
-      for (int t = 0; t < trials; ++t) {
-        sim::Rng rng(100 + static_cast<std::uint64_t>(t) * 13 + nfail);
-        const auto failed_idx = rng.sample_indices(sys.link_count(), nfail);
-        std::vector<bool> is_failed(sys.link_count(), false);
-        for (auto i : failed_idx) is_failed[i] = true;
-        std::vector<bool> path_ok;
-        for (const auto& p : sys.paths()) {
-          bool ok = true;
-          for (std::size_t li : p.link_indices) ok &= !is_failed[li];
-          path_ok.push_back(ok);
-        }
-        const auto d = sys.localize_failures(path_ok);
-        std::size_t tp = 0;
-        for (auto li : d.minimal_explanation) tp += is_failed[li] ? 1 : 0;
-        precision += d.minimal_explanation.empty()
-                         ? 1.0
-                         : static_cast<double>(tp) /
-                               static_cast<double>(d.minimal_explanation.size());
-        recall += static_cast<double>(tp) / static_cast<double>(nfail);
-      }
-      row("%-10zu %-12.3f %-12.3f", nfail, precision / trials, recall / trials);
+      constexpr std::size_t kReps = 10;
+      std::vector<std::uint64_t> seeds(kReps);
+      for (std::size_t t = 0; t < kReps; ++t) seeds[t] = 100 + t * 13 + nfail;
+      const auto outcome =
+          runner.run<PrTrial>(seeds, [&](sim::ReplicationContext& ctx) {
+            sim::Rng rng(ctx.seed);
+            const auto failed_idx = rng.sample_indices(sys.link_count(), nfail);
+            std::vector<bool> is_failed(sys.link_count(), false);
+            for (auto i : failed_idx) is_failed[i] = true;
+            std::vector<bool> path_ok;
+            for (const auto& p : sys.paths()) {
+              bool ok = true;
+              for (std::size_t li : p.link_indices) ok &= !is_failed[li];
+              path_ok.push_back(ok);
+            }
+            const auto d = sys.localize_failures(path_ok);
+            std::size_t tp = 0;
+            for (auto li : d.minimal_explanation) tp += is_failed[li] ? 1 : 0;
+            PrTrial out;
+            out.precision =
+                d.minimal_explanation.empty()
+                    ? 1.0
+                    : static_cast<double>(tp) /
+                          static_cast<double>(d.minimal_explanation.size());
+            out.recall = static_cast<double>(tp) / static_cast<double>(nfail);
+            return out;
+          });
+      row("%-10zu %-12.3f %-12.3f", nfail,
+          outcome.stats([](const PrTrial& o) { return o.precision; }).mean,
+          outcome.stats([](const PrTrial& o) { return o.recall; }).mean);
     }
   }
   return 0;

@@ -3,13 +3,32 @@
 // wall-clock timing. Every bench prints the series its experiment id in
 // DESIGN.md §3 calls for; EXPERIMENTS.md records the expected shapes.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/runner.h"
+
 namespace iobt::bench {
+
+/// Worker-pool size for replication sweeps: hardware concurrency clamped to
+/// [1, 8]. The pool size never affects bench OUTPUT (ParallelRunner
+/// aggregates in seed order), only wall time.
+inline std::size_t bench_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(8, hw);
+}
+
+/// "0.912±0.013" cell for a replication sweep's SummaryStats.
+inline std::string pm(const iobt::sim::SummaryStats& s, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f±%.*f", prec, s.mean, prec, s.stddev);
+  return std::string(buf);
+}
 
 inline void header(const std::string& experiment, const std::string& claim) {
   std::printf("\n=== %s ===\n", experiment.c_str());

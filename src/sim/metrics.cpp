@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include <cstring>
+
 #include "sim/rng.h"
 
 namespace iobt::sim {
@@ -17,9 +19,13 @@ void Summary::add(double x) {
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
 
-  // Reservoir sampling for quantiles. The replacement index comes from a
-  // deterministic SplitMix64 stream keyed only by how many samples we have
-  // seen, so Summary stays reproducible without threading an Rng through.
+  offer_to_reservoir(x);
+}
+
+// Reservoir sampling for quantiles. The replacement index comes from a
+// deterministic SplitMix64 stream keyed only by how many samples we have
+// seen, so Summary stays reproducible without threading an Rng through.
+void Summary::offer_to_reservoir(double x) {
   ++seen_for_reservoir_;
   if (reservoir_.size() < kReservoirCap) {
     reservoir_.push_back(x);
@@ -28,6 +34,80 @@ void Summary::add(double x) {
     const std::uint64_t r = splitmix64(state) % seen_for_reservoir_;
     if (r < kReservoirCap) reservoir_[static_cast<std::size_t>(r)] = x;
   }
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  // Chan et al. parallel combination of (count, mean, m2).
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / (na + nb));
+  m2_ += other.m2_ + delta * delta * (na * nb / (na + nb));
+  count_ += other.count_;
+  // Replay the other reservoir through the deterministic sampler, so the
+  // merged reservoir depends only on merge order. (Quantiles of a merged
+  // summary are an approximation: the other side contributes at most its
+  // retained reservoir, not its full stream.)
+  for (double x : other.reservoir_) offer_to_reservoir(x);
+}
+
+namespace {
+
+void hash_u64(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+void hash_double(std::uint64_t& h, double x) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof bits);
+  hash_u64(h, bits);
+}
+
+}  // namespace
+
+void Summary::hash_into(std::uint64_t& h) const {
+  hash_u64(h, count_);
+  hash_double(h, mean_);
+  hash_double(h, m2_);
+  hash_double(h, min_);
+  hash_double(h, max_);
+  hash_u64(h, reservoir_.size());
+  for (double x : reservoir_) hash_double(h, x);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+  for (const auto& [key, summary] : other.summaries_) {
+    summaries_[key].merge(summary);
+  }
+}
+
+std::uint64_t MetricsRegistry::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_u64(h, counters_.size());
+  for (const auto& [key, value] : counters_) {
+    hash_u64(h, fnv1a(key));
+    hash_double(h, value);
+  }
+  hash_u64(h, gauges_.size());
+  for (const auto& [key, value] : gauges_) {
+    hash_u64(h, fnv1a(key));
+    hash_double(h, value);
+  }
+  hash_u64(h, summaries_.size());
+  for (const auto& [key, summary] : summaries_) {
+    hash_u64(h, fnv1a(key));
+    summary.hash_into(h);
+  }
+  return h;
 }
 
 double Summary::quantile(double q) const {

@@ -37,8 +37,21 @@ class Summary {
   double median() const { return quantile(0.5); }
   double p99() const { return quantile(0.99); }
 
+  /// Folds `other` into this summary: counts add, mean/variance combine by
+  /// the parallel (Chan et al.) update, min/max take the extremes, and
+  /// `other`'s reservoir is replayed through the deterministic sampler. The
+  /// result depends only on merge order — never on wall-clock or thread
+  /// interleaving — which is what lets ParallelRunner aggregate replications
+  /// in seed order and stay bit-identical across worker counts.
+  void merge(const Summary& other);
+
+  /// Mixes this summary's full state (including the reservoir) into `h`.
+  void hash_into(std::uint64_t& h) const;
+
  private:
   static constexpr std::size_t kReservoirCap = 4096;
+
+  void offer_to_reservoir(double x);
 
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -83,6 +96,17 @@ class MetricsRegistry {
     gauges_.clear();
     summaries_.clear();
   }
+
+  /// Folds `other` into this registry: counters add, gauges take `other`'s
+  /// latest value (last merge wins), summaries merge. Used by ParallelRunner
+  /// to aggregate per-replication snapshots in seed order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Order-insensitive-to-nothing content digest: a stable 64-bit hash over
+  /// every key and the exact bit patterns of every value (including summary
+  /// reservoirs). Two registries digest equal iff their observable state is
+  /// bit-identical — the check the determinism-under-parallelism tests use.
+  std::uint64_t digest() const;
 
  private:
   std::map<std::string, double> counters_;

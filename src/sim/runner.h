@@ -1,0 +1,200 @@
+#pragma once
+// Parallel replication harness.
+//
+// The kernel is deliberately single-threaded-deterministic (DESIGN.md §S1),
+// so the parallelism axis for experiments is ACROSS replications, not within
+// one simulation: every seed sweep is embarrassingly parallel. ParallelRunner
+// executes N independent replications on a fixed-size worker pool — each
+// replication is a closure receiving a ReplicationContext (seed, index, a
+// replication-local MetricsRegistry) and must construct its own Simulator /
+// Rng from the seed, sharing nothing with its siblings.
+//
+// Determinism guarantee: results are aggregated in SEED ORDER (the order of
+// the input seed vector), never in completion order, so the aggregated
+// output — payloads, merged metrics, digests — is bit-identical regardless
+// of worker count. 1 worker ≡ 8 workers ≡ the serial inline path
+// (workers == 0). A replication that throws is captured as a failure record
+// carrying its (seed, index) and a one-line serial repro command; the pool
+// keeps draining the remaining replications.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace iobt::sim {
+
+/// Mean / stddev / min / max over a batch of replication values — the shape
+/// every bench table reports instead of a one-seed artifact. stddev is the
+/// sample standard deviation (n-1 denominator).
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static SummaryStats of(const std::vector<double>& xs);
+};
+
+/// Per-replication view handed to the body closure. The body records
+/// experiment metrics into `metrics` (snapshotted into the result) and may
+/// capture a kernel profile from its private Simulator before returning.
+struct ReplicationContext {
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  MetricsRegistry metrics;
+  std::vector<TagProfileRow> profile;
+
+  Rng make_rng() const { return Rng(seed); }
+  void capture_profile(const Simulator& sim) { profile = sim.profile(); }
+};
+
+/// Everything one replication produced: the user payload plus the captured
+/// metrics snapshot, kernel profile rows, and wall time. On failure `ok` is
+/// false, `payload` is default-constructed, and `error` / `repro` describe
+/// what happened and how to re-run that seed serially.
+template <typename T>
+struct ReplicationResult {
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  bool ok = false;
+  double wall_ms = 0.0;
+  T payload{};
+  MetricsRegistry metrics;
+  std::vector<TagProfileRow> profile;
+  std::string error;
+  std::string repro;
+};
+
+/// Aggregate of one run(): replication results in seed order, the seed-order
+/// merge of every replication's metrics, and failure count.
+template <typename T>
+struct RunOutcome {
+  std::vector<ReplicationResult<T>> replications;  // input seed order
+  MetricsRegistry merged;                          // seed-order merge
+  std::size_t failures = 0;
+  std::size_t workers = 0;  // pool size actually used (0 = inline serial)
+  double wall_ms = 0.0;     // whole-batch wall time
+
+  /// Projects one double per successful replication, in seed order.
+  std::vector<double> values(const std::function<double(const T&)>& f) const {
+    std::vector<double> xs;
+    xs.reserve(replications.size());
+    for (const auto& r : replications) {
+      if (r.ok) xs.push_back(f(r.payload));
+    }
+    return xs;
+  }
+  SummaryStats stats(const std::function<double(const T&)>& f) const {
+    return SummaryStats::of(values(f));
+  }
+};
+
+class ParallelRunner {
+ public:
+  struct Options {
+    /// Pool size. 0 runs every replication inline on the calling thread
+    /// (true serial — the reference for the determinism guarantee); k >= 1
+    /// spawns min(k, replications) workers pulling indices from a shared
+    /// atomic cursor.
+    std::size_t workers = 1;
+    /// Program name stamped into failure repro lines (usually argv[0]).
+    std::string repro_program;
+  };
+
+  explicit ParallelRunner(std::size_t workers) : opts_{workers, {}} {}
+  explicit ParallelRunner(Options opts) : opts_(std::move(opts)) {}
+
+  const Options& options() const { return opts_; }
+
+  /// `{base, base+1, ..., base+n-1}` — the standard bench seed sweep.
+  static std::vector<std::uint64_t> seed_range(std::uint64_t base,
+                                               std::size_t n);
+
+  /// Runs `body` once per seed and aggregates in seed order. The body MUST
+  /// derive all randomness and simulation state from its context (no shared
+  /// mutable state), which is what makes worker count unobservable.
+  template <typename T>
+  RunOutcome<T> run(const std::vector<std::uint64_t>& seeds,
+                    const std::function<T(ReplicationContext&)>& body) const {
+    RunOutcome<T> out;
+    const std::size_t n = seeds.size();
+    out.replications.resize(n);
+    const auto batch_start = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> cursor{0};
+    auto drain = [&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        run_one(seeds[i], i, body, out.replications[i]);
+      }
+    };
+
+    const std::size_t pool =
+        opts_.workers == 0 ? 0 : std::min(opts_.workers, std::max<std::size_t>(n, 1));
+    out.workers = pool;
+    if (pool == 0) {
+      drain();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(pool);
+      for (std::size_t w = 0; w < pool; ++w) threads.emplace_back(drain);
+      for (auto& t : threads) t.join();
+    }
+
+    // Aggregation strictly in seed order — the determinism guarantee.
+    for (const auto& r : out.replications) {
+      if (!r.ok) ++out.failures;
+      out.merged.merge_from(r.metrics);
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - batch_start)
+                      .count();
+    return out;
+  }
+
+ private:
+  template <typename T>
+  void run_one(std::uint64_t seed, std::size_t index,
+               const std::function<T(ReplicationContext&)>& body,
+               ReplicationResult<T>& slot) const {
+    slot.seed = seed;
+    slot.index = index;
+    ReplicationContext ctx;
+    ctx.seed = seed;
+    ctx.index = index;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      slot.payload = body(ctx);
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.ok = false;
+      slot.error = e.what();
+    } catch (...) {
+      slot.ok = false;
+      slot.error = "non-std exception";
+    }
+    slot.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    slot.metrics = std::move(ctx.metrics);
+    slot.profile = std::move(ctx.profile);
+    if (!slot.ok) slot.repro = make_repro(seed, index);
+  }
+
+  std::string make_repro(std::uint64_t seed, std::size_t index) const;
+
+  Options opts_;
+};
+
+}  // namespace iobt::sim

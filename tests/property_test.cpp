@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "intent/games.h"
 #include "learn/aggregation.h"
 #include "net/network.h"
+#include "sim/runner.h"
 #include "social/claims.h"
 #include "synthesis/composer.h"
 #include "track/kalman.h"
@@ -218,6 +220,157 @@ TEST_P(SeedSweep, MultiHopHopCountMatchesShortestPath) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL, 13ULL));
+
+// ------------------------------------------- Determinism under parallelism ----
+//
+// The ParallelRunner promises that worker count is unobservable: for a fixed
+// seed set, the aggregated metrics and payloads are bit-identical across
+// {1, 2, 8} workers, identical to a hand-rolled serial loop, and identical
+// run-to-run. The replication body below is deliberately nontrivial — its own
+// Simulator with tagged schedule/cancel churn plus its own Rng substreams —
+// so any cross-replication sharing or ordering leak would perturb the bits.
+
+namespace det {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+double replication_body(sim::ReplicationContext& ctx) {
+  sim::Simulator s;
+  sim::Rng rng = ctx.make_rng();
+  const sim::TagId tick = s.intern("det.tick");
+  const sim::TagId rto = s.intern("det.rto");
+  std::vector<sim::EventId> pending;
+  double acc = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto id = s.schedule_in(
+        sim::Duration::micros(rng.uniform_int(1, 500'000)),
+        [&acc, &rng] { acc += rng.uniform(); }, i % 2 == 0 ? tick : rto);
+    pending.push_back(id);
+  }
+  for (const auto id : pending) {
+    if (rng.bernoulli(0.25)) s.cancel(id);
+  }
+  s.run();
+  ctx.metrics.count("executed", static_cast<double>(s.executed_count()));
+  ctx.metrics.observe("acc", acc);
+  ctx.metrics.observe("final_time_s", s.now().to_seconds());
+  ctx.capture_profile(s);
+  return acc + static_cast<double>(s.executed_count());
+}
+
+}  // namespace det
+
+TEST(ParallelDeterminism, WorkerCountIsUnobservableAndRunsAreRepeatable) {
+  const auto seeds = sim::ParallelRunner::seed_range(100, 12);
+
+  // Reference: a hand-rolled serial loop, no runner involved.
+  sim::MetricsRegistry expected_merged;
+  std::vector<std::uint64_t> expected_bits;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    sim::ReplicationContext ctx;
+    ctx.seed = seeds[i];
+    ctx.index = i;
+    expected_bits.push_back(det::bits_of(det::replication_body(ctx)));
+    expected_merged.merge_from(ctx.metrics);
+  }
+  const std::uint64_t expected_digest = expected_merged.digest();
+
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    // Run each configuration twice to catch run-to-run nondeterminism.
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const sim::ParallelRunner runner(workers);
+      const auto outcome = runner.run<double>(seeds, det::replication_body);
+      EXPECT_EQ(outcome.failures, 0u);
+      ASSERT_EQ(outcome.replications.size(), seeds.size());
+      EXPECT_EQ(outcome.merged.digest(), expected_digest)
+          << "workers=" << workers << " repeat=" << repeat;
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_EQ(det::bits_of(outcome.replications[i].payload),
+                  expected_bits[i])
+            << "workers=" << workers << " repeat=" << repeat << " rep=" << i;
+      }
+    }
+  }
+}
+
+// The cross-module invariants above sweep 6 seeds serially via TEST_P; the
+// runner lets the same style of sweep go wide. These run 24 seeds on the
+// pool and assert the invariant on the aggregated outcome.
+
+TEST(RunnerSweep, AggregatorsPermutationInvariantAcrossManySeeds) {
+  const sim::ParallelRunner runner(4);
+  const auto outcome = runner.run<double>(
+      sim::ParallelRunner::seed_range(1, 24), [](sim::ReplicationContext& ctx) {
+        Rng rng(ctx.seed * 31 + 5);
+        std::vector<learn::Vec> updates;
+        for (int i = 0; i < 9; ++i) {
+          learn::Vec v(4);
+          for (double& x : v) x = rng.normal(0, 2);
+          updates.push_back(std::move(v));
+        }
+        auto shuffled = updates;
+        rng.shuffle(shuffled);
+        double max_diff = 0;
+        for (auto rule :
+             {learn::AggregationRule::kMean, learn::AggregationRule::kMedian,
+              learn::AggregationRule::kTrimmedMean,
+              learn::AggregationRule::kGeometricMedian}) {
+          const auto a = learn::aggregate(rule, updates, 2);
+          const auto b = learn::aggregate(rule, shuffled, 2);
+          for (std::size_t k = 0; k < a.size(); ++k) {
+            max_diff = std::max(max_diff, std::abs(a[k] - b[k]));
+          }
+        }
+        return max_diff;
+      });
+  EXPECT_EQ(outcome.failures, 0u);
+  for (const auto& r : outcome.replications) {
+    EXPECT_LT(r.payload, 1e-9) << "seed " << r.seed;
+  }
+}
+
+TEST(RunnerSweep, ComposerAdmissionGateHoldsAcrossManySeeds) {
+  const sim::ParallelRunner runner(4);
+  const auto outcome = runner.run<std::size_t>(
+      sim::ParallelRunner::seed_range(1, 24), [](sim::ReplicationContext& ctx) {
+        Rng rng(ctx.seed * 13 + 1);
+        std::vector<synthesis::Candidate> cands;
+        for (std::uint32_t i = 0; i < 30; ++i) {
+          synthesis::Candidate c;
+          c.asset = i;
+          c.position = {rng.uniform(0, 800), rng.uniform(0, 800)};
+          c.sensors = {
+              {things::Modality::kCamera, rng.uniform(100, 300), 0.8, 0.01}};
+          c.trust = rng.uniform(0.2, 1.0);
+          cands.push_back(std::move(c));
+        }
+        synthesis::MissionSpec spec;
+        spec.sensing.push_back(
+            {things::Modality::kCamera, {{0, 0}, {800, 800}}, 0.6, 0.5, 5});
+        spec.min_member_trust = 0.5;
+        synthesis::Composer comp(spec, cands, [](std::size_t) { return 1; });
+        const auto c = comp.compose(synthesis::Solver::kGreedy);
+        std::size_t violations = 0;
+        if (!std::is_sorted(c.member_indices.begin(), c.member_indices.end())) {
+          ++violations;
+        }
+        std::set<std::size_t> uniq(c.member_indices.begin(),
+                                   c.member_indices.end());
+        if (uniq.size() != c.member_indices.size()) ++violations;
+        for (std::size_t m : c.member_indices) {
+          if (cands[m].trust < 0.5) ++violations;
+        }
+        return violations;
+      });
+  EXPECT_EQ(outcome.failures, 0u);
+  for (const auto& r : outcome.replications) {
+    EXPECT_EQ(r.payload, 0u) << "seed " << r.seed;
+  }
+}
 
 }  // namespace
 }  // namespace iobt

@@ -1,0 +1,208 @@
+// ParallelRunner: seed-ordered aggregation, worker-count invariance,
+// failure capture, SummaryStats, and the metrics snapshot/merge path the
+// runner's aggregation rides on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/runner.h"
+#include "sim/simulator.h"
+
+namespace iobt::sim {
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+// ---------------------------------------------------------- SummaryStats ----
+
+TEST(SummaryStatsTest, ComputesMeanStddevMinMax) {
+  const auto s = SummaryStats::of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(SummaryStatsTest, EmptyIsAllZero) {
+  const auto s = SummaryStats::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryStatsTest, SingleSampleHasZeroStddev) {
+  const auto s = SummaryStats::of({7.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+}
+
+// -------------------------------------------------------- ParallelRunner ----
+
+TEST(ParallelRunnerTest, SeedRangeIsConsecutive) {
+  const auto seeds = ParallelRunner::seed_range(100, 4);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_EQ(seeds[0], 100u);
+  EXPECT_EQ(seeds[3], 103u);
+}
+
+TEST(ParallelRunnerTest, ResultsArriveInSeedOrderForEveryWorkerCount) {
+  const std::vector<std::uint64_t> seeds = {7, 3, 11, 5, 2, 13, 17, 1};
+  for (std::size_t workers : {0u, 1u, 2u, 8u, 16u}) {
+    const ParallelRunner runner(workers);
+    const auto outcome = runner.run<double>(seeds, [](ReplicationContext& ctx) {
+      return static_cast<double>(ctx.seed * 2 + ctx.index);
+    });
+    ASSERT_EQ(outcome.replications.size(), seeds.size());
+    EXPECT_EQ(outcome.failures, 0u);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const auto& r = outcome.replications[i];
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.seed, seeds[i]);
+      EXPECT_EQ(r.index, i);
+      EXPECT_DOUBLE_EQ(r.payload, static_cast<double>(seeds[i] * 2 + i));
+      EXPECT_GE(r.wall_ms, 0.0);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, WorkerPoolClampsToReplicationCount) {
+  const ParallelRunner runner(16);
+  const auto outcome = runner.run<int>(ParallelRunner::seed_range(0, 2),
+                                       [](ReplicationContext&) { return 1; });
+  EXPECT_EQ(outcome.workers, 2u);
+  const ParallelRunner serial(0);
+  EXPECT_EQ(serial
+                .run<int>(ParallelRunner::seed_range(0, 2),
+                          [](ReplicationContext&) { return 1; })
+                .workers,
+            0u);
+}
+
+TEST(ParallelRunnerTest, EmptySeedListIsHarmless) {
+  const ParallelRunner runner(4);
+  const auto outcome =
+      runner.run<int>({}, [](ReplicationContext&) { return 1; });
+  EXPECT_TRUE(outcome.replications.empty());
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_EQ(outcome.merged.digest(), MetricsRegistry{}.digest());
+}
+
+TEST(ParallelRunnerTest, MergedMetricsMatchHandRolledSerialLoop) {
+  const auto seeds = ParallelRunner::seed_range(40, 9);
+  const auto body = [](ReplicationContext& ctx) {
+    ctx.metrics.count("reps");
+    ctx.metrics.count("seed.total", static_cast<double>(ctx.seed));
+    ctx.metrics.gauge("last.seed", static_cast<double>(ctx.seed));
+    ctx.metrics.observe("seed.dist", static_cast<double>(ctx.seed % 5));
+    return static_cast<double>(ctx.seed);
+  };
+
+  MetricsRegistry expected;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ReplicationContext ctx;
+    ctx.seed = seeds[i];
+    ctx.index = i;
+    body(ctx);
+    expected.merge_from(ctx.metrics);
+  }
+
+  for (std::size_t workers : {0u, 1u, 3u, 8u}) {
+    const ParallelRunner runner(workers);
+    const auto outcome = runner.run<double>(seeds, body);
+    EXPECT_EQ(outcome.merged.digest(), expected.digest()) << workers;
+    EXPECT_DOUBLE_EQ(outcome.merged.counter("reps"), 9.0);
+    EXPECT_DOUBLE_EQ(outcome.merged.gauge_value("last.seed"), 48.0);
+  }
+}
+
+TEST(ParallelRunnerTest, FailureIsCapturedWithoutTearingDownThePool) {
+  const ParallelRunner runner(
+      {.workers = 4, .repro_program = "test_runner"});
+  const auto seeds = ParallelRunner::seed_range(1, 8);
+  const auto outcome = runner.run<double>(seeds, [](ReplicationContext& ctx) {
+    if (ctx.seed == 5) throw std::runtime_error("invariant violated: seed 5");
+    return 1.0;
+  });
+  EXPECT_EQ(outcome.failures, 1u);
+  ASSERT_EQ(outcome.replications.size(), 8u);
+  for (const auto& r : outcome.replications) {
+    if (r.seed == 5) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_EQ(r.payload, 0.0);  // default-constructed on failure
+      EXPECT_NE(r.error.find("invariant violated"), std::string::npos);
+      EXPECT_NE(r.repro.find("test_runner"), std::string::npos);
+      EXPECT_NE(r.repro.find("--seed=5"), std::string::npos);
+      EXPECT_NE(r.repro.find("--workers=0"), std::string::npos);
+    } else {
+      EXPECT_TRUE(r.ok) << r.seed;
+      EXPECT_DOUBLE_EQ(r.payload, 1.0);
+    }
+  }
+  // Failed replications contribute nothing to stats().
+  EXPECT_EQ(outcome.stats([](const double& x) { return x; }).count, 7u);
+}
+
+TEST(ParallelRunnerTest, NonStdExceptionIsCaptured) {
+  const ParallelRunner runner(2);
+  const auto outcome = runner.run<int>(
+      ParallelRunner::seed_range(0, 3), [](ReplicationContext& ctx) -> int {
+        if (ctx.index == 1) throw 42;
+        return 0;
+      });
+  EXPECT_EQ(outcome.failures, 1u);
+  EXPECT_EQ(outcome.replications[1].error, "non-std exception");
+}
+
+TEST(ParallelRunnerTest, CapturesKernelProfilePerReplication) {
+  const ParallelRunner runner(2);
+  const auto outcome = runner.run<std::uint64_t>(
+      ParallelRunner::seed_range(1, 4), [](ReplicationContext& ctx) {
+        Simulator sim;
+        const TagId tick = sim.intern("test.tick");
+        for (int i = 0; i < 10; ++i) {
+          sim.schedule_in(Duration::millis(i + 1), [] {}, tick);
+        }
+        sim.run();
+        ctx.capture_profile(sim);
+        return sim.executed_count();
+      });
+  for (const auto& r : outcome.replications) {
+    EXPECT_EQ(r.payload, 10u);
+    ASSERT_FALSE(r.profile.empty());
+    EXPECT_EQ(r.profile[0].tag, "test.tick");
+    EXPECT_EQ(r.profile[0].executed, 10u);
+  }
+}
+
+TEST(ParallelRunnerTest, RepeatedRunsAreBitIdentical) {
+  const auto seeds = ParallelRunner::seed_range(7, 10);
+  const auto body = [](ReplicationContext& ctx) {
+    Rng rng = ctx.make_rng();
+    double acc = 0;
+    for (int i = 0; i < 50; ++i) acc += rng.normal(0, 1);
+    ctx.metrics.observe("acc", acc);
+    return acc;
+  };
+  const ParallelRunner runner(4);
+  const auto a = runner.run<double>(seeds, body);
+  const auto b = runner.run<double>(seeds, body);
+  EXPECT_EQ(a.merged.digest(), b.merged.digest());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(bits_of(a.replications[i].payload),
+              bits_of(b.replications[i].payload));
+  }
+}
+
+}  // namespace
+}  // namespace iobt::sim
