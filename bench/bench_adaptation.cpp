@@ -28,12 +28,13 @@ struct Outcome {
   std::size_t members = 0;
 };
 
-Outcome run_mission(bool reflexes) {
+Outcome run_mission(bool reflexes, const std::string& trace_path = {}) {
   core::RuntimeConfig cfg;
   cfg.area = {{0, 0}, {1500, 900}};
   cfg.seed = 404;
   cfg.channel_max_edge_loss = 0.1;
   core::Runtime rt(cfg);
+  bench::TraceSession trace(rt.simulator(), trace_path);
 
   things::PopulationConfig pop;
   pop.sensor_motes = 50;
@@ -92,13 +93,16 @@ Outcome run_mission(bool reflexes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iobt::bench;
+  const BenchArgs args = parse_args(argc, argv);
 
   header("E4: adaptive reflexes",
          "fast adaptation handles sudden disturbances while executing a mission");
 
-  const Outcome with = run_mission(true);
+  // The reflexes-ON mission is the traced one: its timeline shows every
+  // monitor sweep, reflex fire, and modality switch the table summarizes.
+  const Outcome with = run_mission(true, args.trace_path);
   const Outcome without = run_mission(false);
 
   row("%-8s | %-14s | %-14s", "t(s)", "reflexes_ON", "reflexes_OFF");

@@ -34,12 +34,15 @@ struct Outcome {
   bool feasible = false;
 };
 
-Outcome run(const Config& cfg) {
+Outcome run(const Config& cfg, const std::string& trace_path) {
   core::RuntimeConfig rcfg;
   rcfg.area = {{0, 0}, {1400, 1000}};
   rcfg.seed = 31415;
   rcfg.channel_max_edge_loss = 0.1;
   core::Runtime rt(rcfg);
+  // With --trace, the full configuration's run is captured end to end:
+  // kernel dispatch spans, network frames, synthesis phases, reflex fires.
+  bench::TraceSession trace(rt.simulator(), trace_path);
 
   things::PopulationConfig pop;
   pop.sensor_motes = 45;
@@ -109,8 +112,9 @@ Outcome run(const Config& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iobt::bench;
+  const BenchArgs args = parse_args(argc, argv);
 
   header("E12: end-to-end mission ablation",
          "discover, characterize, synthesize, adapt, recover — the full loop");
@@ -125,7 +129,9 @@ int main() {
   row("%-18s %-10s %-10s %-10s %-10s %-10s %-10s", "config", "q_before", "q_during",
       "q_after", "repairs", "switches", "members");
   for (const auto& c : configs) {
-    const Outcome o = run(c);
+    // Only the "full" configuration is traced — one timeline per file.
+    const bool traced = std::string_view(c.name) == "full";
+    const Outcome o = run(c, traced ? args.trace_path : std::string());
     row("%-18s %-10.2f %-10.2f %-10.2f %-10zu %-10zu %-10zu", c.name, o.q_before,
         o.q_during, o.q_after, o.repairs, o.switches, o.members);
   }

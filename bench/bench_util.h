@@ -7,11 +7,15 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "sim/runner.h"
+#include "trace/trace.h"
 
 namespace iobt::bench {
 
@@ -43,6 +47,62 @@ inline void row(const char* fmt, ...) {
   va_end(args);
   std::printf("\n");
 }
+
+/// Command-line options shared by the harnesses. `--trace=<file>` (or
+/// `--trace <file>`) records the bench's instrumented run and writes
+/// Chrome trace-event JSON there — open it in https://ui.perfetto.dev or
+/// chrome://tracing. Unknown arguments are ignored so harness-specific
+/// flags can coexist.
+struct BenchArgs {
+  std::string trace_path;  // empty = tracing off
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      out.trace_path = std::string(arg.substr(8));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      out.trace_path = argv[++i];
+    }
+  }
+  return out;
+}
+
+/// RAII trace capture around one instrumented run: enables the given
+/// simulator's tracer, installs it as the calling thread's ambient tracer
+/// (so harness-thread spans — e.g. mission synthesis — join the timeline),
+/// and on destruction writes the JSON file plus a one-line summary. An
+/// empty path makes the session inert, which is how benches run untraced.
+class TraceSession {
+ public:
+  explicit TraceSession(iobt::sim::Simulator& sim, std::string path,
+                        std::size_t capacity = 1u << 20)
+      : path_(std::move(path)) {
+    if (path_.empty()) return;
+    tracer_ = &sim.tracer();
+    tracer_->enable(capacity);
+    use_.emplace(tracer_);
+  }
+  ~TraceSession() {
+    if (!tracer_) return;
+    use_.reset();
+    tracer_->disable();
+    std::ofstream os(path_);
+    tracer_->write_json(os);
+    std::printf("trace: wrote %zu records (%llu overwritten) to %s\n",
+                tracer_->size(), static_cast<unsigned long long>(tracer_->dropped()),
+                path_.c_str());
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  iobt::trace::Tracer* tracer_ = nullptr;
+  std::optional<iobt::trace::ScopedUse> use_;
+};
 
 class WallTimer {
  public:

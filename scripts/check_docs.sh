@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Docs-vs-tree consistency gate.
+#
+# The docs (README/DESIGN/EXPERIMENTS/ROADMAP) name concrete artifacts:
+# bench binaries, source files, CLI flags. Those references rot silently
+# when code moves, so CI runs this script and fails the build if any doc
+# references a bench target, file path, or flag that no longer exists.
+set -u
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+fail=0
+
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+# 1. Every `bench_<name>` token must have a matching bench/bench_<name>.cpp.
+#    (`bench_foo.txt` style capture-file names are not targets.)
+for doc in "${DOCS[@]}"; do
+  for tok in $(grep -oE 'bench_[a-z0-9_]+(\.[a-z]+)?' "$doc" | sort -u); do
+    case "$tok" in
+      *.cpp) tok=${tok%.cpp} ;;
+      *.*) continue ;;
+    esac
+    [[ -f "bench/${tok}.cpp" ]] ||
+      err "$doc references bench target '$tok' but bench/${tok}.cpp does not exist"
+  done
+done
+
+# 2. Every slash-containing source-file path mentioned in a doc must exist,
+#    either verbatim or under src/ (docs use module-relative includes like
+#    sim/runner.h). Generated artifacts (build*/, *.json) and URLs are skipped.
+for doc in "${DOCS[@]}"; do
+  for path in $(grep -oE '[A-Za-z0-9_][A-Za-z0-9_./-]*\.(cpp|h|sh)' "$doc" | sort -u); do
+    case "$path" in
+      */*) ;;
+      *) continue ;;           # bare filenames are prose, not paths
+    esac
+    case "$path" in
+      build*/*) continue ;;
+    esac
+    [[ -e "$path" || -e "src/$path" ]] ||
+      err "$doc references '$path' but neither it nor src/$path exists"
+  done
+done
+
+# 3. Every --flag the docs attribute to a bench (a flag on the same line as
+#    a bench_* invocation) must appear in bench/ sources. cmake/ctest flags
+#    on non-bench lines are not ours to check.
+for doc in "${DOCS[@]}"; do
+  for flag in $(grep -E 'bench_[a-z0-9_]+ +--' "$doc" |
+                grep -oE '\-\-[a-z][a-z0-9-]+' | sort -u); do
+    grep -rqF -- "$flag" bench/ ||
+      err "$doc references bench flag '$flag' but no bench/ source mentions it"
+  done
+done
+
+# 4. Every src/ module directory must be listed in the README architecture
+#    block and the DESIGN repository layout — new subsystems must be
+#    documented, not just merged.
+for mod in src/*/; do
+  mod=$(basename "$mod")
+  grep -qE "^${mod}/" README.md ||
+    err "README.md architecture block is missing module '${mod}/'"
+  grep -qE "(^|[ \`(])${mod}/" DESIGN.md ||
+    err "DESIGN.md repository layout is missing module '${mod}/'"
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED — docs reference artifacts that do not exist" >&2
+  exit 1
+fi
+echo "check_docs: OK (${#DOCS[@]} docs checked against the tree)"

@@ -13,7 +13,11 @@ void InvariantMonitor::start() {
   started_ = true;
   sim_.schedule_every(
       period_,
-      [this]() {
+      [this, alive = std::weak_ptr<char>(alive_)]() {
+        // The tick may outlive the monitor (the simulator keeps running
+        // after services are torn down); expiry unschedules the loop
+        // instead of touching a dangling `this`.
+        if (alive.expired()) return false;
         check_now();
         return true;
       },
@@ -21,6 +25,8 @@ void InvariantMonitor::start() {
 }
 
 void InvariantMonitor::check_now() {
+  trace::Tracer& tr = sim_.tracer();
+  trace::Span span(tr, tr.enabled() ? trace_check_.id(tr) : 0);
   const sim::SimTime now = sim_.now();
   for (Watched& w : watched_) {
     const bool holds = w.predicate();
@@ -29,6 +35,7 @@ void InvariantMonitor::check_now() {
       w.holding = false;
       w.open_record = history_.size();
       history_.push_back({w.name, now, sim::SimTime::max()});
+      if (tr.enabled()) tr.instant(trace_violation_.id(tr));
       if (w.on_violation) w.on_violation();
     } else if (!w.holding && holds) {
       w.holding = true;

@@ -9,11 +9,13 @@
 // can report time-to-detect and time-to-repair.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace iobt::adapt {
 
@@ -64,6 +66,14 @@ class InvariantMonitor {
   sim::Simulator& sim_;
   sim::Duration period_;
   sim::TagId tick_tag_;
+  /// Trace labels: one span per sweep of the watched predicates, plus an
+  /// instant on each violation edge (the moment a reflex is triggered).
+  trace::Name trace_check_{"adapt.monitor.check", "adapt"};
+  trace::Name trace_violation_{"adapt.violation", "adapt"};
+  /// Lifetime token for the periodic check loop: the scheduled lambda
+  /// holds a weak_ptr and unschedules itself once the monitor is gone, so
+  /// a monitor with a shorter life than its simulator never dangles.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   std::vector<Watched> watched_;
   std::vector<ViolationRecord> history_;
   bool started_ = false;

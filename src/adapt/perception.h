@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "things/capability.h"
+#include "trace/trace.h"
 
 namespace iobt::adapt {
 
@@ -96,6 +97,9 @@ class ModalitySwitcher {
     active_ = best;
     active_feeds_ = 0;
     ++switches_;
+    // The failover is the reflex the paper's §IV-B describes; mark it on
+    // the timeline of whoever is running us (mission sweep handler).
+    trace::instant_here("adapt.modality_switch", "adapt");
     return true;
   }
 

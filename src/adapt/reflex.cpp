@@ -34,7 +34,10 @@ void ReflexEngine::arm() {
   // cooldown so the chain can escalate.
   sim_.schedule_every(
       sim::Duration::seconds(1.0),
-      [this]() {
+      [this, alive = std::weak_ptr<char>(alive_)]() {
+        // Engine destroyed (services torn down mid-run): stop polling
+        // rather than dereference a dead `this`.
+        if (alive.expired()) return false;
         for (std::size_t bi = 0; bi < bindings_.size(); ++bi) {
           Binding& b = bindings_[bi];
           if (!monitor_.holding(b.invariant)) {
@@ -59,7 +62,13 @@ void ReflexEngine::fire(std::size_t binding_index) {
   const std::size_t level = std::min(b.level, b.chain.size() - 1);
   const ReflexAction& action = b.chain[level];
   log_.push_back({b.invariant, action.name, now});
-  action.act();
+  {
+    trace::Tracer& tr = sim_.tracer();
+    trace::Span span(tr, tr.enabled() ? trace_fire_.id(tr) : 0);
+    action.act();
+    if (tr.enabled())
+      tr.counter(trace_fired_total_.id(tr), static_cast<double>(log_.size()));
+  }
 
   if (++b.fires_at_level >= b.escalate_after && b.level + 1 < b.chain.size()) {
     ++b.level;

@@ -11,10 +11,12 @@
 // instead (local fix -> stronger fix -> report upward).
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "adapt/monitor.h"
+#include "trace/trace.h"
 
 namespace iobt::adapt {
 
@@ -66,6 +68,13 @@ class ReflexEngine {
   sim::Simulator& sim_;
   InvariantMonitor& monitor_;
   sim::TagId escalation_tag_;
+  /// Trace labels: a span around each corrective action (how long repairs
+  /// take) and a running fired-reflex counter track.
+  trace::Name trace_fire_{"adapt.reflex.fire", "adapt"};
+  trace::Name trace_fired_total_{"adapt.reflex.fired", "adapt"};
+  /// Lifetime token for the escalation poll; the loop unschedules itself
+  /// when the engine is destroyed before its simulator quiesces.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   std::vector<Binding> bindings_;
   std::vector<FiredReflex> log_;
   bool armed_ = false;

@@ -38,7 +38,11 @@ void SpanningTreeProtocol::start() {
   for (const auto id : members_) {
     world_.simulator().schedule_every(
         hello_period_,
-        [this, id]() {
+        [this, id, alive = std::weak_ptr<char>(alive_)]() {
+          // The protocol may be torn down while the simulator keeps
+          // draining; the asset_live guard alone would still read through
+          // a dangling `this` first.
+          if (alive.expired()) return false;
           if (!world_.asset_live(id)) return false;
           tick(id);
           return true;

@@ -11,6 +11,7 @@
 // self-stabilization property the tests verify.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +70,9 @@ class SpanningTreeProtocol {
   std::unordered_map<things::AssetId,
                      std::unordered_map<std::uint32_t, std::pair<Hello, sim::SimTime>>>
       heard_;
+  /// Lifetime token for the per-member hello loops; each loop unschedules
+  /// itself if the protocol object is destroyed before the simulator.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   bool started_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "trace/trace.h"
+
 namespace iobt::core {
 
 namespace {
@@ -246,6 +248,11 @@ std::optional<MissionId> Runtime::launch_mission(const synthesis::Goal& goal,
 }
 
 void Runtime::mission_sweep(MissionId id) {
+  // The sweep is the runtime's adaptive loop: sense, score quality, and
+  // run the two reflexes (modality switch, repair). One span per sweep.
+  trace::Tracer& tr = sim_.tracer();
+  trace::Span sweep_span(tr.enabled() ? &tr : nullptr, "adapt.mission.sweep",
+                         "adapt");
   Mission& m = *missions_[id];
   m.window.emplace_back();
   if (m.window.size() > m.options.quality_window) m.window.erase(m.window.begin());
@@ -337,7 +344,14 @@ void Runtime::maybe_repair(MissionId id) {
   if (m.options.exclusive) {
     for (const auto aid : m.composite.member_assets) reserved_.erase(aid);
   }
-  m.composite = m.composer->repair(m.composite, dead);
+  {
+    // Reflex 2 on the timeline: the adapt-layer span wraps the synthesis
+    // repair span it triggers.
+    trace::Tracer& tr = sim_.tracer();
+    trace::Span span(tr.enabled() ? &tr : nullptr, "adapt.mission.repair",
+                     "adapt");
+    m.composite = m.composer->repair(m.composite, dead);
+  }
   if (m.options.exclusive) {
     for (const auto aid : m.composite.member_assets) reserved_.insert(aid);
   }

@@ -52,7 +52,10 @@ void HealthService::start() {
   started_ = true;
   world_.simulator().schedule_every(
       cfg_.probe_period,
-      [this]() {
+      [this, alive = std::weak_ptr<char>(alive_)]() {
+        // Destruction check must come before the asset_live guard — that
+        // guard itself reads `this`.
+        if (alive.expired()) return false;
         if (!world_.asset_live(monitor_)) return false;
         tick();
         return true;

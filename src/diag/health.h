@@ -11,6 +11,7 @@
 // from "path degraded" by cross-referencing which probes still succeed —
 // exactly the tomography information structure, driven by real traffic.
 
+#include <memory>
 #include <unordered_map>
 
 #include "diag/anomaly.h"
@@ -78,6 +79,10 @@ class HealthService {
   std::vector<things::AssetId> peers_;
   HealthConfig cfg_;
   std::unordered_map<things::AssetId, PeerState> state_;
+  /// Lifetime token for the probe loop: the tick lambda holds a weak_ptr
+  /// and unschedules itself once the service is destroyed, so the loop
+  /// never probes through a dangling `this`.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   std::uint64_t next_seq_ = 1;
   std::size_t probes_sent_ = 0;
   std::size_t replies_ = 0;

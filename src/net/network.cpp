@@ -41,6 +41,8 @@ void Network::set_node_up(NodeId id, bool up) {
 void Network::drop(DropReason reason, const Message& msg) {
   ++frames_dropped_;
   metrics_.count("net.drop." + to_string(reason));
+  trace::Tracer& tr = sim_.tracer();
+  if (tr.enabled()) tr.instant(trace_drop_.id(tr));
   if (drop_hook_) drop_hook_(reason, msg);
 }
 
@@ -77,9 +79,32 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
   std::vector<NodeId> path_tail;
   if (remaining_path) path_tail = *remaining_path;
 
+  // Async trace span per frame on the air: begin at transmit, end at
+  // delivery or loss. frames_in_flight_ is maintained unconditionally (two
+  // integer ops) so the counter track is correct however late tracing was
+  // enabled; records themselves cost nothing while tracing is off.
+  ++frames_in_flight_;
+  std::uint64_t frame_trace = 0;
+  {
+    trace::Tracer& tr = sim_.tracer();
+    if (tr.enabled()) {
+      frame_trace = next_frame_trace_id_++;
+      tr.async_begin(trace_frame_.id(tr), frame_trace);
+      tr.counter(trace_in_flight_.id(tr), static_cast<double>(frames_in_flight_));
+    }
+  }
+
   sim_.schedule_at(
       arrive,
-      [this, dst, msg = std::move(msg), lost, path_tail = std::move(path_tail)]() mutable {
+      [this, dst, msg = std::move(msg), lost, frame_trace,
+       path_tail = std::move(path_tail)]() mutable {
+        --frames_in_flight_;
+        trace::Tracer& tr = sim_.tracer();
+        if (frame_trace != 0 && tr.enabled()) {
+          tr.async_end(trace_frame_.id(tr), frame_trace);
+          tr.counter(trace_in_flight_.id(tr),
+                     static_cast<double>(frames_in_flight_));
+        }
         if (lost) {
           drop(DropReason::kChannelLoss, msg);
           return;

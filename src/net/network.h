@@ -19,6 +19,7 @@
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace iobt::net {
 
@@ -121,6 +122,14 @@ class Network {
   ChannelModel channel_;
   sim::Rng rng_;
   sim::TagId deliver_tag_;  // interned once: tags every in-flight frame event
+  /// Trace labels: async span per in-flight frame, drop instants, and the
+  /// frames-in-flight counter track. Recorded only while the simulator's
+  /// tracer is enabled.
+  trace::Name trace_frame_{"net.frame", "net"};
+  trace::Name trace_drop_{"net.drop", "net"};
+  trace::Name trace_in_flight_{"net.frames_in_flight", "net"};
+  std::uint64_t next_frame_trace_id_ = 1;
+  std::uint64_t frames_in_flight_ = 0;
   std::vector<Endpoint> nodes_;
   sim::Duration hop_latency_ = sim::Duration::millis(1);
   std::function<void(NodeId, std::size_t)> transmit_hook_;

@@ -23,7 +23,12 @@ constexpr std::size_t kEnvelopeOverhead = 32;
 ReliableChannel::ReliableChannel(sim::Simulator& simulator, Dispatcher& dispatcher,
                                  std::string kind_prefix, ReliableConfig config)
     : sim_(simulator), disp_(dispatcher), prefix_(std::move(kind_prefix)),
-      cfg_(config), rto_tag_(simulator.intern(prefix_ + ".rto")) {}
+      cfg_(config), rto_tag_(simulator.intern(prefix_ + ".rto")),
+      trace_xfer_(prefix_ + ".xfer", "net"),
+      trace_retx_(prefix_ + ".retransmit", "net"),
+      trace_fail_(prefix_ + ".fail", "net"),
+      trace_retx_total_(prefix_ + ".retransmissions", "net"),
+      trace_pending_(prefix_ + ".pending", "net") {}
 
 void ReliableChannel::listen(NodeId node, std::function<void(const Message&)> on_receive) {
   disp_.on(node, data_kind(),
@@ -66,6 +71,11 @@ void ReliableChannel::install_ack_endpoint(NodeId src) {
     resolve_flow_seq(it->second.src, it->second.dst, it->second.flow_seq);
     auto on_result = std::move(it->second.on_result);
     pending_.erase(it);
+    trace::Tracer& tr = sim_.tracer();
+    if (tr.enabled()) {
+      tr.async_end(trace_xfer_.id(tr), ack.xfer);
+      tr.counter(trace_pending_.id(tr), static_cast<double>(pending_.size()));
+    }
     if (on_result) on_result(true);
   });
 }
@@ -84,6 +94,11 @@ std::uint64_t ReliableChannel::send(NodeId src, NodeId dst, Message msg,
   p.attempts_left = cfg_.max_attempts;
   p.on_result = std::move(on_result);
   pending_[xfer] = std::move(p);
+  trace::Tracer& tr = sim_.tracer();
+  if (tr.enabled()) {
+    tr.async_begin(trace_xfer_.id(tr), xfer);
+    tr.counter(trace_pending_.id(tr), static_cast<double>(pending_.size()));
+  }
   transmit(xfer);
   return xfer;
 }
@@ -109,10 +124,23 @@ void ReliableChannel::transmit(std::uint64_t xfer) {
     disp_.network().route_and_send(p.src, p.dst, std::move(release));
     auto on_result = std::move(p.on_result);
     pending_.erase(it);
+    trace::Tracer& tr = sim_.tracer();
+    if (tr.enabled()) {
+      tr.instant(trace_fail_.id(tr));
+      tr.async_end(trace_xfer_.id(tr), xfer);
+      tr.counter(trace_pending_.id(tr), static_cast<double>(pending_.size()));
+    }
     if (on_result) on_result(false);
     return;
   }
-  if (p.attempts_left < cfg_.max_attempts) ++retransmissions_;
+  if (p.attempts_left < cfg_.max_attempts) {
+    ++retransmissions_;
+    trace::Tracer& tr = sim_.tracer();
+    if (tr.enabled()) {
+      tr.instant(trace_retx_.id(tr));
+      tr.counter(trace_retx_total_.id(tr), static_cast<double>(retransmissions_));
+    }
+  }
   --p.attempts_left;
 
   Message frame;

@@ -27,6 +27,7 @@
 #include <unordered_set>
 
 #include "net/dispatcher.h"
+#include "trace/trace.h"
 
 namespace iobt::net {
 
@@ -143,6 +144,15 @@ class ReliableChannel {
   std::string prefix_;
   ReliableConfig cfg_;
   sim::TagId rto_tag_;
+  /// Trace labels: one async span per transfer (send -> ACK/failure, so
+  /// the Perfetto row shows exactly how long reliability cost each
+  /// message), instants per retransmission/failure, and counters for the
+  /// cumulative retransmit total and transfers awaiting ACK.
+  trace::Name trace_xfer_;
+  trace::Name trace_retx_;
+  trace::Name trace_fail_;
+  trace::Name trace_retx_total_;
+  trace::Name trace_pending_;
   std::uint64_t next_xfer_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;  // by transfer id
   /// Per-(src,dst) flow sequence counters (wire seqs start at 1).

@@ -29,6 +29,7 @@
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace iobt::sim {
 
@@ -53,9 +54,17 @@ struct ReplicationContext {
   std::size_t index = 0;
   MetricsRegistry metrics;
   std::vector<TagProfileRow> profile;
+  /// Replication-local tracer. It outlives the body's Simulator, so when a
+  /// replication throws, the timeline leading up to the failure survives
+  /// the unwind and ships with the failure record (trace_json).
+  trace::Tracer tracer;
 
   Rng make_rng() const { return Rng(seed); }
   void capture_profile(const Simulator& sim) { profile = sim.profile(); }
+  /// Points `sim` at this replication's tracer. Call right after
+  /// constructing the body's Simulator; recording starts only if the
+  /// runner's Options asked for traces (trace_capacity > 0).
+  void attach_tracer(Simulator& sim) { sim.attach_tracer(&tracer); }
 };
 
 /// Everything one replication produced: the user payload plus the captured
@@ -73,6 +82,11 @@ struct ReplicationResult {
   std::vector<TagProfileRow> profile;
   std::string error;
   std::string repro;
+  /// Chrome trace JSON of the replication's timeline. Non-empty only when
+  /// the runner ran with trace_capacity > 0 AND (the replication failed or
+  /// trace_all was set) AND the body attached its Simulator to the
+  /// context's tracer.
+  std::string trace_json;
 };
 
 /// Aggregate of one run(): replication results in seed order, the seed-order
@@ -109,6 +123,15 @@ class ParallelRunner {
     std::size_t workers = 1;
     /// Program name stamped into failure repro lines (usually argv[0]).
     std::string repro_program;
+    /// Per-replication trace ring size in records; 0 disables tracing.
+    /// When set, each context's tracer is enabled before the body runs
+    /// (tid = replication index, so multi-seed traces stay separable) and
+    /// a FAILING replication's result carries its timeline as trace_json —
+    /// the crash ships with the events that led to it.
+    std::size_t trace_capacity = 0;
+    /// Also keep trace_json for successful replications (memory-heavy for
+    /// wide sweeps; meant for targeted trace collection).
+    bool trace_all = false;
   };
 
   explicit ParallelRunner(std::size_t workers) : opts_{workers, {}} {}
@@ -173,6 +196,10 @@ class ParallelRunner {
     ReplicationContext ctx;
     ctx.seed = seed;
     ctx.index = index;
+    if (opts_.trace_capacity > 0) {
+      ctx.tracer.set_track(0, static_cast<std::uint32_t>(index));
+      ctx.tracer.enable(opts_.trace_capacity);
+    }
     const auto start = std::chrono::steady_clock::now();
     try {
       slot.payload = body(ctx);
@@ -189,6 +216,10 @@ class ParallelRunner {
                        .count();
     slot.metrics = std::move(ctx.metrics);
     slot.profile = std::move(ctx.profile);
+    if (opts_.trace_capacity > 0 && (!slot.ok || opts_.trace_all) &&
+        ctx.tracer.total_recorded() > 0) {
+      slot.trace_json = ctx.tracer.to_json();
+    }
     if (!slot.ok) slot.repro = make_repro(seed, index);
   }
 

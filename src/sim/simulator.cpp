@@ -52,6 +52,28 @@ void Simulator::release_slot(std::uint32_t index) {
   free_head_ = index;
 }
 
+void Simulator::attach_tracer(trace::Tracer* t) {
+  own_tracer_.bind_sim_clock(nullptr);
+  if (tracer_ != &own_tracer_ && tracer_) tracer_->bind_sim_clock(nullptr);
+  tracer_ = t ? t : &own_tracer_;
+  tracer_->bind_sim_clock(&now_);
+  // NameIds are per-tracer; force re-interning against the new one.
+  dispatch_names_.clear();
+}
+
+trace::NameId Simulator::dispatch_name(TagId tag) {
+  if (tag >= dispatch_names_.size()) {
+    dispatch_names_.resize(std::max<std::size_t>(tags_.size(), tag + 1), 0);
+  }
+  if (dispatch_names_[tag] == 0) {
+    dispatch_names_[tag] = tracer_->intern(
+        tag == kUntagged ? std::string_view("(untagged)")
+                         : std::string_view(tags_.name(tag)),
+        "sim");
+  }
+  return dispatch_names_[tag];
+}
+
 Simulator::TagStats& Simulator::stats_for(TagId tag) {
   if (tag >= stats_.size()) {
     stats_.resize(std::max<std::size_t>(tags_.size(), tag + 1));
@@ -158,21 +180,34 @@ bool Simulator::step() {
     --live_count_;
     ++executed_count_;
     ++stats_for(tag).executed;
-    if (timing_) {
-      const auto t0 = std::chrono::steady_clock::now();
-      fn();
-      // stats_for must be re-resolved here: if fn() scheduled an event with
-      // a previously-unseen tag, stats_ was resized and any reference taken
-      // before the call is dangling.
-      stats_for(tag).busy_ns += std::chrono::duration<double, std::nano>(
-                                    std::chrono::steady_clock::now() - t0)
-                                    .count();
+    if (tracer_->enabled()) {
+      // Span per handler, named by the tag; the tracer becomes the
+      // thread's ambient tracer so spans the handler opens (synthesis
+      // phases, reflex actions) nest inside this one.
+      trace::ScopedUse use(tracer_);
+      trace::Span span(*tracer_, dispatch_name(tag));
+      invoke_handler(fn, tag);
     } else {
-      fn();
+      invoke_handler(fn, tag);
     }
     return true;
   }
   return false;
+}
+
+void Simulator::invoke_handler(EventFn& fn, TagId tag) {
+  if (timing_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    // stats_for must be re-resolved here: if fn() scheduled an event with
+    // a previously-unseen tag, stats_ was resized and any reference taken
+    // before the call is dangling.
+    stats_for(tag).busy_ns += std::chrono::duration<double, std::nano>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+  } else {
+    fn();
+  }
 }
 
 void Simulator::run() {

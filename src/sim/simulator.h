@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace iobt::sim {
 
@@ -94,7 +95,8 @@ struct TagProfileRow {
 /// ones; cancellation is immediate (O(1)) and pending_count() reflects it.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { tracer_->bind_sim_clock(&now_); }
+  ~Simulator() { tracer_->bind_sim_clock(nullptr); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -156,6 +158,21 @@ class Simulator {
   /// off by default; counts are always collected).
   void set_profiling(bool on) { timing_ = on; }
 
+  /// The structured tracer observing this simulator. Disabled by default;
+  /// `tracer().enable()` starts recording a span per executed handler
+  /// (named by its tag, category "sim") plus whatever the services record.
+  /// While a handler runs, this tracer is also installed as the thread's
+  /// ambient tracer (trace::current()), so nested IOBT_TRACE_SCOPE spans
+  /// land in the same timeline.
+  trace::Tracer& tracer() { return *tracer_; }
+  const trace::Tracer& tracer() const { return *tracer_; }
+
+  /// Redirects recording to an external tracer (e.g. one owned by a
+  /// ReplicationContext so the timeline survives this Simulator). Passing
+  /// nullptr restores the built-in tracer. The simulator binds its virtual
+  /// clock to whichever tracer is attached.
+  void attach_tracer(trace::Tracer* t);
+
   /// Per-tag scheduling statistics, busiest first (by busy time when timing
   /// was enabled, else by executed count). Untouched tags are omitted.
   std::vector<TagProfileRow> profile() const;
@@ -211,6 +228,11 @@ class Simulator {
   /// Rebuilds the heap without stale entries when they dominate it.
   void maybe_compact();
   TagStats& stats_for(TagId tag);
+  /// Runs one dequeued handler, with optional per-tag wall-time profiling.
+  void invoke_handler(EventFn& fn, TagId tag);
+  /// Lazily interns `tag`'s label into the attached tracer (per-tracer ids,
+  /// re-interned after attach_tracer).
+  trace::NameId dispatch_name(TagId tag);
 
   SimTime now_;
   std::uint64_t next_seq_ = 1;
@@ -225,6 +247,11 @@ class Simulator {
 
   TagTable tags_;
   std::vector<TagStats> stats_;  // indexed by TagId; grown lazily
+
+  trace::Tracer own_tracer_;
+  trace::Tracer* tracer_ = &own_tracer_;
+  /// TagId -> NameId in the attached tracer (0 = not yet interned).
+  std::vector<trace::NameId> dispatch_names_;
 };
 
 }  // namespace iobt::sim

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/trace.h"
+
 namespace iobt::synthesis {
 
 namespace {
@@ -34,6 +36,10 @@ constexpr double kComputeGainScale = 5.0;
 Composer::Composer(const MissionSpec& spec, std::vector<Candidate> candidates,
                    std::function<int(std::size_t)> reach_hops)
     : spec_(spec), candidates_(std::move(candidates)), reach_hops_(std::move(reach_hops)) {
+  // Assembly phase 1: admission + coverage precompute. The Composer is a
+  // pure algorithm with no Simulator, so spans go to the thread's ambient
+  // tracer (installed by Simulator::step or a bench's ScopedUse).
+  IOBT_TRACE_SCOPE("synthesis.prepare", "synthesis");
   // Admission gates: trust and comms reach.
   hops_.resize(candidates_.size(), -1);
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
@@ -105,6 +111,7 @@ double Composer::marginal_gain(std::size_t cand,
 }
 
 Composite Composer::greedy() {
+  IOBT_TRACE_SCOPE("synthesis.greedy", "synthesis");
   Composite out;
   std::vector<std::vector<bool>> covered(spec_.sensing.size());
   std::vector<std::size_t> still_needed(spec_.sensing.size());
@@ -175,6 +182,7 @@ Composite Composer::greedy() {
 }
 
 Composite Composer::local_search() {
+  IOBT_TRACE_SCOPE("synthesis.local_search", "synthesis");
   Composite cur = greedy();
   if (!cur.assurance.meets_spec) return cur;  // nothing to polish
 
@@ -225,6 +233,7 @@ Composite Composer::local_search() {
 }
 
 Composite Composer::exact() {
+  IOBT_TRACE_SCOPE("synthesis.exact", "synthesis");
   // Branch & bound over admissible candidates, minimizing total cost.
   // Exponential: guarded to small instances; callers wanting scale use
   // greedy/local-search.
@@ -275,6 +284,7 @@ Composite Composer::exact() {
 }
 
 Composite Composer::compose(Solver solver) {
+  IOBT_TRACE_SCOPE("synthesis.compose", "synthesis");
   evaluations_ = 0;
   switch (solver) {
     case Solver::kGreedy: return greedy();
@@ -286,6 +296,7 @@ Composite Composer::compose(Solver solver) {
 
 Composite Composer::repair(const Composite& damaged,
                            const std::vector<std::uint32_t>& lost_assets) {
+  IOBT_TRACE_SCOPE("synthesis.repair", "synthesis");
   evaluations_ = 0;
   // Drop lost members, then greedily extend until feasible again.
   std::vector<std::size_t> members;
@@ -420,6 +431,7 @@ Assurance Composer::evaluate(const std::vector<std::size_t>& members) const {
 }
 
 void Composer::finalize(Composite& c) const {
+  IOBT_TRACE_SCOPE("synthesis.finalize", "synthesis");
   std::sort(c.member_indices.begin(), c.member_indices.end());
   c.member_assets.clear();
   for (std::size_t m : c.member_indices) {

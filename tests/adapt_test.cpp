@@ -202,6 +202,60 @@ TEST_F(TreeFixture, PartitionYieldsTwoLegalTrees) {
   EXPECT_EQ(tree.believed_root_count(), 2u);
 }
 
+// ------------------------------------------------------------ Lifetime ----
+// Periodic loops must not outlive their owners: every schedule_every
+// lambda that captures a service's `this` holds a weak lifetime token and
+// unschedules itself once the service is destroyed. These tests tear the
+// service down mid-run and keep the simulator going — the sanitizer CI
+// build turns any dangling-`this` regression into a hard failure, and the
+// pending_count assertions prove the loop actually unscheduled itself.
+
+TEST(Monitor, PeriodicCheckStopsAfterMonitorDestruction) {
+  Simulator sim;
+  {
+    InvariantMonitor mon(sim, Duration::seconds(1.0));
+    mon.watch("inv", [] { return true; });
+    mon.start();
+    sim.run_until(SimTime::seconds(3.5));
+    EXPECT_GT(sim.pending_count(), 0u);
+  }
+  // The next tick notices the expired token and stops rescheduling.
+  sim.run_until(SimTime::seconds(20));
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Reflex, EscalationPollStopsAfterEngineDestruction) {
+  Simulator sim;
+  {
+    InvariantMonitor mon(sim, Duration::seconds(1.0));
+    ReflexEngine engine(sim, mon);
+    engine.bind("inv", {{"noop", [] {}}});
+    engine.arm();
+    mon.start();
+    sim.run_until(SimTime::seconds(2.5));
+    EXPECT_GT(sim.pending_count(), 0u);
+  }
+  // Both the monitor tick and the engine's 1 s escalation poll must die
+  // with their owners.
+  sim.run_until(SimTime::seconds(20));
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST_F(TreeFixture, HelloLoopsStopAfterProtocolDestruction) {
+  chain(4);
+  {
+    SpanningTreeProtocol tree(world, disp, members);
+    tree.start();
+    // Stop between hello ticks (period 2 s) so no frames are in flight
+    // toward the protocol's dispatcher handlers when it dies.
+    sim.run_until(SimTime::seconds(9.5));
+  }
+  // All members are still live, so without the lifetime token every
+  // per-member hello loop would keep ticking into freed state.
+  sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
 // ------------------------------------------------------------- Control ----
 
 TEST(Aimd, IncreasesAdditivelyDecreasesMultiplicatively) {

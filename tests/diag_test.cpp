@@ -310,5 +310,22 @@ TEST_F(HealthFixture, RecoversAfterPeerComesBack) {
   EXPECT_EQ(svc.health(peers[0]), PeerHealth::kHealthy);
 }
 
+TEST_F(HealthFixture, ProbeLoopStopsAfterServiceDestruction) {
+  {
+    HealthService svc(world, disp, monitor, peers);
+    svc.start();
+    // Stop between probe rounds (period 10 s) so no pings or pongs are in
+    // flight toward the service's handlers when it dies.
+    sim.run_until(sim::SimTime::seconds(25));
+    EXPECT_GT(svc.probes_sent(), 0u);
+    EXPECT_GT(sim.pending_count(), 0u);
+  }
+  // The tick lambda's lifetime token expired: the loop unschedules itself
+  // instead of probing through a dangling `this` (the sanitizer CI build
+  // turns a regression here into a hard failure).
+  sim.run_until(sim::SimTime::seconds(120));
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
 }  // namespace
 }  // namespace iobt::diag

@@ -556,6 +556,45 @@ TEST_F(ReliableFixture, RetransmitsThroughLossAndDeliversOnce) {
   EXPECT_GT(rel->retransmissions(), 0u);
 }
 
+TEST_F(ReliableFixture, TracesTransferLifecycleAndRetransmits) {
+  init(0.4);
+  sim.tracer().enable(1u << 14);
+  int succeeded = 0, failed_cb = 0;
+  rel->listen(b, [&](const Message&) {});
+  for (int i = 0; i < 30; ++i) {
+    rel->send(a, b, Message{.kind = "d", .size_bytes = 32},
+              [&](bool ok) { ok ? ++succeeded : ++failed_cb; });
+  }
+  sim.run();
+  sim.tracer().disable();
+  ASSERT_GT(rel->retransmissions(), 0u);
+
+  std::size_t xfer_begins = 0, xfer_ends = 0, retx_instants = 0;
+  double last_retx_counter = 0.0, prev = -1.0;
+  bool counters_monotone = true;
+  for (const auto& r : sim.tracer().snapshot()) {
+    const std::string& name = sim.tracer().name(r.name);
+    if (name == "rel.xfer") {
+      (r.phase == trace::Phase::kAsyncBegin ? xfer_begins : xfer_ends) += 1;
+    } else if (name == "rel.retransmit") {
+      ++retx_instants;
+    } else if (name == "rel.retransmissions") {
+      // Cumulative counter track: must never decrease.
+      counters_monotone &= r.value >= prev;
+      prev = last_retx_counter = r.value;
+    }
+  }
+  // Every transfer span opened also closed (ACK or final failure).
+  EXPECT_EQ(xfer_begins, 30u);
+  EXPECT_EQ(xfer_ends, 30u);
+  EXPECT_EQ(retx_instants, rel->retransmissions());
+  EXPECT_TRUE(counters_monotone);
+  EXPECT_DOUBLE_EQ(last_retx_counter,
+                   static_cast<double>(rel->retransmissions()));
+  // The net category is what Perfetto filters on.
+  EXPECT_EQ(sim.tracer().category(sim.tracer().intern("rel.xfer")), "net");
+}
+
 TEST_F(ReliableFixture, ReportsFailureWhenPeerUnreachable) {
   init(0.0);
   net->set_node_up(b, false);

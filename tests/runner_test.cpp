@@ -204,5 +204,96 @@ TEST(ParallelRunnerTest, RepeatedRunsAreBitIdentical) {
   }
 }
 
+// ------------------------------------------------------- trace capture ----
+
+namespace {
+/// A replication body with one traced handler per run; seed 3 throws after
+/// the handler executed, so its timeline exists at unwind time.
+int traced_body(ReplicationContext& ctx) {
+  Simulator sim;
+  ctx.attach_tracer(sim);
+  sim.schedule_in(Duration::seconds(1.0), []() {}, sim.intern("repl.work"));
+  sim.run();
+  if (ctx.seed == 3) throw std::runtime_error("post-work failure");
+  return 1;
+}
+}  // namespace
+
+TEST(ParallelRunnerTest, FailingReplicationShipsItsTrace) {
+  ParallelRunner::Options opts;
+  opts.workers = 2;
+  opts.trace_capacity = 256;
+  const ParallelRunner runner(opts);
+  const auto out = runner.run<int>(ParallelRunner::seed_range(1, 4),
+                                   std::function<int(ReplicationContext&)>(traced_body));
+  EXPECT_EQ(out.failures, 1u);
+  for (const auto& r : out.replications) {
+    if (r.ok) {
+      // Successes stay lean unless trace_all asks for them.
+      EXPECT_TRUE(r.trace_json.empty()) << "seed " << r.seed;
+    } else {
+      EXPECT_EQ(r.seed, 3u);
+      // The failure record carries the timeline that led up to it.
+      EXPECT_NE(r.trace_json.find("\"traceEvents\""), std::string::npos);
+      EXPECT_NE(r.trace_json.find("repl.work"), std::string::npos);
+      // tid = replication index keeps multi-seed traces separable.
+      EXPECT_NE(r.trace_json.find("\"tid\":2"), std::string::npos);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, TraceAllCapturesEveryReplication) {
+  ParallelRunner::Options opts;
+  opts.workers = 0;  // serial reference path
+  opts.trace_capacity = 128;
+  opts.trace_all = true;
+  const ParallelRunner runner(opts);
+  const auto out = runner.run<int>(ParallelRunner::seed_range(10, 3),
+                                   std::function<int(ReplicationContext&)>(traced_body));
+  EXPECT_EQ(out.failures, 0u);
+  for (const auto& r : out.replications) {
+    EXPECT_NE(r.trace_json.find("repl.work"), std::string::npos) << r.seed;
+  }
+}
+
+TEST(ParallelRunnerTest, TracingOffByDefaultLeavesResultsLean) {
+  const ParallelRunner runner(2);
+  const auto out = runner.run<int>(ParallelRunner::seed_range(1, 4),
+                                   std::function<int(ReplicationContext&)>(traced_body));
+  EXPECT_EQ(out.failures, 1u);
+  for (const auto& r : out.replications) EXPECT_TRUE(r.trace_json.empty());
+}
+
+TEST(ParallelRunnerTest, TracingDoesNotPerturbPayloads) {
+  const auto body = [](ReplicationContext& ctx) {
+    Simulator sim;
+    ctx.attach_tracer(sim);
+    Rng rng = ctx.make_rng();
+    double acc = 0;
+    sim.schedule_every(
+        Duration::seconds(1.0),
+        [&]() {
+          acc += rng.normal(0, 1);
+          return sim.now() < SimTime::seconds(10);
+        },
+        sim.intern("accumulate"));
+    sim.run();
+    return acc;
+  };
+  ParallelRunner::Options traced;
+  traced.workers = 2;
+  traced.trace_capacity = 64;  // deliberately tiny: wraparound exercised
+  traced.trace_all = true;
+  const auto with = ParallelRunner(traced).run<double>(
+      ParallelRunner::seed_range(5, 6), body);
+  const auto without =
+      ParallelRunner(2).run<double>(ParallelRunner::seed_range(5, 6), body);
+  for (std::size_t i = 0; i < with.replications.size(); ++i) {
+    EXPECT_EQ(bits_of(with.replications[i].payload),
+              bits_of(without.replications[i].payload));
+  }
+  EXPECT_EQ(with.merged.digest(), without.merged.digest());
+}
+
 }  // namespace
 }  // namespace iobt::sim
