@@ -57,7 +57,22 @@ for doc in "${DOCS[@]}"; do
   done
 done
 
-# 4. Every src/ module directory must be listed in the README architecture
+# 4. Every `BENCH_<name>.json` artifact the docs cite must actually be
+#    produced: bench/bench_<name>.cpp must exist and mention the filename.
+for doc in "${DOCS[@]}"; do
+  for art in $(grep -oE 'BENCH_[A-Za-z0-9_]+\.json' "$doc" | sort -u); do
+    name=${art#BENCH_}
+    name=${name%.json}
+    src="bench/bench_${name}.cpp"
+    if [[ ! -f "$src" ]]; then
+      err "$doc cites artifact '$art' but $src does not exist"
+    elif ! grep -qF "$art" "$src"; then
+      err "$doc cites artifact '$art' but $src never writes it"
+    fi
+  done
+done
+
+# 5. Every src/ module directory must be listed in the README architecture
 #    block and the DESIGN repository layout — new subsystems must be
 #    documented, not just merged.
 for mod in src/*/; do

@@ -117,7 +117,8 @@ bool SpanningTreeProtocol::tree_legal() const {
   }
   if (live.empty()) return true;
 
-  const net::Topology topo = const_cast<things::World&>(world_).network().connectivity();
+  const things::World& world = world_;
+  const net::Topology topo = world.network().connectivity();
   // Map node -> component label.
   const auto comp = topo.components();
 

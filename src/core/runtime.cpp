@@ -91,8 +91,14 @@ std::optional<things::AssetId> Runtime::pick_sink() const {
 }
 
 int Runtime::hops_to_sink(net::NodeId from, net::NodeId sink) const {
-  const auto dist = net_->connectivity().hop_distances(sink);
-  return from < dist.size() ? dist[from] : -1;
+  const std::uint64_t epoch = net_->topology_epoch();
+  if (!sink_hops_valid_ || sink_hops_sink_ != sink || sink_hops_epoch_ != epoch) {
+    sink_hops_ = net_->connectivity().hop_distances(sink);
+    sink_hops_sink_ = sink;
+    sink_hops_epoch_ = epoch;
+    sink_hops_valid_ = true;
+  }
+  return from < sink_hops_.size() ? sink_hops_[from] : -1;
 }
 
 std::vector<synthesis::Candidate> Runtime::recruitment_pool(const Mission& m) const {

@@ -154,6 +154,10 @@ class Runtime {
   void maybe_repair(MissionId id);
   std::optional<things::AssetId> pick_sink() const;
   std::vector<synthesis::Candidate> recruitment_pool(const Mission& m) const;
+  /// Hop count from `from` to `sink` on the current connectivity graph.
+  /// The full hop-distance vector is cached keyed on (sink, topology
+  /// epoch), so sorting a recruitment pool costs one BFS instead of one
+  /// per candidate; any topology change invalidates via the epoch.
   int hops_to_sink(net::NodeId from, net::NodeId sink) const;
 
   RuntimeConfig cfg_;
@@ -168,6 +172,12 @@ class Runtime {
   std::vector<std::unique_ptr<Mission>> missions_;
   /// Assets currently held by exclusive missions.
   std::set<things::AssetId> reserved_;
+  /// hops_to_sink cache: BFS distances from sink_hops_sink_, valid while
+  /// the network's topology epoch stays at sink_hops_epoch_.
+  mutable std::vector<int> sink_hops_;
+  mutable net::NodeId sink_hops_sink_ = 0;
+  mutable std::uint64_t sink_hops_epoch_ = 0;
+  mutable bool sink_hops_valid_ = false;
   bool started_ = false;
 };
 

@@ -208,9 +208,15 @@ void DiscoveryService::scan_tick(things::AssetId collector) {
   const sim::SimTime now = world_.simulator().now();
   sim::Rng scan_rng = world_.rng().child(0x5CA40000ULL + collector)
                           .child(static_cast<std::uint64_t>(now.nanos()));
-  for (const auto& other : world_.assets()) {
-    if (other.id == collector || !world_.asset_live(other.id)) continue;
-    const double d = sim::distance(at, world_.asset_position(other.id));
+  // Candidate emitters come from the network's spatial index — a superset
+  // of the RF disc instead of the full population. Node ids ascend with
+  // asset ids, so applying the original filters in the original order
+  // keeps the rng draw sequence identical to the exhaustive scan.
+  for (const net::NodeId node : world_.network().nodes_near(at, rf->range_m)) {
+    const things::AssetId id = world_.asset_of_node(node);
+    if (id == collector || !world_.asset_live(id)) continue;
+    const things::Asset& other = world_.asset(id);
+    const double d = sim::distance(at, world_.asset_position(id));
     if (d > rf->range_m) continue;
     // Emanation detection: Poisson arrivals of detectable emissions over
     // the scan window, scaled by sensor quality.
@@ -218,10 +224,10 @@ void DiscoveryService::scan_tick(things::AssetId collector) {
         rf->quality * (1.0 - std::exp(-other.emissions.side_channel_rate_hz *
                                       cfg_.scan_window_s));
     if (!scan_rng.bernoulli(p_detect)) continue;
-    DiscoveredAsset& e = directory_.upsert(other.id, now);
+    DiscoveredAsset& e = directory_.upsert(id, now);
     e.node = other.node;
     e.side_channel_hit = true;
-    e.last_position = world_.asset_position(other.id);
+    e.last_position = world_.asset_position(id);
   }
 }
 

@@ -13,9 +13,15 @@ double ChannelModel::loss_probability(sim::Vec2 a, const RadioProfile& ra, sim::
   if (!buildings_.empty() && line_of_sight_blocked(a, b)) return 1.0;
 
   // Distance-dependent loss: base at d=0 rising to max_edge_loss at d=lim.
+  // The shaping runs once per transmitted frame; the common exponents
+  // bypass the libm pow call. A correctly-rounded pow returns exactly
+  // frac for exponent 1 and exactly the rounded product frac*frac for
+  // exponent 2, so the fast paths are bit-identical, not approximations.
   const double frac = lim > 0.0 ? d / lim : 0.0;
-  double loss = ra.base_loss + (max_edge_loss_ - ra.base_loss) *
-                                   std::pow(frac, edge_exponent_);
+  const double shaped = edge_exponent_ == 2.0   ? frac * frac
+                        : edge_exponent_ == 1.0 ? frac
+                                                : std::pow(frac, edge_exponent_);
+  double loss = ra.base_loss + (max_edge_loss_ - ra.base_loss) * shaped;
 
   // Jamming dominates when either endpoint is inside an active field.
   for (const Jammer& j : jammers_) {

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace iobt::net {
@@ -17,30 +18,117 @@ std::string to_string(DropReason r) {
 
 Network::Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng)
     : sim_(simulator), channel_(std::move(channel)), rng_(rng),
-      deliver_tag_(simulator.intern("net.deliver")) {}
+      deliver_tag_(simulator.intern("net.deliver")) {
+  // Hot-path metric handles: a transmitted frame costs two pointer bumps
+  // instead of two string-keyed map walks; digests are unaffected.
+  bytes_sent_counter_ = metrics_.counter_handle("net.bytes_sent");
+  frames_sent_counter_ = metrics_.counter_handle("net.frames_sent");
+  frames_delivered_counter_ = metrics_.counter_handle("net.frames_delivered");
+  delivery_latency_summary_ = metrics_.summary_handle("net.delivery_latency_s");
+  for (const DropReason r :
+       {DropReason::kOutOfRange, DropReason::kChannelLoss, DropReason::kNodeDown,
+        DropReason::kNoRoute, DropReason::kQueueOverflow}) {
+    drop_counters_[static_cast<std::size_t>(r)] =
+        metrics_.counter_handle("net.drop." + to_string(r));
+  }
+}
 
 NodeId Network::add_node(sim::Vec2 position, RadioProfile profile) {
   nodes_.push_back(Endpoint{position, profile, nullptr, true, 0, sim::SimTime::zero()});
   route_cache_.emplace_back();
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  if (profile.range_m > max_range_m_) {
+    // A longer radio breaks the cells-cover-range invariant: rebuild the
+    // grid around the new maximum before indexing the newcomer.
+    max_range_m_ = profile.range_m;
+    grid_.reset(max_range_m_);
+    for (NodeId n = 0; n < id; ++n) {
+      if (nodes_[n].up) grid_.insert(n, nodes_[n].position);
+    }
+  }
+  grid_.insert(id, position);
   invalidate_routes();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return id;
 }
 
 void Network::set_handler(NodeId id, Handler h) { nodes_.at(id).handler = std::move(h); }
 
 void Network::set_position(NodeId id, sim::Vec2 p) {
-  nodes_.at(id).position = p;
-  invalidate_routes();
+  Endpoint& e = nodes_.at(id);
+  const sim::Vec2 from = e.position;
+  if (from == p) return;
+  if (!e.up) {
+    // A down node is invisible to the topology (and absent from the grid):
+    // reposition silently.
+    e.position = p;
+    return;
+  }
+  const bool changed = neighbor_set_changed(id, from, p);
+  e.position = p;
+  grid_.move(id, from, p);
+  // Region-scoped invalidation: a move that gains or loses no link leaves
+  // every cached route structurally intact, so the epoch — and with it
+  // every Dijkstra rebuild downstream — is only paid when an in-range
+  // relationship actually changed.
+  if (changed) invalidate_routes();
 }
 
 void Network::set_node_up(NodeId id, bool up) {
-  nodes_.at(id).up = up;
+  Endpoint& e = nodes_.at(id);
+  if (e.up == up) return;
+  e.up = up;
+  if (up) {
+    grid_.insert(id, e.position);
+  } else {
+    grid_.remove(id, e.position);
+  }
   invalidate_routes();
+}
+
+bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) const {
+  const Endpoint& e = nodes_[id];
+  const auto differs = [&](NodeId other) {
+    const Endpoint& o = nodes_[other];
+    return channel_.in_range(from, e.profile, o.position, o.profile) !=
+           channel_.in_range(to, e.profile, o.position, o.profile);
+  };
+  if (!use_grid_) {
+    for (NodeId other = 0; other < nodes_.size(); ++other) {
+      if (other == id || !nodes_[other].up) continue;
+      if (differs(other)) return true;
+    }
+    return false;
+  }
+  // Any node whose membership differs is in range of `from` or of `to`, so
+  // the union of the two 3x3 neighborhoods covers all candidates.
+  scratch_.clear();
+  grid_.neighborhood(from, scratch_);
+  grid_.neighborhood(to, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  for (const NodeId other : scratch_) {
+    if (other == id) continue;
+    if (differs(other)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Network::nodes_near(sim::Vec2 p, double radius) const {
+  std::vector<NodeId> out;
+  if (use_grid_) {
+    grid_.near(p, radius, out);
+    std::sort(out.begin(), out.end());
+  } else {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (nodes_[id].up) out.push_back(id);
+    }
+  }
+  return out;
 }
 
 void Network::drop(DropReason reason, const Message& msg) {
   ++frames_dropped_;
-  metrics_.count("net.drop." + to_string(reason));
+  *drop_counters_[static_cast<std::size_t>(reason)] += 1.0;
   trace::Tracer& tr = sim_.tracer();
   if (tr.enabled()) tr.instant(trace_drop_.id(tr));
   if (drop_hook_) drop_hook_(reason, msg);
@@ -66,8 +154,8 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
   const sim::SimTime arrive = s.tx_free_at + hop_latency_;
 
   s.bytes_sent += msg.size_bytes;
-  metrics_.count("net.bytes_sent", static_cast<double>(msg.size_bytes));
-  metrics_.count("net.frames_sent");
+  *bytes_sent_counter_ += static_cast<double>(msg.size_bytes);
+  *frames_sent_counter_ += 1.0;
   if (transmit_hook_) transmit_hook_(src, msg.size_bytes);
 
   // Loss is decided now (deterministically from the RNG stream) but takes
@@ -75,9 +163,6 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
   const double loss = channel_.loss_probability(s.position, s.profile, d.position,
                                                 d.profile, sim_.now());
   const bool lost = rng_.bernoulli(loss);
-
-  std::vector<NodeId> path_tail;
-  if (remaining_path) path_tail = *remaining_path;
 
   // Async trace span per frame on the air: begin at transmit, end at
   // delivery or loss. frames_in_flight_ is maintained unconditionally (two
@@ -94,40 +179,64 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
     }
   }
 
-  sim_.schedule_at(
-      arrive,
-      [this, dst, msg = std::move(msg), lost, frame_trace,
-       path_tail = std::move(path_tail)]() mutable {
-        --frames_in_flight_;
-        trace::Tracer& tr = sim_.tracer();
-        if (frame_trace != 0 && tr.enabled()) {
-          tr.async_end(trace_frame_.id(tr), frame_trace);
-          tr.counter(trace_in_flight_.id(tr),
-                     static_cast<double>(frames_in_flight_));
-        }
-        if (lost) {
-          drop(DropReason::kChannelLoss, msg);
-          return;
-        }
-        Endpoint& recv = nodes_.at(dst);
-        if (!recv.up) {
-          drop(DropReason::kNodeDown, msg);
-          return;
-        }
-        ++msg.hops;
-        if (!path_tail.empty()) {
-          // Intermediate hop: forward along the precomputed path.
-          const NodeId next = path_tail.front();
-          std::vector<NodeId> rest(path_tail.begin() + 1, path_tail.end());
-          transmit(dst, next, std::move(msg), rest.empty() ? nullptr : &rest);
-          return;
-        }
-        metrics_.count("net.frames_delivered");
-        metrics_.observe("net.delivery_latency_s", (sim_.now() - msg.sent_at).to_seconds());
-        if (recv.handler) recv.handler(msg);
-      },
-      deliver_tag_);
+  // Park the frame in the slab and schedule a {this, slot} closure.
+  std::uint32_t slot;
+  if (free_pending_ != kNoPending) {
+    slot = free_pending_;
+    free_pending_ = pending_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  PendingFrame& f = pending_[slot];
+  f.msg = std::move(msg);
+  f.path_tail.clear();
+  if (remaining_path) {
+    f.path_tail.assign(remaining_path->begin(), remaining_path->end());
+  }
+  f.frame_trace = frame_trace;
+  f.dst = dst;
+  f.lost = lost;
+  sim_.schedule_at(arrive, [this, slot] { deliver_pending(slot); }, deliver_tag_);
   return true;
+}
+
+void Network::deliver_pending(std::uint32_t slot) {
+  --frames_in_flight_;
+  trace::Tracer& tr = sim_.tracer();
+  if (pending_[slot].frame_trace != 0 && tr.enabled()) {
+    tr.async_end(trace_frame_.id(tr), pending_[slot].frame_trace);
+    tr.counter(trace_in_flight_.id(tr), static_cast<double>(frames_in_flight_));
+  }
+  // Move the frame out and recycle the slot BEFORE acting on it: drop
+  // hooks, receiver handlers, and multi-hop forwarding can all re-enter
+  // transmit(), which may grow pending_ and invalidate references into it.
+  Message msg = std::move(pending_[slot].msg);
+  std::vector<NodeId> path_tail = std::move(pending_[slot].path_tail);
+  const NodeId dst = pending_[slot].dst;
+  const bool lost = pending_[slot].lost;
+  pending_[slot].next_free = free_pending_;
+  free_pending_ = slot;
+
+  if (lost) {
+    drop(DropReason::kChannelLoss, msg);
+    return;
+  }
+  if (!nodes_.at(dst).up) {
+    drop(DropReason::kNodeDown, msg);
+    return;
+  }
+  ++msg.hops;
+  if (!path_tail.empty()) {
+    // Intermediate hop: forward along the precomputed path.
+    const NodeId next = path_tail.front();
+    std::vector<NodeId> rest(path_tail.begin() + 1, path_tail.end());
+    transmit(dst, next, std::move(msg), rest.empty() ? nullptr : &rest);
+    return;
+  }
+  *frames_delivered_counter_ += 1.0;
+  delivery_latency_summary_->add((sim_.now() - msg.sent_at).to_seconds());
+  if (nodes_[dst].handler) nodes_[dst].handler(msg);
 }
 
 bool Network::send(NodeId src, NodeId dst, Message msg) {
@@ -147,14 +256,27 @@ std::size_t Network::broadcast(NodeId src, Message msg) {
     return 0;
   }
   std::size_t put_on_air = 0;
-  for (NodeId other = 0; other < nodes_.size(); ++other) {
-    if (other == src || !nodes_[other].up) continue;
+  const auto offer = [&](NodeId other) {
+    if (other == src || !nodes_[other].up) return;
     if (!channel_.in_range(s.position, s.profile, nodes_[other].position,
                            nodes_[other].profile)) {
-      continue;
+      return;
     }
     Message copy = msg;
     if (transmit(src, other, std::move(copy), nullptr)) ++put_on_air;
+  };
+  if (use_grid_) {
+    // Cell size >= max range, so the 3x3 neighborhood covers every
+    // receiver. Candidates are offered in ascending NodeId order — the
+    // brute-force scan order — so the per-receiver loss draws consume the
+    // RNG stream identically and delivery traces stay bit-identical.
+    // Copied into scratch_ because drop/transmit hooks run synchronously
+    // inside offer() and must not be able to invalidate the memo mid-walk.
+    const std::vector<NodeId>& hood = grid_.neighborhood_sorted(s.position);
+    scratch_.assign(hood.begin(), hood.end());
+    for (const NodeId other : scratch_) offer(other);
+  } else {
+    for (NodeId other = 0; other < nodes_.size(); ++other) offer(other);
   }
   return put_on_air;
 }
@@ -194,18 +316,42 @@ bool Network::route_and_send(NodeId src, NodeId dst, Message msg) {
 }
 
 Topology Network::connectivity() const {
-  Topology t(nodes_.size());
-  for (NodeId a = 0; a < nodes_.size(); ++a) {
-    if (!nodes_[a].up) continue;
-    for (NodeId b = a + 1; b < nodes_.size(); ++b) {
-      if (!nodes_[b].up) continue;
-      if (channel_.in_range(nodes_[a].position, nodes_[a].profile, nodes_[b].position,
-                            nodes_[b].profile)) {
-        t.add_edge(a, b, sim::distance(nodes_[a].position, nodes_[b].position));
+  // Edges are collected into a flat scratch list (reused across snapshots,
+  // so rebuilds allocate nothing once warm) and the Topology is built in
+  // one bulk pass with exact-size adjacency reserves. The list order is
+  // the brute-force edge order (a ascending, then b > a ascending), so
+  // the adjacency lists — and every tie-break downstream in Dijkstra —
+  // are bit-identical between the grid and O(n^2) paths.
+  edge_scratch_.clear();
+  if (use_grid_) {
+    // Grid neighborhoods via the per-cell sorted memo: all nodes sharing a
+    // cell share one gathered + sorted candidate list, and the memo
+    // carries over to later snapshots while membership is unchanged.
+    for (NodeId a = 0; a < nodes_.size(); ++a) {
+      if (!nodes_[a].up) continue;
+      for (const NodeId b : grid_.neighborhood_sorted(nodes_[a].position)) {
+        if (b <= a) continue;
+        if (channel_.in_range(nodes_[a].position, nodes_[a].profile,
+                              nodes_[b].position, nodes_[b].profile)) {
+          edge_scratch_.push_back(
+              {a, b, sim::distance(nodes_[a].position, nodes_[b].position)});
+        }
+      }
+    }
+  } else {
+    for (NodeId a = 0; a < nodes_.size(); ++a) {
+      if (!nodes_[a].up) continue;
+      for (NodeId b = a + 1; b < nodes_.size(); ++b) {
+        if (!nodes_[b].up) continue;
+        if (channel_.in_range(nodes_[a].position, nodes_[a].profile, nodes_[b].position,
+                              nodes_[b].profile)) {
+          edge_scratch_.push_back(
+              {a, b, sim::distance(nodes_[a].position, nodes_[b].position)});
+        }
       }
     }
   }
-  return t;
+  return Topology(nodes_.size(), edge_scratch_);
 }
 
 std::uint64_t Network::total_bytes_sent() const {

@@ -15,6 +15,7 @@
 
 #include "net/channel.h"
 #include "net/message.h"
+#include "net/spatial_grid.h"
 #include "net/topology.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
@@ -73,8 +74,36 @@ class Network {
   // --- Introspection ----------------------------------------------------
 
   /// Snapshot of the current connectivity graph among live nodes (edge
-  /// weight = distance). O(n^2); intended for analysis, not per-packet use.
+  /// weight = distance). Built from grid neighborhoods — O(n * density) —
+  /// when the spatial index is enabled; O(n^2) brute force otherwise. Both
+  /// paths produce bit-identical topologies.
   Topology connectivity() const;
+
+  /// Enables/disables the uniform-grid spatial index (default: enabled).
+  /// The grid is maintained either way; the flag selects how geometric
+  /// queries (broadcast fan-out, connectivity, nodes_near, set_position
+  /// relationship checks) enumerate candidates. Observable behavior —
+  /// topologies, delivery traces, metric digests — is bit-identical in
+  /// both modes; only wall time differs. The brute-force mode exists as
+  /// the equivalence/bench baseline.
+  void set_spatial_index_enabled(bool on) { use_grid_ = on; }
+  bool spatial_index_enabled() const { return use_grid_; }
+  const SpatialGrid& spatial_grid() const { return grid_; }
+
+  /// Monotone counter bumped whenever the connectivity graph may have
+  /// changed (node added, liveness flipped, or a move that changed at
+  /// least one in-range relationship). Route caches — ours and callers' —
+  /// key on it. A move that changes no in-range relationship does NOT bump
+  /// the epoch: cached routes stay structurally valid (their hop sequences
+  /// still exist) even though link distances drift slightly.
+  std::uint64_t topology_epoch() const { return topology_epoch_; }
+
+  /// Live-node candidates within `radius` of `p`, ascending NodeId order.
+  /// This is a SUPERSET gathered from grid cells intersecting the disc
+  /// (the whole node table in brute-force mode): callers apply their own
+  /// exact distance filter, which keeps their selection — and any RNG draw
+  /// order downstream of it — identical in both modes.
+  std::vector<NodeId> nodes_near(sim::Vec2 p, double radius) const;
 
   ChannelModel& channel() { return channel_; }
   const ChannelModel& channel() const { return channel_; }
@@ -110,13 +139,36 @@ class Network {
     sim::SimTime tx_free_at;
   };
 
+  /// A frame on the air, parked in the pending slab until its delivery
+  /// event fires. Slab slots are recycled through a free list so the hot
+  /// path reuses their buffers; the delivery closure captures only
+  /// {this, slot} — small enough for std::function's inline storage, so
+  /// scheduling a frame performs no heap allocation.
+  struct PendingFrame {
+    Message msg;
+    std::vector<NodeId> path_tail;
+    std::uint64_t frame_trace = 0;
+    NodeId dst = 0;
+    bool lost = false;
+    std::uint32_t next_free = 0;
+  };
+  static constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+
   /// Puts one frame on the air src->dst; handles loss + delivery event.
   /// Returns true if the frame was scheduled (not necessarily delivered).
   bool transmit(NodeId src, NodeId dst, Message msg,
                 const std::vector<NodeId>* remaining_path);
+  /// Delivery event body: resolves loss, forwards multi-hop tails, invokes
+  /// the receiver handler, and recycles the slab slot.
+  void deliver_pending(std::uint32_t slot);
 
   void drop(DropReason reason, const Message& msg);
   void invalidate_routes() { ++topology_epoch_; }
+  /// True iff moving `id` from `from` to `to` changes the in-range
+  /// relationship with at least one other live node. Grid and brute-force
+  /// modes compute the identical answer (the grid only narrows which
+  /// candidates need the exact in_range check).
+  bool neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) const;
 
   sim::Simulator& sim_;
   ChannelModel channel_;
@@ -136,6 +188,30 @@ class Network {
   std::function<void(DropReason, const Message&)> drop_hook_;
   sim::MetricsRegistry metrics_;
   std::uint64_t frames_dropped_ = 0;
+  /// In-flight frame slab + free-list head (see PendingFrame).
+  std::vector<PendingFrame> pending_;
+  std::uint32_t free_pending_ = kNoPending;
+  /// Pre-resolved handles for per-frame metrics (see constructor): the
+  /// registry's std::map nodes are pointer-stable, so these stay valid for
+  /// the network's lifetime.
+  double* bytes_sent_counter_ = nullptr;
+  double* frames_sent_counter_ = nullptr;
+  double* frames_delivered_counter_ = nullptr;
+  sim::Summary* delivery_latency_summary_ = nullptr;
+  double* drop_counters_[5] = {};
+
+  // Spatial index over LIVE nodes (down nodes are removed and re-inserted
+  // on recovery). Cell size tracks the largest radio range seen so the 3x3
+  // neighborhood covers every possible link.
+  SpatialGrid grid_;
+  double max_range_m_ = 0.0;
+  bool use_grid_ = true;
+  /// Candidate scratch buffer for grid queries (avoids an allocation per
+  /// broadcast); mutable because const queries reuse it.
+  mutable std::vector<NodeId> scratch_;
+  /// Edge scratch for connectivity() snapshots — reused so rebuilds stop
+  /// allocating once warm; mutable for the same reason as scratch_.
+  mutable std::vector<Edge> edge_scratch_;
 
   // Shortest-path cache keyed by source, invalidated by epoch bumps.
   std::uint64_t topology_epoch_ = 0;

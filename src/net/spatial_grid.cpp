@@ -1,0 +1,113 @@
+#include "net/spatial_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iobt::net {
+
+void SpatialGrid::set_cell_size(double c) {
+  // A non-positive cell size (no radios registered yet) degenerates to a
+  // 1 m grid; correctness only needs cell_ >= max range, which holds
+  // vacuously until the first insert after reset().
+  cell_ = c > 0.0 ? c : 1.0;
+  inv_cell_ = 1.0 / cell_;
+}
+
+std::int32_t SpatialGrid::coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v * inv_cell_));
+}
+
+void SpatialGrid::insert(NodeId id, sim::Vec2 p) {
+  cells_[key(coord(p.x), coord(p.y))].push_back(id);
+  ++count_;
+  ++version_;
+}
+
+void SpatialGrid::remove(NodeId id, sim::Vec2 p) {
+  const auto it = cells_.find(key(coord(p.x), coord(p.y)));
+  assert(it != cells_.end() && "SpatialGrid::remove: cell not found");
+  if (it == cells_.end()) return;
+  auto& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), id);
+  assert(pos != bucket.end() && "SpatialGrid::remove: id not in its cell");
+  if (pos == bucket.end()) return;
+  // Bucket order is irrelevant (queries sort), so swap-erase.
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) cells_.erase(it);
+  --count_;
+  ++version_;
+}
+
+void SpatialGrid::move(NodeId id, sim::Vec2 from, sim::Vec2 to) {
+  const std::int32_t fx = coord(from.x), fy = coord(from.y);
+  const std::int32_t tx = coord(to.x), ty = coord(to.y);
+  if (fx == tx && fy == ty) return;
+  remove(id, from);
+  insert(id, to);
+}
+
+void SpatialGrid::reset(double cell_size_m) {
+  cells_.clear();
+  hood_memo_.clear();
+  count_ = 0;
+  ++version_;
+  set_cell_size(cell_size_m);
+}
+
+void SpatialGrid::append_cell(std::int32_t cx, std::int32_t cy,
+                              std::vector<NodeId>& out) const {
+  const auto it = cells_.find(key(cx, cy));
+  if (it == cells_.end()) return;
+  out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
+void SpatialGrid::neighborhood(sim::Vec2 p, std::vector<NodeId>& out) const {
+  const std::int32_t cx = coord(p.x), cy = coord(p.y);
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      append_cell(cx + dx, cy + dy, out);
+    }
+  }
+}
+
+const std::vector<NodeId>& SpatialGrid::neighborhood_sorted(sim::Vec2 p) const {
+  Hood& h = hood_memo_[cell_key(p)];
+  if (h.version != version_) {
+    h.ids.clear();
+    neighborhood(p, h.ids);
+    std::sort(h.ids.begin(), h.ids.end());
+    h.version = version_;
+  }
+  return h.ids;
+}
+
+void SpatialGrid::near(sim::Vec2 p, double radius, std::vector<NodeId>& out) const {
+  const std::int32_t r =
+      static_cast<std::int32_t>(std::ceil(std::max(radius, 0.0) * inv_cell_));
+  const std::int32_t cx = coord(p.x), cy = coord(p.y);
+  for (std::int32_t dy = -r; dy <= r; ++dy) {
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      append_cell(cx + dx, cy + dy, out);
+    }
+  }
+}
+
+void SpatialGrid::ring(sim::Vec2 p, int r, std::vector<NodeId>& out) const {
+  const std::int32_t cx = coord(p.x), cy = coord(p.y);
+  if (r <= 0) {
+    append_cell(cx, cy, out);
+    return;
+  }
+  for (std::int32_t dx = -r; dx <= r; ++dx) {
+    append_cell(cx + dx, cy - r, out);
+    append_cell(cx + dx, cy + r, out);
+  }
+  for (std::int32_t dy = -r + 1; dy <= r - 1; ++dy) {
+    append_cell(cx - r, cy + dy, out);
+    append_cell(cx + r, cy + dy, out);
+  }
+}
+
+}  // namespace iobt::net

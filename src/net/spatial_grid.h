@@ -1,0 +1,94 @@
+#pragma once
+// Uniform hash-grid spatial index over node positions.
+//
+// The wireless substrate's geometric queries (one-hop broadcast fan-out,
+// connectivity rebuilds, disc scans) were all O(N) or O(N^2) scans over the
+// node table, which is the quadratic wall the paper's "1,000s to 10,000s of
+// nodes" claim runs into. The grid buckets nodes by cell, with the cell
+// size chosen >= the maximum radio range, so any two nodes that can be in
+// radio range of each other lie within one Chebyshev cell of each other:
+// the 3x3 cell neighborhood of a position is a SUPERSET of its radio
+// neighborhood. Queries therefore return raw candidates; callers apply the
+// exact in_range/distance filter — and any ordering they need for RNG-draw
+// determinism — themselves.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/geometry.h"
+
+namespace iobt::net {
+
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cell_size_m = 250.0) { set_cell_size(cell_size_m); }
+
+  double cell_size() const { return cell_; }
+  /// Number of ids currently indexed.
+  std::size_t size() const { return count_; }
+
+  /// Inserts `id` at `p`. The caller guarantees `id` is not already present.
+  void insert(NodeId id, sim::Vec2 p);
+  /// Removes `id`, which must have been inserted at (or moved to) `p`.
+  void remove(NodeId id, sim::Vec2 p);
+  /// Relocates `id` from `from` to `to`; a no-op when both map to one cell.
+  void move(NodeId id, sim::Vec2 from, sim::Vec2 to);
+
+  /// Drops every entry and adopts a new cell size (used when a node with a
+  /// larger radio range joins and the covering guarantee must be restored).
+  void reset(double cell_size_m);
+
+  /// Appends every id in the 3x3 cell neighborhood of `p`. Output is
+  /// unsorted but duplicate-free (each id lives in exactly one cell).
+  void neighborhood(sim::Vec2 p, std::vector<NodeId>& out) const;
+
+  /// The 3x3 neighborhood of `p`, sorted ascending, served from a per-cell
+  /// memo. Any mutation that changes cell membership (insert, remove, a
+  /// move that crosses a cell boundary) invalidates the memo via a version
+  /// stamp; a within-cell move does not, because the id list is unchanged.
+  /// This makes steady-state repeat queries (periodic hello broadcasts,
+  /// back-to-back connectivity rebuilds) one hash lookup instead of nine
+  /// plus a sort. The reference is valid until the next mutation or
+  /// neighborhood_sorted call.
+  const std::vector<NodeId>& neighborhood_sorted(sim::Vec2 p) const;
+
+  /// Opaque identifier of the cell containing `p` — equal keys iff equal
+  /// cells. Lets batch queries (connectivity rebuilds) share one gathered
+  /// + sorted neighborhood among all nodes in a cell.
+  std::uint64_t cell_key(sim::Vec2 p) const { return key(coord(p.x), coord(p.y)); }
+
+  /// Appends every id in cells intersecting the disc (p, radius) — a
+  /// superset of the ids within `radius` of `p`, unsorted.
+  void near(sim::Vec2 p, double radius, std::vector<NodeId>& out) const;
+
+  /// Appends the ids in cells at exactly Chebyshev ring `r` around the
+  /// cell containing `p` (r = 0 is that cell itself). Used for k-nearest
+  /// expanding-ring searches.
+  void ring(sim::Vec2 p, int r, std::vector<NodeId>& out) const;
+
+ private:
+  std::int32_t coord(double v) const;
+  static std::uint64_t key(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  void append_cell(std::int32_t cx, std::int32_t cy, std::vector<NodeId>& out) const;
+  void set_cell_size(double c);
+
+  double cell_ = 250.0;
+  double inv_cell_ = 1.0 / 250.0;
+  std::size_t count_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+  /// Membership version + per-cell sorted-neighborhood memo (see
+  /// neighborhood_sorted). Mutable: the memo is a pure cache over cells_.
+  std::uint64_t version_ = 0;
+  struct Hood {
+    std::uint64_t version = ~0ULL;
+    std::vector<NodeId> ids;
+  };
+  mutable std::unordered_map<std::uint64_t, Hood> hood_memo_;
+};
+
+}  // namespace iobt::net

@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
 
+#include "net/spatial_grid.h"
+
 namespace iobt::net {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Below this many nodes the generators use the brute-force scans; the
+/// grid's constant factors only pay off past it. Both paths produce
+/// bit-identical graphs, so the threshold is a pure wall-time knob.
+constexpr std::size_t kGridThreshold = 64;
 }
 
 bool ShortestPaths::reachable(NodeId v) const {
@@ -30,6 +37,29 @@ std::vector<NodeId> ShortestPaths::path_to(NodeId v) const {
   }
   std::reverse(rev.begin(), rev.end());
   return rev;
+}
+
+Topology::Topology(std::size_t node_count, const std::vector<Edge>& edge_list)
+    : adjacency_(node_count) {
+  std::vector<std::uint32_t> degree(node_count, 0);
+  for (const Edge& e : edge_list) {
+    if (e.a == e.b) continue;
+    if (e.a >= node_count || e.b >= node_count) {
+      throw std::out_of_range("Topology: edge endpoint out of range");
+    }
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  for (std::size_t v = 0; v < node_count; ++v) {
+    if (degree[v] > 0) adjacency_[v].reserve(degree[v]);
+  }
+  for (const Edge& e : edge_list) {
+    if (e.a == e.b) continue;
+    assert(!has_edge(e.a, e.b) && "Topology bulk constructor: duplicate edge");
+    adjacency_[e.a].push_back({e.b, e.weight});
+    adjacency_[e.b].push_back({e.a, e.weight});
+    ++edge_count_;
+  }
 }
 
 NodeId Topology::add_node() {
@@ -52,6 +82,17 @@ void Topology::add_edge(NodeId a, NodeId b, double weight) {
       return;
     }
   }
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++edge_count_;
+}
+
+void Topology::add_edge_unique(NodeId a, NodeId b, double weight) {
+  if (a == b) return;
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("Topology::add_edge_unique: node id out of range");
+  }
+  assert(!has_edge(a, b) && "add_edge_unique: pair already present");
   adjacency_[a].push_back({b, weight});
   adjacency_[b].push_back({a, weight});
   ++edge_count_;
@@ -202,10 +243,29 @@ Topology Topology::random_geometric(std::size_t n, sim::Rect area, double radius
     p = {rng.uniform(area.min.x, area.max.x), rng.uniform(area.min.y, area.max.y)};
   }
   const double r2 = radius * radius;
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      const double d2 = sim::distance2(pos[a], pos[b]);
-      if (d2 <= r2) t.add_edge(a, b, std::sqrt(d2));
+  if (n >= kGridThreshold && radius > 0.0) {
+    // Cell size = radius: the 3x3 neighborhood covers the disc. Edges are
+    // added in the brute-force order (a ascending, b > a ascending), so
+    // the result is bit-identical to the quadratic scan below.
+    SpatialGrid grid(radius);
+    for (NodeId i = 0; i < n; ++i) grid.insert(i, pos[i]);
+    std::vector<NodeId> cand;
+    for (NodeId a = 0; a < n; ++a) {
+      cand.clear();
+      grid.neighborhood(pos[a], cand);
+      std::sort(cand.begin(), cand.end());
+      for (const NodeId b : cand) {
+        if (b <= a) continue;
+        const double d2 = sim::distance2(pos[a], pos[b]);
+        if (d2 <= r2) t.add_edge_unique(a, b, std::sqrt(d2));
+      }
+    }
+  } else {
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        const double d2 = sim::distance2(pos[a], pos[b]);
+        if (d2 <= r2) t.add_edge_unique(a, b, std::sqrt(d2));
+      }
     }
   }
   if (positions) *positions = std::move(pos);
@@ -240,6 +300,48 @@ Topology Topology::star(std::size_t n) {
 Topology Topology::k_nearest(const std::vector<sim::Vec2>& positions, std::size_t k) {
   const std::size_t n = positions.size();
   Topology t(n);
+  if (n < 2 || k == 0) return t;
+  const std::size_t kk = std::min(k, n - 1);
+
+  // Grid path: expanding Chebyshev rings around each node until the kth
+  // candidate provably beats everything still uncollected. The k smallest
+  // (distance, id) pairs form a unique set under the pair's total order,
+  // so the result is bit-identical to the brute-force scan below.
+  sim::Vec2 lo = positions[0], hi = positions[0];
+  for (const sim::Vec2& p : positions) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y)};
+  }
+  const double extent = std::max(hi.x - lo.x, hi.y - lo.y);
+  if (n >= kGridThreshold && extent > 0.0) {
+    // ~1 point per cell on average.
+    SpatialGrid grid(extent / std::sqrt(static_cast<double>(n)));
+    for (NodeId i = 0; i < n; ++i) grid.insert(i, positions[i]);
+    std::vector<std::pair<double, NodeId>> d;
+    std::vector<NodeId> ring_ids;
+    for (NodeId a = 0; a < n; ++a) {
+      d.clear();
+      for (int r = 0;; ++r) {
+        ring_ids.clear();
+        grid.ring(positions[a], r, ring_ids);
+        for (const NodeId b : ring_ids) {
+          if (b != a) d.push_back({sim::distance(positions[a], positions[b]), b});
+        }
+        if (d.size() == n - 1) break;  // everything collected
+        if (d.size() >= kk) {
+          std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(kk) - 1,
+                           d.end());
+          // Cells beyond ring r hold only points at distance >= r * cell;
+          // strict comparison keeps boundary ties in the search.
+          if (d[kk - 1].first < r * grid.cell_size()) break;
+        }
+      }
+      std::partial_sort(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(kk), d.end());
+      for (std::size_t i = 0; i < kk; ++i) t.add_edge(a, d[i].second, d[i].first);
+    }
+    return t;
+  }
+
   for (NodeId a = 0; a < n; ++a) {
     // Collect distances to all other nodes, pick k smallest.
     std::vector<std::pair<double, NodeId>> d;
@@ -247,7 +349,6 @@ Topology Topology::k_nearest(const std::vector<sim::Vec2>& positions, std::size_
     for (NodeId b = 0; b < n; ++b) {
       if (b != a) d.push_back({sim::distance(positions[a], positions[b]), b});
     }
-    const std::size_t kk = std::min(k, d.size());
     std::partial_sort(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(kk), d.end());
     for (std::size_t i = 0; i < kk; ++i) t.add_edge(a, d[i].second, d[i].first);
   }

@@ -44,6 +44,13 @@ class Topology {
  public:
   Topology() = default;
   explicit Topology(std::size_t node_count) : adjacency_(node_count) {}
+  /// Bulk constructor: builds the graph from a prepared edge list in one
+  /// pass, reserving each adjacency list at its exact final size (the
+  /// incremental path pays ~log(degree) reallocations per node). The list
+  /// must contain each unordered pair at most once; adjacency order —
+  /// and thus every tie-break downstream — matches calling
+  /// add_edge_unique in list order.
+  Topology(std::size_t node_count, const std::vector<Edge>& edge_list);
 
   std::size_t node_count() const { return adjacency_.size(); }
   std::size_t edge_count() const { return edge_count_; }
@@ -54,6 +61,12 @@ class Topology {
   /// Adds an undirected edge. Parallel edges are rejected (weight of the
   /// existing edge is updated instead). Self-loops are ignored.
   void add_edge(NodeId a, NodeId b, double weight = 1.0);
+  /// add_edge without the parallel-edge scan, for callers that enumerate
+  /// each unordered pair at most once (connectivity snapshots, geometric
+  /// generators). A same-order call sequence yields adjacency lists
+  /// identical to add_edge's; feeding it a duplicate pair corrupts the
+  /// edge count, so it asserts in debug builds.
+  void add_edge_unique(NodeId a, NodeId b, double weight = 1.0);
   /// Removes the edge if present.
   void remove_edge(NodeId a, NodeId b);
   bool has_edge(NodeId a, NodeId b) const;
@@ -88,7 +101,9 @@ class Topology {
   // --- Generators -------------------------------------------------------
 
   /// Random geometric graph: n nodes uniform in `area`, edge iff distance
-  /// <= radius. Edge weight = distance. Also returns positions.
+  /// <= radius. Edge weight = distance. Also returns positions. Large
+  /// instances build edges from a spatial grid (O(n * density) instead of
+  /// O(n^2)); the resulting graph is bit-identical either way.
   static Topology random_geometric(std::size_t n, sim::Rect area, double radius,
                                    sim::Rng& rng, std::vector<sim::Vec2>* positions);
 
@@ -101,7 +116,9 @@ class Topology {
   /// Star: node 0 is the hub.
   static Topology star(std::size_t n);
 
-  /// Each node connected to its k nearest neighbors by position.
+  /// Each node connected to its k nearest neighbors by position. Large
+  /// instances search via expanding grid rings instead of the all-pairs
+  /// scan; the resulting graph is bit-identical either way.
   static Topology k_nearest(const std::vector<sim::Vec2>& positions, std::size_t k);
 
   /// Erdos-Renyi G(n, p).

@@ -71,6 +71,14 @@ class MetricsRegistry {
   void gauge(const std::string& key, double value) { gauges_[key] = value; }
   /// Records one sample into a distribution summary.
   void observe(const std::string& key, double sample) { summaries_[key].add(sample); }
+
+  /// Stable pointer to a counter / summary, for hot paths that would
+  /// otherwise pay a string-keyed map lookup per event (std::map nodes
+  /// never move, so the pointer survives later insertions). Updating
+  /// through a handle is observably identical to count()/observe() on the
+  /// same key — digests and merges see the same state.
+  double* counter_handle(const std::string& key) { return &counters_[key]; }
+  Summary* summary_handle(const std::string& key) { return &summaries_[key]; }
   /// Records a duration sample, in seconds.
   void observe(const std::string& key, Duration d) { observe(key, d.to_seconds()); }
 

@@ -68,9 +68,22 @@ sim::Vec2 GridPatrol::step(sim::Vec2 current, double dt_s) {
       until_turn_m_ = block_m_;
     }
     const double leg = std::min(travel, until_turn_m_);
-    current = area_.clamp(current + heading_ * leg);
+    const sim::Vec2 next = area_.clamp(current + heading_ * leg);
+    const double moved = sim::distance(current, next);
+    current = next;
     travel -= leg;
-    until_turn_m_ -= leg;
+    if (moved + 1e-9 < leg) {
+      // The clamp ate part of the leg: the heading points out of the area
+      // and the patrol is pinned at the boundary. Crediting the full leg
+      // here used to burn whole blocks standing still — turn immediately
+      // instead. (Progress is otherwise debited as `leg`, not `moved`:
+      // the two differ only by sqrt round-off, and an inexact debit
+      // leaves a ~1e-13 residue that the loop would then grind through
+      // in femtometer-sized legs.)
+      until_turn_m_ = 0.0;
+    } else {
+      until_turn_m_ -= leg;
+    }
   }
   return current;
 }

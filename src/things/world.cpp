@@ -12,6 +12,11 @@ AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radi
   const auto id = static_cast<AssetId>(assets_.size());
   asset.id = id;
   asset.node = net_.add_node(position, radio);
+  // Keep the node->asset index current for every arrival, not just the
+  // population present at start(): assets recruited mid-run must pay
+  // transmit energy too.
+  if (node_to_asset_.size() <= asset.node) node_to_asset_.resize(asset.node + 1, 0);
+  node_to_asset_[asset.node] = id;
   assets_.push_back(std::move(asset));
   for (const auto& hook : added_hooks_) hook(id);
   return id;
@@ -58,14 +63,12 @@ void World::start(sim::Duration period) {
   assert(!started_ && "World::start called twice");
   started_ = true;
 
-  // Charge transmit energy to the owning asset, via a node->asset index so
-  // the per-frame hook is O(1).
-  auto node_to_asset = std::make_shared<std::vector<AssetId>>();
-  node_to_asset->resize(net_.node_count(), 0);
-  for (const Asset& a : assets_) (*node_to_asset)[a.node] = a.id;
-  net_.set_transmit_hook([this, node_to_asset](net::NodeId node, std::size_t bytes) {
-    if (node < node_to_asset->size()) {
-      assets_[(*node_to_asset)[node]].energy.drain_tx(bytes);
+  // Charge transmit energy to the owning asset, via the node->asset index
+  // (maintained by add_asset, so late arrivals are covered) — the
+  // per-frame hook is O(1).
+  net_.set_transmit_hook([this](net::NodeId node, std::size_t bytes) {
+    if (node < node_to_asset_.size()) {
+      assets_[node_to_asset_[node]].energy.drain_tx(bytes);
     }
   });
 
@@ -80,13 +83,19 @@ void World::start(sim::Duration period) {
 }
 
 void World::tick(double dt_s) {
-  for (Asset& a : assets_) {
-    if (!a.alive) continue;
-    a.energy.drain_idle(dt_s);
-    if (a.energy.depleted()) {
-      destroy_asset(a.id);
+  // destroy_asset fires down-hooks that may add_asset (recruit a
+  // replacement) and reallocate assets_, so never hold a reference across
+  // it: iterate by index and re-fetch. The count is snapshotted so assets
+  // recruited mid-tick start ticking on the next tick.
+  const std::size_t count = assets_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!assets_[i].alive) continue;
+    assets_[i].energy.drain_idle(dt_s);
+    if (assets_[i].energy.depleted()) {
+      destroy_asset(static_cast<AssetId>(i));
       continue;
     }
+    Asset& a = assets_[i];
     if (a.mobility) {
       const sim::Vec2 from = net_.position(a.node);
       const sim::Vec2 to = area_.clamp(a.mobility->step(from, dt_s));

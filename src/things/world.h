@@ -54,6 +54,7 @@ class World {
   sim::Rect area() const { return area_; }
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return net_; }
+  const net::Network& network() const { return net_; }
 
   // --- Population -------------------------------------------------------
 
@@ -68,6 +69,10 @@ class World {
   const std::vector<Asset>& assets() const { return assets_; }
 
   sim::Vec2 asset_position(AssetId id) const { return net_.position(assets_.at(id).node); }
+
+  /// The asset owning a network endpoint (every node is created by
+  /// add_asset, so the mapping is total for valid ids).
+  AssetId asset_of_node(net::NodeId node) const { return node_to_asset_.at(node); }
 
   /// Kills an asset (adversary capture/strike or energy depletion): takes
   /// the network node down and marks it dead. Fires on_asset_down hooks.
@@ -127,6 +132,9 @@ class World {
   sim::Rect area_;
   sim::Rng rng_;
   std::vector<Asset> assets_;
+  /// node -> owning asset, maintained by add_asset (the transmit-energy
+  /// hook and node-keyed queries are O(1), including for late arrivals).
+  std::vector<AssetId> node_to_asset_;
   std::vector<Target> targets_;
   std::vector<SensingDisruption> disruptions_;
   std::vector<std::function<void(AssetId)>> down_hooks_;

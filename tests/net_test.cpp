@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "net/channel.h"
 #include "net/dispatcher.h"
 #include "net/network.h"
 #include "net/reliable.h"
+#include "net/spatial_grid.h"
 #include "net/topology.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -745,6 +749,345 @@ TEST_P(NetDeterminism, SameSeedSameOutcome) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetDeterminism, ::testing::Values(1ULL, 7ULL, 1234ULL));
+
+// ---------------------------------------------------------- SpatialGrid ----
+
+TEST(SpatialGrid, NeighborhoodIsSupersetOfRadioDisc) {
+  SpatialGrid grid(250.0);
+  Rng rng(7);
+  std::vector<Vec2> pts;
+  for (NodeId i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0, 2000), rng.uniform(0, 2000)});
+    grid.insert(i, pts.back());
+  }
+  std::vector<NodeId> out;
+  for (NodeId q = 0; q < 300; q += 17) {
+    out.clear();
+    grid.neighborhood(pts[q], out);
+    std::sort(out.begin(), out.end());
+    for (NodeId i = 0; i < 300; ++i) {
+      if (sim::distance(pts[q], pts[i]) <= 250.0) {
+        EXPECT_TRUE(std::binary_search(out.begin(), out.end(), i))
+            << "node " << i << " within range of " << q << " but not in neighborhood";
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, MoveTracksCellMembership) {
+  SpatialGrid grid(100.0);
+  grid.insert(0, {10, 10});
+  grid.insert(1, {50, 50});
+  std::vector<NodeId> out;
+  grid.neighborhood({10, 10}, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<NodeId>{0, 1}));
+
+  // Move across cells: the id leaves the old neighborhood, joins the new.
+  grid.move(1, {50, 50}, {950, 950});
+  out.clear();
+  grid.neighborhood({10, 10}, out);
+  EXPECT_EQ(out, (std::vector<NodeId>{0}));
+  out.clear();
+  grid.neighborhood({950, 950}, out);
+  EXPECT_EQ(out, (std::vector<NodeId>{1}));
+
+  // Within-cell move: membership unchanged.
+  grid.move(0, {10, 10}, {90, 90});
+  out.clear();
+  grid.neighborhood({10, 10}, out);
+  EXPECT_EQ(out, (std::vector<NodeId>{0}));
+
+  grid.remove(0, {90, 90});
+  out.clear();
+  grid.neighborhood({10, 10}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(SpatialGrid, SortedNeighborhoodMemoFollowsMutations) {
+  SpatialGrid grid(100.0);
+  grid.insert(2, {10, 10});
+  grid.insert(0, {150, 150});
+  grid.insert(1, {50, 50});
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{0, 1, 2}));
+  // Repeat query is served from the memo and stays correct.
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{0, 1, 2}));
+
+  grid.insert(3, {20, 20});  // membership change invalidates the memo
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{0, 1, 2, 3}));
+
+  grid.remove(1, {50, 50});
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{0, 2, 3}));
+
+  grid.move(2, {10, 10}, {90, 90});  // within-cell: list unchanged
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{0, 2, 3}));
+
+  grid.move(0, {150, 150}, {950, 950});  // crosses cells: drops out
+  EXPECT_EQ(grid.neighborhood_sorted({10, 10}), (std::vector<NodeId>{2, 3}));
+
+  grid.reset(50.0);
+  EXPECT_TRUE(grid.neighborhood_sorted({10, 10}).empty());
+}
+
+TEST(SpatialGrid, RingsPartitionTheNeighborhood) {
+  SpatialGrid grid(100.0);
+  Rng rng(11);
+  std::vector<Vec2> pts;
+  for (NodeId i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+    grid.insert(i, pts.back());
+  }
+  // ring(0) + ring(1) == the 3x3 neighborhood, with no id in both rings.
+  const Vec2 q{250, 250};
+  std::vector<NodeId> rings, hood;
+  grid.ring(q, 0, rings);
+  const std::size_t inner = rings.size();
+  grid.ring(q, 1, rings);
+  grid.neighborhood(q, hood);
+  std::sort(rings.begin(), rings.end());
+  std::sort(hood.begin(), hood.end());
+  EXPECT_EQ(rings, hood);
+  EXPECT_EQ(std::unique(rings.begin(), rings.end()), rings.end());
+  EXPECT_LE(inner, rings.size());
+}
+
+// ------------------------------------------------- Topology bulk build ----
+
+TEST(Topology, BulkConstructorMatchesIncrementalBuild) {
+  Rng rng(3);
+  std::vector<Edge> list;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 200; ++i) {
+    NodeId a = static_cast<NodeId>(rng.uniform_int(0, 39));
+    NodeId b = static_cast<NodeId>(rng.uniform_int(0, 39));
+    if (a == b) continue;
+    if (!seen.insert({std::min(a, b), std::max(a, b)}).second) continue;
+    list.push_back({a, b, rng.uniform(1, 10)});
+  }
+  Topology incremental(40);
+  for (const Edge& e : list) incremental.add_edge_unique(e.a, e.b, e.weight);
+  const Topology bulk(40, list);
+
+  EXPECT_EQ(bulk.edge_count(), incremental.edge_count());
+  for (NodeId v = 0; v < 40; ++v) {
+    const auto& bn = bulk.neighbors(v);
+    const auto& in = incremental.neighbors(v);
+    ASSERT_EQ(bn.size(), in.size()) << "node " << v;
+    for (std::size_t i = 0; i < bn.size(); ++i) {
+      EXPECT_EQ(bn[i].id, in[i].id) << "node " << v << " slot " << i;
+      EXPECT_DOUBLE_EQ(bn[i].weight, in[i].weight);
+    }
+  }
+}
+
+TEST(Topology, BulkConstructorSkipsSelfLoopsAndValidates) {
+  const std::vector<Edge> ok{{0, 1, 1.0}, {2, 2, 5.0}, {1, 2, 2.0}};
+  const Topology t(3, ok);
+  EXPECT_EQ(t.edge_count(), 2u);  // the self-loop is ignored
+  const std::vector<Edge> bad{{0, 7, 1.0}};
+  EXPECT_THROW(Topology(3, bad), std::out_of_range);
+}
+
+TEST(Topology, RandomGeometricGridPathMatchesBruteReference) {
+  // n = 200 is above the internal grid threshold, so this exercises the
+  // grid path; the reference below is the documented O(n^2) rule applied
+  // to the returned positions, in the same edge order.
+  Rng rng(17);
+  std::vector<Vec2> pos;
+  const Rect area{{0, 0}, {1500, 1500}};
+  const double radius = 180.0;
+  const auto t = Topology::random_geometric(200, area, radius, rng, &pos);
+  ASSERT_EQ(pos.size(), 200u);
+
+  Topology ref(200);
+  for (NodeId a = 0; a < 200; ++a) {
+    for (NodeId b = a + 1; b < 200; ++b) {
+      const double d2 = sim::distance2(pos[a], pos[b]);
+      if (d2 <= radius * radius) ref.add_edge_unique(a, b, std::sqrt(d2));
+    }
+  }
+  const auto te = t.edges();
+  const auto re = ref.edges();
+  ASSERT_EQ(te.size(), re.size());
+  for (std::size_t i = 0; i < te.size(); ++i) {
+    EXPECT_EQ(te[i].a, re[i].a);
+    EXPECT_EQ(te[i].b, re[i].b);
+    EXPECT_DOUBLE_EQ(te[i].weight, re[i].weight);
+  }
+}
+
+TEST(Topology, KNearestGridPathMatchesBruteReference) {
+  // n = 150 exercises the expanding-ring grid path; the reference is the
+  // brute-force k-smallest-(distance, id) rule.
+  Rng rng(23);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 150; ++i) pos.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  const std::size_t k = 4;
+  const auto t = Topology::k_nearest(pos, k);
+
+  Topology ref(pos.size());
+  for (NodeId a = 0; a < pos.size(); ++a) {
+    std::vector<std::pair<double, NodeId>> d;
+    for (NodeId b = 0; b < pos.size(); ++b) {
+      if (b != a) d.push_back({sim::distance(pos[a], pos[b]), b});
+    }
+    std::partial_sort(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k), d.end());
+    for (std::size_t i = 0; i < k; ++i) ref.add_edge(a, d[i].second, d[i].first);
+  }
+  EXPECT_EQ(t.edge_count(), ref.edge_count());
+  const auto te = t.edges();
+  const auto re = ref.edges();
+  ASSERT_EQ(te.size(), re.size());
+  for (std::size_t i = 0; i < te.size(); ++i) {
+    EXPECT_EQ(te[i].a, re[i].a);
+    EXPECT_EQ(te[i].b, re[i].b);
+    EXPECT_DOUBLE_EQ(te[i].weight, re[i].weight);
+  }
+}
+
+// ------------------------------------------- Spatial index equivalence ----
+
+namespace {
+
+/// A scattered population on one Network; used to compare grid and brute
+/// enumeration on identical state.
+std::vector<NodeId> scatter(Network& net, Rng& layout, int n, double range) {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(net.add_node({layout.uniform(0, 2000), layout.uniform(0, 2000)},
+                               RadioProfile{.range_m = range, .data_rate_bps = 1e6}));
+  }
+  return ids;
+}
+
+}  // namespace
+
+TEST_F(NetFixture, ConnectivityIdenticalGridVsBrute) {
+  Rng layout(41);
+  scatter(net, layout, 150, 300.0);
+  ASSERT_TRUE(net.spatial_index_enabled());
+  const auto grid_edges = net.connectivity().edges();
+  net.set_spatial_index_enabled(false);
+  const auto brute_edges = net.connectivity().edges();
+  ASSERT_EQ(grid_edges.size(), brute_edges.size());
+  EXPECT_GT(grid_edges.size(), 0u);
+  for (std::size_t i = 0; i < grid_edges.size(); ++i) {
+    EXPECT_EQ(grid_edges[i].a, brute_edges[i].a);
+    EXPECT_EQ(grid_edges[i].b, brute_edges[i].b);
+    EXPECT_DOUBLE_EQ(grid_edges[i].weight, brute_edges[i].weight);
+  }
+}
+
+TEST_F(NetFixture, NodesNearExactFilterIdenticalGridVsBrute) {
+  Rng layout(43);
+  scatter(net, layout, 150, 300.0);
+  net.set_node_up(7, false);  // down nodes must be absent in both modes
+  const auto filtered = [&](double radius, Vec2 q) {
+    std::vector<NodeId> out;
+    for (const NodeId id : net.nodes_near(q, radius)) {
+      if (sim::distance(net.position(id), q) <= radius) out.push_back(id);
+    }
+    return out;
+  };
+  for (const Vec2 q : {Vec2{100, 100}, Vec2{1000, 1000}, Vec2{1999, 50}}) {
+    for (const double r : {150.0, 400.0, 2500.0}) {
+      net.set_spatial_index_enabled(true);
+      const auto g = filtered(r, q);
+      net.set_spatial_index_enabled(false);
+      const auto b = filtered(r, q);
+      EXPECT_EQ(g, b) << "q=(" << q.x << "," << q.y << ") r=" << r;
+      // Ascending-id contract holds in both modes.
+      EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+    }
+  }
+}
+
+TEST_F(NetFixture, EpochOnlyBumpsWhenAnInRangeRelationshipChanges) {
+  const NodeId a = add({0, 0});  // range 300
+  const NodeId b = add({200, 0});
+  const NodeId c = add({1500, 1500});
+  (void)a;
+  const std::uint64_t e0 = net.topology_epoch();
+
+  // c is isolated: moving it around far from everyone changes nothing.
+  net.set_position(c, {1400, 1500});
+  EXPECT_EQ(net.topology_epoch(), e0);
+  // b slides closer to a but gains/loses no link: still no bump.
+  net.set_position(b, {100, 0});
+  EXPECT_EQ(net.topology_epoch(), e0);
+  // b leaves a's range: bump.
+  net.set_position(b, {700, 0});
+  EXPECT_GT(net.topology_epoch(), e0);
+
+  const std::uint64_t e1 = net.topology_epoch();
+  net.set_node_up(c, false);
+  EXPECT_GT(net.topology_epoch(), e1);
+  const std::uint64_t e2 = net.topology_epoch();
+  add({900, 900});
+  EXPECT_GT(net.topology_epoch(), e2);
+}
+
+TEST_F(NetFixture, LongRangeJoinRebuildsGridAndKeepsCoverage) {
+  const NodeId a = add({0, 0});  // range 300 sets the initial cell size
+  EXPECT_GE(net.spatial_grid().cell_size(), 300.0);
+  const NodeId b = add({900, 0});  // 300 m radio, isolated for now
+  EXPECT_EQ(net.broadcast(a, Message{.kind = "hello", .size_bytes = 8}), 0u);
+  // A 1200 m radio joining must rebuild the grid (cells must cover the new
+  // maximum range) and re-index the existing nodes. Links stay bounded by
+  // the *smaller* radio on each pair, so big reaches only a for now.
+  const NodeId big = add({100, 0}, 1200.0);
+  EXPECT_GE(net.spatial_grid().cell_size(), 1200.0);
+  int got = 0;
+  for (const NodeId id : {a, b, big}) {
+    net.set_handler(id, [&](const Message&) { ++got; });
+  }
+  EXPECT_EQ(net.broadcast(big, Message{.kind = "hello", .size_bytes = 8}), 1u);
+  // A long-range peer lands in the rebuilt grid: its 830 m link to big is
+  // visible, plus the short hop to b.
+  const NodeId big2 = add({930, 0}, 1200.0);
+  EXPECT_EQ(net.broadcast(big2, Message{.kind = "hello", .size_bytes = 8}), 2u);
+  sim.run();
+  EXPECT_EQ(got, 3);
+
+  // The rebuilt index still agrees with brute force.
+  const auto grid_edges = net.connectivity().edges();
+  net.set_spatial_index_enabled(false);
+  const auto brute_edges = net.connectivity().edges();
+  ASSERT_EQ(grid_edges.size(), brute_edges.size());
+  for (std::size_t i = 0; i < grid_edges.size(); ++i) {
+    EXPECT_EQ(grid_edges[i].a, brute_edges[i].a);
+    EXPECT_EQ(grid_edges[i].b, brute_edges[i].b);
+  }
+}
+
+TEST_P(NetDeterminism, BroadcastDigestsIdenticalGridVsBrute) {
+  // Lossy mobile scenario driven end-to-end twice — spatial index on and
+  // off — from one seed. Every observable must match bit-for-bit: the RNG
+  // draw order, delivery counts, and the full metrics digest.
+  const auto run_once = [&](bool use_grid) {
+    Simulator sim;
+    Network net(sim, ChannelModel(), Rng(GetParam()));
+    net.set_spatial_index_enabled(use_grid);
+    Rng layout(GetParam() ^ 0x5EED);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < 80; ++i) {
+      ids.push_back(net.add_node({layout.uniform(0, 1200), layout.uniform(0, 1200)},
+                                 {.range_m = 250, .base_loss = 0.15}));
+    }
+    std::uint64_t got = 0;
+    for (auto id : ids) net.set_handler(id, [&](const Message&) { ++got; });
+    for (int round = 0; round < 8; ++round) {
+      for (auto id : ids) {
+        net.set_position(id, {layout.uniform(0, 1200), layout.uniform(0, 1200)});
+      }
+      for (auto id : ids) net.broadcast(id, Message{.kind = "hello", .size_bytes = 24});
+      sim.run();
+    }
+    return std::pair<std::uint64_t, std::uint64_t>{got, net.metrics().digest()};
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
 
 }  // namespace
 }  // namespace iobt::net

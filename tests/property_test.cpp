@@ -297,6 +297,88 @@ TEST(ParallelDeterminism, WorkerCountIsUnobservableAndRunsAreRepeatable) {
   }
 }
 
+// ------------------------------------------ Spatial index equivalence ----
+//
+// The wireless substrate promises that the spatial grid changes wall time
+// only: for a fixed seed, a broadcast-heavy mobile scenario must produce
+// bit-identical metrics digests with the index on or off, under any worker
+// count, with per-replication payloads to match. This is the end-to-end
+// guarantee the bench (bench_network) enforces at scale.
+
+namespace spatial {
+
+double substrate_body(sim::ReplicationContext& ctx, bool use_grid) {
+  sim::Simulator s;
+  net::Network network(s, net::ChannelModel(), ctx.make_rng());
+  network.set_spatial_index_enabled(use_grid);
+  sim::Rng layout(ctx.seed ^ 0xD15C0ULL);
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(network.add_node({layout.uniform(0, 1000), layout.uniform(0, 1000)},
+                                   {.range_m = 250, .base_loss = 0.1}));
+  }
+  std::uint64_t delivered = 0;
+  for (const auto id : ids) {
+    network.set_handler(id, [&](const net::Message&) { ++delivered; });
+  }
+  double edges = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (const auto id : ids) {
+      network.set_position(id, {layout.uniform(0, 1000), layout.uniform(0, 1000)});
+    }
+    for (const auto id : ids) {
+      network.broadcast(id, net::Message{.kind = "hello", .size_bytes = 16});
+      network.route_and_send(ids[0], id, net::Message{.kind = "data", .size_bytes = 64});
+    }
+    s.run();
+    edges += static_cast<double>(network.connectivity().edge_count());
+  }
+  ctx.metrics.merge_from(network.metrics());
+  ctx.metrics.count("delivered", static_cast<double>(delivered));
+  ctx.metrics.count("edges", edges);
+  return static_cast<double>(delivered) + edges;
+}
+
+}  // namespace spatial
+
+class SpatialIndexEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpatialIndexEquivalence, GridAndBruteDigestsIdenticalUnderWorkers) {
+  const std::size_t workers = GetParam();
+  const auto seeds = sim::ParallelRunner::seed_range(4242, 8);
+
+  // Reference: brute-force enumeration, hand-rolled serial loop.
+  sim::MetricsRegistry ref_merged;
+  std::vector<double> ref_payloads;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    sim::ReplicationContext ctx;
+    ctx.seed = seeds[i];
+    ctx.index = i;
+    ref_payloads.push_back(spatial::substrate_body(ctx, /*use_grid=*/false));
+    ref_merged.merge_from(ctx.metrics);
+  }
+  const std::uint64_t ref_digest = ref_merged.digest();
+
+  for (const bool use_grid : {true, false}) {
+    const sim::ParallelRunner runner(workers);
+    const auto outcome = runner.run<double>(seeds, [use_grid](sim::ReplicationContext& ctx) {
+      return spatial::substrate_body(ctx, use_grid);
+    });
+    EXPECT_EQ(outcome.failures, 0u);
+    ASSERT_EQ(outcome.replications.size(), seeds.size());
+    EXPECT_EQ(outcome.merged.digest(), ref_digest)
+        << "workers=" << workers << " grid=" << use_grid;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      EXPECT_EQ(outcome.replications[i].payload, ref_payloads[i])
+          << "workers=" << workers << " grid=" << use_grid << " rep=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SpatialIndexEquivalence,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}));
+
 // The cross-module invariants above sweep 6 seeds serially via TEST_P; the
 // runner lets the same style of sweep go wide. These run 24 seeds on the
 // pool and assert the invariant on the aggregated outcome.

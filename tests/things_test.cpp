@@ -254,6 +254,84 @@ TEST_F(WorldFixture, EnergyDepletionKillsAsset) {
   EXPECT_EQ(downs, 1);
 }
 
+TEST_F(WorldFixture, LateRecruitedAssetPaysTransmitEnergy) {
+  // Regression: the transmit-energy hook used to capture a node->asset
+  // snapshot at start(), so assets recruited mid-run transmitted for free.
+  Rng r(1);
+  const AssetId early = world.add_asset(
+      make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r), {10, 10},
+      radio_for_class(DeviceClass::kSensorMote));
+  world.start(Duration::seconds(1.0));
+
+  Asset late_asset = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  late_asset.energy = EnergyModel(100.0);
+  late_asset.energy.tx_cost_per_byte = 0.001;
+  late_asset.energy.idle_cost_per_s = 0.0;
+  const AssetId late = world.add_asset(std::move(late_asset), {20, 10},
+                                       radio_for_class(DeviceClass::kSensorMote));
+  const double before = world.asset(late).energy.remaining_j();
+  ASSERT_TRUE(net.send(world.asset(late).node, world.asset(early).node,
+                       net::Message{.kind = "report", .size_bytes = 500}));
+  EXPECT_NEAR(world.asset(late).energy.remaining_j(), before - 0.5, 1e-9);
+}
+
+TEST_F(WorldFixture, DownHookMayRecruitReplacementDuringTick) {
+  // Regression: World::tick held a reference across destroy_asset, whose
+  // down-hooks may add_asset (recruit a replacement) and reallocate the
+  // asset vector — a use-after-free under ASan. Deplete many assets in one
+  // tick while the hook recruits, forcing reallocation mid-loop.
+  Rng r(1);
+  for (int i = 0; i < 8; ++i) {
+    Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+    mote.energy = EnergyModel(0.05);  // depletes on the first tick
+    mote.energy.idle_cost_per_s = 1.0;
+    mote.mobility = std::make_shared<RandomWaypoint>(kArea, 5.0, 0.0, Rng(70 + i));
+    world.add_asset(std::move(mote), {100.0 * i, 100},
+                    radio_for_class(DeviceClass::kSensorMote));
+  }
+  int recruited = 0;
+  world.on_asset_down([&](AssetId) {
+    Rng rr(200 + recruited);
+    Asset fresh = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, rr);
+    fresh.energy = EnergyModel(0.0);  // unlimited
+    world.add_asset(std::move(fresh), {500, 500},
+                    radio_for_class(DeviceClass::kSensorMote));
+    ++recruited;
+  });
+  world.start(Duration::seconds(1.0));
+  sim.run_until(sim::SimTime::seconds(5));
+  EXPECT_EQ(recruited, 8);
+  EXPECT_EQ(world.asset_count(), 16u);
+  EXPECT_EQ(world.live_asset_count(), 8u);  // every replacement is alive
+}
+
+TEST(Mobility, GridPatrolEscapesCornersAndLargeStepsTerminate) {
+  // Regression: when the clamp pinned a patrol at the area boundary, the
+  // step loop used to credit the full leg while standing still (burning
+  // whole blocks), and an inexact distance debit left ~1e-13 residues that
+  // turned big steps into effectively infinite femtometer-leg grinds. A
+  // corner start plus a huge dt covers both: the call must return promptly
+  // and the patrol must actually leave the corner.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    GridPatrol m(kArea, 100.0, 5.0, Rng(seed));
+    Vec2 p{0, 0};  // corner of kArea
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      const Vec2 q = m.step(p, 1.0);
+      EXPECT_TRUE(kArea.contains(q));
+      total += sim::distance(p, q);
+      p = q;
+    }
+    // 100 s at 5 m/s: a non-pinned patrol covers most of that budget.
+    EXPECT_GT(total, 250.0) << "seed " << seed << " stayed pinned near the corner";
+
+    // One huge step from the corner: terminates and lands in-area.
+    GridPatrol big(kArea, 100.0, 5.0, Rng(100 + seed));
+    const Vec2 q = big.step({0, 0}, 3600.0);
+    EXPECT_TRUE(kArea.contains(q));
+  }
+}
+
 TEST_F(WorldFixture, SenseRequiresModalityAndLife) {
   Rng r(1);
   Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
