@@ -1,0 +1,456 @@
+// C1 — Checkpoint/branch/restore for the sim kernel.
+//
+// The checkpoint layer's contract is digest identity: restore-at-t-then-
+// run-to-T must be bit-identical to the uninterrupted run. This bench
+// measures what that buys operationally:
+//   1. snapshot/restore cost vs world size (save is a deep POD copy; cost
+//      should scale linearly with assets + in-flight frames),
+//   2. the identity matrix — 8 seeds x workers {1,2,8} x spatial index
+//      on/off, every restore digest-checked against its uninterrupted run,
+//   3. branched what-if execution: snapshot an adversarial scenario at
+//      t = 0.9T and fan K escalation variants out on the ParallelRunner,
+//      vs naively re-simulating each variant from t = 0. Every branch must
+//      match its naive twin bit-for-bit — the speedup is only reported if
+//      the answers are identical,
+//   4. campaign resume: a CampaignJournal replays completed replications
+//      so a restarted sweep re-runs nothing.
+// Emits BENCH_checkpoint.json; exits nonzero on any digest divergence.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/network.h"
+#include "security/attacks.h"
+#include "sim/checkpoint.h"
+#include "sim/rng.h"
+#include "sim/runner.h"
+#include "sim/simulator.h"
+#include "things/mobility.h"
+#include "things/population.h"
+#include "things/world.h"
+
+namespace {
+
+using namespace iobt;
+
+// ------------------------------------------------------- Bench scenario ----
+
+/// Minimal scenario-layer checkpoint participant: one rotating beacon
+/// broadcaster on a periodic loop, receive handlers counting into the
+/// network's metrics. Demonstrates the re-arm contract every service
+/// follows (closures are never serialized; the cursor state is).
+class BeaconDriver final : public sim::Checkpointable {
+ public:
+  BeaconDriver(sim::Simulator& sim, net::Network& net) : sim_(sim), net_(net) {
+    tag_ = sim_.intern("bench.beacon");
+    sim_.checkpoint().register_participant(this);
+  }
+  ~BeaconDriver() override {
+    sim_.cancel(event_);
+    sim_.checkpoint().unregister(this);
+  }
+
+  void start(sim::Duration period) {
+    period_ = period;
+    started_ = true;
+    install_handlers();
+    next_at_ = sim_.now() + period_;
+    event_ = sim_.schedule_at(next_at_, [this] { run(); }, tag_);
+  }
+
+  std::string_view checkpoint_key() const override { return "bench.beacon"; }
+
+  void save(sim::Snapshot& snap, const std::string& key) const override {
+    snap.put(key, State{next_at_, period_, round_, sim_.pending_seq(event_),
+                        started_});
+  }
+
+  void restore(const sim::Snapshot& snap, const std::string& key,
+               sim::RestoreArmer& armer) override {
+    sim_.cancel(event_);
+    event_ = sim::kNoEvent;
+    const auto& st = snap.get<State>(key);
+    next_at_ = st.next_at;
+    period_ = st.period;
+    round_ = st.round;
+    started_ = st.started;
+    if (started_) {
+      install_handlers();
+      if (st.seq != 0) {
+        armer.rearm(next_at_, st.seq, [this] { run(); }, tag_, &event_);
+      }
+    }
+  }
+
+ private:
+  struct State {
+    sim::SimTime next_at;
+    sim::Duration period;
+    std::uint64_t round = 0;
+    std::uint64_t seq = 0;
+    bool started = false;
+  };
+
+  void install_handlers() {
+    for (net::NodeId n = 0; n < net_.node_count(); ++n) {
+      net_.set_handler(n, [this](const net::Message&) {
+        net_.metrics().count("bench.received");
+      });
+    }
+  }
+
+  void run() {
+    event_ = sim::kNoEvent;
+    const std::size_t n = net_.node_count();
+    if (n > 0) {
+      const auto src = static_cast<net::NodeId>(round_ % n);
+      if (net_.node_up(src)) {
+        net_.broadcast(src, net::Message{.kind = "beacon", .size_bytes = 24});
+      }
+      for (net::NodeId m = static_cast<net::NodeId>(handlers_); m < n; ++m) {
+        net_.set_handler(m, [this](const net::Message&) {
+          net_.metrics().count("bench.received");
+        });
+      }
+    }
+    handlers_ = n;
+    ++round_;
+    next_at_ = next_at_ + period_;
+    event_ = sim_.schedule_at(next_at_, [this] { run(); }, tag_);
+  }
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  sim::Duration period_;
+  sim::TagId tag_ = sim::kUntagged;
+  sim::SimTime next_at_;
+  std::uint64_t round_ = 0;
+  std::size_t handlers_ = 0;
+  sim::EventId event_ = sim::kNoEvent;
+  bool started_ = false;
+};
+
+/// One adversarial stack, deterministic from (seed, population, grid). The
+/// campaign covers the interesting snapshot windows: jamming [40, 80) s,
+/// Sybil waves at 30 s and 70 s, a mass kill at 90 s.
+struct Scenario {
+  double side;
+  sim::Simulator sim;
+  net::Network net;
+  things::World world;
+  security::AttackInjector attacks;
+  BeaconDriver beacon;
+
+  Scenario(std::uint64_t seed, std::size_t population, bool use_grid)
+      : side(90.0 * std::sqrt(static_cast<double>(population))),
+        net(sim, net::ChannelModel(2.0, 0.2), sim::Rng(seed ^ 0xBE9C0DEULL)),
+        world(sim, net, {{0, 0}, {side, side}}, sim::Rng(seed)),
+        attacks(world),
+        beacon(sim, net) {
+    net.set_spatial_index_enabled(use_grid);
+    sim::Rng layout(seed * 2654435761ULL + 7);
+    for (std::size_t i = 0; i < population; ++i) {
+      sim::Rng maker = layout.child(i);
+      things::Asset a = things::make_asset_template(
+          things::DeviceClass::kSensorMote, things::Affiliation::kBlue, maker);
+      a.mobility = std::make_shared<things::RandomWaypoint>(
+          world.area(), 4.0, 2.0, maker.child(0xBEAC07));
+      world.add_asset(std::move(a), {maker.uniform(0, side), maker.uniform(0, side)},
+                      things::radio_for_class(things::DeviceClass::kSensorMote));
+    }
+    world.start(sim::Duration::seconds(1));
+    beacon.start(sim::Duration::millis(500));
+    attacks.schedule_jamming({side / 2, side / 2}, side * 0.3,
+                             sim::SimTime::seconds(40), sim::SimTime::seconds(80),
+                             0.9);
+    sim::Rng attack_rng(seed ^ 0x5EC5EC5ECULL);
+    attacks.schedule_sybil(4, sim::SimTime::seconds(30), attack_rng);
+    attacks.schedule_sybil(3, sim::SimTime::seconds(70), attack_rng);
+    attacks.schedule_mass_kill(
+        0.2, sim::SimTime::seconds(90),
+        [](const things::Asset& a) {
+          return a.device_class == things::DeviceClass::kSensorMote;
+        },
+        attack_rng);
+  }
+
+  std::uint64_t digest() const {
+    std::uint64_t h = net.metrics().digest();
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    const auto mix_double = [&](double x) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &x, sizeof bits);
+      mix(bits);
+    };
+    mix(static_cast<std::uint64_t>(sim.now().nanos()));
+    mix(world.asset_count());
+    for (const things::Asset& a : world.assets()) {
+      mix(a.alive ? 1 : 2);
+      const sim::Vec2 p = net.position(a.node);
+      mix_double(p.x);
+      mix_double(p.y);
+    }
+    mix(attacks.log().size());
+    for (const auto& e : attacks.log()) {
+      mix(sim::fnv1a(e.type));
+      mix(static_cast<std::uint64_t>(e.at.nanos()));
+    }
+    return h;
+  }
+};
+
+constexpr std::uint64_t kSeedBase = 7100;
+
+}  // namespace
+
+int main() {
+  using namespace iobt::bench;
+
+  header("C1: deterministic checkpoint / branch / restore",
+         "restore-at-t-then-run-to-T is digest-identical to the "
+         "uninterrupted run; branching beats naive re-simulation");
+
+  bool all_identical = true;
+
+  // ---- 1. Snapshot/restore cost vs world size -------------------------
+  struct LadderRow {
+    std::size_t population;
+    double save_ms;
+    double restore_ms;
+    double rewind_run_ms;
+    bool identical;
+  };
+  std::vector<LadderRow> ladder;
+  row("%-12s %-10s %-12s %-14s %-10s", "population", "save_ms", "restore_ms",
+      "rewind_run_ms", "identical");
+  for (const std::size_t population : {std::size_t{250}, std::size_t{1000},
+                                       std::size_t{4000}}) {
+    Scenario s(kSeedBase, population, true);
+    s.sim.run_until(sim::SimTime::seconds(20));
+
+    WallTimer save_t;
+    const sim::Snapshot snap = s.sim.checkpoint().save();
+    const double save_ms = save_t.ms();
+
+    s.sim.run_until(sim::SimTime::seconds(45));  // into the jamming window
+    const std::uint64_t uninterrupted = s.digest();
+
+    WallTimer restore_t;
+    s.sim.checkpoint().restore(snap);
+    const double restore_ms = restore_t.ms();
+
+    WallTimer rewind_t;
+    s.sim.run_until(sim::SimTime::seconds(45));
+    const double rewind_run_ms = rewind_t.ms();
+
+    const bool identical = s.digest() == uninterrupted;
+    all_identical = all_identical && identical;
+    ladder.push_back({population, save_ms, restore_ms, rewind_run_ms, identical});
+    row("%-12zu %-10.3f %-12.3f %-14.1f %-10s", population, save_ms, restore_ms,
+        rewind_run_ms, identical ? "yes" : "NO");
+  }
+
+  // ---- 2. Identity matrix: seeds x workers x spatial index ------------
+  const auto seeds = sim::ParallelRunner::seed_range(kSeedBase, 8);
+  const auto matrix_body = [](sim::ReplicationContext& ctx, bool use_grid) {
+    Scenario source(ctx.seed, 48, use_grid);
+    source.sim.run_until(sim::SimTime::seconds(55));  // mid-jam, mid-wave
+    const sim::Snapshot snap = source.sim.checkpoint().save();
+    source.sim.run_until(sim::SimTime::seconds(90));
+    const std::uint64_t uninterrupted = source.digest();
+
+    Scenario branch(ctx.seed, 48, use_grid);
+    branch.sim.checkpoint().restore(snap);
+    branch.sim.run_until(sim::SimTime::seconds(90));
+    const std::uint64_t fresh = branch.digest();
+
+    source.sim.checkpoint().restore(snap);
+    source.sim.run_until(sim::SimTime::seconds(90));
+    const std::uint64_t rewound = source.digest();
+
+    std::uint64_t mismatches = 0;
+    if (fresh != uninterrupted) ++mismatches;
+    if (rewound != uninterrupted) ++mismatches;
+    ctx.metrics.count("ckpt.digest_lo",
+                      static_cast<double>(uninterrupted & 0xffffffffu));
+    ctx.metrics.count("ckpt.mismatches", static_cast<double>(mismatches));
+    return mismatches;
+  };
+
+  row("");
+  row("%-10s %-8s %-14s %-18s", "workers", "grid", "mismatches", "merged_digest");
+  std::uint64_t matrix_reference = 0;
+  bool matrix_identical = true;
+  bool first_config = true;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const bool use_grid : {true, false}) {
+      const sim::ParallelRunner runner(workers);
+      const auto outcome = runner.run<std::uint64_t>(
+          seeds, [&matrix_body, use_grid](sim::ReplicationContext& ctx) {
+            return matrix_body(ctx, use_grid);
+          });
+      std::uint64_t mismatches = outcome.failures;
+      for (const auto& r : outcome.replications) mismatches += r.payload;
+      const std::uint64_t digest = outcome.merged.digest();
+      if (first_config) {
+        matrix_reference = digest;
+        first_config = false;
+      }
+      const bool ok = mismatches == 0 && digest == matrix_reference;
+      matrix_identical = matrix_identical && ok;
+      row("%-10zu %-8s %-14llu %016llx%s", workers, use_grid ? "on" : "off",
+          static_cast<unsigned long long>(mismatches),
+          static_cast<unsigned long long>(digest), ok ? "" : "  << DIVERGED");
+    }
+  }
+  all_identical = all_identical && matrix_identical;
+
+  // ---- 3. Branched what-if vs naive re-simulation ---------------------
+  // K escalation variants of one 100 s scenario, branched at t = 90 s.
+  constexpr std::size_t kBranches = 8;
+  constexpr std::size_t kBranchPopulation = 300;
+  const auto variant = [](security::AttackInjector& attacks, std::size_t k) {
+    // What-if: the adversary escalates with a second strike whose severity
+    // varies per branch. Scheduled off the tick/beacon grid so no
+    // tie-break depends on how we reached t = 90 s.
+    attacks.schedule_mass_kill(
+        0.05 * static_cast<double>(k + 1), sim::SimTime::seconds(92.25),
+        [](const things::Asset&) { return true; },
+        sim::Rng(0xE5CA1A7EULL + k));
+  };
+
+  WallTimer naive_t;
+  const sim::ParallelRunner fan(bench_workers());
+  const auto naive = fan.run<std::uint64_t>(
+      sim::ParallelRunner::seed_range(0, kBranches),
+      [&variant](sim::ReplicationContext& ctx) {
+        Scenario s(kSeedBase + 1, kBranchPopulation, true);
+        s.sim.run_until(sim::SimTime::seconds(90));
+        variant(s.attacks, ctx.index);
+        s.sim.run_until(sim::SimTime::seconds(100));
+        return s.digest();
+      });
+  const double naive_ms = naive_t.ms();
+
+  WallTimer branched_t;
+  Scenario trunk(kSeedBase + 1, kBranchPopulation, true);
+  trunk.sim.run_until(sim::SimTime::seconds(90));
+  const sim::Snapshot branch_point = trunk.sim.checkpoint().save();
+  const auto branched = fan.run<std::uint64_t>(
+      sim::ParallelRunner::seed_range(0, kBranches),
+      [&variant, &branch_point](sim::ReplicationContext& ctx) {
+        Scenario s(kSeedBase + 1, kBranchPopulation, true);
+        s.sim.checkpoint().restore(branch_point);
+        variant(s.attacks, ctx.index);
+        s.sim.run_until(sim::SimTime::seconds(100));
+        return s.digest();
+      });
+  const double branched_ms = branched_t.ms();
+
+  bool branches_identical = naive.failures == 0 && branched.failures == 0;
+  for (std::size_t k = 0; k < kBranches; ++k) {
+    branches_identical = branches_identical &&
+                         naive.replications[k].payload ==
+                             branched.replications[k].payload;
+  }
+  all_identical = all_identical && branches_identical;
+  const double fanout_speedup = branched_ms > 0 ? naive_ms / branched_ms : 0.0;
+  row("");
+  row("what-if fan-out: %zu branches of a %zu-asset scenario at t=0.9T",
+      kBranches, kBranchPopulation);
+  row("  naive re-sim from t=0: %.1f ms   branched from snapshot: %.1f ms   "
+      "speedup: %.2fx   branch==naive digests: %s",
+      naive_ms, branched_ms, fanout_speedup,
+      branches_identical ? "yes" : "NO — DIVERGED");
+
+  // ---- 4. Campaign resume through the journal -------------------------
+  const std::string journal_path = "BENCH_checkpoint_journal.tmp";
+  std::remove(journal_path.c_str());
+  const auto resume_body = [](sim::ReplicationContext& ctx) {
+    Scenario s(ctx.seed, 48, true);
+    s.sim.run_until(sim::SimTime::seconds(60));
+    ctx.metrics.merge_from(s.net.metrics());
+    return s.digest();
+  };
+  const auto encode = [](const std::uint64_t& d) { return std::to_string(d); };
+  const auto decode = [](std::string_view s) {
+    return static_cast<std::uint64_t>(std::stoull(std::string(s)));
+  };
+  double first_ms = 0, resume_ms = 0;
+  std::size_t resumed = 0;
+  bool resume_identical = true;
+  {
+    sim::CampaignJournal journal(journal_path);
+    WallTimer t;
+    const auto first = fan.run_resumable<std::uint64_t>(seeds, resume_body,
+                                                        journal, encode, decode);
+    first_ms = t.ms();
+    sim::CampaignJournal reopened(journal_path);
+    WallTimer t2;
+    const auto second = fan.run_resumable<std::uint64_t>(
+        seeds, resume_body, reopened, encode, decode);
+    resume_ms = t2.ms();
+    resumed = second.resumed;
+    resume_identical = second.resumed == seeds.size() &&
+                       second.merged.digest() == first.merged.digest();
+  }
+  std::remove(journal_path.c_str());
+  all_identical = all_identical && resume_identical;
+  row("");
+  row("campaign resume: first run %.1f ms, resumed run %.1f ms (%zu/%zu "
+      "replications replayed from journal, digests %s)",
+      first_ms, resume_ms, resumed, seeds.size(),
+      resume_identical ? "identical" : "DIVERGED");
+
+  row("");
+  row("all digests identical: %s",
+      all_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  // ---- JSON -----------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_checkpoint.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_checkpoint\",\n");
+    std::fprintf(f, "  \"digest_identity\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "  \"ladder\": [\n");
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+      const auto& r = ladder[i];
+      std::fprintf(f,
+                   "    {\"population\": %zu, \"save_ms\": %.3f, "
+                   "\"restore_ms\": %.3f, \"rewind_run_ms\": %.3f, "
+                   "\"identical\": %s}%s\n",
+                   r.population, r.save_ms, r.restore_ms, r.rewind_run_ms,
+                   r.identical ? "true" : "false",
+                   i + 1 == ladder.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"matrix\": {\"seeds\": %zu, \"workers\": [1, 2, 8], "
+                 "\"grid\": [true, false], \"all_identical\": %s},\n",
+                 seeds.size(), matrix_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"fanout\": {\"branches\": %zu, \"population\": %zu, "
+                 "\"naive_ms\": %.1f, \"branched_ms\": %.1f, \"speedup\": "
+                 "%.3f, \"identical\": %s},\n",
+                 kBranches, kBranchPopulation, naive_ms, branched_ms,
+                 fanout_speedup, branches_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"resume\": {\"replications\": %zu, \"first_run_ms\": "
+                 "%.1f, \"resume_ms\": %.1f, \"resumed\": %zu, \"identical\": "
+                 "%s}\n",
+                 seeds.size(), first_ms, resume_ms, resumed,
+                 resume_identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    row("");
+    row("wrote BENCH_checkpoint.json");
+  }
+  return all_identical ? 0 : 1;
+}

@@ -10,6 +10,14 @@
 // shared services (discovery, characterization, trust), and the mission
 // lifecycle. It is the public API the examples and the end-to-end bench
 // (E12) program against.
+//
+// Checkpointing: the substrate (Network, World, AttackInjector) registers
+// with the kernel's CheckpointRegistry; the services are scenario-layer
+// closures over it and are NOT participants. To branch a Runtime-driven
+// scenario, build a fresh Runtime with the same config (the same scenario
+// code path), then restore the snapshot into it — the rebuild-then-restore
+// pattern of DESIGN.md §S3. Service-internal state that must survive a
+// restore belongs in a service-owned Checkpointable.
 
 #include <memory>
 #include <optional>

@@ -19,6 +19,19 @@ std::string to_string(DropReason r) {
 Network::Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng)
     : sim_(simulator), channel_(std::move(channel)), rng_(rng),
       deliver_tag_(simulator.intern("net.deliver")) {
+  resolve_metric_handles();
+  sim_.checkpoint().register_participant(this);
+}
+
+Network::~Network() {
+  const std::vector<bool> free_slot = free_slots();
+  for (std::uint32_t s = 0; s < pending_.size(); ++s) {
+    if (!free_slot[s]) sim_.cancel(pending_[s].event);
+  }
+  sim_.checkpoint().unregister(this);
+}
+
+void Network::resolve_metric_handles() {
   // Hot-path metric handles: a transmitted frame costs two pointer bumps
   // instead of two string-keyed map walks; digests are unaffected.
   bytes_sent_counter_ = metrics_.counter_handle("net.bytes_sent");
@@ -197,7 +210,8 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
   f.frame_trace = frame_trace;
   f.dst = dst;
   f.lost = lost;
-  sim_.schedule_at(arrive, [this, slot] { deliver_pending(slot); }, deliver_tag_);
+  f.deliver_at = arrive;
+  f.event = sim_.schedule_at(arrive, [this, slot] { deliver_pending(slot); }, deliver_tag_);
   return true;
 }
 
@@ -215,6 +229,7 @@ void Network::deliver_pending(std::uint32_t slot) {
   std::vector<NodeId> path_tail = std::move(pending_[slot].path_tail);
   const NodeId dst = pending_[slot].dst;
   const bool lost = pending_[slot].lost;
+  pending_[slot].event = sim::kNoEvent;
   pending_[slot].next_free = free_pending_;
   free_pending_ = slot;
 
@@ -352,6 +367,103 @@ Topology Network::connectivity() const {
     }
   }
   return Topology(nodes_.size(), edge_scratch_);
+}
+
+std::vector<bool> Network::free_slots() const {
+  std::vector<bool> free_slot(pending_.size(), false);
+  for (std::uint32_t s = free_pending_; s != kNoPending; s = pending_[s].next_free) {
+    free_slot[s] = true;
+  }
+  return free_slot;
+}
+
+void Network::save(sim::Snapshot& snap, const std::string& key) const {
+  CheckpointState st;
+  st.nodes = nodes_;
+  // Handlers are live-stack closures; the snapshot carries data only.
+  for (Endpoint& e : st.nodes) e.handler = nullptr;
+  st.channel = channel_;
+  st.rng = rng_;
+  st.metrics = metrics_;
+  st.frames_dropped = frames_dropped_;
+  st.hop_latency = hop_latency_;
+  st.next_frame_trace_id = next_frame_trace_id_;
+  st.max_range_m = max_range_m_;
+  st.topology_epoch = topology_epoch_;
+  const std::vector<bool> free_slot = free_slots();
+  for (std::uint32_t s = 0; s < pending_.size(); ++s) {
+    if (free_slot[s]) continue;
+    const PendingFrame& f = pending_[s];
+    st.in_flight.push_back(SavedFrame{f.msg, f.path_tail, f.dst, f.lost,
+                                      f.deliver_at, sim_.pending_seq(f.event)});
+  }
+  snap.put(key, std::move(st));
+}
+
+void Network::restore(const sim::Snapshot& snap, const std::string& key,
+                      sim::RestoreArmer& armer) {
+  const auto& st = snap.get<CheckpointState>(key);
+
+  // Cancel every live delivery and drop the slab; it is rebuilt below.
+  const std::vector<bool> free_slot = free_slots();
+  for (std::uint32_t s = 0; s < pending_.size(); ++s) {
+    if (!free_slot[s]) sim_.cancel(pending_[s].event);
+  }
+  pending_.clear();
+  free_pending_ = kNoPending;
+
+  // Node table: adopt the saved endpoints but keep whatever handlers the
+  // restoring stack already installed per node (construction-time firmware
+  // on a fresh branch stack, everything on an in-place rewind). Nodes past
+  // the saved count (post-snapshot Sybils on a rewind) disappear; nodes
+  // past the restoring stack's count (pre-snapshot Sybils restored into a
+  // fresh stack) arrive with null handlers until their owning service's
+  // participant re-installs them.
+  std::vector<Handler> handlers(st.nodes.size());
+  const std::size_t keep = std::min(nodes_.size(), st.nodes.size());
+  for (std::size_t i = 0; i < keep; ++i) handlers[i] = std::move(nodes_[i].handler);
+  nodes_ = st.nodes;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].handler = std::move(handlers[i]);
+  }
+
+  channel_ = st.channel;
+  rng_ = st.rng;
+  metrics_ = st.metrics;
+  resolve_metric_handles();
+  frames_dropped_ = st.frames_dropped;
+  hop_latency_ = st.hop_latency;
+  next_frame_trace_id_ = st.next_frame_trace_id;
+  frames_in_flight_ = st.in_flight.size();
+  max_range_m_ = st.max_range_m;
+  topology_epoch_ = st.topology_epoch;
+  route_cache_.assign(nodes_.size(), RouteCacheEntry{});
+
+  // Rebuild the spatial index from scratch over the restored live nodes
+  // (cell size invariant: >= max radio range; 250 m matches the default-
+  // constructed grid before any radio registers).
+  grid_.reset(max_range_m_ > 0.0 ? max_range_m_ : 250.0);
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].up) grid_.insert(n, nodes_[n].position);
+  }
+
+  // Re-park every in-flight frame and queue its delivery re-arm under the
+  // frame's original FIFO seq. reserve() first: &p.event must stay valid
+  // until the registry schedules the re-arms.
+  pending_.reserve(st.in_flight.size());
+  for (const SavedFrame& f : st.in_flight) {
+    const auto slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+    PendingFrame& p = pending_[slot];
+    p.msg = f.msg;
+    p.path_tail = f.path_tail;
+    p.frame_trace = 0;  // async trace spans do not survive restore
+    p.dst = f.dst;
+    p.lost = f.lost;
+    p.deliver_at = f.deliver_at;
+    armer.rearm(f.deliver_at, f.seq, [this, slot] { deliver_pending(slot); },
+                deliver_tag_, &p.event);
+  }
 }
 
 std::uint64_t Network::total_bytes_sent() const {

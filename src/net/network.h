@@ -17,6 +17,7 @@
 #include "net/message.h"
 #include "net/spatial_grid.h"
 #include "net/topology.h"
+#include "sim/checkpoint.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -33,9 +34,10 @@ enum class DropReason { kOutOfRange, kChannelLoss, kNodeDown, kNoRoute, kQueueOv
 
 std::string to_string(DropReason r);
 
-class Network {
+class Network : public sim::Checkpointable {
  public:
   Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng);
+  ~Network() override;
 
   // --- Node lifecycle ---------------------------------------------------
 
@@ -128,6 +130,22 @@ class Network {
   std::uint64_t total_bytes_sent() const;
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
+  // --- Checkpointing ----------------------------------------------------
+  // Saved: node table (positions, profiles, liveness, accounting — NOT the
+  // receive handlers, which are closures of the live service stack),
+  // channel, rng, metrics, and every in-flight frame with its delivery
+  // time + original FIFO seq. Restored: all of the above, with the grid
+  // and route cache rebuilt from scratch and deliveries re-armed in
+  // original-seq order. Handlers already installed on the restoring stack
+  // are kept per-node; services that installed handlers on nodes created
+  // mid-run (e.g. Sybil firmware) must re-install them from their own
+  // participant restore.
+
+  std::string_view checkpoint_key() const override { return "net.network"; }
+  void save(sim::Snapshot& snap, const std::string& key) const override;
+  void restore(const sim::Snapshot& snap, const std::string& key,
+               sim::RestoreArmer& armer) override;
+
  private:
   struct Endpoint {
     sim::Vec2 position;
@@ -151,8 +169,42 @@ class Network {
     NodeId dst = 0;
     bool lost = false;
     std::uint32_t next_free = 0;
+    /// Delivery time + event id, kept so checkpoints can capture the
+    /// frame's original seq and restores can cancel/re-arm it.
+    sim::SimTime deliver_at;
+    sim::EventId event = sim::kNoEvent;
   };
   static constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+
+  /// One in-flight frame as saved in a Snapshot.
+  struct SavedFrame {
+    Message msg;
+    std::vector<NodeId> path_tail;
+    NodeId dst = 0;
+    bool lost = false;
+    sim::SimTime deliver_at;
+    std::uint64_t seq = 0;
+  };
+  struct CheckpointState {
+    std::vector<Endpoint> nodes;  // handlers nulled
+    ChannelModel channel;
+    sim::Rng rng;
+    sim::MetricsRegistry metrics;
+    std::uint64_t frames_dropped = 0;
+    sim::Duration hop_latency;
+    std::uint64_t next_frame_trace_id = 1;
+    double max_range_m = 0.0;
+    std::uint64_t topology_epoch = 0;
+    std::vector<SavedFrame> in_flight;
+  };
+
+  /// Marks the slab slots currently on the free list; live in-flight
+  /// frames are the rest.
+  std::vector<bool> free_slots() const;
+  /// (Re)binds the hot-path metric pointers into metrics_ — called from
+  /// the constructor and after restore replaces the registry wholesale
+  /// (copy-assigning a std::map gives no node-stability guarantee).
+  void resolve_metric_handles();
 
   /// Puts one frame on the air src->dst; handles loss + delivery event.
   /// Returns true if the frame was scheduled (not necessarily delivered).

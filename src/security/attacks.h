@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/checkpoint.h"
+#include "sim/rng.h"
 #include "sim/time.h"
 #include "things/world.h"
 
@@ -25,9 +27,23 @@ struct AttackEvent {
   std::string detail;
 };
 
-class AttackInjector {
+/// Scripts attacks against a World/Network on the simulation clock.
+///
+/// The schedule is declarative: every schedule_* call appends one (or two,
+/// for windowed attacks) descriptor rows and arms a kernel event that fires
+/// the row by index. Descriptors — not closures — are what checkpoints
+/// save, so restore can verify the restoring stack declared the same
+/// attack campaign, copy each row's fired flag and private Rng stream, and
+/// re-arm the unfired rows under their original FIFO seqs.
+///
+/// Rng convention: mass_kill and sybil derive a private child stream from
+/// the caller's Rng, keyed by the row index — passing one Rng (or copies
+/// of it) to several schedule_* calls yields INDEPENDENT streams instead
+/// of silently duplicated ones.
+class AttackInjector : public sim::Checkpointable {
  public:
-  explicit AttackInjector(things::World& world) : world_(world) {}
+  explicit AttackInjector(things::World& world);
+  ~AttackInjector() override;
 
   // --- Communications attacks -------------------------------------------
 
@@ -69,10 +85,64 @@ class AttackInjector {
   const std::vector<things::AssetId>& sybil_ids() const { return sybil_ids_; }
   const std::vector<AttackEvent>& log() const { return log_; }
 
+  /// Number of descriptor rows the schedule_* calls have appended.
+  std::size_t scheduled_count() const { return schedule_.size(); }
+  /// How many rows have fired — the schedule cursor a checkpoint carries.
+  std::size_t fired_count() const;
+
+  // --- Checkpointing ----------------------------------------------------
+
+  std::string_view checkpoint_key() const override { return "security.attacks"; }
+  void save(sim::Snapshot& snap, const std::string& key) const override;
+  void restore(const sim::Snapshot& snap, const std::string& key,
+               sim::RestoreArmer& armer) override;
+
  private:
+  enum class Kind {
+    kJamOn, kJamOff, kBlackoutOn, kBlackoutOff,
+    kNodeKill, kMassKill, kCapture, kSybil,
+  };
+
+  /// One declarative schedule row. The pred closure is the only non-POD
+  /// field; it is never saved — a restoring stack re-declares it through
+  /// the same schedule_mass_kill call.
+  struct Scheduled {
+    Kind kind = Kind::kNodeKill;
+    sim::SimTime when;
+    sim::TagId tag = sim::kUntagged;
+    things::AssetId asset = 0;                       // node_kill / capture
+    things::Modality modality = things::Modality::kCamera;  // blackout
+    double fraction = 0.0;                           // mass_kill
+    double reliability = 0.2;                        // capture
+    std::size_t count = 0;                           // sybil
+    sim::Rng rng;                                    // mass_kill / sybil
+    std::function<bool(const things::Asset&)> pred;  // mass_kill
+    bool fired = false;
+    sim::EventId armed = sim::kNoEvent;
+  };
+
+  struct SavedRow {
+    int kind = 0;
+    sim::SimTime when;
+    bool fired = false;
+    sim::Rng rng;
+    std::uint64_t seq = 0;  // original FIFO seq while armed; 0 once fired
+  };
+  struct CheckpointState {
+    std::vector<SavedRow> rows;
+    std::vector<things::AssetId> sybil_ids;
+    std::vector<AttackEvent> log;
+  };
+
+  void add_scheduled(Scheduled s);
+  void arm(std::size_t index);
+  /// Executes row `index`. Accesses schedule_ by index on every touch:
+  /// destroy_asset/add_asset hooks may re-enter schedule_* and reallocate.
+  void fire(std::size_t index);
   void record(std::string type, std::string detail);
 
   things::World& world_;
+  std::vector<Scheduled> schedule_;
   std::vector<things::AssetId> sybil_ids_;
   std::vector<AttackEvent> log_;
 };

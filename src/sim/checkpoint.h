@@ -1,0 +1,187 @@
+#pragma once
+// Deterministic checkpoint / branch / restore for the sim kernel.
+//
+// Closures are never serialized — state is. A Snapshot holds each
+// participant's POD model state (typed, immutable blobs) plus the sim
+// clock; the participants themselves (World, Network, AttackInjector,
+// scenario harnesses) re-create their closures on restore by re-arming
+// events. This is the shape optimistic PDES kernels use for state saving
+// (ROOT-Sim's LP checkpoints): the saved image is data only, and the code
+// that interprets it is re-bound by the live process.
+//
+// The correctness bar is digest identity: restore-at-t-then-run-to-T must
+// be bit-identical to the uninterrupted run. The kernel breaks timestamp
+// ties FIFO by a global scheduling sequence number, and every event that
+// is pending at snapshot time was scheduled no later than t — so its seq
+// is lower than the seq of anything scheduled after t. RestoreArmer
+// therefore collects every participant's re-arm request together with the
+// event's ORIGINAL seq (Simulator::pending_seq at save time) and schedules
+// them in ascending original-seq order, before any post-restore event can
+// be scheduled. Relative FIFO order among re-armed events, and between
+// re-armed and future events, then replicates the uninterrupted run
+// exactly.
+//
+// Restore targets either a FRESH stack built by the same scenario code
+// (branching: one snapshot, K simulators) or the SAME stack rewound in
+// place (cheap sequential what-ifs). Either way the registry demands that
+// every pending event belongs to a participant: after all participants
+// have cancelled their armed events, a non-empty pending queue aborts the
+// restore, because an event the registry cannot re-arm would silently
+// diverge the branch.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <typeinfo>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace iobt::sim {
+
+class CheckpointRegistry;
+
+/// Immutable image of one simulation instant: the sim clock plus one typed
+/// state blob per participant, keyed by the participant's registry key.
+/// Snapshots own no pointers into the source stack — restoring into a
+/// different Simulator (branching) is the intended use — and are safe to
+/// share read-only across threads (ParallelRunner fan-out).
+class Snapshot {
+ public:
+  /// The sim clock at save time; restore() rewinds/advances to it.
+  SimTime at() const { return at_; }
+
+  /// Stores `state` under `key`. Participants call this from save().
+  template <typename T>
+  void put(std::string key, T state) {
+    blobs_[std::move(key)] =
+        Blob{std::make_shared<const T>(std::move(state)), &typeid(T)};
+  }
+
+  /// The blob stored under `key`, or throws std::logic_error if the key is
+  /// absent or was saved as a different type (a participant-ordering or
+  /// stack-mismatch bug, never a recoverable condition).
+  template <typename T>
+  const T& get(std::string_view key) const {
+    auto it = blobs_.find(key);
+    if (it == blobs_.end()) {
+      throw std::logic_error("Snapshot::get: no state saved under key '" +
+                             std::string(key) + "'");
+    }
+    if (*it->second.type != typeid(T)) {
+      throw std::logic_error("Snapshot::get: state under key '" +
+                             std::string(key) + "' has a different type");
+    }
+    return *static_cast<const T*>(it->second.data.get());
+  }
+
+  bool has(std::string_view key) const { return blobs_.find(key) != blobs_.end(); }
+  std::size_t size() const { return blobs_.size(); }
+
+ private:
+  friend class CheckpointRegistry;
+
+  struct Blob {
+    std::shared_ptr<const void> data;
+    const std::type_info* type = nullptr;
+  };
+
+  SimTime at_;
+  std::map<std::string, Blob, std::less<>> blobs_;
+};
+
+/// Collects re-arm requests during restore. Participants hand over the
+/// event's timestamp, its ORIGINAL scheduling seq (captured via
+/// Simulator::pending_seq at save time), and a fresh closure; the registry
+/// sorts all requests by original seq and schedules them in that order, so
+/// FIFO tie-breaks at equal timestamps replicate the uninterrupted run.
+class RestoreArmer {
+ public:
+  /// Queues one re-arm. `original_seq` must be the nonzero seq the event
+  /// had in the saved run (duplicates and zeros are participant bugs and
+  /// abort the restore). If `armed_out` is non-null it receives the new
+  /// EventId once the registry schedules the event; the pointer must stay
+  /// valid until CheckpointRegistry::restore returns.
+  void rearm(SimTime when, std::uint64_t original_seq, EventFn fn,
+             TagId tag = kUntagged, EventId* armed_out = nullptr) {
+    pending_.push_back(Pending{when, original_seq, std::move(fn), tag, armed_out});
+  }
+
+  std::size_t size() const { return pending_.size(); }
+
+ private:
+  friend class CheckpointRegistry;
+
+  struct Pending {
+    SimTime when;
+    std::uint64_t seq = 0;
+    EventFn fn;
+    TagId tag = kUntagged;
+    EventId* armed_out = nullptr;
+  };
+
+  std::vector<Pending> pending_;
+};
+
+/// Interface a subsystem implements to participate in checkpointing.
+/// save() must copy POD model state only (deep-copying owned polymorphic
+/// state, e.g. mobility models — never closures); restore() must cancel
+/// the participant's armed events, overwrite its state from the snapshot,
+/// and queue re-arms for every event that was pending at save time.
+/// Participants must be destroyed before their Simulator (the stack order
+/// `Simulator sim; Network net; World world; ...` guarantees this).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Stable identity of this participant's state inside a Snapshot.
+  /// Duplicates among participants of one Simulator get a "#<n>" suffix at
+  /// registration; the registry passes the final key into save()/restore().
+  virtual std::string_view checkpoint_key() const = 0;
+
+  virtual void save(Snapshot& snap, const std::string& key) const = 0;
+  virtual void restore(const Snapshot& snap, const std::string& key,
+                       RestoreArmer& armer) = 0;
+};
+
+/// Per-Simulator roster of checkpoint participants (Simulator::checkpoint()).
+/// save() walks participants in registration order; restore() rewinds the
+/// clock, restores participants in the same order (so dependencies like
+/// Network-before-World hold by construction order), verifies that no
+/// unowned pending events survive, and re-arms everything in ascending
+/// original-seq order. A restored stack must have been built by the same
+/// scenario code as the saved one — key-set or schedule mismatches throw.
+class CheckpointRegistry {
+ public:
+  explicit CheckpointRegistry(Simulator& sim) : sim_(sim) {}
+  CheckpointRegistry(const CheckpointRegistry&) = delete;
+  CheckpointRegistry& operator=(const CheckpointRegistry&) = delete;
+
+  /// Adds `p` to the roster and returns the key its state will live under
+  /// (checkpoint_key(), suffixed "#<n>" if already taken — deterministic
+  /// by registration order, so branch stacks built by the same code get
+  /// the same suffixes).
+  std::string register_participant(Checkpointable* p);
+
+  /// Removes `p`; harmless if absent. Participants call this from their
+  /// destructors.
+  void unregister(const Checkpointable* p);
+
+  std::size_t participant_count() const { return participants_.size(); }
+
+  Snapshot save() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  struct Entry {
+    std::string key;
+    Checkpointable* participant = nullptr;
+  };
+
+  Simulator& sim_;
+  std::vector<Entry> participants_;
+};
+
+}  // namespace iobt::sim

@@ -1,6 +1,11 @@
 #include "sim/metrics.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
 
 #include "sim/rng.h"
 
@@ -108,6 +113,153 @@ std::uint64_t MetricsRegistry::digest() const {
     summary.hash_into(h);
   }
   return h;
+}
+
+Summary::State Summary::state() const {
+  return State{count_, mean_, m2_, min_, max_, seen_for_reservoir_, reservoir_};
+}
+
+Summary Summary::from_state(State s) {
+  Summary out;
+  out.count_ = s.count;
+  out.mean_ = s.mean;
+  out.m2_ = s.m2;
+  out.min_ = s.min;
+  out.max_ = s.max;
+  out.seen_for_reservoir_ = s.seen_for_reservoir;
+  out.reservoir_ = std::move(s.reservoir);
+  return out;
+}
+
+namespace {
+
+// Doubles travel as the hex of their raw bit pattern — the only encoding
+// that survives a text round trip bit-for-bit (printf %.17g does not
+// preserve NaN payloads or distinguish every -0.0 path).
+void append_double_bits(std::string& out, double x) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof bits);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, " %016" PRIx64, bits);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+bool read_u64(std::istream& in, std::uint64_t& v) {
+  std::string tok;
+  if (!(in >> tok) || tok.empty()) return false;
+  char* end = nullptr;
+  v = std::strtoull(tok.c_str(), &end, 10);
+  return end == tok.c_str() + tok.size();
+}
+
+bool read_double_bits(std::istream& in, double& x) {
+  std::string tok;
+  if (!(in >> tok) || tok.size() != 16) return false;
+  char* end = nullptr;
+  const std::uint64_t bits = std::strtoull(tok.c_str(), &end, 16);
+  if (end != tok.c_str() + tok.size()) return false;
+  std::memcpy(&x, &bits, sizeof x);
+  return true;
+}
+
+void check_key(const std::string& key) {
+  if (key.empty() ||
+      key.find_first_of(" \t\r\n;\\") != std::string::npos) {
+    throw std::logic_error(
+        "MetricsRegistry::serialize: key '" + key +
+        "' is not journal-safe (empty or contains whitespace/';'/'\\')");
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::serialize() const {
+  std::string out = "m1";
+  append_u64(out, counters_.size());
+  for (const auto& [key, value] : counters_) {
+    check_key(key);
+    out += ' ';
+    out += key;
+    append_double_bits(out, value);
+  }
+  append_u64(out, gauges_.size());
+  for (const auto& [key, value] : gauges_) {
+    check_key(key);
+    out += ' ';
+    out += key;
+    append_double_bits(out, value);
+  }
+  append_u64(out, summaries_.size());
+  for (const auto& [key, summary] : summaries_) {
+    check_key(key);
+    out += ' ';
+    out += key;
+    const Summary::State st = summary.state();
+    append_u64(out, st.count);
+    append_double_bits(out, st.mean);
+    append_double_bits(out, st.m2);
+    append_double_bits(out, st.min);
+    append_double_bits(out, st.max);
+    append_u64(out, st.seen_for_reservoir);
+    append_u64(out, st.reservoir.size());
+    for (double x : st.reservoir) append_double_bits(out, x);
+  }
+  return out;
+}
+
+std::optional<MetricsRegistry> MetricsRegistry::deserialize(
+    std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string tok;
+  if (!(in >> tok) || tok != "m1") return std::nullopt;
+
+  MetricsRegistry out;
+  std::uint64_t n = 0;
+  if (!read_u64(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    double value = 0.0;
+    if (!(in >> key) || !read_double_bits(in, value)) return std::nullopt;
+    out.counters_[key] = value;
+  }
+  if (!read_u64(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    double value = 0.0;
+    if (!(in >> key) || !read_double_bits(in, value)) return std::nullopt;
+    out.gauges_[key] = value;
+  }
+  if (!read_u64(in, n)) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    Summary::State st;
+    std::uint64_t reservoir_size = 0;
+    if (!(in >> key) || !read_u64(in, st.count) ||
+        !read_double_bits(in, st.mean) || !read_double_bits(in, st.m2) ||
+        !read_double_bits(in, st.min) || !read_double_bits(in, st.max) ||
+        !read_u64(in, st.seen_for_reservoir) ||
+        !read_u64(in, reservoir_size)) {
+      return std::nullopt;
+    }
+    // A corrupt length must not drive a giant allocation; real reservoirs
+    // are bounded by kReservoirCap.
+    if (reservoir_size > Summary::kReservoirCap) return std::nullopt;
+    st.reservoir.reserve(reservoir_size);
+    for (std::uint64_t r = 0; r < reservoir_size; ++r) {
+      double x = 0.0;
+      if (!read_double_bits(in, x)) return std::nullopt;
+      st.reservoir.push_back(x);
+    }
+    out.summaries_[key] = Summary::from_state(std::move(st));
+  }
+  // Trailing garbage means the line was not produced by serialize().
+  if (in >> tok) return std::nullopt;
+  return out;
 }
 
 double Summary::quantile(double q) const {

@@ -10,7 +10,9 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -48,9 +50,26 @@ class Summary {
   /// Mixes this summary's full state (including the reservoir) into `h`.
   void hash_into(std::uint64_t& h) const;
 
- private:
+  /// Full internal state, exposed for bit-exact round-trips (checkpoint
+  /// snapshots, campaign journals). A summary rebuilt via from_state()
+  /// digests identically AND continues the deterministic reservoir stream
+  /// exactly where the original left off.
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t seen_for_reservoir = 0;
+    std::vector<double> reservoir;
+  };
+  State state() const;
+  static Summary from_state(State s);
+
+  /// Reservoir capacity — also the upper bound deserializers accept.
   static constexpr std::size_t kReservoirCap = 4096;
 
+ private:
   void offer_to_reservoir(double x);
 
   std::uint64_t count_ = 0;
@@ -115,6 +134,17 @@ class MetricsRegistry {
   /// reservoirs). Two registries digest equal iff their observable state is
   /// bit-identical — the check the determinism-under-parallelism tests use.
   std::uint64_t digest() const;
+
+  /// One-line text image of the full registry, bit-exact: doubles travel
+  /// as the hex of their bit pattern (NaN payloads, -0.0 and infinities
+  /// survive), so deserialize(serialize()) digests identically. Used by the
+  /// campaign journal to persist per-replication metrics across process
+  /// restarts. Keys must be free of whitespace, ';' and '\\' (all repo keys
+  /// are dotted identifiers); serialize throws std::logic_error otherwise.
+  std::string serialize() const;
+  /// Parses a serialize() image; std::nullopt on any malformed input
+  /// (truncated journal line after a crash, version mismatch, ...).
+  static std::optional<MetricsRegistry> deserialize(std::string_view text);
 
  private:
   std::map<std::string, double> counters_;

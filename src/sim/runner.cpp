@@ -2,8 +2,111 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace iobt::sim {
+
+namespace {
+
+// Journal lines are tab-separated; payload/metrics fields get '\\', tab and
+// newline escaped so any single-line-safe encoding survives verbatim.
+std::string escape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape_field(std::string_view s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+bool parse_entry(const std::string& line, JournalEntry& e) {
+  // rep \t seed \t index \t wall_ms \t payload \t metrics
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(std::string_view(line).substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (fields.size() != 6 || fields[0] != "rep") return false;
+  char* end = nullptr;
+  std::string tok(fields[1]);
+  e.seed = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || tok.empty()) return false;
+  tok = std::string(fields[2]);
+  e.index = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || tok.empty()) return false;
+  tok = std::string(fields[3]);
+  e.wall_ms = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || tok.empty()) return false;
+  return unescape_field(fields[4], e.payload) &&
+         unescape_field(fields[5], e.metrics);
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    JournalEntry e;
+    // Malformed lines (partial write at a kill point, foreign content) are
+    // skipped, not fatal: resume re-runs whatever is missing.
+    if (parse_entry(line, e)) entries_.push_back(std::move(e));
+  }
+}
+
+const JournalEntry* CampaignJournal::find(std::uint64_t seed,
+                                          std::size_t index) const {
+  // Last write wins so a re-run of an already-journaled replication (e.g.
+  // after a decode-era format change) supersedes the stale entry.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->seed == seed && it->index == index) return &*it;
+  }
+  return nullptr;
+}
+
+void CampaignJournal::append(const JournalEntry& e) {
+  std::ostringstream line;
+  line << "rep\t" << e.seed << '\t' << e.index << '\t' << e.wall_ms << '\t'
+       << escape_field(e.payload) << '\t' << escape_field(e.metrics) << '\n';
+  const std::string text = line.str();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  out << text;
+  out.flush();
+  entries_.push_back(e);
+}
 
 SummaryStats SummaryStats::of(const std::vector<double>& xs) {
   SummaryStats s;

@@ -22,7 +22,9 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -98,6 +100,9 @@ struct RunOutcome {
   std::size_t failures = 0;
   std::size_t workers = 0;  // pool size actually used (0 = inline serial)
   double wall_ms = 0.0;     // whole-batch wall time
+  /// Replications satisfied from a campaign journal instead of being
+  /// re-run (run_resumable only; plain run() leaves it 0).
+  std::size_t resumed = 0;
 
   /// Projects one double per successful replication, in seed order.
   std::vector<double> values(const std::function<double(const T&)>& f) const {
@@ -111,6 +116,45 @@ struct RunOutcome {
   SummaryStats stats(const std::function<double(const T&)>& f) const {
     return SummaryStats::of(values(f));
   }
+};
+
+/// One completed replication as persisted in a CampaignJournal.
+struct JournalEntry {
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  double wall_ms = 0.0;
+  /// User payload, encoded by the caller's `encode` closure.
+  std::string payload;
+  /// MetricsRegistry::serialize() image — bit-exact across the round trip.
+  std::string metrics;
+};
+
+/// Append-only journal of completed replications, backing campaign resume:
+/// results stream to disk as they finish, and a campaign restarted after an
+/// interruption (crash at replication 900/1000, preempted job, ...) replays
+/// the journaled results instead of re-simulating them. One escaped text
+/// line per entry; loading skips malformed lines (a line truncated by a
+/// crash mid-write costs exactly that one replication). append() is
+/// thread-safe and flushes before returning, so the journal is as current
+/// as the last completed replication at any kill point.
+class CampaignJournal {
+ public:
+  /// Opens (and loads) `path`; the file is created on first append.
+  explicit CampaignJournal(std::string path);
+
+  const std::string& path() const { return path_; }
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+
+  /// The journaled entry for (seed, index), or nullptr. Matching uses both
+  /// fields so a reordered or extended seed list never aliases.
+  const JournalEntry* find(std::uint64_t seed, std::size_t index) const;
+
+  void append(const JournalEntry& e);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::vector<JournalEntry> entries_;
 };
 
 class ParallelRunner {
@@ -176,6 +220,86 @@ class ParallelRunner {
     }
 
     // Aggregation strictly in seed order — the determinism guarantee.
+    for (const auto& r : out.replications) {
+      if (!r.ok) ++out.failures;
+      out.merged.merge_from(r.metrics);
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - batch_start)
+                      .count();
+    return out;
+  }
+
+  /// run() with campaign resume: replications already present in `journal`
+  /// (matched by seed AND index) are replayed from their journaled payload
+  /// + metrics instead of being re-run; the rest execute normally and are
+  /// appended to the journal as they complete. `encode`/`decode` round-trip
+  /// the payload T through the journal's text format (the encoding may not
+  /// contain newlines after escaping — the journal escapes '\\', tab and
+  /// newline itself). Because MetricsRegistry serialization is bit-exact
+  /// and aggregation stays in seed order, an interrupted-then-resumed
+  /// campaign produces a merged registry digest-identical to an
+  /// uninterrupted one.
+  template <typename T>
+  RunOutcome<T> run_resumable(
+      const std::vector<std::uint64_t>& seeds,
+      const std::function<T(ReplicationContext&)>& body,
+      CampaignJournal& journal,
+      const std::function<std::string(const T&)>& encode,
+      const std::function<T(std::string_view)>& decode) const {
+    RunOutcome<T> out;
+    const std::size_t n = seeds.size();
+    out.replications.resize(n);
+    const auto batch_start = std::chrono::steady_clock::now();
+
+    // Replay completed replications from the journal. A journaled entry
+    // whose metrics image fails to parse (crash-truncated line survivors
+    // are already dropped at load; this guards version skew) is re-run.
+    std::vector<char> done(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const JournalEntry* e = journal.find(seeds[i], i);
+      if (!e) continue;
+      auto metrics = MetricsRegistry::deserialize(e->metrics);
+      if (!metrics) continue;
+      ReplicationResult<T>& r = out.replications[i];
+      r.seed = seeds[i];
+      r.index = i;
+      r.ok = true;
+      r.wall_ms = e->wall_ms;
+      r.payload = decode(e->payload);
+      r.metrics = std::move(*metrics);
+      done[i] = 1;
+      ++out.resumed;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    auto drain = [&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        if (done[i]) continue;
+        run_one(seeds[i], i, body, out.replications[i]);
+        const ReplicationResult<T>& r = out.replications[i];
+        // Failures are not journaled: a resume retries them.
+        if (r.ok) {
+          journal.append(JournalEntry{r.seed, r.index, r.wall_ms,
+                                      encode(r.payload), r.metrics.serialize()});
+        }
+      }
+    };
+
+    const std::size_t pool =
+        opts_.workers == 0 ? 0 : std::min(opts_.workers, std::max<std::size_t>(n, 1));
+    out.workers = pool;
+    if (pool == 0) {
+      drain();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(pool);
+      for (std::size_t w = 0; w < pool; ++w) threads.emplace_back(drain);
+      for (auto& t : threads) t.join();
+    }
+
     for (const auto& r : out.replications) {
       if (!r.ok) ++out.failures;
       out.merged.merge_from(r.metrics);

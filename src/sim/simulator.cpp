@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "sim/checkpoint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -20,6 +22,24 @@ std::string to_string(Duration d) {
   std::ostringstream os;
   os << d.to_seconds() << "s";
   return os.str();
+}
+
+Simulator::Simulator() { tracer_->bind_sim_clock(&now_); }
+
+Simulator::~Simulator() { tracer_->bind_sim_clock(nullptr); }
+
+CheckpointRegistry& Simulator::checkpoint() {
+  if (!checkpoint_) checkpoint_ = std::make_unique<CheckpointRegistry>(*this);
+  return *checkpoint_;
+}
+
+std::uint64_t Simulator::pending_seq(EventId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return 0;
+  const Slot& s = slots_[slot];
+  if (!s.live || s.generation != gen) return 0;
+  return s.seq;
 }
 
 std::uint32_t Simulator::acquire_slot(EventFn fn, TagId tag) {
@@ -88,7 +108,9 @@ EventId Simulator::schedule_at(SimTime when, EventFn fn, TagId tag) {
   }
   const std::uint32_t slot = acquire_slot(std::move(fn), tag);
   const std::uint32_t gen = slots_[slot].generation;
-  heap_.push_back(HeapEntry{when, next_seq_++, slot, gen});
+  const std::uint64_t seq = next_seq_++;
+  slots_[slot].seq = seq;
+  heap_.push_back(HeapEntry{when, seq, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), Earliest{});
   ++live_count_;
   ++stats_for(tag).scheduled;

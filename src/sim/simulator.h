@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,6 +29,8 @@
 #include "trace/trace.h"
 
 namespace iobt::sim {
+
+class CheckpointRegistry;
 
 /// Packed handle for a pending event: (slot generation << 32) | slot index.
 /// 0 is never a valid id, so it can be used as "none".
@@ -95,8 +98,10 @@ struct TagProfileRow {
 /// ones; cancellation is immediate (O(1)) and pending_count() reflects it.
 class Simulator {
  public:
-  Simulator() { tracer_->bind_sim_clock(&now_); }
-  ~Simulator() { tracer_->bind_sim_clock(nullptr); }
+  // Both out of line: the inline bodies would instantiate the
+  // unique_ptr<CheckpointRegistry> deleter on an incomplete type.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -134,6 +139,16 @@ class Simulator {
   /// Cancels a pending event in O(1). Cancelling an already-executed,
   /// already-cancelled, or unknown id is a harmless no-op.
   void cancel(EventId id);
+
+  /// The FIFO sequence number a pending event was scheduled with, or 0 if
+  /// `id` is not live. Checkpoint participants capture this at save time so
+  /// restore can re-arm events in their original tie-break order.
+  std::uint64_t pending_seq(EventId id) const;
+
+  /// The checkpoint-participant roster for this simulator (created on
+  /// first use). Subsystems register themselves at construction; callers
+  /// snapshot/restore through it (see sim/checkpoint.h).
+  CheckpointRegistry& checkpoint();
 
   /// Executes the next pending event, advancing the clock. Returns false if
   /// no live events remain (simulation quiescent).
@@ -188,6 +203,7 @@ class Simulator {
   /// EventIds) are detected in O(1).
   struct Slot {
     EventFn fn;
+    std::uint64_t seq = 0;  // FIFO seq while live (pending_seq lookups)
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNoSlot;
     TagId tag = kUntagged;
@@ -252,6 +268,11 @@ class Simulator {
   trace::Tracer* tracer_ = &own_tracer_;
   /// TagId -> NameId in the attached tracer (0 = not yet interned).
   std::vector<trace::NameId> dispatch_names_;
+
+  /// Restore rewinds the clock directly (the only sanctioned way now_ can
+  /// move backwards).
+  friend class CheckpointRegistry;
+  std::unique_ptr<CheckpointRegistry> checkpoint_;
 };
 
 }  // namespace iobt::sim

@@ -15,12 +15,19 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual sim::Vec2 step(sim::Vec2 current, double dt_s) = 0;
+  /// Deep copy, including the model's Rng position — checkpoint snapshots
+  /// clone mobility so a restored branch advances exactly where the saved
+  /// run would have, without sharing mutable state with the source.
+  virtual std::shared_ptr<MobilityModel> clone() const = 0;
 };
 
 /// Never moves (fixed infrastructure, unattended sensors).
 class Stationary final : public MobilityModel {
  public:
   sim::Vec2 step(sim::Vec2 current, double /*dt_s*/) override { return current; }
+  std::shared_ptr<MobilityModel> clone() const override {
+    return std::make_shared<Stationary>(*this);
+  }
 };
 
 /// Classic random waypoint inside an area: pick a uniform destination,
@@ -29,6 +36,9 @@ class RandomWaypoint final : public MobilityModel {
  public:
   RandomWaypoint(sim::Rect area, double speed_mps, double pause_s, sim::Rng rng);
   sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+  std::shared_ptr<MobilityModel> clone() const override {
+    return std::make_shared<RandomWaypoint>(*this);
+  }
 
  private:
   sim::Rect area_;
@@ -46,6 +56,9 @@ class GridPatrol final : public MobilityModel {
  public:
   GridPatrol(sim::Rect area, double block_m, double speed_mps, sim::Rng rng);
   sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+  std::shared_ptr<MobilityModel> clone() const override {
+    return std::make_shared<GridPatrol>(*this);
+  }
 
  private:
   void pick_heading(sim::Vec2 at);
@@ -63,6 +76,9 @@ class SeekPoint final : public MobilityModel {
  public:
   SeekPoint(sim::Vec2 goal, double speed_mps) : goal_(goal), speed_(speed_mps) {}
   sim::Vec2 step(sim::Vec2 current, double dt_s) override;
+  std::shared_ptr<MobilityModel> clone() const override {
+    return std::make_shared<SeekPoint>(*this);
+  }
   bool arrived(sim::Vec2 current, double tol_m = 1.0) const {
     return sim::distance(current, goal_) <= tol_m;
   }

@@ -1,12 +1,39 @@
 #include "things/world.h"
 
 #include <cassert>
+#include <map>
 
 namespace iobt::things {
 
+namespace {
+
+/// Clones a mobility model once per distinct source object: assets that
+/// share a model before save share the clone after restore (aliasing is
+/// part of the model state — a shared Rng stream must stay shared).
+std::shared_ptr<MobilityModel> clone_memoized(
+    const std::shared_ptr<MobilityModel>& m,
+    std::map<const MobilityModel*, std::shared_ptr<MobilityModel>>& memo) {
+  if (!m) return nullptr;
+  auto it = memo.find(m.get());
+  if (it != memo.end()) return it->second;
+  auto clone = m->clone();
+  memo.emplace(m.get(), clone);
+  return clone;
+}
+
+}  // namespace
+
 World::World(sim::Simulator& simulator, net::Network& network, sim::Rect area,
              sim::Rng rng)
-    : sim_(simulator), net_(network), area_(area), rng_(rng) {}
+    : sim_(simulator), net_(network), area_(area), rng_(rng) {
+  tick_tag_ = sim_.intern("world.tick");
+  sim_.checkpoint().register_participant(this);
+}
+
+World::~World() {
+  sim_.cancel(tick_event_);
+  sim_.checkpoint().unregister(this);
+}
 
 AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radio) {
   const auto id = static_cast<AssetId>(assets_.size());
@@ -18,16 +45,24 @@ AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radi
   if (node_to_asset_.size() <= asset.node) node_to_asset_.resize(asset.node + 1, 0);
   node_to_asset_[asset.node] = id;
   assets_.push_back(std::move(asset));
-  for (const auto& hook : added_hooks_) hook(id);
+  // Hooks may register further hooks (a service bootstrapping another) and
+  // reallocate the vector: index with a snapshotted count, never iterators.
+  const std::size_t hook_count = added_hooks_.size();
+  for (std::size_t h = 0; h < hook_count; ++h) added_hooks_[h](id);
   return id;
 }
 
 void World::destroy_asset(AssetId id) {
   Asset& a = assets_.at(id);
+  // Idempotence guard: overlapping attacks (node_kill + mass_kill on the
+  // same asset) and re-entrant kills from down-hooks fire the hooks once.
   if (!a.alive) return;
   a.alive = false;
   net_.set_node_up(a.node, false);
-  for (const auto& hook : down_hooks_) hook(id);
+  // Down-hooks may destroy further assets or add hooks; snapshot the count
+  // and index (same reasoning as add_asset).
+  const std::size_t hook_count = down_hooks_.size();
+  for (std::size_t h = 0; h < hook_count; ++h) down_hooks_[h](id);
 }
 
 bool World::asset_live(AssetId id) const {
@@ -59,10 +94,7 @@ std::vector<std::pair<TargetId, sim::Vec2>> World::active_target_positions() con
   return out;
 }
 
-void World::start(sim::Duration period) {
-  assert(!started_ && "World::start called twice");
-  started_ = true;
-
+void World::install_transmit_hook() {
   // Charge transmit energy to the owning asset, via the node->asset index
   // (maintained by add_asset, so late arrivals are covered) — the
   // per-frame hook is O(1).
@@ -71,15 +103,28 @@ void World::start(sim::Duration period) {
       assets_[node_to_asset_[node]].energy.drain_tx(bytes);
     }
   });
+}
 
-  const double dt_s = period.to_seconds();
-  sim_.schedule_every(
-      period,
-      [this, dt_s]() {
-        tick(dt_s);
-        return true;
-      },
-      sim_.intern("world.tick"));
+void World::start(sim::Duration period) {
+  assert(!started_ && "World::start called twice");
+  started_ = true;
+  install_transmit_hook();
+  tick_period_ = period;
+  next_tick_at_ = sim_.now() + period;
+  arm_tick();
+}
+
+void World::arm_tick() {
+  tick_event_ = sim_.schedule_at(next_tick_at_, [this] { run_tick(); }, tick_tag_);
+}
+
+void World::run_tick() {
+  // Body first, then re-arm — the same seq ordering schedule_every gave:
+  // everything the tick schedules precedes the next tick's event.
+  tick_event_ = sim::kNoEvent;
+  tick(tick_period_.to_seconds());
+  next_tick_at_ = next_tick_at_ + tick_period_;
+  arm_tick();
 }
 
 void World::tick(double dt_s) {
@@ -126,6 +171,55 @@ std::vector<Observation> World::sense(AssetId asset_id, Modality modality) {
   }
   return sense_targets(a, effective, at, active_target_positions(), sim_.now(),
                        area_, sensor_rng);
+}
+
+void World::save(sim::Snapshot& snap, const std::string& key) const {
+  CheckpointState st;
+  std::map<const MobilityModel*, std::shared_ptr<MobilityModel>> memo;
+  st.assets = assets_;
+  for (Asset& a : st.assets) a.mobility = clone_memoized(a.mobility, memo);
+  st.targets = targets_;
+  for (Target& t : st.targets) t.mobility = clone_memoized(t.mobility, memo);
+  st.node_to_asset = node_to_asset_;
+  st.disruptions = disruptions_;
+  st.rng = rng_;
+  st.started = started_;
+  st.tick_period = tick_period_;
+  st.next_tick_at = next_tick_at_;
+  st.tick_seq = sim_.pending_seq(tick_event_);
+  snap.put(key, std::move(st));
+}
+
+void World::restore(const sim::Snapshot& snap, const std::string& key,
+                    sim::RestoreArmer& armer) {
+  const auto& st = snap.get<CheckpointState>(key);
+  sim_.cancel(tick_event_);
+  tick_event_ = sim::kNoEvent;
+  // Clone OUT of the snapshot (never adopt its pointers): the snapshot
+  // stays immutable so it can seed many branches, and each branch's
+  // mobility advances independently.
+  std::map<const MobilityModel*, std::shared_ptr<MobilityModel>> memo;
+  assets_ = st.assets;
+  for (Asset& a : assets_) a.mobility = clone_memoized(a.mobility, memo);
+  targets_ = st.targets;
+  for (Target& t : targets_) t.mobility = clone_memoized(t.mobility, memo);
+  node_to_asset_ = st.node_to_asset;
+  disruptions_ = st.disruptions;
+  rng_ = st.rng;
+  started_ = st.started;
+  tick_period_ = st.tick_period;
+  next_tick_at_ = st.next_tick_at;
+  if (started_) {
+    // A fresh branch stack may not have had start() called; (re)installing
+    // the hook is idempotent on an in-place rewind.
+    install_transmit_hook();
+    if (st.tick_seq != 0) {
+      armer.rearm(next_tick_at_, st.tick_seq, [this] { run_tick(); }, tick_tag_,
+                  &tick_event_);
+    }
+  } else {
+    net_.set_transmit_hook({});
+  }
 }
 
 std::vector<Observation> World::sense_all(Modality modality) {

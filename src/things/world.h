@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/checkpoint.h"
 #include "sim/geometry.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -47,9 +48,10 @@ struct Target {
   bool active = true;
 };
 
-class World {
+class World : public sim::Checkpointable {
  public:
   World(sim::Simulator& simulator, net::Network& network, sim::Rect area, sim::Rng rng);
+  ~World() override;
 
   sim::Rect area() const { return area_; }
   sim::Simulator& simulator() { return sim_; }
@@ -124,7 +126,34 @@ class World {
 
   sim::Rng& rng() { return rng_; }
 
+  // --- Checkpointing ----------------------------------------------------
+  // POD model state (assets with cloned mobility, targets, disruptions,
+  // node index, rng, tick cursor) round-trips through the Snapshot; the
+  // down/added hooks do NOT — they belong to the live service stack, and
+  // restore() never fires them (the metrics/service state those hooks
+  // produced is restored by the services' own participants).
+
+  std::string_view checkpoint_key() const override { return "things.world"; }
+  void save(sim::Snapshot& snap, const std::string& key) const override;
+  void restore(const sim::Snapshot& snap, const std::string& key,
+               sim::RestoreArmer& armer) override;
+
  private:
+  struct CheckpointState {
+    std::vector<Asset> assets;             // mobility deep-cloned
+    std::vector<AssetId> node_to_asset;
+    std::vector<Target> targets;           // mobility deep-cloned
+    std::vector<SensingDisruption> disruptions;
+    sim::Rng rng;
+    bool started = false;
+    sim::Duration tick_period;
+    sim::SimTime next_tick_at;
+    std::uint64_t tick_seq = 0;  // original FIFO seq of the armed tick
+  };
+
+  void install_transmit_hook();
+  void arm_tick();
+  void run_tick();
   void tick(double dt_s);
 
   sim::Simulator& sim_;
@@ -140,6 +169,12 @@ class World {
   std::vector<std::function<void(AssetId)>> down_hooks_;
   std::vector<std::function<void(AssetId)>> added_hooks_;
   bool started_ = false;
+  /// Mobility/energy tick as a self-managed schedule_at chain (instead of
+  /// schedule_every) so the checkpoint layer can cancel and re-arm it.
+  sim::Duration tick_period_;
+  sim::SimTime next_tick_at_;
+  sim::EventId tick_event_ = sim::kNoEvent;
+  sim::TagId tick_tag_ = sim::kUntagged;
 };
 
 }  // namespace iobt::things

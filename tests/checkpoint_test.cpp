@@ -1,0 +1,392 @@
+// Tests for deterministic checkpoint/branch/restore (sim/checkpoint.h):
+// snapshot blob typing, registry key suffixing, clock rewind, FIFO-order
+// re-arming, the no-unowned-pending-events invariant, and digest-identical
+// restore across the full substrate stack (world mobility/energy, mid-
+// flight network frames, attack campaigns, fresh-stack branching).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "checkpoint_scenario.h"
+#include "net/network.h"
+#include "security/attacks.h"
+#include "sim/checkpoint.h"
+#include "sim/simulator.h"
+#include "things/world.h"
+
+namespace iobt {
+namespace {
+
+using sim::Duration;
+using sim::Rng;
+using sim::SimTime;
+using testing::CheckpointScenario;
+
+// ----------------------------------------------------------- Snapshot ----
+
+TEST(Snapshot, TypedBlobsRoundTripAndMismatchesThrow) {
+  sim::Snapshot snap;
+  snap.put(std::string("answer"), 42);
+  snap.put(std::string("name"), std::string("alpha"));
+  EXPECT_EQ(snap.get<int>("answer"), 42);
+  EXPECT_EQ(snap.get<std::string>("name"), "alpha");
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap.has("answer"));
+  EXPECT_FALSE(snap.has("absent"));
+  EXPECT_THROW(snap.get<double>("answer"), std::logic_error);  // wrong type
+  EXPECT_THROW(snap.get<int>("absent"), std::logic_error);     // missing key
+}
+
+// ------------------------------------------------- Test participants ----
+
+/// Minimal participant: saves one int, restores nothing, used for
+/// registry-level tests (key suffixing, clock rewind).
+struct Dummy final : sim::Checkpointable {
+  std::string_view checkpoint_key() const override { return "dup"; }
+  void save(sim::Snapshot& snap, const std::string& key) const override {
+    snap.put(key, 1);
+  }
+  void restore(const sim::Snapshot&, const std::string&,
+               sim::RestoreArmer&) override {}
+};
+
+/// A participant owning a list of one-shot events; each fire appends its
+/// value to a shared output vector. Save captures (value, when, fired,
+/// original seq) per row; restore re-arms the unfired rows. This is the
+/// minimal shape of the "service re-arms its own closures" contract.
+class Emitter final : public sim::Checkpointable {
+ public:
+  Emitter(sim::Simulator& sim, std::string key, std::vector<int>& out)
+      : sim_(sim), key_(std::move(key)), out_(&out) {
+    sim_.checkpoint().register_participant(this);
+  }
+  ~Emitter() override {
+    for (const Row& r : rows_) sim_.cancel(r.id);
+    sim_.checkpoint().unregister(this);
+  }
+
+  void arm(int value, SimTime when) {
+    rows_.push_back(Row{value, when, false, sim::kNoEvent});
+    const std::size_t i = rows_.size() - 1;
+    rows_[i].id = sim_.schedule_at(when, [this, i] { fire(i); });
+  }
+
+  std::string_view checkpoint_key() const override { return key_; }
+
+  struct SavedRow {
+    int value = 0;
+    SimTime when;
+    bool fired = false;
+    std::uint64_t seq = 0;
+  };
+  struct State {
+    std::vector<SavedRow> rows;
+  };
+
+  void save(sim::Snapshot& snap, const std::string& key) const override {
+    State st;
+    for (const Row& r : rows_) {
+      st.rows.push_back({r.value, r.when, r.fired, sim_.pending_seq(r.id)});
+    }
+    snap.put(key, std::move(st));
+  }
+
+  void restore(const sim::Snapshot& snap, const std::string& key,
+               sim::RestoreArmer& armer) override {
+    for (Row& r : rows_) {
+      sim_.cancel(r.id);
+      r.id = sim::kNoEvent;
+    }
+    const auto& st = snap.get<State>(key);
+    rows_.resize(st.rows.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      rows_[i] = Row{st.rows[i].value, st.rows[i].when, st.rows[i].fired,
+                     sim::kNoEvent};
+      if (!rows_[i].fired) {
+        armer.rearm(rows_[i].when, st.rows[i].seq, [this, i] { fire(i); },
+                    sim::kUntagged, &rows_[i].id);
+      }
+    }
+  }
+
+ private:
+  struct Row {
+    int value = 0;
+    SimTime when;
+    bool fired = false;
+    sim::EventId id = sim::kNoEvent;
+  };
+
+  void fire(std::size_t i) {
+    rows_[i].fired = true;
+    rows_[i].id = sim::kNoEvent;
+    out_->push_back(rows_[i].value);
+  }
+
+  sim::Simulator& sim_;
+  std::string key_;
+  std::vector<int>* out_;
+  std::vector<Row> rows_;
+};
+
+// ----------------------------------------------------------- Registry ----
+
+TEST(CheckpointRegistry, DuplicateKeysGetDeterministicSuffixes) {
+  sim::Simulator sim;
+  Dummy d1, d2, d3;
+  auto& reg = sim.checkpoint();
+  // The n-th participant claiming a key gets "#<n>".
+  EXPECT_EQ(reg.register_participant(&d1), "dup");
+  EXPECT_EQ(reg.register_participant(&d2), "dup#2");
+  EXPECT_EQ(reg.register_participant(&d3), "dup#3");
+  EXPECT_EQ(reg.participant_count(), 3u);
+
+  const sim::Snapshot snap = reg.save();
+  EXPECT_TRUE(snap.has("dup"));
+  EXPECT_TRUE(snap.has("dup#2"));
+  EXPECT_TRUE(snap.has("dup#3"));
+
+  reg.unregister(&d2);
+  EXPECT_EQ(reg.participant_count(), 2u);
+  // The snapshot no longer matches the roster: restore must refuse.
+  EXPECT_THROW(reg.restore(snap), std::logic_error);
+  reg.unregister(&d1);
+  reg.unregister(&d3);
+}
+
+TEST(CheckpointRegistry, RestoreRewindsTheClock) {
+  sim::Simulator sim;
+  std::vector<int> out;
+  Emitter e(sim, "emitter", out);
+  sim.run_until(SimTime::seconds(5));
+  const sim::Snapshot snap = sim.checkpoint().save();
+  EXPECT_EQ(snap.at(), SimTime::seconds(5));
+  sim.run_until(SimTime::seconds(9));
+  EXPECT_EQ(sim.now(), SimTime::seconds(9));
+  sim.checkpoint().restore(snap);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(CheckpointRegistry, RearmPreservesFifoOrderAtEqualTimestamps) {
+  sim::Simulator sim;
+  std::vector<int> out;
+  Emitter a(sim, "a", out);
+  Emitter b(sim, "b", out);
+  // Interleaved arms, all at the same timestamp: the only thing ordering
+  // their execution is the FIFO scheduling seq.
+  const SimTime t = SimTime::seconds(1);
+  a.arm(1, t);
+  b.arm(2, t);
+  a.arm(3, t);
+  b.arm(4, t);
+  a.arm(5, SimTime::seconds(2));
+
+  const sim::Snapshot snap = sim.checkpoint().save();
+  sim.run_until(SimTime::seconds(3));
+  const std::vector<int> uninterrupted = out;
+  ASSERT_EQ(uninterrupted, (std::vector<int>{1, 2, 3, 4, 5}));
+
+  out.clear();
+  sim.checkpoint().restore(snap);
+  sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(out, uninterrupted);
+}
+
+TEST(CheckpointRegistry, NonParticipantPendingEventAbortsRestore) {
+  sim::Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  const sim::Snapshot snap = sim.checkpoint().save();
+  // The stray event belongs to no participant; restoring over it would
+  // silently diverge the branch, so the registry refuses.
+  EXPECT_THROW(sim.checkpoint().restore(snap), std::logic_error);
+}
+
+// -------------------------------------------------- World round trips ----
+
+struct WorldStack {
+  sim::Simulator sim;
+  net::Network net{sim, net::ChannelModel(), Rng(3)};
+  things::World world{sim, net, {{0, 0}, {500, 500}}, Rng(4)};
+};
+
+TEST(WorldCheckpoint, SharedMobilityStaysSharedAndPositionsReproduce) {
+  WorldStack s;
+  auto shared = std::make_shared<things::RandomWaypoint>(
+      s.world.area(), 3.0, 1.0, Rng(77));
+  const auto add = [&](std::shared_ptr<things::MobilityModel> m, sim::Vec2 at) {
+    Rng maker(s.world.asset_count() + 10);
+    things::Asset a = things::make_asset_template(
+        things::DeviceClass::kSensorMote, things::Affiliation::kBlue, maker);
+    a.mobility = std::move(m);
+    return s.world.add_asset(std::move(a), at, {});
+  };
+  const auto a0 = add(shared, {10, 10});
+  const auto a1 = add(shared, {400, 400});
+  const auto a2 = add(std::make_shared<things::GridPatrol>(s.world.area(), 50.0,
+                                                           2.0, Rng(78)),
+                      {250, 250});
+  s.world.start(Duration::seconds(1));
+  s.sim.run_until(SimTime::seconds(10));
+  const sim::Snapshot snap = s.sim.checkpoint().save();
+
+  s.sim.run_until(SimTime::seconds(40));
+  const sim::Vec2 p0 = s.world.asset_position(a0);
+  const sim::Vec2 p1 = s.world.asset_position(a1);
+  const sim::Vec2 p2 = s.world.asset_position(a2);
+
+  s.sim.checkpoint().restore(snap);
+  // Aliasing is model state: the two assets sharing one waypoint model
+  // before the save share one clone after the restore.
+  EXPECT_EQ(s.world.asset(a0).mobility.get(), s.world.asset(a1).mobility.get());
+  EXPECT_NE(s.world.asset(a0).mobility.get(), s.world.asset(a2).mobility.get());
+  // And the snapshot's own models were not adopted (it stays immutable).
+  EXPECT_NE(s.world.asset(a0).mobility.get(), shared.get());
+
+  s.sim.run_until(SimTime::seconds(40));
+  EXPECT_EQ(s.world.asset_position(a0).x, p0.x);
+  EXPECT_EQ(s.world.asset_position(a0).y, p0.y);
+  EXPECT_EQ(s.world.asset_position(a1).x, p1.x);
+  EXPECT_EQ(s.world.asset_position(a1).y, p1.y);
+  EXPECT_EQ(s.world.asset_position(a2).x, p2.x);
+  EXPECT_EQ(s.world.asset_position(a2).y, p2.y);
+}
+
+// ---------------------------------------------- Network mid-flight ----
+
+TEST(NetworkCheckpoint, MidFlightFramesRestoreDigestIdentical) {
+  sim::Simulator sim;
+  net::Network net(sim, net::ChannelModel(2.0, 0.3), Rng(7));
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(net.add_node({i * 120.0, 0.0}, {.range_m = 150}));
+  }
+  for (const auto id : ids) {
+    net.set_handler(id, [&net](const net::Message&) {
+      net.metrics().count("test.received");
+    });
+  }
+  // Multi-hop chains + broadcasts: deliveries land at >= 1 ms, so saving
+  // at 0.5 ms captures frames on the air mid-flight.
+  net.route_and_send(ids[0], ids[7], net::Message{.kind = "data", .size_bytes = 64});
+  net.route_and_send(ids[7], ids[0], net::Message{.kind = "data", .size_bytes = 64});
+  for (const auto id : ids) {
+    net.broadcast(id, net::Message{.kind = "hello", .size_bytes = 16});
+  }
+  sim.run_until(SimTime::micros(500));
+  ASSERT_GT(sim.pending_count(), 0u) << "expected frames in flight at save";
+  const sim::Snapshot snap = sim.checkpoint().save();
+
+  sim.run();
+  const std::uint64_t uninterrupted = net.metrics().digest();
+
+  sim.checkpoint().restore(snap);
+  sim.run();
+  EXPECT_EQ(net.metrics().digest(), uninterrupted);
+}
+
+// ------------------------------------------------- Full-stack branch ----
+
+constexpr std::uint64_t kSeed = 2026;
+const SimTime kSnapAt = SimTime::seconds(55);  // mid-jamming, between waves
+const SimTime kHorizon = SimTime::seconds(120);
+
+TEST(Branching, FreshStackRestoreMatchesUninterruptedRun) {
+  CheckpointScenario a(kSeed);
+  a.sim.run_until(kSnapAt);
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+  a.sim.run_until(kHorizon);
+  const std::uint64_t uninterrupted = a.digest();
+
+  // The same scenario code builds a fresh stack; the snapshot overwrites
+  // its state and the branch must land bit-identically.
+  CheckpointScenario b(kSeed);
+  b.sim.checkpoint().restore(snap);
+  EXPECT_EQ(b.sim.now(), kSnapAt);
+  b.sim.run_until(kHorizon);
+  EXPECT_EQ(b.digest(), uninterrupted);
+}
+
+TEST(Branching, InPlaceRewindMatchesUninterruptedRun) {
+  CheckpointScenario a(kSeed + 1);
+  a.sim.run_until(kSnapAt);
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+  a.sim.run_until(kHorizon);
+  const std::uint64_t uninterrupted = a.digest();
+
+  a.sim.checkpoint().restore(snap);
+  EXPECT_EQ(a.sim.now(), kSnapAt);
+  a.sim.run_until(kHorizon);
+  EXPECT_EQ(a.digest(), uninterrupted);
+}
+
+TEST(Branching, KWayFanoutBranchesAreIdenticalAndIndependent) {
+  CheckpointScenario a(kSeed + 2);
+  a.sim.run_until(kSnapAt);
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+  a.sim.run_until(kHorizon);
+  const std::uint64_t uninterrupted = a.digest();
+
+  // One snapshot, several branches: every branch replays identically, and
+  // running one branch does not perturb the next (the snapshot is
+  // immutable; each restore clones out of it).
+  for (int k = 0; k < 3; ++k) {
+    CheckpointScenario branch(kSeed + 2);
+    branch.sim.checkpoint().restore(snap);
+    branch.sim.run_until(kHorizon);
+    EXPECT_EQ(branch.digest(), uninterrupted) << "branch " << k;
+  }
+}
+
+TEST(Branching, MismatchedAttackCampaignThrows) {
+  struct MiniStack {
+    sim::Simulator sim;
+    net::Network net{sim, net::ChannelModel(), Rng(1)};
+    things::World world{sim, net, {{0, 0}, {100, 100}}, Rng(2)};
+    security::AttackInjector attacks{world};
+  };
+  MiniStack a;
+  a.attacks.schedule_node_kill(0, SimTime::seconds(10));
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+
+  // Same participants, different campaign time: refuse.
+  MiniStack b;
+  b.attacks.schedule_node_kill(0, SimTime::seconds(11));
+  EXPECT_THROW(b.sim.checkpoint().restore(snap), std::logic_error);
+
+  // Fewer scheduled attacks than the snapshot carries: refuse.
+  MiniStack c;
+  EXPECT_THROW(c.sim.checkpoint().restore(snap), std::logic_error);
+}
+
+TEST(AttackCheckpoint, RestoreRewindsScheduleCursorWithoutRefiring) {
+  CheckpointScenario a(kSeed + 3);
+  a.sim.run_until(kSnapAt);
+  // Fired by 55 s: sybil@30, blackout_on@35, jam_on@40.
+  const std::size_t fired_at_snap = a.attacks.fired_count();
+  EXPECT_EQ(fired_at_snap, 3u);
+  const std::size_t log_at_snap = a.attacks.log().size();
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+
+  a.sim.run_until(kHorizon);
+  const std::size_t fired_final = a.attacks.fired_count();
+  EXPECT_GT(fired_final, fired_at_snap);
+  std::vector<std::string> final_log;
+  for (const auto& e : a.attacks.log()) final_log.push_back(e.type);
+
+  a.sim.checkpoint().restore(snap);
+  EXPECT_EQ(a.attacks.fired_count(), fired_at_snap);
+  EXPECT_EQ(a.attacks.log().size(), log_at_snap);
+
+  a.sim.run_until(kHorizon);
+  EXPECT_EQ(a.attacks.fired_count(), fired_final);
+  std::vector<std::string> replayed_log;
+  for (const auto& e : a.attacks.log()) replayed_log.push_back(e.type);
+  EXPECT_EQ(replayed_log, final_log);  // nothing double-fired, nothing lost
+}
+
+}  // namespace
+}  // namespace iobt

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "sim/metrics.h"
 
@@ -217,6 +220,69 @@ TEST(MetricsRegistryTest, DigestCoversKeyNames) {
   a.count("x", 1.0);
   b.count("y", 1.0);
   EXPECT_NE(a.digest(), b.digest());
+}
+
+// -------------------------------------------------------- Serialization ----
+
+TEST(MetricsRegistryTest, SerializeRoundTripIsBitExact) {
+  MetricsRegistry m;
+  m.count("frames.delivered", 12345);
+  m.count("tiny", 1e-300);
+  m.count("neg.zero", -0.0);
+  m.gauge("battery.v", 3.3000000000000003);
+  m.gauge("nan.gauge", std::nan(""));
+  m.gauge("inf.gauge", std::numeric_limits<double>::infinity());
+  m.observe("lat", 0.25);
+  m.observe("lat", -1e308);
+  m.observe("lat", std::numeric_limits<double>::denorm_min());
+  // Overflow the reservoir so the replacement stream state round-trips too.
+  for (std::size_t i = 0; i < Summary::kReservoirCap + 500; ++i) {
+    m.observe("big", static_cast<double>(i) * 1.0000001);
+  }
+  const std::string image = m.serialize();
+  auto back = MetricsRegistry::deserialize(image);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->digest(), m.digest());
+  // Re-serializing before any further mutation is byte-stable.
+  EXPECT_EQ(back->serialize(), image);
+  // The round trip also continues identically: observing the same sample
+  // on both sides keeps the reservoir streams in lockstep.
+  m.observe("big", 9.75);
+  back->observe("big", 9.75);
+  EXPECT_EQ(back->digest(), m.digest());
+}
+
+TEST(MetricsRegistryTest, SerializeEmptyRegistryRoundTrips) {
+  MetricsRegistry m;
+  auto back = MetricsRegistry::deserialize(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->digest(), m.digest());
+}
+
+TEST(MetricsRegistryTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(MetricsRegistry::deserialize("").has_value());
+  EXPECT_FALSE(MetricsRegistry::deserialize("bogus").has_value());
+  EXPECT_FALSE(MetricsRegistry::deserialize("m2\n").has_value());  // version
+  MetricsRegistry m;
+  m.count("c", 2);
+  m.observe("s", 1.0);
+  const std::string image = m.serialize();
+  // Truncation anywhere must be caught, not silently accepted.
+  for (const std::size_t cut : {image.size() / 4, image.size() / 2, image.size() - 1}) {
+    EXPECT_FALSE(MetricsRegistry::deserialize(image.substr(0, cut)).has_value())
+        << "cut at " << cut;
+  }
+  // Trailing garbage as well.
+  EXPECT_FALSE(MetricsRegistry::deserialize(image + "extra").has_value());
+}
+
+TEST(MetricsRegistryTest, SerializeRejectsUnescapableKeys) {
+  MetricsRegistry with_ws;
+  with_ws.count("bad key");
+  EXPECT_THROW(with_ws.serialize(), std::logic_error);
+  MetricsRegistry with_semi;
+  with_semi.gauge("bad;key", 1.0);
+  EXPECT_THROW(with_semi.serialize(), std::logic_error);
 }
 
 }  // namespace

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "sim/runner.h"
 #include "sim/simulator.h"
@@ -293,6 +297,162 @@ TEST(ParallelRunnerTest, TracingDoesNotPerturbPayloads) {
               bits_of(without.replications[i].payload));
   }
   EXPECT_EQ(with.merged.digest(), without.merged.digest());
+}
+
+// ------------------------------------------------- Campaign journal ----
+
+namespace {
+
+std::string temp_journal_path(const char* name) {
+  return ::testing::TempDir() + "/iobt_journal_" + name + ".log";
+}
+
+std::string encode_double(const double& x) {
+  return std::to_string(bits_of(x));
+}
+
+double decode_double(std::string_view s) {
+  const std::uint64_t bits = std::stoull(std::string(s));
+  double x = 0;
+  std::memcpy(&x, &bits, sizeof x);
+  return x;
+}
+
+}  // namespace
+
+TEST(CampaignJournalTest, RoundTripEscapesAndLastWriteWins) {
+  const std::string path = temp_journal_path("roundtrip");
+  std::remove(path.c_str());
+  {
+    CampaignJournal j(path);
+    MetricsRegistry m;
+    m.count("c", 3);
+    m.observe("lat", 0.25);
+    // Payloads with every escaped character, plus a rewrite of (7, 0).
+    j.append(JournalEntry{7, 0, 1.5, "tab\there\nand\rback\\slash", m.serialize()});
+    j.append(JournalEntry{8, 1, 2.5, "plain", m.serialize()});
+    j.append(JournalEntry{7, 0, 9.0, "rewritten", m.serialize()});
+  }
+  CampaignJournal reloaded(path);
+  ASSERT_EQ(reloaded.entries().size(), 3u);
+  const JournalEntry* e = reloaded.find(7, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->payload, "rewritten");  // last write wins
+  EXPECT_DOUBLE_EQ(e->wall_ms, 9.0);
+  const JournalEntry* first = reloaded.find(8, 1);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->payload, "plain");
+  ASSERT_EQ(reloaded.entries()[0].payload, "tab\there\nand\rback\\slash");
+  // The metrics image survives bit-exactly.
+  auto m2 = MetricsRegistry::deserialize(e->metrics);
+  ASSERT_TRUE(m2.has_value());
+  MetricsRegistry m;
+  m.count("c", 3);
+  m.observe("lat", 0.25);
+  EXPECT_EQ(m2->digest(), m.digest());
+  EXPECT_EQ(reloaded.find(7, 1), nullptr);  // (seed, index) must BOTH match
+}
+
+TEST(CampaignJournalTest, MalformedLinesAreSkippedOnLoad) {
+  const std::string path = temp_journal_path("malformed");
+  std::remove(path.c_str());
+  {
+    CampaignJournal j(path);
+    MetricsRegistry m;
+    m.count("ok");
+    j.append(JournalEntry{1, 0, 1.0, "a", m.serialize()});
+    j.append(JournalEntry{2, 1, 1.0, "b", m.serialize()});
+  }
+  {
+    // Simulate a crash-truncated write plus unrelated garbage.
+    std::ofstream f(path, std::ios::app);
+    f << "rep\t3\t2\t1.0\ttruncated-before-metr";  // no newline, short fields
+  }
+  CampaignJournal reloaded(path);
+  EXPECT_EQ(reloaded.entries().size(), 2u);
+  EXPECT_NE(reloaded.find(1, 0), nullptr);
+  EXPECT_NE(reloaded.find(2, 1), nullptr);
+  EXPECT_EQ(reloaded.find(3, 2), nullptr);
+}
+
+TEST(ParallelRunnerTest, ResumableSkipsJournaledWorkAndMatchesUninterrupted) {
+  const std::string path = temp_journal_path("resume");
+  std::remove(path.c_str());
+  const auto seeds = ParallelRunner::seed_range(300, 10);
+
+  const auto work = [](ReplicationContext& ctx) {
+    Simulator s;
+    Rng rng = ctx.make_rng();
+    double acc = 0;
+    for (int i = 0; i < 50; ++i) {
+      s.schedule_in(Duration::micros(rng.uniform_int(1, 1000)),
+                    [&acc, &rng] { acc += rng.uniform(); });
+    }
+    s.run();
+    ctx.metrics.count("events", static_cast<double>(s.executed_count()));
+    ctx.metrics.observe("acc", acc);
+    return acc;
+  };
+
+  // Reference: plain uninterrupted run.
+  const auto reference = ParallelRunner(2).run<double>(seeds, work);
+  ASSERT_EQ(reference.failures, 0u);
+
+  // First campaign: replications 6..9 die (simulated crash window); the
+  // journal captures only the 6 successes.
+  {
+    CampaignJournal journal(path);
+    const auto partial = ParallelRunner(2).run_resumable<double>(
+        seeds,
+        [&work](ReplicationContext& ctx) {
+          if (ctx.index >= 6) throw std::runtime_error("simulated crash");
+          return work(ctx);
+        },
+        journal, encode_double, decode_double);
+    EXPECT_EQ(partial.failures, 4u);
+    EXPECT_EQ(partial.resumed, 0u);
+    EXPECT_EQ(journal.entries().size(), 6u);
+  }
+
+  // Second campaign, fresh journal object over the same file: the six
+  // journaled replications are replayed without invoking the body, the
+  // four missing ones run, and the outcome is bit-identical to the
+  // uninterrupted reference.
+  CampaignJournal journal(path);
+  std::atomic<std::size_t> invocations{0};
+  const auto resumed = ParallelRunner(2).run_resumable<double>(
+      seeds,
+      [&work, &invocations](ReplicationContext& ctx) {
+        invocations.fetch_add(1, std::memory_order_relaxed);
+        return work(ctx);
+      },
+      journal, encode_double, decode_double);
+  EXPECT_EQ(resumed.failures, 0u);
+  EXPECT_EQ(resumed.resumed, 6u);
+  EXPECT_EQ(invocations.load(), 4u);
+  EXPECT_EQ(journal.entries().size(), 10u);
+  EXPECT_EQ(resumed.merged.digest(), reference.merged.digest());
+  ASSERT_EQ(resumed.replications.size(), reference.replications.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(bits_of(resumed.replications[i].payload),
+              bits_of(reference.replications[i].payload))
+        << "rep " << i;
+  }
+
+  // Third pass: everything journaled, nothing runs.
+  CampaignJournal journal2(path);
+  std::atomic<std::size_t> third_invocations{0};
+  const auto full = ParallelRunner(2).run_resumable<double>(
+      seeds,
+      [&third_invocations, &work](ReplicationContext& ctx) {
+        third_invocations.fetch_add(1, std::memory_order_relaxed);
+        return work(ctx);
+      },
+      journal2, encode_double, decode_double);
+  EXPECT_EQ(full.resumed, 10u);
+  EXPECT_EQ(third_invocations.load(), 0u);
+  EXPECT_EQ(full.merged.digest(), reference.merged.digest());
+  std::remove(path.c_str());
 }
 
 }  // namespace

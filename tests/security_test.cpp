@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "security/attacks.h"
 #include "security/auth.h"
 #include "security/risk.h"
@@ -247,6 +249,109 @@ TEST_F(AttackFixture, JammingRegistersChannelJammer) {
   ASSERT_EQ(attacks.log().size(), 2u);
   EXPECT_EQ(attacks.log()[0].type, "jamming_on");
   EXPECT_EQ(attacks.log()[1].type, "jamming_off");
+}
+
+// --------------------------------------- Injector reentrancy regressions ----
+
+// Regression (heap-use-after-free under ASan): a down-hook that recruits a
+// replacement asset during a mass kill. world.add_asset() grows the asset
+// vector, which may reallocate it mid-kill; the injector must therefore
+// walk the population by index with a count snapshotted before the sweep —
+// a range-for holding `const auto& a` across destroy_asset() dereferences
+// freed memory as soon as the vector moves. Replacements also must not be
+// swept (they arrived after the attack fired).
+TEST_F(AttackFixture, MassKillSurvivesDownHookRecruitingReplacements) {
+  for (int i = 0; i < 64; ++i) add_mote({static_cast<double>(i * 10), 0});
+  const std::size_t initial = world.asset_count();
+  std::size_t recruited = 0;
+  world.on_asset_down([&](things::AssetId) {
+    // One replacement per casualty: repeated reallocation pressure while
+    // the kill sweep is still iterating.
+    add_mote({500, 500});
+    ++recruited;
+  });
+  attacks.schedule_mass_kill(
+      0.5, SimTime::seconds(5),
+      [](const things::Asset& a) {
+        return a.device_class == things::DeviceClass::kSensorMote;
+      },
+      Rng(41));
+  sim.run_until(SimTime::seconds(6));
+  EXPECT_GT(recruited, 0u);
+  EXPECT_EQ(world.asset_count(), initial + recruited);
+  // Every replacement arrived after the fraction draw and is alive.
+  for (std::size_t i = initial; i < world.asset_count(); ++i) {
+    EXPECT_TRUE(world.asset_live(static_cast<things::AssetId>(i)));
+  }
+}
+
+// Regression: node_kill and mass_kill overlapping on the same asset (and a
+// re-entrant destroy from a down-hook) must fire the down-hooks exactly
+// once per asset — destroy_asset is idempotent on already-dead assets.
+TEST_F(AttackFixture, OverlappingKillsFireDownHooksOncePerAsset) {
+  const auto victim = add_mote({100, 100});
+  for (int i = 0; i < 30; ++i) add_mote({static_cast<double>(i * 30), 200});
+  std::vector<int> downs(world.asset_count(), 0);
+  world.on_asset_down([&](things::AssetId id) {
+    ++downs[id];
+    world.destroy_asset(id);  // re-entrant kill of an already-dead asset
+  });
+  // Both attacks land at t=5 s and can both select `victim`.
+  attacks.schedule_node_kill(victim, SimTime::seconds(5));
+  attacks.schedule_mass_kill(
+      1.0, SimTime::seconds(5), [](const things::Asset&) { return true; },
+      Rng(43));
+  sim.run_until(SimTime::seconds(6));
+  EXPECT_FALSE(world.asset_live(victim));
+  for (std::size_t i = 0; i < downs.size(); ++i) {
+    EXPECT_EQ(downs[i], world.asset(static_cast<things::AssetId>(i)).alive ? 0 : 1)
+        << "asset " << i;
+  }
+}
+
+// The injector forks a child stream per scheduled row (salted by the row
+// index), so passing one Rng by value to several schedule_* calls does not
+// duplicate streams: two mass kills armed from the same generator state
+// must draw different victim sets, and a Sybil wave scheduled twice from
+// the same generator must place its fakes differently.
+TEST_F(AttackFixture, ScheduleCallsFromOneRngGetIndependentStreams) {
+  const Rng shared(99);  // same state handed to every schedule call
+  // Two Sybil waves armed from identical generator state. Byte-copied
+  // streams would run the same position/identity draw sequence twice and
+  // spawn both waves at identical coordinates; per-row child streams must
+  // place them differently.
+  attacks.schedule_sybil(3, SimTime::seconds(8), shared);
+  attacks.schedule_sybil(3, SimTime::seconds(9), shared);
+  sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(attacks.sybil_ids().size(), 6u);
+  bool any_position_differs = false;
+  for (int k = 0; k < 3; ++k) {
+    const sim::Vec2 p1 = world.asset_position(attacks.sybil_ids()[k]);
+    const sim::Vec2 p2 = world.asset_position(attacks.sybil_ids()[k + 3]);
+    if (p1.x != p2.x || p1.y != p2.y) any_position_differs = true;
+  }
+  EXPECT_TRUE(any_position_differs);
+
+  // And the same scheduling code is reproducible: a second stack built
+  // identically places its waves at exactly the same coordinates.
+  struct TwinStack {
+    sim::Simulator sim;
+    net::ChannelModel channel{2.0, 0.0};
+    net::Network net{sim, channel, Rng(5)};
+    things::World world{sim, net, {{0, 0}, {1000, 1000}}, Rng(6)};
+    AttackInjector attacks{world};
+  };
+  TwinStack twin;
+  twin.attacks.schedule_sybil(3, SimTime::seconds(8), shared);
+  twin.attacks.schedule_sybil(3, SimTime::seconds(9), shared);
+  twin.sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(twin.attacks.sybil_ids().size(), 6u);
+  for (int k = 0; k < 6; ++k) {
+    const sim::Vec2 p = world.asset_position(attacks.sybil_ids()[k]);
+    const sim::Vec2 q = twin.world.asset_position(twin.attacks.sybil_ids()[k]);
+    EXPECT_EQ(p.x, q.x);
+    EXPECT_EQ(p.y, q.y);
+  }
 }
 
 }  // namespace
