@@ -156,7 +156,7 @@ struct Scenario {
     sim::Rng layout(seed * 2654435761ULL + 7);
     for (std::size_t i = 0; i < population; ++i) {
       sim::Rng maker = layout.child(i);
-      things::Asset a = things::make_asset_template(
+      things::AssetSpec a = things::make_asset_template(
           things::DeviceClass::kSensorMote, things::Affiliation::kBlue, maker);
       a.mobility = std::make_shared<things::RandomWaypoint>(
           world.area(), 4.0, 2.0, maker.child(0xBEAC07));
@@ -192,7 +192,7 @@ struct Scenario {
     mix(static_cast<std::uint64_t>(sim.now().nanos()));
     mix(world.asset_count());
     for (const things::Asset& a : world.assets()) {
-      mix(a.alive ? 1 : 2);
+      mix(world.asset_alive(a.id) ? 1 : 2);
       const sim::Vec2 p = net.position(a.node);
       mix_double(p.x);
       mix_double(p.y);

@@ -47,37 +47,52 @@ void Network::resolve_metric_handles() {
 }
 
 NodeId Network::add_node(sim::Vec2 position, RadioProfile profile) {
-  nodes_.push_back(Endpoint{position, profile, nullptr, true, 0, sim::SimTime::zero()});
+  const auto id = static_cast<NodeId>(positions_.size());
+  positions_.push_back(position);
+  profiles_.push_back(profile);
+  handlers_.emplace_back();
+  up_.push_back(1);
+  bytes_sent_.push_back(0);
+  tx_free_at_.push_back(sim::SimTime::zero());
   route_cache_.emplace_back();
-  const auto id = static_cast<NodeId>(nodes_.size() - 1);
   if (profile.range_m > max_range_m_) {
     // A longer radio breaks the cells-cover-range invariant: rebuild the
-    // grid around the new maximum before indexing the newcomer.
+    // grid around the new maximum before indexing the newcomer. The edge
+    // store is untouched: every existing link depends on the min of two
+    // unchanged ranges.
     max_range_m_ = profile.range_m;
     grid_.reset(max_range_m_);
     for (NodeId n = 0; n < id; ++n) {
-      if (nodes_[n].up) grid_.insert(n, nodes_[n].position);
+      if (up_[n]) grid_.insert(n, positions_[n]);
     }
   }
   grid_.insert(id, position);
+  if (use_incremental_) {
+    links_.add_node();
+    attach_links(id);
+  }
   invalidate_routes();
   return id;
 }
 
-void Network::set_handler(NodeId id, Handler h) { nodes_.at(id).handler = std::move(h); }
+void Network::set_handler(NodeId id, Handler h) { handlers_.at(id) = std::move(h); }
 
 void Network::set_position(NodeId id, sim::Vec2 p) {
-  Endpoint& e = nodes_.at(id);
-  const sim::Vec2 from = e.position;
+  const sim::Vec2 from = positions_.at(id);
   if (from == p) return;
-  if (!e.up) {
+  if (!up_[id]) {
     // A down node is invisible to the topology (and absent from the grid):
     // reposition silently.
-    e.position = p;
+    positions_[id] = p;
     return;
   }
-  const bool changed = neighbor_set_changed(id, from, p);
-  e.position = p;
+  // Incremental mode patches the edge store and learns whether any link
+  // appeared/vanished as a byproduct; rebuild mode only answers the
+  // question. Both must run BEFORE the slab position and grid move so the
+  // 3x3 neighborhood of `from` still contains the node's old candidates.
+  const bool changed = use_incremental_ ? patch_links_for_move(id, from, p)
+                                        : neighbor_set_changed(id, from, p);
+  positions_[id] = p;
   grid_.move(id, from, p);
   // Region-scoped invalidation: a move that gains or loses no link leaves
   // every cached route structurally intact, so the epoch — and with it
@@ -87,27 +102,27 @@ void Network::set_position(NodeId id, sim::Vec2 p) {
 }
 
 void Network::set_node_up(NodeId id, bool up) {
-  Endpoint& e = nodes_.at(id);
-  if (e.up == up) return;
-  e.up = up;
+  if ((up_.at(id) != 0) == up) return;
+  up_[id] = up ? 1 : 0;
   if (up) {
-    grid_.insert(id, e.position);
+    grid_.insert(id, positions_[id]);
+    if (use_incremental_) attach_links(id);
   } else {
-    grid_.remove(id, e.position);
+    grid_.remove(id, positions_[id]);
+    if (use_incremental_) detach_links(id);
   }
   invalidate_routes();
 }
 
 bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) const {
-  const Endpoint& e = nodes_[id];
+  const RadioProfile& pr = profiles_[id];
   const auto differs = [&](NodeId other) {
-    const Endpoint& o = nodes_[other];
-    return channel_.in_range(from, e.profile, o.position, o.profile) !=
-           channel_.in_range(to, e.profile, o.position, o.profile);
+    return channel_.in_range(from, pr, positions_[other], profiles_[other]) !=
+           channel_.in_range(to, pr, positions_[other], profiles_[other]);
   };
   if (!use_grid_) {
-    for (NodeId other = 0; other < nodes_.size(); ++other) {
-      if (other == id || !nodes_[other].up) continue;
+    for (NodeId other = 0; other < node_count(); ++other) {
+      if (other == id || !up_[other]) continue;
       if (differs(other)) return true;
     }
     return false;
@@ -126,14 +141,66 @@ bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) cons
   return false;
 }
 
+bool Network::patch_links_for_move(NodeId id, sim::Vec2 from, sim::Vec2 to) {
+  // Candidates come from the grid unconditionally: the grid indexes every
+  // live node regardless of use_grid_, and any node whose in-range
+  // relationship with `id` can flip lies in the 3x3 neighborhood of `from`
+  // or of `to` (covering invariant).
+  scratch_.clear();
+  grid_.neighborhood(from, scratch_);
+  grid_.neighborhood(to, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  const RadioProfile& pr = profiles_[id];
+  bool changed = false;
+  for (const NodeId other : scratch_) {
+    if (other == id) continue;
+    const bool was = channel_.in_range(from, pr, positions_[other], profiles_[other]);
+    const bool now = channel_.in_range(to, pr, positions_[other], profiles_[other]);
+    if (was == now) {
+      // Retained link: refresh its metric so the store tracks distance
+      // drift exactly like a from-scratch rebuild would.
+      if (now) links_.update_edge_weight(id, other, sim::distance(to, positions_[other]));
+      continue;
+    }
+    changed = true;
+    if (now) {
+      links_.add_edge_sorted(id, other, sim::distance(to, positions_[other]));
+    } else {
+      links_.remove_edge(id, other);
+    }
+  }
+  return changed;
+}
+
+void Network::attach_links(NodeId id) {
+  const sim::Vec2 p = positions_[id];
+  const RadioProfile& pr = profiles_[id];
+  scratch_.clear();
+  grid_.neighborhood(p, scratch_);
+  for (const NodeId other : scratch_) {
+    if (other == id) continue;
+    if (channel_.in_range(p, pr, positions_[other], profiles_[other])) {
+      links_.add_edge_sorted(id, other, sim::distance(p, positions_[other]));
+    }
+  }
+}
+
+void Network::detach_links(NodeId id) {
+  // Copy the ids out first: remove_edge mutates the list being walked.
+  scratch_.clear();
+  for (const Topology::Neighbor& n : links_.neighbors(id)) scratch_.push_back(n.id);
+  for (const NodeId other : scratch_) links_.remove_edge(id, other);
+}
+
 std::vector<NodeId> Network::nodes_near(sim::Vec2 p, double radius) const {
   std::vector<NodeId> out;
   if (use_grid_) {
     grid_.near(p, radius, out);
     std::sort(out.begin(), out.end());
   } else {
-    for (NodeId id = 0; id < nodes_.size(); ++id) {
-      if (nodes_[id].up) out.push_back(id);
+    for (NodeId id = 0; id < node_count(); ++id) {
+      if (up_[id]) out.push_back(id);
     }
   }
   return out;
@@ -149,32 +216,32 @@ void Network::drop(DropReason reason, const Message& msg) {
 
 bool Network::transmit(NodeId src, NodeId dst, Message msg,
                        const std::vector<NodeId>* remaining_path) {
-  Endpoint& s = nodes_.at(src);
-  Endpoint& d = nodes_.at(dst);
-  if (!s.up || !d.up) {
+  if (!up_.at(src) || !up_.at(dst)) {
     drop(DropReason::kNodeDown, msg);
     return false;
   }
-  if (!channel_.in_range(s.position, s.profile, d.position, d.profile)) {
+  const sim::Vec2 sp = positions_[src];
+  const RadioProfile& spr = profiles_[src];
+  if (!channel_.in_range(sp, spr, positions_[dst], profiles_[dst])) {
     drop(DropReason::kOutOfRange, msg);
     return false;
   }
 
   // Half-duplex transmitter: frames serialize on the sender's radio.
-  const sim::Duration tx = ChannelModel::transmission_delay(s.profile, msg.size_bytes);
-  const sim::SimTime start = std::max(sim_.now(), s.tx_free_at);
-  s.tx_free_at = start + tx;
-  const sim::SimTime arrive = s.tx_free_at + hop_latency_;
+  const sim::Duration tx = ChannelModel::transmission_delay(spr, msg.size_bytes);
+  const sim::SimTime start = std::max(sim_.now(), tx_free_at_[src]);
+  tx_free_at_[src] = start + tx;
+  const sim::SimTime arrive = tx_free_at_[src] + hop_latency_;
 
-  s.bytes_sent += msg.size_bytes;
+  bytes_sent_[src] += msg.size_bytes;
   *bytes_sent_counter_ += static_cast<double>(msg.size_bytes);
   *frames_sent_counter_ += 1.0;
   if (transmit_hook_) transmit_hook_(src, msg.size_bytes);
 
   // Loss is decided now (deterministically from the RNG stream) but takes
   // effect at arrival time.
-  const double loss = channel_.loss_probability(s.position, s.profile, d.position,
-                                                d.profile, sim_.now());
+  const double loss = channel_.loss_probability(sp, spr, positions_[dst],
+                                                profiles_[dst], sim_.now());
   const bool lost = rng_.bernoulli(loss);
 
   // Async trace span per frame on the air: begin at transmit, end at
@@ -237,7 +304,7 @@ void Network::deliver_pending(std::uint32_t slot) {
     drop(DropReason::kChannelLoss, msg);
     return;
   }
-  if (!nodes_.at(dst).up) {
+  if (!up_.at(dst)) {
     drop(DropReason::kNodeDown, msg);
     return;
   }
@@ -251,7 +318,7 @@ void Network::deliver_pending(std::uint32_t slot) {
   }
   *frames_delivered_counter_ += 1.0;
   delivery_latency_summary_->add((sim_.now() - msg.sent_at).to_seconds());
-  if (nodes_[dst].handler) nodes_[dst].handler(msg);
+  if (handlers_[dst]) handlers_[dst](msg);
 }
 
 bool Network::send(NodeId src, NodeId dst, Message msg) {
@@ -265,16 +332,16 @@ std::size_t Network::broadcast(NodeId src, Message msg) {
   msg.src = src;
   msg.dst = kBroadcast;
   msg.sent_at = sim_.now();
-  const Endpoint& s = nodes_.at(src);
-  if (!s.up) {
+  if (!up_.at(src)) {
     drop(DropReason::kNodeDown, msg);
     return 0;
   }
+  const sim::Vec2 sp = positions_[src];
+  const RadioProfile& spr = profiles_[src];
   std::size_t put_on_air = 0;
   const auto offer = [&](NodeId other) {
-    if (other == src || !nodes_[other].up) return;
-    if (!channel_.in_range(s.position, s.profile, nodes_[other].position,
-                           nodes_[other].profile)) {
+    if (other == src || !up_[other]) return;
+    if (!channel_.in_range(sp, spr, positions_[other], profiles_[other])) {
       return;
     }
     Message copy = msg;
@@ -287,11 +354,11 @@ std::size_t Network::broadcast(NodeId src, Message msg) {
     // RNG stream identically and delivery traces stay bit-identical.
     // Copied into scratch_ because drop/transmit hooks run synchronously
     // inside offer() and must not be able to invalidate the memo mid-walk.
-    const std::vector<NodeId>& hood = grid_.neighborhood_sorted(s.position);
+    const std::vector<NodeId>& hood = grid_.neighborhood_sorted(sp);
     scratch_.assign(hood.begin(), hood.end());
     for (const NodeId other : scratch_) offer(other);
   } else {
-    for (NodeId other = 0; other < nodes_.size(); ++other) offer(other);
+    for (NodeId other = 0; other < node_count(); ++other) offer(other);
   }
   return put_on_air;
 }
@@ -299,15 +366,19 @@ std::size_t Network::broadcast(NodeId src, Message msg) {
 const ShortestPaths& Network::cached_paths(NodeId src) {
   RouteCacheEntry& entry = route_cache_.at(src);
   if (entry.epoch != topology_epoch_) {
-    entry.paths = connectivity().shortest_paths(src);
+    // Incremental mode runs Dijkstra straight over the live edge store; the
+    // rebuild baseline pays a full connectivity reconstruction per (source,
+    // epoch) — the cost the store exists to delete.
+    entry.paths = use_incremental_ ? links_.shortest_paths(src)
+                                   : connectivity().shortest_paths(src);
     entry.epoch = topology_epoch_;
   }
   return entry.paths;
 }
 
 bool Network::route_exists(NodeId src, NodeId dst) {
-  if (src >= nodes_.size() || dst >= nodes_.size()) return false;
-  if (!nodes_[src].up || !nodes_[dst].up) return false;
+  if (src >= node_count() || dst >= node_count()) return false;
+  if (!up_[src] || !up_[dst]) return false;
   return cached_paths(src).reachable(dst);
 }
 
@@ -315,9 +386,20 @@ bool Network::route_and_send(NodeId src, NodeId dst, Message msg) {
   msg.src = src;
   msg.dst = dst;
   msg.sent_at = sim_.now();
+  // Unknown endpoints: no route by definition — mirror route_exists
+  // instead of letting the slab .at() throw out of the send path.
+  if (src >= node_count() || dst >= node_count()) {
+    drop(DropReason::kNoRoute, msg);
+    return false;
+  }
   if (src == dst) {
-    // Local delivery, zero hops.
-    if (nodes_.at(src).handler) nodes_.at(src).handler(msg);
+    // Local delivery, zero hops — but a dead radio delivers nothing, not
+    // even to itself (route_exists performs the same liveness check).
+    if (!up_[src]) {
+      drop(DropReason::kNodeDown, msg);
+      return false;
+    }
+    if (handlers_[src]) handlers_[src](msg);
     return true;
   }
   const auto path = cached_paths(src).path_to(dst);
@@ -331,42 +413,62 @@ bool Network::route_and_send(NodeId src, NodeId dst, Message msg) {
 }
 
 Topology Network::connectivity() const {
+  if (use_incremental_) return links_;
+  return full_connectivity();
+}
+
+const Topology& Network::topology_view() const {
+  if (use_incremental_) return links_;
+  view_scratch_ = full_connectivity();
+  return view_scratch_;
+}
+
+void Network::set_incremental_connectivity_enabled(bool on) {
+  if (use_incremental_ == on) return;
+  use_incremental_ = on;
+  // Enabling mid-run seeds the store with one full rebuild; disabling
+  // releases it (the rebuild paths never read it).
+  links_ = on ? full_connectivity() : Topology();
+}
+
+Topology Network::full_connectivity() const {
   // Edges are collected into a flat scratch list (reused across snapshots,
   // so rebuilds allocate nothing once warm) and the Topology is built in
   // one bulk pass with exact-size adjacency reserves. The list order is
   // the brute-force edge order (a ascending, then b > a ascending), so
   // the adjacency lists — and every tie-break downstream in Dijkstra —
-  // are bit-identical between the grid and O(n^2) paths.
+  // are bit-identical between the grid, O(n^2), and incremental paths
+  // (the store keeps its lists id-sorted for the same reason).
   edge_scratch_.clear();
   if (use_grid_) {
     // Grid neighborhoods via the per-cell sorted memo: all nodes sharing a
     // cell share one gathered + sorted candidate list, and the memo
     // carries over to later snapshots while membership is unchanged.
-    for (NodeId a = 0; a < nodes_.size(); ++a) {
-      if (!nodes_[a].up) continue;
-      for (const NodeId b : grid_.neighborhood_sorted(nodes_[a].position)) {
+    for (NodeId a = 0; a < node_count(); ++a) {
+      if (!up_[a]) continue;
+      for (const NodeId b : grid_.neighborhood_sorted(positions_[a])) {
         if (b <= a) continue;
-        if (channel_.in_range(nodes_[a].position, nodes_[a].profile,
-                              nodes_[b].position, nodes_[b].profile)) {
+        if (channel_.in_range(positions_[a], profiles_[a], positions_[b],
+                              profiles_[b])) {
           edge_scratch_.push_back(
-              {a, b, sim::distance(nodes_[a].position, nodes_[b].position)});
+              {a, b, sim::distance(positions_[a], positions_[b])});
         }
       }
     }
   } else {
-    for (NodeId a = 0; a < nodes_.size(); ++a) {
-      if (!nodes_[a].up) continue;
-      for (NodeId b = a + 1; b < nodes_.size(); ++b) {
-        if (!nodes_[b].up) continue;
-        if (channel_.in_range(nodes_[a].position, nodes_[a].profile, nodes_[b].position,
-                              nodes_[b].profile)) {
+    for (NodeId a = 0; a < node_count(); ++a) {
+      if (!up_[a]) continue;
+      for (NodeId b = a + 1; b < node_count(); ++b) {
+        if (!up_[b]) continue;
+        if (channel_.in_range(positions_[a], profiles_[a], positions_[b],
+                              profiles_[b])) {
           edge_scratch_.push_back(
-              {a, b, sim::distance(nodes_[a].position, nodes_[b].position)});
+              {a, b, sim::distance(positions_[a], positions_[b])});
         }
       }
     }
   }
-  return Topology(nodes_.size(), edge_scratch_);
+  return Topology(node_count(), edge_scratch_);
 }
 
 std::vector<bool> Network::free_slots() const {
@@ -377,11 +479,38 @@ std::vector<bool> Network::free_slots() const {
   return free_slot;
 }
 
+Network::MemoryFootprint Network::memory_footprint() const {
+  MemoryFootprint m;
+  m.node_slabs = positions_.capacity() * sizeof(sim::Vec2) +
+                 profiles_.capacity() * sizeof(RadioProfile) +
+                 handlers_.capacity() * sizeof(Handler) +
+                 up_.capacity() * sizeof(std::uint8_t) +
+                 bytes_sent_.capacity() * sizeof(std::uint64_t) +
+                 tx_free_at_.capacity() * sizeof(sim::SimTime);
+  m.grid = grid_.memory_bytes();
+  m.links = links_.memory_bytes();
+  m.route_cache = route_cache_.capacity() * sizeof(RouteCacheEntry);
+  for (const RouteCacheEntry& e : route_cache_) {
+    m.route_cache += e.paths.dist.capacity() * sizeof(double) +
+                     e.paths.parent.capacity() * sizeof(std::optional<NodeId>);
+  }
+  m.pending = pending_.capacity() * sizeof(PendingFrame);
+  for (const PendingFrame& f : pending_) {
+    m.pending += f.path_tail.capacity() * sizeof(NodeId);
+  }
+  return m;
+}
+
 void Network::save(sim::Snapshot& snap, const std::string& key) const {
   CheckpointState st;
-  st.nodes = nodes_;
-  // Handlers are live-stack closures; the snapshot carries data only.
-  for (Endpoint& e : st.nodes) e.handler = nullptr;
+  // Handlers are live-stack closures and stay out of the snapshot; the
+  // grid, edge store, and route cache are derived state rebuilt on
+  // restore.
+  st.positions = positions_;
+  st.profiles = profiles_;
+  st.up = up_;
+  st.node_bytes_sent = bytes_sent_;
+  st.tx_free_at = tx_free_at_;
   st.channel = channel_;
   st.rng = rng_;
   st.metrics = metrics_;
@@ -412,20 +541,19 @@ void Network::restore(const sim::Snapshot& snap, const std::string& key,
   pending_.clear();
   free_pending_ = kNoPending;
 
-  // Node table: adopt the saved endpoints but keep whatever handlers the
+  // Node slabs: adopt the saved state but keep whatever handlers the
   // restoring stack already installed per node (construction-time firmware
   // on a fresh branch stack, everything on an in-place rewind). Nodes past
   // the saved count (post-snapshot Sybils on a rewind) disappear; nodes
   // past the restoring stack's count (pre-snapshot Sybils restored into a
   // fresh stack) arrive with null handlers until their owning service's
   // participant re-installs them.
-  std::vector<Handler> handlers(st.nodes.size());
-  const std::size_t keep = std::min(nodes_.size(), st.nodes.size());
-  for (std::size_t i = 0; i < keep; ++i) handlers[i] = std::move(nodes_[i].handler);
-  nodes_ = st.nodes;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i].handler = std::move(handlers[i]);
-  }
+  handlers_.resize(st.positions.size());
+  positions_ = st.positions;
+  profiles_ = st.profiles;
+  up_ = st.up;
+  bytes_sent_ = st.node_bytes_sent;
+  tx_free_at_ = st.tx_free_at;
 
   channel_ = st.channel;
   rng_ = st.rng;
@@ -437,15 +565,17 @@ void Network::restore(const sim::Snapshot& snap, const std::string& key,
   frames_in_flight_ = st.in_flight.size();
   max_range_m_ = st.max_range_m;
   topology_epoch_ = st.topology_epoch;
-  route_cache_.assign(nodes_.size(), RouteCacheEntry{});
+  route_cache_.assign(node_count(), RouteCacheEntry{});
 
   // Rebuild the spatial index from scratch over the restored live nodes
   // (cell size invariant: >= max radio range; 250 m matches the default-
   // constructed grid before any radio registers).
   grid_.reset(max_range_m_ > 0.0 ? max_range_m_ : 250.0);
-  for (NodeId n = 0; n < nodes_.size(); ++n) {
-    if (nodes_[n].up) grid_.insert(n, nodes_[n].position);
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (up_[n]) grid_.insert(n, positions_[n]);
   }
+  // The edge store is derived state: reseed it from the restored slabs.
+  links_ = use_incremental_ ? full_connectivity() : Topology();
 
   // Re-park every in-flight frame and queue its delivery re-arm under the
   // frame's original FIFO seq. reserve() first: &p.event must stay valid
@@ -468,7 +598,7 @@ void Network::restore(const sim::Snapshot& snap, const std::string& key,
 
 std::uint64_t Network::total_bytes_sent() const {
   std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n.bytes_sent;
+  for (const std::uint64_t b : bytes_sent_) total += b;
   return total;
 }
 

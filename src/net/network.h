@@ -4,9 +4,15 @@
 // A Network owns the set of radio endpoints, delivers unicast and one-hop
 // broadcast frames with transmission delay + propagation latency + loss,
 // and forwards multi-hop traffic along shortest paths over the *current*
-// connectivity graph (recomputed lazily when positions or liveness
+// connectivity graph (maintained incrementally as positions and liveness
 // change). Per-node accounting (bytes, drops, energy callbacks) feeds the
 // experiment harnesses.
+//
+// Node state lives in structure-of-arrays slabs (one flat vector per
+// field) rather than an array of endpoint structs: the hot loops — grid
+// rebuilds, connectivity scans, liveness sweeps — touch one or two fields
+// of every node, and slab layout keeps those sweeps on densely packed
+// cache lines at 100k+ nodes instead of striding over 80-byte records.
 
 #include <functional>
 #include <optional>
@@ -43,16 +49,16 @@ class Network : public sim::Checkpointable {
 
   /// Registers a radio endpoint; returns its dense NodeId.
   NodeId add_node(sim::Vec2 position, RadioProfile profile = {});
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return positions_.size(); }
 
   void set_handler(NodeId id, Handler h);
   void set_position(NodeId id, sim::Vec2 p);
-  sim::Vec2 position(NodeId id) const { return nodes_.at(id).position; }
-  const RadioProfile& profile(NodeId id) const { return nodes_.at(id).profile; }
+  sim::Vec2 position(NodeId id) const { return positions_.at(id); }
+  const RadioProfile& profile(NodeId id) const { return profiles_.at(id); }
 
   /// Takes a node offline: it neither sends, receives, nor forwards.
   void set_node_up(NodeId id, bool up);
-  bool node_up(NodeId id) const { return nodes_.at(id).up; }
+  bool node_up(NodeId id) const { return up_.at(id) != 0; }
 
   // --- Traffic ----------------------------------------------------------
 
@@ -67,7 +73,10 @@ class Network : public sim::Checkpointable {
 
   /// Multi-hop unicast along the current shortest path (hop count metric).
   /// Each hop is a real frame subject to loss; on a lost hop the message
-  /// dies (upper layers retry if they care). Returns false if no route.
+  /// dies (upper layers retry if they care). Returns false if no route —
+  /// including unknown node ids (dropped kNoRoute, mirroring route_exists)
+  /// and a down src == dst (dropped kNodeDown: a dead radio delivers
+  /// nothing, not even to itself).
   bool route_and_send(NodeId src, NodeId dst, Message msg);
 
   /// True if a multi-hop route currently exists.
@@ -76,21 +85,43 @@ class Network : public sim::Checkpointable {
   // --- Introspection ----------------------------------------------------
 
   /// Snapshot of the current connectivity graph among live nodes (edge
-  /// weight = distance). Built from grid neighborhoods — O(n * density) —
-  /// when the spatial index is enabled; O(n^2) brute force otherwise. Both
-  /// paths produce bit-identical topologies.
+  /// weight = distance). With incremental maintenance on (the default)
+  /// this copies the persistent edge store — O(edges), no node scan; with
+  /// it off the graph is rebuilt from grid neighborhoods (O(n * density))
+  /// or the O(n^2) brute scan per the spatial-index flag. All paths
+  /// produce bit-identical topologies.
   Topology connectivity() const;
+
+  /// Borrowed view of the current connectivity graph, valid until the next
+  /// Network mutation. With incremental maintenance on this is a reference
+  /// to the live edge store — O(1), no copy, no scan; with it off every
+  /// call rebuilds into an internal scratch graph (the full-rebuild
+  /// baseline cost, kept honest for the bench).
+  const Topology& topology_view() const;
 
   /// Enables/disables the uniform-grid spatial index (default: enabled).
   /// The grid is maintained either way; the flag selects how geometric
-  /// queries (broadcast fan-out, connectivity, nodes_near, set_position
-  /// relationship checks) enumerate candidates. Observable behavior —
-  /// topologies, delivery traces, metric digests — is bit-identical in
-  /// both modes; only wall time differs. The brute-force mode exists as
-  /// the equivalence/bench baseline.
+  /// queries (broadcast fan-out, connectivity rebuilds, nodes_near,
+  /// set_position relationship checks) enumerate candidates. Observable
+  /// behavior — topologies, delivery traces, metric digests — is
+  /// bit-identical in both modes; only wall time differs. The brute-force
+  /// mode exists as the equivalence/bench baseline.
   void set_spatial_index_enabled(bool on) { use_grid_ = on; }
   bool spatial_index_enabled() const { return use_grid_; }
   const SpatialGrid& spatial_grid() const { return grid_; }
+
+  /// Enables/disables incremental connectivity maintenance (default:
+  /// enabled). When on, add_node / set_position / set_node_up compute the
+  /// changed edge set from the grid's 3x3 neighborhood diff and patch a
+  /// persistent edge store, so connectivity views and route rebuilds never
+  /// re-scan all N nodes. When off, every connectivity() call rebuilds
+  /// from scratch — the full-rebuild baseline, kept alive for
+  /// digest-equivalence testing (same bar as the grid-vs-brute contract).
+  /// Observable behavior — topologies, epochs, routes, digests — is
+  /// bit-identical in both modes; only wall time differs. Toggling on
+  /// mid-run pays one full rebuild to seed the store.
+  void set_incremental_connectivity_enabled(bool on);
+  bool incremental_connectivity_enabled() const { return use_incremental_; }
 
   /// Monotone counter bumped whenever the connectivity graph may have
   /// changed (node added, liveness flipped, or a move that changed at
@@ -126,20 +157,36 @@ class Network : public sim::Checkpointable {
   sim::MetricsRegistry& metrics() { return metrics_; }
   const sim::MetricsRegistry& metrics() const { return metrics_; }
 
-  std::uint64_t bytes_sent(NodeId id) const { return nodes_.at(id).bytes_sent; }
+  std::uint64_t bytes_sent(NodeId id) const { return bytes_sent_.at(id); }
   std::uint64_t total_bytes_sent() const;
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
+  /// Bytes held per substrate structure (container capacities x element
+  /// sizes — a deterministic structural measure, not allocator truth).
+  /// Feeds the memory-per-node column of the scaling bench: the budget
+  /// that decides whether one world fits 100k+ nodes.
+  struct MemoryFootprint {
+    std::size_t node_slabs = 0;   ///< SoA per-node field vectors
+    std::size_t grid = 0;         ///< spatial index cells + memo
+    std::size_t links = 0;        ///< incremental connectivity edge store
+    std::size_t route_cache = 0;  ///< per-source shortest-path cache
+    std::size_t pending = 0;      ///< in-flight frame slab
+    std::size_t total() const {
+      return node_slabs + grid + links + route_cache + pending;
+    }
+  };
+  MemoryFootprint memory_footprint() const;
+
   // --- Checkpointing ----------------------------------------------------
-  // Saved: node table (positions, profiles, liveness, accounting — NOT the
+  // Saved: node slabs (positions, profiles, liveness, accounting — NOT the
   // receive handlers, which are closures of the live service stack),
   // channel, rng, metrics, and every in-flight frame with its delivery
-  // time + original FIFO seq. Restored: all of the above, with the grid
-  // and route cache rebuilt from scratch and deliveries re-armed in
-  // original-seq order. Handlers already installed on the restoring stack
-  // are kept per-node; services that installed handlers on nodes created
-  // mid-run (e.g. Sybil firmware) must re-install them from their own
-  // participant restore.
+  // time + original FIFO seq. Restored: all of the above, with the grid,
+  // the incremental edge store, and the route cache rebuilt from scratch
+  // (pure derived state) and deliveries re-armed in original-seq order.
+  // Handlers already installed on the restoring stack are kept per-node;
+  // services that installed handlers on nodes created mid-run (e.g. Sybil
+  // firmware) must re-install them from their own participant restore.
 
   std::string_view checkpoint_key() const override { return "net.network"; }
   void save(sim::Snapshot& snap, const std::string& key) const override;
@@ -147,16 +194,6 @@ class Network : public sim::Checkpointable {
                sim::RestoreArmer& armer) override;
 
  private:
-  struct Endpoint {
-    sim::Vec2 position;
-    RadioProfile profile;
-    Handler handler;
-    bool up = true;
-    std::uint64_t bytes_sent = 0;
-    /// Earliest time this radio's transmitter is free (half-duplex FIFO).
-    sim::SimTime tx_free_at;
-  };
-
   /// A frame on the air, parked in the pending slab until its delivery
   /// event fires. Slab slots are recycled through a free list so the hot
   /// path reuses their buffers; the delivery closure captures only
@@ -186,7 +223,13 @@ class Network : public sim::Checkpointable {
     std::uint64_t seq = 0;
   };
   struct CheckpointState {
-    std::vector<Endpoint> nodes;  // handlers nulled
+    // Node slabs, parallel by NodeId (handlers excluded: live-stack
+    // closures never enter a snapshot).
+    std::vector<sim::Vec2> positions;
+    std::vector<RadioProfile> profiles;
+    std::vector<std::uint8_t> up;
+    std::vector<std::uint64_t> node_bytes_sent;
+    std::vector<sim::SimTime> tx_free_at;
     ChannelModel channel;
     sim::Rng rng;
     sim::MetricsRegistry metrics;
@@ -219,8 +262,28 @@ class Network : public sim::Checkpointable {
   /// True iff moving `id` from `from` to `to` changes the in-range
   /// relationship with at least one other live node. Grid and brute-force
   /// modes compute the identical answer (the grid only narrows which
-  /// candidates need the exact in_range check).
+  /// candidates need the exact in_range check). Used by the full-rebuild
+  /// mode only; incremental mode learns the same answer as a byproduct of
+  /// patching the edge store.
   bool neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) const;
+
+  /// Full-scan connectivity rebuild (grid neighborhoods or brute force per
+  /// use_grid_) — the baseline the incremental store must stay
+  /// bit-identical to, and the seed for the store on enable/restore.
+  Topology full_connectivity() const;
+  /// Patches links_ for a move of live node `id` (must run BEFORE the slab
+  /// position and grid are updated): the union of the two 3x3
+  /// neighborhoods covers every node whose in-range relationship can flip.
+  /// Weights of retained edges are refreshed to the new distance, so the
+  /// store tracks link-metric drift exactly like a from-scratch rebuild.
+  /// Returns whether any edge appeared or vanished — the same answer
+  /// neighbor_set_changed gives, so epoch bumps are mode-identical.
+  bool patch_links_for_move(NodeId id, sim::Vec2 from, sim::Vec2 to);
+  /// Adds every edge of a node that just came up / joined (grid must
+  /// already contain it).
+  void attach_links(NodeId id);
+  /// Removes every edge of a node that just went down.
+  void detach_links(NodeId id);
 
   sim::Simulator& sim_;
   ChannelModel channel_;
@@ -234,7 +297,18 @@ class Network : public sim::Checkpointable {
   trace::Name trace_in_flight_{"net.frames_in_flight", "net"};
   std::uint64_t next_frame_trace_id_ = 1;
   std::uint64_t frames_in_flight_ = 0;
-  std::vector<Endpoint> nodes_;
+
+  // Node state as structure-of-arrays slabs, parallel by NodeId. The hot
+  // sweeps (grid rebuild: positions x up; connectivity: positions x
+  // profiles x up; accounting: bytes) each touch only the slabs they need.
+  std::vector<sim::Vec2> positions_;
+  std::vector<RadioProfile> profiles_;
+  std::vector<Handler> handlers_;
+  std::vector<std::uint8_t> up_;  // 0/1; vector<bool> would cost a shift per access
+  std::vector<std::uint64_t> bytes_sent_;
+  /// Earliest time each radio's transmitter is free (half-duplex FIFO).
+  std::vector<sim::SimTime> tx_free_at_;
+
   sim::Duration hop_latency_ = sim::Duration::millis(1);
   std::function<void(NodeId, std::size_t)> transmit_hook_;
   std::function<void(DropReason, const Message&)> drop_hook_;
@@ -261,9 +335,20 @@ class Network : public sim::Checkpointable {
   /// Candidate scratch buffer for grid queries (avoids an allocation per
   /// broadcast); mutable because const queries reuse it.
   mutable std::vector<NodeId> scratch_;
-  /// Edge scratch for connectivity() snapshots — reused so rebuilds stop
+  /// Edge scratch for full connectivity rebuilds — reused so rebuilds stop
   /// allocating once warm; mutable for the same reason as scratch_.
   mutable std::vector<Edge> edge_scratch_;
+
+  /// Persistent connectivity edge store, patched in place by add_node /
+  /// set_position / set_node_up while use_incremental_ is on. Adjacency
+  /// lists are kept sorted ascending by neighbor id — the exact order a
+  /// full rebuild produces — so copies, Dijkstra tie-breaks, and digests
+  /// are bit-identical to the rebuild paths. Derived state: never saved,
+  /// reseeded by a full rebuild on restore/enable.
+  Topology links_;
+  bool use_incremental_ = true;
+  /// Rebuild-mode scratch for topology_view(); mutable pure cache.
+  mutable Topology view_scratch_;
 
   // Shortest-path cache keyed by source, invalidated by epoch bumps.
   std::uint64_t topology_epoch_ = 0;

@@ -110,4 +110,19 @@ void SpatialGrid::ring(sim::Vec2 p, int r, std::vector<NodeId>& out) const {
   }
 }
 
+std::size_t SpatialGrid::memory_bytes() const {
+  // Hash-node overhead approximated as key + bucket vector header + two
+  // pointers; exact malloc bookkeeping is allocator-specific and would
+  // make the bench column nondeterministic.
+  constexpr std::size_t kNodeOverhead = sizeof(std::uint64_t) + 2 * sizeof(void*);
+  std::size_t bytes = 0;
+  for (const auto& [key, ids] : cells_) {
+    bytes += kNodeOverhead + sizeof(ids) + ids.capacity() * sizeof(NodeId);
+  }
+  for (const auto& [key, hood] : hood_memo_) {
+    bytes += kNodeOverhead + sizeof(hood) + hood.ids.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
 }  // namespace iobt::net

@@ -68,6 +68,12 @@ class SpatialGrid {
   /// expanding-ring searches.
   void ring(sim::Vec2 p, int r, std::vector<NodeId>& out) const;
 
+  /// Bytes held by the cell buckets and the neighborhood memo (container
+  /// capacities x element sizes plus per-entry hash-node overhead — a
+  /// structural estimate, not allocator truth). Deterministic for a given
+  /// operation sequence; feeds the memory-per-node bench column.
+  std::size_t memory_bytes() const;
+
  private:
   std::int32_t coord(double v) const;
   static std::uint64_t key(std::int32_t cx, std::int32_t cy) {

@@ -98,6 +98,44 @@ void Topology::add_edge_unique(NodeId a, NodeId b, double weight) {
   ++edge_count_;
 }
 
+void Topology::add_edge_sorted(NodeId a, NodeId b, double weight) {
+  if (a == b) return;
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("Topology::add_edge_sorted: node id out of range");
+  }
+  assert(!has_edge(a, b) && "add_edge_sorted: pair already present");
+  auto insert_sorted = [](std::vector<Neighbor>& v, NodeId id, double w) {
+    auto it = std::lower_bound(
+        v.begin(), v.end(), id,
+        [](const Neighbor& n, NodeId target) { return n.id < target; });
+    v.insert(it, Neighbor{id, w});
+  };
+  insert_sorted(adjacency_[a], b, weight);
+  insert_sorted(adjacency_[b], a, weight);
+  ++edge_count_;
+}
+
+void Topology::update_edge_weight(NodeId a, NodeId b, double weight) {
+  assert(a < node_count() && b < node_count() &&
+         "update_edge_weight: node id out of range");
+  bool found = false;
+  for (auto& n : adjacency_[a]) {
+    if (n.id == b) {
+      n.weight = weight;
+      found = true;
+      break;
+    }
+  }
+  assert(found && "update_edge_weight: edge absent");
+  (void)found;
+  for (auto& m : adjacency_[b]) {
+    if (m.id == a) {
+      m.weight = weight;
+      return;
+    }
+  }
+}
+
 void Topology::remove_edge(NodeId a, NodeId b) {
   if (a >= node_count() || b >= node_count()) return;
   auto erase_from = [](std::vector<Neighbor>& v, NodeId id) {
@@ -383,6 +421,12 @@ Topology Topology::hierarchical(std::size_t clusters, std::size_t cluster_size) 
     }
   }
   return t;
+}
+
+std::size_t Topology::memory_bytes() const {
+  std::size_t bytes = adjacency_.capacity() * sizeof(std::vector<Neighbor>);
+  for (const auto& list : adjacency_) bytes += list.capacity() * sizeof(Neighbor);
+  return bytes;
 }
 
 }  // namespace iobt::net

@@ -67,6 +67,18 @@ class Topology {
   /// identical to add_edge's; feeding it a duplicate pair corrupts the
   /// edge count, so it asserts in debug builds.
   void add_edge_unique(NodeId a, NodeId b, double weight = 1.0);
+  /// Adds an undirected edge, inserting each endpoint into the other's
+  /// adjacency list at its id-sorted position. For graphs whose adjacency
+  /// lists are maintained in ascending-id order (the Network's incremental
+  /// connectivity store), this keeps insertion-order-independent adjacency
+  /// — and thus Dijkstra tie-breaks — identical to a bulk build from the
+  /// sorted edge list. The pair must not already be present (asserts in
+  /// debug builds).
+  void add_edge_sorted(NodeId a, NodeId b, double weight = 1.0);
+  /// Updates the weight of an edge that MUST already exist (asserts in
+  /// debug builds): unlike set_edge_weight it can never append, so it is
+  /// safe on sorted adjacency lists.
+  void update_edge_weight(NodeId a, NodeId b, double weight);
   /// Removes the edge if present.
   void remove_edge(NodeId a, NodeId b);
   bool has_edge(NodeId a, NodeId b) const;
@@ -127,6 +139,11 @@ class Topology {
   /// Two-tier hierarchy: `clusters` cliques of size `cluster_size`, with
   /// cluster heads (node c*cluster_size) fully connected to each other.
   static Topology hierarchical(std::size_t clusters, std::size_t cluster_size);
+
+  /// Bytes held by the adjacency structure (vector capacities x element
+  /// sizes, not allocator truth). Deterministic for a given operation
+  /// sequence, which is what memory-budget benches need.
+  std::size_t memory_bytes() const;
 
  private:
   std::vector<std::vector<Neighbor>> adjacency_;

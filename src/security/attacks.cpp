@@ -92,7 +92,7 @@ void AttackInjector::fire(std::size_t index) {
     }
     case Kind::kCapture: {
       things::Asset& a = world_.asset(schedule_[index].asset);
-      if (!a.alive) break;
+      if (!world_.asset_alive(schedule_[index].asset)) break;
       a.affiliation = things::Affiliation::kRed;
       a.emissions.responds_to_probe = false;
       a.emissions.beacon_period_s = 0.0;
@@ -106,7 +106,7 @@ void AttackInjector::fire(std::size_t index) {
       const sim::Rect area = world_.area();
       for (std::size_t i = 0; i < count; ++i) {
         sim::Rng item = rng.child(i);
-        things::Asset a = things::make_asset_template(
+        things::AssetSpec a = things::make_asset_template(
             things::DeviceClass::kSmartphone, things::Affiliation::kRed, item);
         // Sybils *pretend* to cooperate: they answer probes and beacon
         // like blue motes so they pass naive discovery.

@@ -32,6 +32,12 @@ struct EmissionProfile {
   double side_channel_rate_hz = 0.1;
 };
 
+/// The cold per-asset record: identity, capabilities, and ground-truth
+/// attributes that change rarely (if ever) after construction. The HOT
+/// per-tick state — liveness, energy, mobility — lives in World's
+/// structure-of-arrays slabs, keyed by AssetId, so the tick sweep over
+/// 100k+ assets touches densely packed field arrays instead of striding
+/// over full records. Accessors: World::asset_alive / energy / mobility.
 struct Asset {
   AssetId id = 0;
   DeviceClass device_class = DeviceClass::kSensorMote;
@@ -41,18 +47,11 @@ struct Asset {
   std::vector<SenseCapability> sensors;
   std::vector<ActuateCapability> actuators;
   ComputeProfile compute;
-  EnergyModel energy;
   EmissionProfile emissions;
-
-  /// Mobility strategy; null means stationary.
-  std::shared_ptr<MobilityModel> mobility;
 
   /// For human assets: probability that a claim the human makes is correct
   /// (the social-sensing reliability parameter, refs [1-4]); ground truth.
   double report_reliability = 1.0;
-
-  /// Alive = powered and not destroyed. Dead assets are off the network.
-  bool alive = true;
 
   bool has_sensor(Modality m) const {
     return sensor(m) != nullptr;
@@ -69,6 +68,18 @@ struct Asset {
     }
     return false;
   }
+};
+
+/// Construction-time asset description: the cold record plus the initial
+/// hot state World will move into its slabs. Scenario generators build
+/// one of these per asset and hand it to World::add_asset; assets always
+/// start alive. Keeping the spec a distinct type makes any stale read of
+/// hot fields through a stored Asset a compile error instead of a silent
+/// wrong answer.
+struct AssetSpec : Asset {
+  EnergyModel energy;
+  /// Mobility strategy; null means stationary.
+  std::shared_ptr<MobilityModel> mobility;
 };
 
 }  // namespace iobt::things

@@ -109,8 +109,8 @@ ComputeProfile compute_for_class(DeviceClass cls) {
 
 }  // namespace
 
-Asset make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng) {
-  Asset a;
+AssetSpec make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng) {
+  AssetSpec a;
   a.device_class = cls;
   a.affiliation = aff;
   a.compute = compute_for_class(cls);
@@ -251,7 +251,7 @@ std::vector<AssetId> build_population(World& world, const PopulationConfig& cfg,
       sim::Rng item_rng = rng.child(sim::fnv1a(to_string(cls)) ^ i);
       const Affiliation aff =
           ambient ? draw_ambient_affiliation(cfg, item_rng) : Affiliation::kBlue;
-      Asset a = make_asset_template(cls, aff, item_rng);
+      AssetSpec a = make_asset_template(cls, aff, item_rng);
       if (cls == DeviceClass::kHuman) {
         if (aff == Affiliation::kRed) {
           a.report_reliability = 1.0 - cfg.red_lie_probability;

@@ -55,7 +55,7 @@ std::vector<AssetId> build_population(World& world, const PopulationConfig& cfg,
 
 /// Class-typical asset templates (capabilities, energy, radio). Exposed so
 /// tests can build single assets.
-Asset make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng);
+AssetSpec make_asset_template(DeviceClass cls, Affiliation aff, sim::Rng& rng);
 net::RadioProfile radio_for_class(DeviceClass cls);
 
 }  // namespace iobt::things

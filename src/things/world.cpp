@@ -35,16 +35,21 @@ World::~World() {
   sim_.checkpoint().unregister(this);
 }
 
-AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radio) {
+AssetId World::add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio) {
   const auto id = static_cast<AssetId>(assets_.size());
-  asset.id = id;
-  asset.node = net_.add_node(position, radio);
+  spec.id = id;
+  spec.node = net_.add_node(position, radio);
   // Keep the node->asset index current for every arrival, not just the
   // population present at start(): assets recruited mid-run must pay
   // transmit energy too.
-  if (node_to_asset_.size() <= asset.node) node_to_asset_.resize(asset.node + 1, 0);
-  node_to_asset_[asset.node] = id;
-  assets_.push_back(std::move(asset));
+  if (node_to_asset_.size() <= spec.node) node_to_asset_.resize(spec.node + 1, 0);
+  node_to_asset_[spec.node] = id;
+  // Hot state peels off into the slabs; the cold record is the Asset
+  // subobject that remains.
+  alive_.push_back(1);
+  energy_.push_back(spec.energy);
+  mobility_.push_back(std::move(spec.mobility));
+  assets_.push_back(std::move(static_cast<Asset&>(spec)));
   // Hooks may register further hooks (a service bootstrapping another) and
   // reallocate the vector: index with a snapshotted count, never iterators.
   const std::size_t hook_count = added_hooks_.size();
@@ -53,12 +58,11 @@ AssetId World::add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radi
 }
 
 void World::destroy_asset(AssetId id) {
-  Asset& a = assets_.at(id);
   // Idempotence guard: overlapping attacks (node_kill + mass_kill on the
   // same asset) and re-entrant kills from down-hooks fire the hooks once.
-  if (!a.alive) return;
-  a.alive = false;
-  net_.set_node_up(a.node, false);
+  if (!alive_.at(id)) return;
+  alive_[id] = 0;
+  net_.set_node_up(assets_[id].node, false);
   // Down-hooks may destroy further assets or add hooks; snapshot the count
   // and index (same reasoning as add_asset).
   const std::size_t hook_count = down_hooks_.size();
@@ -66,14 +70,14 @@ void World::destroy_asset(AssetId id) {
 }
 
 bool World::asset_live(AssetId id) const {
-  const Asset& a = assets_.at(id);
-  return a.alive && !a.energy.depleted();
+  return alive_.at(id) != 0 && !energy_[id].depleted();
 }
 
 std::size_t World::live_asset_count() const {
+  // A pure slab sweep: two flat arrays, no cold-record striding.
   std::size_t n = 0;
-  for (const Asset& a : assets_) {
-    if (a.alive && !a.energy.depleted()) ++n;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i] && !energy_[i].depleted()) ++n;
   }
   return n;
 }
@@ -100,7 +104,7 @@ void World::install_transmit_hook() {
   // per-frame hook is O(1).
   net_.set_transmit_hook([this](net::NodeId node, std::size_t bytes) {
     if (node < node_to_asset_.size()) {
-      assets_[node_to_asset_[node]].energy.drain_tx(bytes);
+      energy_[node_to_asset_[node]].drain_tx(bytes);
     }
   });
 }
@@ -132,19 +136,22 @@ void World::tick(double dt_s) {
   // replacement) and reallocate assets_, so never hold a reference across
   // it: iterate by index and re-fetch. The count is snapshotted so assets
   // recruited mid-tick start ticking on the next tick.
+  // The hot sweep runs on the slabs: liveness + energy are flat arrays,
+  // and the cold record is only touched for its node id when a mobile
+  // asset actually moves.
   const std::size_t count = assets_.size();
   for (std::size_t i = 0; i < count; ++i) {
-    if (!assets_[i].alive) continue;
-    assets_[i].energy.drain_idle(dt_s);
-    if (assets_[i].energy.depleted()) {
+    if (!alive_[i]) continue;
+    energy_[i].drain_idle(dt_s);
+    if (energy_[i].depleted()) {
       destroy_asset(static_cast<AssetId>(i));
       continue;
     }
-    Asset& a = assets_[i];
-    if (a.mobility) {
-      const sim::Vec2 from = net_.position(a.node);
-      const sim::Vec2 to = area_.clamp(a.mobility->step(from, dt_s));
-      if (!(to == from)) net_.set_position(a.node, to);
+    if (mobility_[i]) {
+      const net::NodeId node = assets_[i].node;
+      const sim::Vec2 from = net_.position(node);
+      const sim::Vec2 to = area_.clamp(mobility_[i]->step(from, dt_s));
+      if (!(to == from)) net_.set_position(node, to);
     }
   }
   for (Target& t : targets_) {
@@ -157,7 +164,7 @@ std::vector<Observation> World::sense(AssetId asset_id, Modality modality) {
   if (!asset_live(asset_id)) return {};
   const SenseCapability* cap = a.sensor(modality);
   if (!cap) return {};
-  a.energy.drain_sense();
+  energy_[asset_id].drain_sense();
   sim::Rng sensor_rng = rng_.child(0xABCD0000ULL + asset_id).child(
       static_cast<std::uint64_t>(sim_.now().nanos()));
   const sim::Vec2 at = net_.position(a.node);
@@ -177,7 +184,10 @@ void World::save(sim::Snapshot& snap, const std::string& key) const {
   CheckpointState st;
   std::map<const MobilityModel*, std::shared_ptr<MobilityModel>> memo;
   st.assets = assets_;
-  for (Asset& a : st.assets) a.mobility = clone_memoized(a.mobility, memo);
+  st.alive = alive_;
+  st.energy = energy_;
+  st.mobility.reserve(mobility_.size());
+  for (const auto& m : mobility_) st.mobility.push_back(clone_memoized(m, memo));
   st.targets = targets_;
   for (Target& t : st.targets) t.mobility = clone_memoized(t.mobility, memo);
   st.node_to_asset = node_to_asset_;
@@ -200,7 +210,11 @@ void World::restore(const sim::Snapshot& snap, const std::string& key,
   // mobility advances independently.
   std::map<const MobilityModel*, std::shared_ptr<MobilityModel>> memo;
   assets_ = st.assets;
-  for (Asset& a : assets_) a.mobility = clone_memoized(a.mobility, memo);
+  alive_ = st.alive;
+  energy_ = st.energy;
+  mobility_.clear();
+  mobility_.reserve(st.mobility.size());
+  for (const auto& m : st.mobility) mobility_.push_back(clone_memoized(m, memo));
   targets_ = st.targets;
   for (Target& t : targets_) t.mobility = clone_memoized(t.mobility, memo);
   node_to_asset_ = st.node_to_asset;

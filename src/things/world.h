@@ -60,15 +60,34 @@ class World : public sim::Checkpointable {
 
   // --- Population -------------------------------------------------------
 
-  /// Registers an asset: creates its network endpoint at `position` with
-  /// `radio`, assigns ids, and returns the AssetId. The Asset's `node` and
-  /// `id` fields are filled in.
-  AssetId add_asset(Asset asset, sim::Vec2 position, net::RadioProfile radio);
+  /// Registers an asset from its spec: creates its network endpoint at
+  /// `position` with `radio`, assigns ids, moves the spec's hot state
+  /// (energy, mobility; assets start alive) into the SoA slabs, and
+  /// returns the AssetId. The stored record's `node` and `id` fields are
+  /// filled in.
+  AssetId add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio);
 
+  /// The cold per-asset record (identity, capabilities, ground truth).
+  /// Hot per-tick state lives in slabs behind asset_alive / energy /
+  /// mobility below.
   Asset& asset(AssetId id) { return assets_.at(id); }
   const Asset& asset(AssetId id) const { return assets_.at(id); }
   std::size_t asset_count() const { return assets_.size(); }
   const std::vector<Asset>& assets() const { return assets_; }
+
+  // --- Hot state slabs (parallel to assets_ by AssetId) ------------------
+
+  /// Raw liveness flag: false once destroyed. See asset_live for the
+  /// "alive AND not energy-depleted" predicate services use.
+  bool asset_alive(AssetId id) const { return alive_.at(id) != 0; }
+  EnergyModel& energy(AssetId id) { return energy_.at(id); }
+  const EnergyModel& energy(AssetId id) const { return energy_.at(id); }
+  const std::shared_ptr<MobilityModel>& mobility(AssetId id) const {
+    return mobility_.at(id);
+  }
+  void set_mobility(AssetId id, std::shared_ptr<MobilityModel> m) {
+    mobility_.at(id) = std::move(m);
+  }
 
   sim::Vec2 asset_position(AssetId id) const { return net_.position(assets_.at(id).node); }
 
@@ -127,7 +146,8 @@ class World : public sim::Checkpointable {
   sim::Rng& rng() { return rng_; }
 
   // --- Checkpointing ----------------------------------------------------
-  // POD model state (assets with cloned mobility, targets, disruptions,
+  // POD model state (cold asset records, hot slabs with cloned mobility,
+  // targets, disruptions,
   // node index, rng, tick cursor) round-trips through the Snapshot; the
   // down/added hooks do NOT — they belong to the live service stack, and
   // restore() never fires them (the metrics/service state those hooks
@@ -140,7 +160,11 @@ class World : public sim::Checkpointable {
 
  private:
   struct CheckpointState {
-    std::vector<Asset> assets;             // mobility deep-cloned
+    std::vector<Asset> assets;             // cold records
+    // Hot slabs, parallel to assets.
+    std::vector<std::uint8_t> alive;
+    std::vector<EnergyModel> energy;
+    std::vector<std::shared_ptr<MobilityModel>> mobility;  // deep-cloned
     std::vector<AssetId> node_to_asset;
     std::vector<Target> targets;           // mobility deep-cloned
     std::vector<SensingDisruption> disruptions;
@@ -161,6 +185,13 @@ class World : public sim::Checkpointable {
   sim::Rect area_;
   sim::Rng rng_;
   std::vector<Asset> assets_;
+  /// Hot per-tick state as structure-of-arrays slabs parallel to assets_:
+  /// the tick sweep (liveness check, idle drain, depletion test, mobility
+  /// step) walks flat field arrays instead of striding over full records,
+  /// which is what keeps a 100k+ asset world inside cache.
+  std::vector<std::uint8_t> alive_;  // 0/1; vector<bool> costs a shift per access
+  std::vector<EnergyModel> energy_;
+  std::vector<std::shared_ptr<MobilityModel>> mobility_;
   /// node -> owning asset, maintained by add_asset (the transmit-energy
   /// hook and node-keyed queries are O(1), including for late arrivals).
   std::vector<AssetId> node_to_asset_;

@@ -148,7 +148,7 @@ struct CheckpointScenario {
     sim::Rng layout(seed * 2654435761ULL + 1);
     for (std::size_t i = 0; i < population; ++i) {
       sim::Rng maker = layout.child(i);
-      things::Asset a = things::make_asset_template(
+      things::AssetSpec a = things::make_asset_template(
           things::DeviceClass::kSensorMote, things::Affiliation::kBlue, maker);
       a.mobility = std::make_shared<things::RandomWaypoint>(
           world.area(), 4.0, 2.0, maker.child(0x30B11E));
@@ -193,7 +193,7 @@ struct CheckpointScenario {
     mix(static_cast<std::uint64_t>(sim.now().nanos()));
     mix(world.asset_count());
     for (const things::Asset& a : world.assets()) {
-      mix(a.alive ? 1 : 2);
+      mix(world.asset_alive(a.id) ? 1 : 2);
       mix(static_cast<std::uint64_t>(a.affiliation));
       const sim::Vec2 p = net.position(a.node);
       mix_double(p.x);

@@ -219,7 +219,7 @@ TEST(WorldCheckpoint, SharedMobilityStaysSharedAndPositionsReproduce) {
       s.world.area(), 3.0, 1.0, Rng(77));
   const auto add = [&](std::shared_ptr<things::MobilityModel> m, sim::Vec2 at) {
     Rng maker(s.world.asset_count() + 10);
-    things::Asset a = things::make_asset_template(
+    things::AssetSpec a = things::make_asset_template(
         things::DeviceClass::kSensorMote, things::Affiliation::kBlue, maker);
     a.mobility = std::move(m);
     return s.world.add_asset(std::move(a), at, {});
@@ -241,10 +241,10 @@ TEST(WorldCheckpoint, SharedMobilityStaysSharedAndPositionsReproduce) {
   s.sim.checkpoint().restore(snap);
   // Aliasing is model state: the two assets sharing one waypoint model
   // before the save share one clone after the restore.
-  EXPECT_EQ(s.world.asset(a0).mobility.get(), s.world.asset(a1).mobility.get());
-  EXPECT_NE(s.world.asset(a0).mobility.get(), s.world.asset(a2).mobility.get());
+  EXPECT_EQ(s.world.mobility(a0).get(), s.world.mobility(a1).get());
+  EXPECT_NE(s.world.mobility(a0).get(), s.world.mobility(a2).get());
   // And the snapshot's own models were not adopted (it stays immutable).
-  EXPECT_NE(s.world.asset(a0).mobility.get(), shared.get());
+  EXPECT_NE(s.world.mobility(a0).get(), shared.get());
 
   s.sim.run_until(SimTime::seconds(40));
   EXPECT_EQ(s.world.asset_position(a0).x, p0.x);

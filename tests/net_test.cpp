@@ -345,6 +345,156 @@ TEST_F(NetFixture, SelfSendDeliversLocally) {
   EXPECT_EQ(got, 1);
 }
 
+TEST_F(NetFixture, RouteAndSendToDownSelfDropsInsteadOfDelivering) {
+  // Regression: the src == dst fast path used to invoke the handler even
+  // when the node was DOWN — a dead radio delivered to itself.
+  const NodeId a = add({0, 0});
+  int got = 0;
+  net.set_handler(a, [&](const Message&) { ++got; });
+  net.set_node_up(a, false);
+  EXPECT_FALSE(net.route_and_send(a, a, Message{.kind = "self", .size_bytes = 1}));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.frames_dropped(), 1u);
+  EXPECT_EQ(net.metrics().counter("net.drop.node_down"), 1.0);
+  // Back up: local delivery works again.
+  net.set_node_up(a, true);
+  EXPECT_TRUE(net.route_and_send(a, a, Message{.kind = "self", .size_bytes = 1}));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, RouteAndSendUnknownIdsDropInsteadOfThrowing) {
+  // Regression: out-of-range src/dst used to throw std::out_of_range from
+  // the slab .at() while route_exists returned false for the same ids.
+  const NodeId a = add({0, 0});
+  const NodeId ghost = 57;
+  EXPECT_FALSE(net.route_exists(a, ghost));
+  EXPECT_FALSE(net.route_exists(ghost, a));
+  EXPECT_NO_THROW({
+    EXPECT_FALSE(net.route_and_send(a, ghost, Message{.kind = "m", .size_bytes = 1}));
+    EXPECT_FALSE(net.route_and_send(ghost, a, Message{.kind = "m", .size_bytes = 1}));
+    EXPECT_FALSE(net.route_and_send(ghost, ghost, Message{.kind = "m", .size_bytes = 1}));
+  });
+  EXPECT_EQ(net.frames_dropped(), 3u);
+  EXPECT_EQ(net.metrics().counter("net.drop.no_route"), 3.0);
+}
+
+namespace {
+
+void expect_identical_topologies(const Topology& got, const Topology& want,
+                                 const char* what) {
+  ASSERT_EQ(got.node_count(), want.node_count()) << what;
+  ASSERT_EQ(got.edge_count(), want.edge_count()) << what;
+  for (NodeId v = 0; v < want.node_count(); ++v) {
+    const auto& gn = got.neighbors(v);
+    const auto& wn = want.neighbors(v);
+    ASSERT_EQ(gn.size(), wn.size()) << what << " node " << v;
+    for (std::size_t i = 0; i < wn.size(); ++i) {
+      // Bit-identical: same neighbor order (Dijkstra tie-breaks) and the
+      // exact same FP weight.
+      EXPECT_EQ(gn[i].id, wn[i].id) << what << " node " << v << " slot " << i;
+      EXPECT_EQ(gn[i].weight, wn[i].weight) << what << " node " << v << " slot " << i;
+    }
+  }
+}
+
+/// Drives `mutate(net)` over incremental / rebuild / brute substrates fed
+/// the identical op sequence and checks topology + epoch identity.
+template <typename Mutate>
+void run_maintenance_equivalence(Mutate mutate) {
+  Simulator sim_inc, sim_reb, sim_brute;
+  Network inc{sim_inc, ChannelModel(2.0, 0.0), Rng(7)};
+  Network reb{sim_reb, ChannelModel(2.0, 0.0), Rng(7)};
+  Network brute{sim_brute, ChannelModel(2.0, 0.0), Rng(7)};
+  reb.set_incremental_connectivity_enabled(false);
+  brute.set_incremental_connectivity_enabled(false);
+  brute.set_spatial_index_enabled(false);
+  Rng ops(0xC0FFEE);
+  const auto step = [&](Network& n) {
+    Rng r = ops;  // each substrate consumes an identical private copy
+    mutate(n, r);
+  };
+  for (int round = 0; round < 60; ++round) {
+    step(inc);
+    step(reb);
+    step(brute);
+    ops = ops.child(round);
+    ASSERT_EQ(inc.topology_epoch(), reb.topology_epoch()) << "round " << round;
+    ASSERT_EQ(inc.topology_epoch(), brute.topology_epoch()) << "round " << round;
+    const Topology want = reb.connectivity();
+    expect_identical_topologies(inc.connectivity(), want, "inc vs rebuild");
+    expect_identical_topologies(inc.topology_view(), want, "view vs rebuild");
+    expect_identical_topologies(brute.connectivity(), want, "brute vs rebuild");
+  }
+}
+
+}  // namespace
+
+TEST(NetworkIncremental, StoreMatchesRebuildUnderMoveChurn) {
+  run_maintenance_equivalence([](Network& n, Rng& r) {
+    if (n.node_count() < 30) {
+      n.add_node({r.uniform(0, 1000), r.uniform(0, 1000)},
+                 RadioProfile{.range_m = 220.0, .data_rate_bps = 1e6});
+      return;
+    }
+    const auto id = static_cast<NodeId>(r.uniform_int(0, static_cast<std::int64_t>(n.node_count()) - 1));
+    n.set_position(id, {r.uniform(0, 1000), r.uniform(0, 1000)});
+  });
+}
+
+TEST(NetworkIncremental, StoreMatchesRebuildUnderLivenessChurnAndGrowth) {
+  run_maintenance_equivalence([](Network& n, Rng& r) {
+    const double roll = r.uniform(0.0, 1.0);
+    if (n.node_count() < 12 || roll < 0.2) {
+      // Growing ranges force grid rebuilds mid-churn; the store must ride
+      // through them untouched.
+      n.add_node({r.uniform(0, 800), r.uniform(0, 800)},
+                 RadioProfile{.range_m = r.uniform(120.0, 320.0),
+                              .data_rate_bps = 1e6});
+    } else if (roll < 0.6) {
+      const auto id = static_cast<NodeId>(r.uniform_int(0, static_cast<std::int64_t>(n.node_count()) - 1));
+      n.set_node_up(id, !n.node_up(id));
+    } else {
+      const auto id = static_cast<NodeId>(r.uniform_int(0, static_cast<std::int64_t>(n.node_count()) - 1));
+      // Down nodes reposition silently; the store must ignore them until
+      // they come back up.
+      n.set_position(id, {r.uniform(0, 800), r.uniform(0, 800)});
+    }
+  });
+}
+
+TEST_F(NetFixture, IncrementalToggleMidRunSeedsAndReleasesStore) {
+  Rng r(5);
+  for (int i = 0; i < 20; ++i) add({r.uniform(0, 500), r.uniform(0, 500)});
+  net.set_incremental_connectivity_enabled(false);
+  EXPECT_FALSE(net.incremental_connectivity_enabled());
+  for (int i = 0; i < 10; ++i) {
+    net.set_position(static_cast<NodeId>(i), {r.uniform(0, 500), r.uniform(0, 500)});
+  }
+  const Topology baseline = net.connectivity();
+  // Enabling mid-run seeds the store with one full rebuild.
+  net.set_incremental_connectivity_enabled(true);
+  expect_identical_topologies(net.connectivity(), baseline, "after enable");
+  // And it tracks further churn.
+  net.set_node_up(3, false);
+  net.set_position(7, {r.uniform(0, 500), r.uniform(0, 500)});
+  net.set_incremental_connectivity_enabled(false);
+  const Topology want = net.connectivity();
+  net.set_incremental_connectivity_enabled(true);
+  expect_identical_topologies(net.connectivity(), want, "after churn");
+}
+
+TEST_F(NetFixture, MemoryFootprintTracksNodeCount) {
+  const auto before = net.memory_footprint();
+  Rng r(9);
+  for (int i = 0; i < 64; ++i) add({r.uniform(0, 2000), r.uniform(0, 2000)});
+  const auto after = net.memory_footprint();
+  EXPECT_GT(after.node_slabs, before.node_slabs);
+  EXPECT_GT(after.grid, 0u);
+  EXPECT_GT(after.links, 0u);
+  EXPECT_EQ(after.total(), after.node_slabs + after.grid + after.links +
+                               after.route_cache + after.pending);
+}
+
 TEST_F(NetFixture, ConnectivitySnapshotMatchesRanges) {
   add({0, 0});
   add({100, 0});

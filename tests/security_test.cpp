@@ -304,7 +304,7 @@ TEST_F(AttackFixture, OverlappingKillsFireDownHooksOncePerAsset) {
   sim.run_until(SimTime::seconds(6));
   EXPECT_FALSE(world.asset_live(victim));
   for (std::size_t i = 0; i < downs.size(); ++i) {
-    EXPECT_EQ(downs[i], world.asset(static_cast<things::AssetId>(i)).alive ? 0 : 1)
+    EXPECT_EQ(downs[i], world.asset_alive(static_cast<things::AssetId>(i)) ? 0 : 1)
         << "asset " << i;
   }
 }

@@ -171,7 +171,7 @@ TEST(Sensors, PositionNoiseGrowsWithDistance) {
 
 TEST(Asset, CapabilityLookup) {
   Rng rng(1);
-  Asset a = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, rng);
+  AssetSpec a = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, rng);
   EXPECT_TRUE(a.has_sensor(Modality::kCamera));
   EXPECT_TRUE(a.has_sensor(Modality::kRadar));
   EXPECT_FALSE(a.has_sensor(Modality::kChemical));
@@ -182,8 +182,8 @@ TEST(Asset, CapabilityLookup) {
 
 TEST(Asset, RedAssetsHideFromProbes) {
   Rng rng(1);
-  Asset red = make_asset_template(DeviceClass::kSmartphone, Affiliation::kRed, rng);
-  Asset blue = make_asset_template(DeviceClass::kSmartphone, Affiliation::kBlue, rng);
+  AssetSpec red = make_asset_template(DeviceClass::kSmartphone, Affiliation::kRed, rng);
+  AssetSpec blue = make_asset_template(DeviceClass::kSmartphone, Affiliation::kBlue, rng);
   EXPECT_FALSE(red.emissions.responds_to_probe);
   EXPECT_DOUBLE_EQ(red.emissions.beacon_period_s, 0.0);
   EXPECT_TRUE(blue.emissions.responds_to_probe);
@@ -226,7 +226,7 @@ TEST_F(WorldFixture, DestroyAssetTakesNodeDownAndFiresHook) {
 
 TEST_F(WorldFixture, TickMovesMobileAssetsAndTargets) {
   Rng r(1);
-  Asset drone = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, r);
+  AssetSpec drone = make_asset_template(DeviceClass::kDrone, Affiliation::kBlue, r);
   drone.mobility = std::make_shared<RandomWaypoint>(kArea, 20.0, 0.0, Rng(50));
   const AssetId a = world.add_asset(std::move(drone), {500, 500},
                                     radio_for_class(DeviceClass::kDrone));
@@ -241,7 +241,7 @@ TEST_F(WorldFixture, TickMovesMobileAssetsAndTargets) {
 
 TEST_F(WorldFixture, EnergyDepletionKillsAsset) {
   Rng r(1);
-  Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  AssetSpec mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
   mote.energy = EnergyModel(0.5);  // tiny battery
   mote.energy.idle_cost_per_s = 0.1;
   const AssetId a = world.add_asset(std::move(mote), {10, 10},
@@ -263,16 +263,16 @@ TEST_F(WorldFixture, LateRecruitedAssetPaysTransmitEnergy) {
       radio_for_class(DeviceClass::kSensorMote));
   world.start(Duration::seconds(1.0));
 
-  Asset late_asset = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  AssetSpec late_asset = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
   late_asset.energy = EnergyModel(100.0);
   late_asset.energy.tx_cost_per_byte = 0.001;
   late_asset.energy.idle_cost_per_s = 0.0;
   const AssetId late = world.add_asset(std::move(late_asset), {20, 10},
                                        radio_for_class(DeviceClass::kSensorMote));
-  const double before = world.asset(late).energy.remaining_j();
+  const double before = world.energy(late).remaining_j();
   ASSERT_TRUE(net.send(world.asset(late).node, world.asset(early).node,
                        net::Message{.kind = "report", .size_bytes = 500}));
-  EXPECT_NEAR(world.asset(late).energy.remaining_j(), before - 0.5, 1e-9);
+  EXPECT_NEAR(world.energy(late).remaining_j(), before - 0.5, 1e-9);
 }
 
 TEST_F(WorldFixture, DownHookMayRecruitReplacementDuringTick) {
@@ -282,7 +282,7 @@ TEST_F(WorldFixture, DownHookMayRecruitReplacementDuringTick) {
   // tick while the hook recruits, forcing reallocation mid-loop.
   Rng r(1);
   for (int i = 0; i < 8; ++i) {
-    Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+    AssetSpec mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
     mote.energy = EnergyModel(0.05);  // depletes on the first tick
     mote.energy.idle_cost_per_s = 1.0;
     mote.mobility = std::make_shared<RandomWaypoint>(kArea, 5.0, 0.0, Rng(70 + i));
@@ -292,7 +292,7 @@ TEST_F(WorldFixture, DownHookMayRecruitReplacementDuringTick) {
   int recruited = 0;
   world.on_asset_down([&](AssetId) {
     Rng rr(200 + recruited);
-    Asset fresh = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, rr);
+    AssetSpec fresh = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, rr);
     fresh.energy = EnergyModel(0.0);  // unlimited
     world.add_asset(std::move(fresh), {500, 500},
                     radio_for_class(DeviceClass::kSensorMote));
@@ -334,7 +334,7 @@ TEST(Mobility, GridPatrolEscapesCornersAndLargeStepsTerminate) {
 
 TEST_F(WorldFixture, SenseRequiresModalityAndLife) {
   Rng r(1);
-  Asset mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  AssetSpec mote = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
   mote.sensors = {{Modality::kSeismic, 200.0, 1.0, 0.0}};
   const AssetId a = world.add_asset(std::move(mote), {100, 100},
                                     radio_for_class(DeviceClass::kSensorMote));
@@ -348,9 +348,9 @@ TEST_F(WorldFixture, SenseRequiresModalityAndLife) {
 
 TEST_F(WorldFixture, SenseAllOnlyUsesBlueAssets) {
   Rng r(1);
-  Asset blue = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
+  AssetSpec blue = make_asset_template(DeviceClass::kSensorMote, Affiliation::kBlue, r);
   blue.sensors = {{Modality::kSeismic, 500.0, 1.0, 0.0}};
-  Asset red = make_asset_template(DeviceClass::kSensorMote, Affiliation::kRed, r);
+  AssetSpec red = make_asset_template(DeviceClass::kSensorMote, Affiliation::kRed, r);
   red.sensors = {{Modality::kSeismic, 500.0, 1.0, 0.0}};
   const AssetId b = world.add_asset(std::move(blue), {100, 100},
                                     radio_for_class(DeviceClass::kSensorMote));
