@@ -1,0 +1,128 @@
+#pragma once
+// Deterministic dissemination scenarios: (spec, seed) -> full stack -> outcome.
+//
+// A DissemSpec is plain data — layer table, mobility kind, attack campaign,
+// attack intensity — so a sim::ScenarioMatrix cell can name one completely.
+// DissemScenario materializes the spec into a live stack (kernel, layered
+// network, world, attack injector, disseminator, reconfiguration
+// controller); run_dissemination drives it to the horizon and reduces it to
+// a DissemOutcome. Everything downstream (bench_dissemination's
+// reach-vs-attack curves, the CI fuzz slice, the checkpoint tests) builds
+// on these two calls.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dissem/dissemination.h"
+#include "net/layer.h"
+#include "net/network.h"
+#include "security/attacks.h"
+#include "sim/scenario_matrix.h"
+#include "sim/simulator.h"
+#include "things/world.h"
+
+namespace iobt::dissem {
+
+/// One stratum of the population: how many nodes, how many of them serve
+/// as inter-layer gateways, and the layer-wide radio/mobility character.
+struct LayerSpec {
+  net::LayerId layer = net::kLayerGround;
+  std::size_t nodes = 0;
+  std::size_t gateways = 0;
+  net::RadioProfile radio;
+  things::DeviceClass device = things::DeviceClass::kSensorMote;
+  double speed_mps = 0.0;  ///< used by the mobile mobility kinds
+};
+
+enum class MobilityKind { kStationary, kWaypoint, kPatrol };
+enum class AttackCampaign {
+  kNone,         ///< baseline: unattacked percolation
+  kJamming,      ///< wide-area jammer, loss scaled by intensity
+  kRegionStrike, ///< region_kill sweeps over the theater center
+  kGatewayHunt,  ///< targeted kills on the inter-layer gateways
+  kCombined,     ///< jamming + gateway hunt
+};
+
+std::string to_string(MobilityKind m);
+std::string to_string(AttackCampaign a);
+
+/// Complete scenario description. Two cells with equal specs and seeds run
+/// bit-identically.
+struct DissemSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  MobilityKind mobility = MobilityKind::kStationary;
+  AttackCampaign attack = AttackCampaign::kNone;
+  /// Attack severity knob in [0, 1]: scales jam loss and kill fractions.
+  double intensity = 0.0;
+  sim::Rect area{{0, 0}, {800, 800}};
+  double horizon_s = 120.0;
+  double seed_time_s = 5.0;
+  GossipConfig gossip;
+};
+
+/// Stock layer tables for the bench/fuzz matrix.
+std::vector<LayerSpec> ground_aerial_layers();
+std::vector<LayerSpec> ground_aerial_command_layers();
+
+/// What one run measured.
+struct DissemOutcome {
+  std::size_t nodes = 0;
+  std::size_t informed = 0;
+  std::size_t live = 0;
+  double reach = 0.0;       ///< informed / all nodes
+  double reach_live = 0.0;  ///< informed / surviving nodes
+  double t50_s = -1.0;      ///< seconds to 50% theater reach; -1 = never
+  double t90_s = -1.0;
+  std::size_t promotions = 0;  ///< gateways re-formed after attrition
+  std::uint64_t digest = 0;    ///< full observable-state digest
+};
+
+/// The live stack a spec materializes into. Tests drive it directly (to
+/// checkpoint mid-epidemic or kill gateways mid-broadcast); benches use
+/// run_dissemination below.
+class DissemScenario {
+ public:
+  DissemScenario(const DissemSpec& spec, std::uint64_t seed);
+
+  /// Runs the epidemic to the spec horizon.
+  void run_to_horizon();
+  /// Reduces the current state to an outcome (callable mid-run).
+  DissemOutcome outcome() const;
+
+  /// Node ids designated as gateways at construction, in creation order
+  /// (the gateway-hunt campaign's target list).
+  const std::vector<net::NodeId>& initial_gateways() const {
+    return initial_gateways_;
+  }
+  const DissemSpec& spec() const { return spec_; }
+
+  sim::Simulator sim;
+  net::Network net;
+  things::World world;
+  security::AttackInjector attacks;
+  Disseminator dissem;
+  ReconfigController reconfig;
+
+ private:
+  void build_population(std::uint64_t seed);
+  void build_attacks(std::uint64_t seed);
+
+  DissemSpec spec_;
+  std::vector<net::NodeId> initial_gateways_;
+  std::vector<things::AssetId> gateway_assets_;
+};
+
+/// Builds, runs, and reduces one cell. The workhorse for ParallelRunner
+/// bodies: bit-identical outcome (digest included) for equal (spec, seed).
+DissemOutcome run_dissemination(const DissemSpec& spec, std::uint64_t seed);
+
+/// The canonical scenario matrix: {layer configs} x {mobility} x {attack
+/// campaign} x {attack intensity}. Both bench_dissemination and the CI
+/// fuzz slice enumerate this.
+sim::ScenarioMatrix dissem_matrix(std::uint64_t base_seed);
+/// Translates a cell of dissem_matrix back into its spec.
+DissemSpec spec_for_cell(const sim::ScenarioCell& cell);
+
+}  // namespace iobt::dissem

@@ -1,0 +1,34 @@
+#pragma once
+// Network layers for multi-layer IoBT topologies.
+//
+// Battlefield networks are stratified: ground sensors, aerial relays, and
+// command infrastructure run heterogeneous radios and form connectivity
+// within their own stratum. Designated gateway nodes bridge strata with
+// explicit inter-layer links (Farooq & Zhu's secure multi-layer IoBT
+// design). A flat network is the degenerate single-layer case: every node
+// defaults to kLayerGround and the layer predicate never blocks a link.
+
+#include <cstdint>
+#include <string>
+
+namespace iobt::net {
+
+/// Stratum tag carried per node. Links form only within a layer, except
+/// between two gateway nodes, which bridge any pair of layers.
+using LayerId = std::uint8_t;
+
+inline constexpr LayerId kLayerGround = 0;
+inline constexpr LayerId kLayerAerial = 1;
+inline constexpr LayerId kLayerCommand = 2;
+inline constexpr std::size_t kLayerCount = 3;
+
+inline std::string to_string(LayerId layer) {
+  switch (layer) {
+    case kLayerGround: return "ground";
+    case kLayerAerial: return "aerial";
+    case kLayerCommand: return "command";
+  }
+  return "layer" + std::to_string(static_cast<unsigned>(layer));
+}
+
+}  // namespace iobt::net

@@ -12,6 +12,7 @@ std::string to_string(DropReason r) {
     case DropReason::kNodeDown: return "node_down";
     case DropReason::kNoRoute: return "no_route";
     case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kLayerBlocked: return "layer_blocked";
   }
   return "unknown";
 }
@@ -40,18 +41,21 @@ void Network::resolve_metric_handles() {
   delivery_latency_summary_ = metrics_.summary_handle("net.delivery_latency_s");
   for (const DropReason r :
        {DropReason::kOutOfRange, DropReason::kChannelLoss, DropReason::kNodeDown,
-        DropReason::kNoRoute, DropReason::kQueueOverflow}) {
+        DropReason::kNoRoute, DropReason::kQueueOverflow,
+        DropReason::kLayerBlocked}) {
     drop_counters_[static_cast<std::size_t>(r)] =
         metrics_.counter_handle("net.drop." + to_string(r));
   }
 }
 
-NodeId Network::add_node(sim::Vec2 position, RadioProfile profile) {
+NodeId Network::add_node(sim::Vec2 position, RadioProfile profile, LayerId layer) {
   const auto id = static_cast<NodeId>(positions_.size());
   positions_.push_back(position);
   profiles_.push_back(profile);
   handlers_.emplace_back();
   up_.push_back(1);
+  layers_.push_back(layer);
+  gateway_.push_back(0);
   bytes_sent_.push_back(0);
   tx_free_at_.push_back(sim::SimTime::zero());
   route_cache_.emplace_back();
@@ -114,6 +118,37 @@ void Network::set_node_up(NodeId id, bool up) {
   invalidate_routes();
 }
 
+void Network::set_gateway(NodeId id, bool on) {
+  if ((gateway_.at(id) != 0) == on) return;
+  bool changed = false;
+  if (up_[id]) {
+    // Affected links are exactly the cross-layer links to other live
+    // in-range gateways: same-layer links ignore the flag, and a non-
+    // gateway peer blocks the bridge regardless. Candidates come from the
+    // grid unconditionally (it indexes every live node whatever use_grid_
+    // says), exactly like patch_links_for_move, so the changed/unchanged
+    // answer — and with it the epoch — is identical in every mode.
+    const sim::Vec2 p = positions_[id];
+    const RadioProfile& pr = profiles_[id];
+    scratch_.clear();
+    grid_.neighborhood(p, scratch_);
+    for (const NodeId other : scratch_) {
+      if (other == id || layers_[other] == layers_[id] || !gateway_[other]) continue;
+      if (!channel_.in_range(p, pr, positions_[other], profiles_[other])) continue;
+      changed = true;
+      if (use_incremental_) {
+        if (on) {
+          links_.add_edge_sorted(id, other, sim::distance(p, positions_[other]));
+        } else {
+          links_.remove_edge(id, other);
+        }
+      }
+    }
+  }
+  gateway_[id] = on ? 1 : 0;
+  if (changed) invalidate_routes();
+}
+
 bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) const {
   const RadioProfile& pr = profiles_[id];
   const auto differs = [&](NodeId other) {
@@ -122,7 +157,7 @@ bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) cons
   };
   if (!use_grid_) {
     for (NodeId other = 0; other < node_count(); ++other) {
-      if (other == id || !up_[other]) continue;
+      if (other == id || !up_[other] || !link_allowed(id, other)) continue;
       if (differs(other)) return true;
     }
     return false;
@@ -135,7 +170,7 @@ bool Network::neighbor_set_changed(NodeId id, sim::Vec2 from, sim::Vec2 to) cons
   std::sort(scratch_.begin(), scratch_.end());
   scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
   for (const NodeId other : scratch_) {
-    if (other == id) continue;
+    if (other == id || !link_allowed(id, other)) continue;
     if (differs(other)) return true;
   }
   return false;
@@ -154,7 +189,7 @@ bool Network::patch_links_for_move(NodeId id, sim::Vec2 from, sim::Vec2 to) {
   const RadioProfile& pr = profiles_[id];
   bool changed = false;
   for (const NodeId other : scratch_) {
-    if (other == id) continue;
+    if (other == id || !link_allowed(id, other)) continue;
     const bool was = channel_.in_range(from, pr, positions_[other], profiles_[other]);
     const bool now = channel_.in_range(to, pr, positions_[other], profiles_[other]);
     if (was == now) {
@@ -179,7 +214,7 @@ void Network::attach_links(NodeId id) {
   scratch_.clear();
   grid_.neighborhood(p, scratch_);
   for (const NodeId other : scratch_) {
-    if (other == id) continue;
+    if (other == id || !link_allowed(id, other)) continue;
     if (channel_.in_range(p, pr, positions_[other], profiles_[other])) {
       links_.add_edge_sorted(id, other, sim::distance(p, positions_[other]));
     }
@@ -218,6 +253,10 @@ bool Network::transmit(NodeId src, NodeId dst, Message msg,
                        const std::vector<NodeId>* remaining_path) {
   if (!up_.at(src) || !up_.at(dst)) {
     drop(DropReason::kNodeDown, msg);
+    return false;
+  }
+  if (!link_allowed(src, dst)) {
+    drop(DropReason::kLayerBlocked, msg);
     return false;
   }
   const sim::Vec2 sp = positions_[src];
@@ -340,7 +379,7 @@ std::size_t Network::broadcast(NodeId src, Message msg) {
   const RadioProfile& spr = profiles_[src];
   std::size_t put_on_air = 0;
   const auto offer = [&](NodeId other) {
-    if (other == src || !up_[other]) return;
+    if (other == src || !up_[other] || !link_allowed(src, other)) return;
     if (!channel_.in_range(sp, spr, positions_[other], profiles_[other])) {
       return;
     }
@@ -448,6 +487,7 @@ Topology Network::full_connectivity() const {
       if (!up_[a]) continue;
       for (const NodeId b : grid_.neighborhood_sorted(positions_[a])) {
         if (b <= a) continue;
+        if (!link_allowed(a, b)) continue;
         if (channel_.in_range(positions_[a], profiles_[a], positions_[b],
                               profiles_[b])) {
           edge_scratch_.push_back(
@@ -459,7 +499,7 @@ Topology Network::full_connectivity() const {
     for (NodeId a = 0; a < node_count(); ++a) {
       if (!up_[a]) continue;
       for (NodeId b = a + 1; b < node_count(); ++b) {
-        if (!up_[b]) continue;
+        if (!up_[b] || !link_allowed(a, b)) continue;
         if (channel_.in_range(positions_[a], profiles_[a], positions_[b],
                               profiles_[b])) {
           edge_scratch_.push_back(
@@ -485,6 +525,8 @@ Network::MemoryFootprint Network::memory_footprint() const {
                  profiles_.capacity() * sizeof(RadioProfile) +
                  handlers_.capacity() * sizeof(Handler) +
                  up_.capacity() * sizeof(std::uint8_t) +
+                 layers_.capacity() * sizeof(LayerId) +
+                 gateway_.capacity() * sizeof(std::uint8_t) +
                  bytes_sent_.capacity() * sizeof(std::uint64_t) +
                  tx_free_at_.capacity() * sizeof(sim::SimTime);
   m.grid = grid_.memory_bytes();
@@ -509,6 +551,8 @@ void Network::save(sim::Snapshot& snap, const std::string& key) const {
   st.positions = positions_;
   st.profiles = profiles_;
   st.up = up_;
+  st.layers = layers_;
+  st.gateway = gateway_;
   st.node_bytes_sent = bytes_sent_;
   st.tx_free_at = tx_free_at_;
   st.channel = channel_;
@@ -552,6 +596,10 @@ void Network::restore(const sim::Snapshot& snap, const std::string& key,
   positions_ = st.positions;
   profiles_ = st.profiles;
   up_ = st.up;
+  // Layer tags and gateway flags must land before the edge-store reseed
+  // below: full_connectivity consults link_allowed.
+  layers_ = st.layers;
+  gateway_ = st.gateway;
   bytes_sent_ = st.node_bytes_sent;
   tx_free_at_ = st.tx_free_at;
 

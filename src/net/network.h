@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "net/layer.h"
 #include "net/message.h"
 #include "net/spatial_grid.h"
 #include "net/topology.h"
@@ -36,7 +37,15 @@ namespace iobt::net {
 using Handler = std::function<void(const Message&)>;
 
 /// Why a send() failed to deliver.
-enum class DropReason { kOutOfRange, kChannelLoss, kNodeDown, kNoRoute, kQueueOverflow };
+enum class DropReason {
+  kOutOfRange,
+  kChannelLoss,
+  kNodeDown,
+  kNoRoute,
+  kQueueOverflow,
+  kLayerBlocked,  ///< endpoints in different layers and not both gateways
+};
+inline constexpr std::size_t kDropReasonCount = 6;
 
 std::string to_string(DropReason r);
 
@@ -47,14 +56,34 @@ class Network : public sim::Checkpointable {
 
   // --- Node lifecycle ---------------------------------------------------
 
-  /// Registers a radio endpoint; returns its dense NodeId.
-  NodeId add_node(sim::Vec2 position, RadioProfile profile = {});
+  /// Registers a radio endpoint; returns its dense NodeId. The layer tag
+  /// defaults to kLayerGround, so a caller that never mentions layers gets
+  /// a flat network: every pair is same-layer and the layer predicate
+  /// never blocks a link.
+  NodeId add_node(sim::Vec2 position, RadioProfile profile = {},
+                  LayerId layer = kLayerGround);
   std::size_t node_count() const { return positions_.size(); }
 
   void set_handler(NodeId id, Handler h);
   void set_position(NodeId id, sim::Vec2 p);
   sim::Vec2 position(NodeId id) const { return positions_.at(id); }
   const RadioProfile& profile(NodeId id) const { return profiles_.at(id); }
+
+  // --- Layers -------------------------------------------------------------
+  // Links form only within a layer, except between two gateway nodes,
+  // which bridge any pair of layers (explicit inter-layer edges). The
+  // predicate is applied uniformly by transmit/broadcast, the incremental
+  // edge store, and every connectivity rebuild, so all modes stay
+  // digest-identical.
+
+  LayerId layer(NodeId id) const { return layers_.at(id); }
+  bool is_gateway(NodeId id) const { return gateway_.at(id) != 0; }
+  /// Promotes/demotes a node as an inter-layer gateway. Affected links are
+  /// exactly the cross-layer links to other live in-range gateways; the
+  /// topology epoch is bumped only if at least one such link appeared or
+  /// vanished (a flip with no cross-layer peer in range changes nothing —
+  /// mode-identically, so flat-network digests are unaffected).
+  void set_gateway(NodeId id, bool on);
 
   /// Takes a node offline: it neither sends, receives, nor forwards.
   void set_node_up(NodeId id, bool up);
@@ -228,6 +257,8 @@ class Network : public sim::Checkpointable {
     std::vector<sim::Vec2> positions;
     std::vector<RadioProfile> profiles;
     std::vector<std::uint8_t> up;
+    std::vector<LayerId> layers;
+    std::vector<std::uint8_t> gateway;
     std::vector<std::uint64_t> node_bytes_sent;
     std::vector<sim::SimTime> tx_free_at;
     ChannelModel channel;
@@ -259,6 +290,11 @@ class Network : public sim::Checkpointable {
 
   void drop(DropReason reason, const Message& msg);
   void invalidate_routes() { ++topology_epoch_; }
+  /// The layer predicate: true iff a link between a and b is permitted.
+  /// Same layer always; cross-layer only between two gateways.
+  bool link_allowed(NodeId a, NodeId b) const {
+    return layers_[a] == layers_[b] || (gateway_[a] && gateway_[b]);
+  }
   /// True iff moving `id` from `from` to `to` changes the in-range
   /// relationship with at least one other live node. Grid and brute-force
   /// modes compute the identical answer (the grid only narrows which
@@ -305,6 +341,8 @@ class Network : public sim::Checkpointable {
   std::vector<RadioProfile> profiles_;
   std::vector<Handler> handlers_;
   std::vector<std::uint8_t> up_;  // 0/1; vector<bool> would cost a shift per access
+  std::vector<LayerId> layers_;
+  std::vector<std::uint8_t> gateway_;  // 0/1 inter-layer bridge flag
   std::vector<std::uint64_t> bytes_sent_;
   /// Earliest time each radio's transmitter is free (half-duplex FIFO).
   std::vector<sim::SimTime> tx_free_at_;
@@ -324,7 +362,7 @@ class Network : public sim::Checkpointable {
   double* frames_sent_counter_ = nullptr;
   double* frames_delivered_counter_ = nullptr;
   sim::Summary* delivery_latency_summary_ = nullptr;
-  double* drop_counters_[5] = {};
+  double* drop_counters_[kDropReasonCount] = {};
 
   // Spatial index over LIVE nodes (down nodes are removed and re-inserted
   // on recovery). Cell size tracks the largest radio range seen so the 3x3

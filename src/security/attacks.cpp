@@ -90,6 +90,28 @@ void AttackInjector::fire(std::size_t index) {
       record("mass_kill", "killed=" + std::to_string(killed));
       break;
     }
+    case Kind::kRegionKill: {
+      // Same reentrancy discipline as mass_kill: down-hooks may recruit
+      // replacements or schedule further attacks, so index everything and
+      // snapshot the count.
+      const sim::Rect region = schedule_[index].region;
+      const double fraction = schedule_[index].fraction;
+      sim::Rng rng = schedule_[index].rng;
+      std::size_t killed = 0;
+      const std::size_t asset_count = world_.asset_count();
+      for (std::size_t i = 0; i < asset_count; ++i) {
+        const auto id = static_cast<things::AssetId>(i);
+        if (!world_.asset_live(id)) continue;
+        if (!region.contains(world_.asset_position(id))) continue;
+        if (rng.bernoulli(fraction)) {
+          world_.destroy_asset(id);
+          ++killed;
+        }
+      }
+      schedule_[index].rng = rng;
+      record("region_kill", "killed=" + std::to_string(killed));
+      break;
+    }
     case Kind::kCapture: {
       things::Asset& a = world_.asset(schedule_[index].asset);
       if (!world_.asset_alive(schedule_[index].asset)) break;
@@ -191,6 +213,18 @@ void AttackInjector::schedule_mass_kill(double fraction, sim::SimTime when,
   s.fraction = fraction;
   s.rng = rng.child(kRowStreamSalt + schedule_.size());
   s.pred = std::move(pred);
+  add_scheduled(std::move(s));
+}
+
+void AttackInjector::schedule_region_kill(sim::Rect region, double fraction,
+                                          sim::SimTime when, sim::Rng rng) {
+  Scheduled s;
+  s.kind = Kind::kRegionKill;
+  s.when = when;
+  s.tag = world_.simulator().intern("attack.region_kill");
+  s.region = region;
+  s.fraction = fraction;
+  s.rng = rng.child(kRowStreamSalt + schedule_.size());
   add_scheduled(std::move(s));
 }
 

@@ -69,6 +69,13 @@ class AttackInjector : public sim::Checkpointable {
                           std::function<bool(const things::Asset&)> pred,
                           sim::Rng rng);
 
+  /// Kills a uniformly random `fraction` of the assets positioned inside
+  /// `region` at `when` (area strike / localized capture sweep). Unlike
+  /// mass_kill this row is fully declarative — no predicate closure — so a
+  /// scenario-matrix cell can enumerate it from a spec alone.
+  void schedule_region_kill(sim::Rect region, double fraction, sim::SimTime when,
+                            sim::Rng rng);
+
   /// Converts an asset to adversary control at `when`: its affiliation
   /// flips to red, it stops answering probes, and its human/sensor reports
   /// become unreliable (reliability drops to `captured_reliability`).
@@ -100,7 +107,7 @@ class AttackInjector : public sim::Checkpointable {
  private:
   enum class Kind {
     kJamOn, kJamOff, kBlackoutOn, kBlackoutOff,
-    kNodeKill, kMassKill, kCapture, kSybil,
+    kNodeKill, kMassKill, kCapture, kSybil, kRegionKill,
   };
 
   /// One declarative schedule row. The pred closure is the only non-POD
@@ -112,7 +119,8 @@ class AttackInjector : public sim::Checkpointable {
     sim::TagId tag = sim::kUntagged;
     things::AssetId asset = 0;                       // node_kill / capture
     things::Modality modality = things::Modality::kCamera;  // blackout
-    double fraction = 0.0;                           // mass_kill
+    sim::Rect region;                                // region_kill
+    double fraction = 0.0;                           // mass_kill / region_kill
     double reliability = 0.2;                        // capture
     std::size_t count = 0;                           // sybil
     sim::Rng rng;                                    // mass_kill / sybil

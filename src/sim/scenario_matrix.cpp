@@ -1,0 +1,75 @@
+#include "sim/scenario_matrix.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace iobt::sim {
+
+std::size_t ScenarioMatrix::add_axis(std::string name,
+                                     std::vector<std::string> variants) {
+  if (variants.empty()) {
+    throw std::invalid_argument("ScenarioMatrix axis '" + name +
+                                "' has no variants");
+  }
+  axes_.push_back({std::move(name), std::move(variants)});
+  return axes_.size() - 1;
+}
+
+std::size_t ScenarioMatrix::cell_count() const {
+  std::size_t n = 1;
+  for (const ScenarioAxis& a : axes_) n *= a.variants.size();
+  return n;
+}
+
+ScenarioCell ScenarioMatrix::cell(std::size_t index) const {
+  if (index >= cell_count()) {
+    throw std::out_of_range("ScenarioMatrix::cell: index " +
+                            std::to_string(index) + " >= " +
+                            std::to_string(cell_count()));
+  }
+  ScenarioCell c;
+  c.index = index;
+  // Mixed-radix decode, axis 0 as the slowest-varying digit (so adding a
+  // trailing axis refines existing cells instead of reshuffling them).
+  c.choice.resize(axes_.size());
+  std::size_t rem = index;
+  for (std::size_t i = axes_.size(); i > 0; --i) {
+    const std::size_t radix = axes_[i - 1].variants.size();
+    c.choice[i - 1] = rem % radix;
+    rem /= radix;
+  }
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (!c.name.empty()) c.name += '/';
+    c.name += axes_[i].name + '=' + axes_[i].variants[c.choice[i]];
+  }
+  // Per-cell seed: SplitMix64 over (base ^ index-mix). splitmix64 is a
+  // bijection of its state, so distinct cells get distinct seeds.
+  std::uint64_t state = base_seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  c.seed = splitmix64(state);
+  return c;
+}
+
+std::vector<ScenarioCell> ScenarioMatrix::all_cells() const {
+  std::vector<ScenarioCell> out;
+  const std::size_t n = cell_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(cell(i));
+  return out;
+}
+
+std::vector<ScenarioCell> ScenarioMatrix::slice(std::size_t count,
+                                                std::uint64_t salt) const {
+  const std::size_t n = cell_count();
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  Rng rng(base_seed_);
+  rng = rng.child(salt);
+  rng.shuffle(indices);
+  if (count < n) indices.resize(count);
+  std::vector<ScenarioCell> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(cell(i));
+  return out;
+}
+
+}  // namespace iobt::sim

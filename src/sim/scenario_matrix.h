@@ -1,0 +1,69 @@
+#pragma once
+// Scenario-matrix generation: deterministic cross-products of experiment
+// axes.
+//
+// A matrix is built from named axes, each holding a list of named variants
+// ({layer configs} x {mobility models} x {attack campaigns}, ...). Every
+// cell of the cross-product maps to a deterministic (choices, seed) pair:
+// the seed mixes the matrix base seed with the cell index through
+// SplitMix64, so cell N always gets the same seed regardless of which
+// slice of the matrix runs, and two cells never share one. Cells are plain
+// data — callers translate a cell's choice indices into a concrete
+// scenario stack and run it, typically on a ParallelRunner (benches) or a
+// bounded shuffled slice (CI fuzzing).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace iobt::sim {
+
+/// One axis of the matrix: a dimension name plus its variants.
+struct ScenarioAxis {
+  std::string name;
+  std::vector<std::string> variants;
+};
+
+/// One cell of the cross-product. `choice[i]` indexes into axis i's
+/// variants; `seed` is unique per cell and stable under re-enumeration.
+struct ScenarioCell {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::size_t> choice;
+  /// "mobility=patrol/attack=jam_heavy/..." — the one-line repro label.
+  std::string name;
+};
+
+class ScenarioMatrix {
+ public:
+  explicit ScenarioMatrix(std::uint64_t base_seed) : base_seed_(base_seed) {}
+
+  /// Appends an axis. Returns its index. Axes must be added before cells
+  /// are enumerated; an axis must have at least one variant.
+  std::size_t add_axis(std::string name, std::vector<std::string> variants);
+
+  const std::vector<ScenarioAxis>& axes() const { return axes_; }
+  /// Product of all axis sizes (1 for an empty matrix).
+  std::size_t cell_count() const;
+
+  /// Decodes cell `index` (mixed-radix over the axes, axis 0 slowest).
+  ScenarioCell cell(std::size_t index) const;
+
+  /// Every cell, in index order.
+  std::vector<ScenarioCell> all_cells() const;
+
+  /// A bounded pseudo-random sample of min(count, cell_count()) DISTINCT
+  /// cells — the CI fuzz slice. The selection depends only on (base seed,
+  /// salt, count, matrix shape), so a failing slice reproduces exactly;
+  /// vary `salt` (e.g. by date or commit) to walk different slices across
+  /// runs.
+  std::vector<ScenarioCell> slice(std::size_t count, std::uint64_t salt) const;
+
+ private:
+  std::uint64_t base_seed_;
+  std::vector<ScenarioAxis> axes_;
+};
+
+}  // namespace iobt::sim

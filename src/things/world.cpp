@@ -35,10 +35,11 @@ World::~World() {
   sim_.checkpoint().unregister(this);
 }
 
-AssetId World::add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio) {
+AssetId World::add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio,
+                         net::LayerId layer) {
   const auto id = static_cast<AssetId>(assets_.size());
   spec.id = id;
-  spec.node = net_.add_node(position, radio);
+  spec.node = net_.add_node(position, radio, layer);
   // Keep the node->asset index current for every arrival, not just the
   // population present at start(): assets recruited mid-run must pay
   // transmit energy too.

@@ -61,11 +61,13 @@ class World : public sim::Checkpointable {
   // --- Population -------------------------------------------------------
 
   /// Registers an asset from its spec: creates its network endpoint at
-  /// `position` with `radio`, assigns ids, moves the spec's hot state
-  /// (energy, mobility; assets start alive) into the SoA slabs, and
-  /// returns the AssetId. The stored record's `node` and `id` fields are
-  /// filled in.
-  AssetId add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio);
+  /// `position` with `radio` on network `layer` (ground by default, so
+  /// flat-world callers never mention layers), assigns ids, moves the
+  /// spec's hot state (energy, mobility; assets start alive) into the SoA
+  /// slabs, and returns the AssetId. The stored record's `node` and `id`
+  /// fields are filled in.
+  AssetId add_asset(AssetSpec spec, sim::Vec2 position, net::RadioProfile radio,
+                    net::LayerId layer = net::kLayerGround);
 
   /// The cold per-asset record (identity, capabilities, ground truth).
   /// Hot per-tick state lives in slabs behind asset_alive / energy /

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "checkpoint_scenario.h"
+#include "dissem/scenario.h"
 #include "net/network.h"
 #include "security/attacks.h"
 #include "sim/checkpoint.h"
@@ -386,6 +387,99 @@ TEST(AttackCheckpoint, RestoreRewindsScheduleCursorWithoutRefiring) {
   std::vector<std::string> replayed_log;
   for (const auto& e : a.attacks.log()) replayed_log.push_back(e.type);
   EXPECT_EQ(replayed_log, final_log);  // nothing double-fired, nothing lost
+}
+
+// ------------------------------------------------ Mid-epidemic branch ----
+//
+// ISSUE 7 satellite: checkpoint coverage for the layered-network and
+// dissemination state. The snapshot is taken mid-epidemic — the alert has
+// landed on some nodes, regossip rounds are armed but unfired, and the
+// gateway-hunt campaign straddles the snapshot (early kills and their
+// promotions already happened; later kills are still pending) — and both
+// branch styles must replay the uninterrupted run bit-for-bit: informed
+// sets and times, promotions, layer/gateway slabs, and the full metrics
+// digest.
+
+dissem::DissemSpec mid_epidemic_spec() {
+  dissem::DissemSpec spec;
+  spec.name = "checkpoint";
+  spec.layers = dissem::ground_aerial_layers();
+  spec.mobility = dissem::MobilityKind::kWaypoint;
+  spec.attack = dissem::AttackCampaign::kGatewayHunt;
+  spec.intensity = 1.0;
+  spec.horizon_s = 60.0;
+  return spec;
+}
+
+// Alert seeds at 5 s and spreads in 2 s hops; 8.5 s is mid-wave: partial
+// reach, pending regossip rounds (13 s, 19 s, ...), and a hunt campaign
+// (kills at 6, 7.5, 9, ...) that is part-fired, part-pending — promotions
+// already recorded AND still to come straddle the snapshot.
+const SimTime kEpidemicSnapAt = SimTime::seconds(8.5);
+
+TEST(DissemCheckpoint, MidEpidemicFreshStackBranchIsBitIdentical) {
+  const std::uint64_t seed = 909;
+  dissem::DissemScenario a(mid_epidemic_spec(), seed);
+  a.sim.run_until(kEpidemicSnapAt);
+  const std::size_t informed_at_snap = a.dissem.informed_count();
+  ASSERT_GT(informed_at_snap, 0u);                    // epidemic underway
+  ASSERT_LT(informed_at_snap, a.net.node_count());    // ... but not done
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+  a.sim.run_until(SimTime::seconds(60));
+  const dissem::DissemOutcome uninterrupted = a.outcome();
+  ASSERT_GT(uninterrupted.promotions, 0u);  // the hunt happened post-snap
+
+  // Fresh stack built by the same (spec, seed): restore + run must land on
+  // the identical outcome, digest included.
+  dissem::DissemScenario b(mid_epidemic_spec(), seed);
+  b.sim.checkpoint().restore(snap);
+  EXPECT_EQ(b.sim.now(), kEpidemicSnapAt);
+  EXPECT_EQ(b.dissem.informed_count(), informed_at_snap);
+  b.sim.run_until(SimTime::seconds(60));
+  const dissem::DissemOutcome branched = b.outcome();
+  EXPECT_EQ(branched.digest, uninterrupted.digest);
+  EXPECT_EQ(branched.informed, uninterrupted.informed);
+  EXPECT_EQ(branched.promotions, uninterrupted.promotions);
+  EXPECT_EQ(branched.live, uninterrupted.live);
+}
+
+TEST(DissemCheckpoint, MidEpidemicInPlaceRewindIsBitIdentical) {
+  dissem::DissemScenario a(mid_epidemic_spec(), 910);
+  a.sim.run_until(kEpidemicSnapAt);
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+  a.sim.run_until(SimTime::seconds(60));
+  const dissem::DissemOutcome uninterrupted = a.outcome();
+
+  // Rewind the SAME stack: informed times, gateway state, and pending
+  // gossip rows all roll back, then replay identically.
+  a.sim.checkpoint().restore(snap);
+  EXPECT_EQ(a.sim.now(), kEpidemicSnapAt);
+  a.sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(a.outcome().digest, uninterrupted.digest);
+}
+
+TEST(DissemCheckpoint, LayerAndGatewaySlabsRoundTrip) {
+  // Promote/demote against the snapshot state and check restore puts the
+  // layer topology back exactly: layers, gateway flags, and the
+  // inter-layer edges they induce.
+  dissem::DissemScenario a(mid_epidemic_spec(), 911);
+  a.sim.run_until(kEpidemicSnapAt);
+  std::vector<net::LayerId> layers;
+  std::vector<bool> gateways;
+  for (net::NodeId id = 0; id < a.net.node_count(); ++id) {
+    layers.push_back(a.net.layer(id));
+    gateways.push_back(a.net.is_gateway(id));
+  }
+  const std::size_t edges_at_snap = a.net.connectivity().edge_count();
+  const sim::Snapshot snap = a.sim.checkpoint().save();
+
+  a.sim.run_until(SimTime::seconds(60));  // hunt kills + promotions mutate
+  a.sim.checkpoint().restore(snap);
+  for (net::NodeId id = 0; id < a.net.node_count(); ++id) {
+    EXPECT_EQ(a.net.layer(id), layers[id]) << "node " << id;
+    EXPECT_EQ(a.net.is_gateway(id), gateways[id]) << "node " << id;
+  }
+  EXPECT_EQ(a.net.connectivity().edge_count(), edges_at_snap);
 }
 
 }  // namespace

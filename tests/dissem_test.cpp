@@ -1,0 +1,170 @@
+// Tests for the dissemination module: epidemic spread over layered
+// networks, gateway bridging, attack campaigns, the reconfiguration
+// controller, and the gateway-killed-mid-broadcast regression (ASan-
+// verified: the CI sanitizer matrix runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dissem/dissemination.h"
+#include "dissem/scenario.h"
+#include "net/layer.h"
+
+namespace iobt {
+namespace {
+
+dissem::DissemSpec base_spec() {
+  dissem::DissemSpec spec;
+  spec.name = "test";
+  spec.layers = dissem::ground_aerial_layers();
+  spec.mobility = dissem::MobilityKind::kStationary;
+  spec.attack = dissem::AttackCampaign::kNone;
+  spec.horizon_s = 90.0;
+  return spec;
+}
+
+std::size_t informed_in_layer(const dissem::DissemScenario& s, net::LayerId layer) {
+  std::size_t n = 0;
+  for (net::NodeId id = 0; id < s.net.node_count(); ++id) {
+    if (s.net.layer(id) == layer && s.dissem.informed(id)) ++n;
+  }
+  return n;
+}
+
+TEST(Dissemination, AlertPercolatesAcrossLayersViaGateways) {
+  dissem::DissemScenario s(base_spec(), 41);
+  s.run_to_horizon();
+  const dissem::DissemOutcome o = s.outcome();
+  // The unattacked epidemic should blanket the theater: ground saturates
+  // by multi-round gossip, and the aerial layer is reached through the
+  // gateway bridges.
+  EXPECT_GT(o.reach, 0.9) << "epidemic failed to percolate";
+  EXPECT_GT(informed_in_layer(s, net::kLayerAerial), 0u);
+  EXPECT_GE(o.t50_s, 0.0);
+  EXPECT_GT(o.informed, 0u);
+  EXPECT_EQ(o.nodes, 74u);
+}
+
+TEST(Dissemination, NoGatewaysIsolatesLayers) {
+  dissem::DissemSpec spec = base_spec();
+  for (auto& l : spec.layers) l.gateways = 0;
+  dissem::DissemScenario s(spec, 41);
+  s.run_to_horizon();
+  // The alert starts on the ground layer; with no bridges the aerial
+  // stratum must stay dark however long the gossip runs.
+  EXPECT_GT(informed_in_layer(s, net::kLayerGround), 0u);
+  EXPECT_EQ(informed_in_layer(s, net::kLayerAerial), 0u);
+}
+
+TEST(Dissemination, SameSpecAndSeedIsBitIdentical) {
+  dissem::DissemSpec spec = base_spec();
+  spec.attack = dissem::AttackCampaign::kCombined;
+  spec.intensity = 0.6;
+  spec.mobility = dissem::MobilityKind::kWaypoint;
+  const dissem::DissemOutcome a = dissem::run_dissemination(spec, 1234);
+  const dissem::DissemOutcome b = dissem::run_dissemination(spec, 1234);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.informed, b.informed);
+  EXPECT_EQ(a.promotions, b.promotions);
+  // A different seed must not collide (distinct placements + loss draws).
+  const dissem::DissemOutcome c = dissem::run_dissemination(spec, 1235);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(Dissemination, JammingReducesReach) {
+  dissem::DissemSpec spec = base_spec();
+  const double baseline = dissem::run_dissemination(spec, 77).reach;
+  spec.attack = dissem::AttackCampaign::kJamming;
+  spec.intensity = 1.0;
+  const double jammed = dissem::run_dissemination(spec, 77).reach;
+  EXPECT_LT(jammed, baseline);
+}
+
+TEST(Dissemination, GatewayHuntTriggersPromotions) {
+  dissem::DissemSpec spec = base_spec();
+  spec.attack = dissem::AttackCampaign::kGatewayHunt;
+  spec.intensity = 1.0;  // every initial gateway is hunted down
+  dissem::DissemScenario s(spec, 99);
+  s.run_to_horizon();
+  const dissem::DissemOutcome o = s.outcome();
+  // Every kill of a standing gateway must have promoted a replacement.
+  EXPECT_GT(o.promotions, 0u);
+  // The reconfigured topology keeps the bridge alive: with all original
+  // gateways dead, aerial nodes can only have heard the alert through a
+  // promoted replacement (or before their bridge fell).
+  EXPECT_GT(informed_in_layer(s, net::kLayerAerial), 0u);
+}
+
+TEST(Dissemination, TimeToFractionIsMonotoneInFraction) {
+  dissem::DissemScenario s(base_spec(), 7);
+  s.run_to_horizon();
+  const double t25 = s.dissem.time_to_fraction(0.25);
+  const double t50 = s.dissem.time_to_fraction(0.5);
+  const double t90 = s.dissem.time_to_fraction(0.9);
+  ASSERT_GE(t25, 0.0);
+  ASSERT_GE(t50, t25);
+  ASSERT_GE(t90, t50);
+}
+
+// Regression (ISSUE 7 satellite): a gateway node destroyed while its own
+// broadcast frames — and frames addressed to it — are still on the air
+// must neither use-after-free (frame slab slots referencing a dead
+// endpoint) nor strand the epidemic. Node 0 (the seed origin) is a
+// gateway by construction; it is killed 1 ms after its first rebroadcast
+// puts frames on the air, i.e. mid-flight.
+TEST(DissemRegression, GatewayKilledMidBroadcastDoesNotStrandEpidemic) {
+  dissem::DissemSpec spec = base_spec();
+  dissem::DissemScenario s(spec, 5);
+  ASSERT_FALSE(s.initial_gateways().empty());
+  ASSERT_EQ(s.initial_gateways().front(), 0u);
+  ASSERT_TRUE(s.net.is_gateway(0));
+  // Seed fires at 5 s; the origin's first rebroadcast goes on the air at
+  // 5 s + forward_delay (2 s). Kill lands at +1 ms: transmissions are
+  // in flight, deliveries have not happened yet.
+  const things::AssetId origin_asset = s.world.asset_of_node(0);
+  s.attacks.schedule_node_kill(origin_asset, sim::SimTime::seconds(7.001));
+  s.run_to_horizon();
+  // The origin died as a gateway: the controller must have promoted a
+  // replacement at kill time.
+  ASSERT_FALSE(s.reconfig.promotions().empty());
+  EXPECT_EQ(s.reconfig.promotions().front().lost, 0u);
+  // The epidemic survived the decapitation: theater-wide reach through
+  // the remaining/promoted bridges.
+  const dissem::DissemOutcome o = s.outcome();
+  EXPECT_GT(o.reach, 0.5);
+  EXPECT_GT(informed_in_layer(s, net::kLayerAerial), 0u);
+}
+
+TEST(DissemMatrix, CellSpecsRoundTripAndCoverAxes) {
+  const sim::ScenarioMatrix m = dissem::dissem_matrix(2026);
+  EXPECT_EQ(m.cell_count(), 2u * 3u * 5u * 4u);
+  std::set<std::string> attacks_seen;
+  std::set<std::uint64_t> seeds;
+  for (const sim::ScenarioCell& c : m.all_cells()) {
+    const dissem::DissemSpec spec = dissem::spec_for_cell(c);
+    EXPECT_EQ(spec.name, c.name);
+    EXPECT_FALSE(spec.layers.empty());
+    attacks_seen.insert(to_string(spec.attack));
+    seeds.insert(c.seed);
+  }
+  EXPECT_EQ(attacks_seen.size(), 5u);
+  // Per-cell seeds are unique across the whole matrix.
+  EXPECT_EQ(seeds.size(), m.cell_count());
+}
+
+TEST(DissemMatrix, FuzzSliceCellRunsClean) {
+  // One representative fuzz cell end-to-end (the CI slice runs 24 of
+  // these under sanitizers via bench_dissemination --fuzz).
+  const sim::ScenarioMatrix m = dissem::dissem_matrix(2026);
+  const auto slice = m.slice(1, /*salt=*/3);
+  ASSERT_EQ(slice.size(), 1u);
+  dissem::DissemSpec spec = dissem::spec_for_cell(slice[0]);
+  spec.horizon_s = 60.0;  // keep the unit test quick
+  const dissem::DissemOutcome o = dissem::run_dissemination(spec, slice[0].seed);
+  EXPECT_GT(o.nodes, 0u);
+  EXPECT_NE(o.digest, 0u);
+}
+
+}  // namespace
+}  // namespace iobt

@@ -1239,5 +1239,150 @@ TEST_P(NetDeterminism, BroadcastDigestsIdenticalGridVsBrute) {
   EXPECT_EQ(run_once(true), run_once(false));
 }
 
+// ------------------------------------------------------- Layered network ----
+
+TEST(NetworkLayers, CrossLayerTrafficRequiresTwoGateways) {
+  Simulator sim;
+  Network net(sim, ChannelModel(), Rng(1));
+  const NodeId g = net.add_node({0, 0}, {.base_loss = 0.0}, kLayerGround);
+  const NodeId a = net.add_node({50, 0}, {.base_loss = 0.0}, kLayerAerial);
+  EXPECT_EQ(net.layer(g), kLayerGround);
+  EXPECT_EQ(net.layer(a), kLayerAerial);
+  // In radio range but in different layers: no link, no traffic.
+  EXPECT_FALSE(net.send(g, a, Message{.kind = "x", .size_bytes = 8}));
+  EXPECT_EQ(net.broadcast(g, Message{.kind = "x", .size_bytes = 8}), 0u);
+  EXPECT_FALSE(net.route_exists(g, a));
+  // The addressed send is a counted drop; broadcast skips non-linked
+  // candidates silently, exactly like out-of-range ones.
+  EXPECT_EQ(net.frames_dropped(), 1u);
+  // One gateway is not enough — a bridge needs both ends.
+  net.set_gateway(g, true);
+  EXPECT_FALSE(net.send(g, a, Message{.kind = "x", .size_bytes = 8}));
+  // Both gateways: the inter-layer edge exists and traffic flows.
+  net.set_gateway(a, true);
+  EXPECT_TRUE(net.is_gateway(g));
+  EXPECT_TRUE(net.route_exists(g, a));
+  EXPECT_TRUE(net.send(g, a, Message{.kind = "x", .size_bytes = 8}));
+}
+
+TEST(NetworkLayers, GatewaysBridgeMultiHopRoutes) {
+  Simulator sim;
+  // Lossless channel: this test is about reachability, not loss draws.
+  Network net(sim, ChannelModel(2.0, 0.0), Rng(2));
+  // Ground chain g0-g1, aerial chain a0-a1, bridged at g1<->a0.
+  const NodeId g0 = net.add_node({0, 0}, {.range_m = 150, .base_loss = 0.0}, kLayerGround);
+  const NodeId g1 = net.add_node({100, 0}, {.range_m = 150, .base_loss = 0.0}, kLayerGround);
+  const NodeId a0 = net.add_node({200, 0}, {.range_m = 150, .base_loss = 0.0}, kLayerAerial);
+  const NodeId a1 = net.add_node({300, 0}, {.range_m = 150, .base_loss = 0.0}, kLayerAerial);
+  EXPECT_FALSE(net.route_exists(g0, a1));
+  net.set_gateway(g1, true);
+  net.set_gateway(a0, true);
+  ASSERT_TRUE(net.route_exists(g0, a1));
+  bool got = false;
+  net.set_handler(a1, [&](const Message&) { got = true; });
+  EXPECT_TRUE(net.route_and_send(g0, a1, Message{.kind = "alert", .size_bytes = 16}));
+  sim.run();
+  EXPECT_TRUE(got);
+  // The only cross-layer edge is the gateway pair.
+  const Topology t = net.connectivity();
+  EXPECT_TRUE(t.has_edge(g1, a0));
+  EXPECT_FALSE(t.has_edge(g1, a1));
+  EXPECT_FALSE(t.has_edge(g0, a0));
+}
+
+TEST(NetworkLayers, LayerBlockedDropsAreCounted) {
+  Simulator sim;
+  Network net(sim, ChannelModel(), Rng(3));
+  const NodeId g = net.add_node({0, 0}, {}, kLayerGround);
+  const NodeId c = net.add_node({10, 0}, {}, kLayerCommand);
+  EXPECT_FALSE(net.send(g, c, Message{.kind = "x", .size_bytes = 8}));
+  EXPECT_DOUBLE_EQ(net.metrics().counter("net.drop." + to_string(DropReason::kLayerBlocked)), 1.0);
+}
+
+TEST(NetworkLayers, GatewayFlipBumpsEpochOnlyWhenLinksChange) {
+  Simulator sim;
+  Network net(sim, ChannelModel(), Rng(4));
+  const NodeId g = net.add_node({0, 0}, {}, kLayerGround);
+  const NodeId g2 = net.add_node({30, 0}, {}, kLayerGround);
+  const NodeId a = net.add_node({60, 0}, {}, kLayerAerial);
+  (void)g2;
+  const std::uint64_t e0 = net.topology_epoch();
+  // No cross-layer gateway peer in range: the flip changes no link and
+  // must not invalidate routes (flat networks rely on this staying free).
+  net.set_gateway(g, true);
+  EXPECT_EQ(net.topology_epoch(), e0);
+  net.set_gateway(g, false);
+  EXPECT_EQ(net.topology_epoch(), e0);
+  // With a gateway peer across the layer boundary, both the promotion and
+  // the demotion change an edge and must bump.
+  net.set_gateway(a, true);
+  EXPECT_EQ(net.topology_epoch(), e0);  // g is not a gateway yet: still no edge
+  net.set_gateway(g, true);
+  EXPECT_EQ(net.topology_epoch(), e0 + 1);
+  net.set_gateway(g, false);
+  EXPECT_EQ(net.topology_epoch(), e0 + 2);
+}
+
+TEST(NetworkLayers, DownGatewayRevivalReformsInterLayerLinks) {
+  Simulator sim;
+  Network net(sim, ChannelModel(), Rng(5));
+  const NodeId g = net.add_node({0, 0}, {}, kLayerGround);
+  const NodeId a = net.add_node({40, 0}, {}, kLayerAerial);
+  net.set_gateway(g, true);
+  net.set_gateway(a, true);
+  EXPECT_TRUE(net.connectivity().has_edge(g, a));
+  net.set_node_up(a, false);
+  EXPECT_FALSE(net.connectivity().has_edge(g, a));
+  net.set_node_up(a, true);
+  EXPECT_TRUE(net.connectivity().has_edge(g, a));
+}
+
+TEST(NetworkLayers, GatewayChurnIsIdenticalAcrossAllMaintenanceModes) {
+  // Random multi-layer churn (moves, liveness flips, gateway flips)
+  // replayed in all four {grid,brute} x {incremental,rebuild} modes: the
+  // connectivity snapshots and epoch trajectories must be bit-identical.
+  const auto run_mode = [](bool use_grid, bool use_incremental) {
+    Simulator sim;
+    Network net(sim, ChannelModel(), Rng(6));
+    net.set_spatial_index_enabled(use_grid);
+    net.set_incremental_connectivity_enabled(use_incremental);
+    Rng drive(0xC0FFEE);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < 60; ++i) {
+      const auto layer = static_cast<LayerId>(i % 3);
+      ids.push_back(net.add_node({drive.uniform(0, 700), drive.uniform(0, 700)},
+                                 {.range_m = 220}, layer));
+      if (i % 4 == 0) net.set_gateway(ids.back(), true);
+    }
+    std::vector<std::uint64_t> trail;
+    for (int round = 0; round < 6; ++round) {
+      for (const NodeId id : ids) {
+        const double action = drive.uniform();
+        if (action < 0.25) {
+          net.set_gateway(id, !net.is_gateway(id));
+        } else if (action < 0.4) {
+          net.set_node_up(id, !net.node_up(id));
+        } else {
+          net.set_position(id, {drive.uniform(0, 700), drive.uniform(0, 700)});
+        }
+      }
+      const Topology t = net.connectivity();
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const Edge& e : t.edges()) {
+        h ^= (static_cast<std::uint64_t>(e.a) << 32) | e.b;
+        h *= 0x100000001b3ULL;
+      }
+      trail.push_back(h);
+      trail.push_back(t.edge_count());
+      trail.push_back(net.topology_epoch());
+    }
+    return trail;
+  };
+  const auto reference = run_mode(false, false);
+  EXPECT_EQ(run_mode(false, true), reference);
+  EXPECT_EQ(run_mode(true, false), reference);
+  EXPECT_EQ(run_mode(true, true), reference);
+}
+
 }  // namespace
 }  // namespace iobt::net

@@ -393,7 +393,7 @@ INSTANTIATE_TEST_SUITE_P(Workers, SpatialIndexEquivalence,
 namespace churn {
 
 double substrate_body(sim::ReplicationContext& ctx, bool use_grid,
-                      bool use_incremental) {
+                      bool use_incremental, bool layered = false) {
   sim::Simulator s;
   net::Network network(s, net::ChannelModel(), ctx.make_rng());
   network.set_spatial_index_enabled(use_grid);
@@ -422,6 +422,12 @@ double substrate_body(sim::ReplicationContext& ctx, bool use_grid,
         network.set_node_up(id, !network.node_up(id));
       } else if (roll < 0.75) {
         network.set_position(id, {mutate.uniform(0, 900), mutate.uniform(0, 900)});
+      }
+      if (layered && k % 7 == 0) {
+        // Single-layer gateway churn: with no second layer to bridge, the
+        // flips must change no link, bump no epoch, and draw no RNG —
+        // i.e. be entirely unobservable next to the flat run.
+        network.set_gateway(id, !network.is_gateway(id));
       }
       if (k % 5 == 0) {
         network.broadcast(id, net::Message{.kind = "hello", .size_bytes = 16});
@@ -485,6 +491,61 @@ TEST_P(ConnectivityMaintenanceEquivalence, AllModesDigestsIdenticalUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, ConnectivityMaintenanceEquivalence,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}));
+
+// ---------------------------------------------- Layered equivalence ----
+//
+// A one-layer layered network IS a flat network: the per-node layer slab,
+// the link_allowed gate, and gateway flips with nothing to bridge must all
+// be unobservable. The layered churn body (same substrate churn plus
+// gateway flips on every 7th node per round) is swept across {grid, brute}
+// x {incremental, rebuild} x workers {1, 2, 8} and compared digest- and
+// payload-identical to the flat serial brute+rebuild reference.
+
+class LayeredEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayeredEquivalence, OneLayerNetworkIsDigestIdenticalToFlat) {
+  const std::size_t workers = GetParam();
+  const auto seeds = sim::ParallelRunner::seed_range(42424, 8);
+
+  // Reference: the FLAT body (no gateway calls at all), serial, brute,
+  // full-rebuild.
+  sim::MetricsRegistry ref_merged;
+  std::vector<double> ref_payloads;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    sim::ReplicationContext ctx;
+    ctx.seed = seeds[i];
+    ctx.index = i;
+    ref_payloads.push_back(churn::substrate_body(
+        ctx, /*use_grid=*/false, /*use_incremental=*/false, /*layered=*/false));
+    ref_merged.merge_from(ctx.metrics);
+  }
+  const std::uint64_t ref_digest = ref_merged.digest();
+
+  for (const bool use_grid : {true, false}) {
+    for (const bool use_incremental : {true, false}) {
+      const sim::ParallelRunner runner(workers);
+      const auto outcome = runner.run<double>(
+          seeds, [use_grid, use_incremental](sim::ReplicationContext& ctx) {
+            return churn::substrate_body(ctx, use_grid, use_incremental,
+                                         /*layered=*/true);
+          });
+      EXPECT_EQ(outcome.failures, 0u);
+      ASSERT_EQ(outcome.replications.size(), seeds.size());
+      EXPECT_EQ(outcome.merged.digest(), ref_digest)
+          << "workers=" << workers << " grid=" << use_grid
+          << " incremental=" << use_incremental;
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_EQ(outcome.replications[i].payload, ref_payloads[i])
+            << "workers=" << workers << " grid=" << use_grid
+            << " incremental=" << use_incremental << " rep=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, LayeredEquivalence,
                          ::testing::Values(std::size_t{1}, std::size_t{2},
                                            std::size_t{8}));
 

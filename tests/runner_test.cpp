@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
 
 #include "sim/runner.h"
+#include "sim/scenario_matrix.h"
 #include "sim/simulator.h"
 
 namespace iobt::sim {
@@ -453,6 +455,72 @@ TEST(ParallelRunnerTest, ResumableSkipsJournaledWorkAndMatchesUninterrupted) {
   EXPECT_EQ(third_invocations.load(), 0u);
   EXPECT_EQ(full.merged.digest(), reference.merged.digest());
   std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- ScenarioMatrix ----
+
+ScenarioMatrix small_matrix(std::uint64_t seed = 7) {
+  ScenarioMatrix m(seed);
+  m.add_axis("size", {"small", "large"});
+  m.add_axis("mode", {"a", "b", "c"});
+  m.add_axis("attack", {"off", "on"});
+  return m;
+}
+
+TEST(ScenarioMatrixTest, MixedRadixDecodeCoversTheCrossProduct) {
+  const ScenarioMatrix m = small_matrix();
+  EXPECT_EQ(m.cell_count(), 12u);
+  // Axis 0 is the slowest-moving digit: cell 0 = (0,0,0), cell 1 = (0,0,1),
+  // cell 2 = (0,1,0), ..., cell 11 = (1,2,1).
+  EXPECT_EQ(m.cell(0).choice, (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_EQ(m.cell(1).choice, (std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_EQ(m.cell(2).choice, (std::vector<std::size_t>{0, 1, 0}));
+  EXPECT_EQ(m.cell(11).choice, (std::vector<std::size_t>{1, 2, 1}));
+  EXPECT_EQ(m.cell(3).name, "size=small/mode=b/attack=on");
+  // Every choice combination appears exactly once.
+  std::set<std::vector<std::size_t>> seen;
+  for (const ScenarioCell& c : m.all_cells()) seen.insert(c.choice);
+  EXPECT_EQ(seen.size(), m.cell_count());
+}
+
+TEST(ScenarioMatrixTest, CellSeedsAreUniqueAndStable) {
+  const ScenarioMatrix m = small_matrix();
+  std::set<std::uint64_t> seeds;
+  for (const ScenarioCell& c : m.all_cells()) seeds.insert(c.seed);
+  EXPECT_EQ(seeds.size(), m.cell_count());
+  // Stable under re-enumeration and independent of access order.
+  EXPECT_EQ(m.cell(5).seed, small_matrix().cell(5).seed);
+  // A different base seed moves every cell seed.
+  EXPECT_NE(m.cell(5).seed, small_matrix(8).cell(5).seed);
+}
+
+TEST(ScenarioMatrixTest, SliceIsDeterministicDistinctAndBounded) {
+  const ScenarioMatrix m = small_matrix();
+  const auto s1 = m.slice(5, /*salt=*/11);
+  const auto s2 = m.slice(5, /*salt=*/11);
+  ASSERT_EQ(s1.size(), 5u);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].index, s2[i].index);
+    EXPECT_EQ(s1[i].seed, s2[i].seed);
+  }
+  // Distinct cells within a slice.
+  std::set<std::size_t> indices;
+  for (const ScenarioCell& c : s1) indices.insert(c.index);
+  EXPECT_EQ(indices.size(), s1.size());
+  // A different salt walks a different subset (with 792 possible 5-subsets
+  // a collision would be a red flag for the shuffle).
+  const auto s3 = m.slice(5, /*salt=*/12);
+  std::vector<std::size_t> i1, i3;
+  for (const auto& c : s1) i1.push_back(c.index);
+  for (const auto& c : s3) i3.push_back(c.index);
+  EXPECT_NE(i1, i3);
+  // Oversized requests clamp to the full matrix.
+  EXPECT_EQ(m.slice(100, 0).size(), m.cell_count());
+}
+
+TEST(ScenarioMatrixTest, EmptyVariantListThrows) {
+  ScenarioMatrix m(1);
+  EXPECT_THROW(m.add_axis("broken", {}), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "security/attacks.h"
@@ -307,6 +308,57 @@ TEST_F(AttackFixture, OverlappingKillsFireDownHooksOncePerAsset) {
     EXPECT_EQ(downs[i], world.asset_alive(static_cast<things::AssetId>(i)) ? 0 : 1)
         << "asset " << i;
   }
+}
+
+TEST_F(AttackFixture, RegionKillOnlyStrikesInsideTheRegion) {
+  // Four motes inside the strike box, four well outside it.
+  std::vector<things::AssetId> inside, outside;
+  for (int i = 0; i < 4; ++i) {
+    inside.push_back(add_mote({100.0 + 20.0 * i, 100.0}));
+    outside.push_back(add_mote({800.0, 800.0 + 20.0 * i}));
+  }
+  const sim::Rect strike{{0, 0}, {300, 300}};
+  // fraction = 1: every live asset inside the region dies; nothing outside
+  // may be touched regardless of the per-victim draws.
+  attacks.schedule_region_kill(strike, 1.0, SimTime::seconds(5), Rng(17));
+  sim.run_until(SimTime::seconds(6));
+  for (const auto id : inside) EXPECT_FALSE(world.asset_live(id));
+  for (const auto id : outside) EXPECT_TRUE(world.asset_live(id));
+  ASSERT_EQ(attacks.log().size(), 1u);
+  EXPECT_EQ(attacks.log()[0].type, "region_kill");
+  EXPECT_EQ(attacks.log()[0].detail, "killed=4");
+
+  // Determinism: an identical stack replays the identical victim set at
+  // a sub-1.0 fraction (where the per-victim Bernoulli draws matter).
+  const auto run_partial = [] {
+    sim::Simulator sim2;
+    net::ChannelModel channel2{2.0, 0.0};
+    net::Network net2{sim2, channel2, Rng(5)};
+    things::World world2{sim2, net2, {{0, 0}, {1000, 1000}}, Rng(6)};
+    AttackInjector attacks2{world2};
+    Rng r(1);
+    for (int i = 0; i < 16; ++i) {
+      world2.add_asset(
+          things::make_asset_template(things::DeviceClass::kSensorMote,
+                                      things::Affiliation::kBlue, r),
+          {50.0 + 10.0 * i, 60.0},
+          things::radio_for_class(things::DeviceClass::kSensorMote));
+    }
+    attacks2.schedule_region_kill({{0, 0}, {500, 500}}, 0.5,
+                                  SimTime::seconds(5), Rng(17));
+    sim2.run_until(SimTime::seconds(6));
+    std::vector<bool> alive;
+    for (std::size_t i = 0; i < world2.asset_count(); ++i) {
+      alive.push_back(world2.asset_live(static_cast<things::AssetId>(i)));
+    }
+    return alive;
+  };
+  const std::vector<bool> first = run_partial();
+  EXPECT_EQ(first, run_partial());
+  // A 0.5 fraction should kill some but typically not all of the 16.
+  const auto dead = std::count(first.begin(), first.end(), false);
+  EXPECT_GT(dead, 0);
+  EXPECT_LT(dead, 16);
 }
 
 // The injector forks a child stream per scheduled row (salted by the row
