@@ -1,0 +1,335 @@
+// S1 — Campaign service: open-loop what-if query mixes over the snapshot
+// cache.
+//
+// The service's economics claim is simple: queries about the same
+// battlefield share their prefix, so a standing query stream should pay the
+// full from-t=0 simulation cost only once per distinct (spec, seed, branch)
+// and amortize it across every what-if branched from it. This bench drives
+// three open-loop mixes through iobt::serve::CampaignService:
+//   hot    — many deltas per few prefixes, cache pre-warmed (steady state),
+//   cold   — every query a fresh prefix (worst case, no reuse),
+//   mixed  — half hot, half cold (a plausible duty cycle),
+// and reports queries/sec, p50/p99 per-query latency, and cache hit rate
+// per mix. Correctness gates the numbers: a panel of served queries is
+// digest-checked against CampaignService::run_uncached (serial re-sim from
+// t = 0) across worker counts {1, 2, 8}; any divergence exits nonzero.
+// Emits BENCH_serve.json.
+//
+// Flags: --queries=N (per mix, default 24), --workers=N (default
+// bench_workers()), --uncached seed=S branch=Ts delta=NAME:INTENSITY:SALT
+// (re-run one query serially — the repro line the service emits).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dissem/scenario.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace iobt;
+
+// The bench's scenario family: the stock two-layer force with waypoint
+// mobility and a clean (unattacked) declared future — every attack arrives
+// as a what-if delta. Branch late so branches are cheap relative to the
+// prefix, which is exactly the regime the service exists for.
+constexpr double kHorizonS = 60.0;
+constexpr double kBranchS = 50.0;
+constexpr std::uint64_t kSeedBase = 8200;
+
+dissem::DissemSpec base_spec() {
+  dissem::DissemSpec spec;
+  spec.name = "serve-bench";
+  spec.layers = dissem::ground_aerial_layers();
+  spec.mobility = dissem::MobilityKind::kWaypoint;
+  spec.attack = dissem::AttackCampaign::kNone;
+  spec.intensity = 0.0;
+  spec.horizon_s = kHorizonS;
+  return spec;
+}
+
+serve::WhatIfDelta delta_for(std::size_t i) {
+  static constexpr dissem::AttackCampaign kCycle[] = {
+      dissem::AttackCampaign::kJamming, dissem::AttackCampaign::kRegionStrike,
+      dissem::AttackCampaign::kGatewayHunt, dissem::AttackCampaign::kCombined};
+  serve::WhatIfDelta d;
+  d.attack = kCycle[i % 4];
+  d.intensity = 0.3 + 0.05 * static_cast<double>(i % 8);
+  d.salt = i;
+  return d;
+}
+
+serve::Query make_query(std::uint64_t seed, std::size_t delta_index) {
+  serve::Query q;
+  q.spec = base_spec();
+  q.seed = seed;
+  q.branch_time_s = kBranchS;
+  q.delta = delta_for(delta_index);
+  return q;
+}
+
+struct MixRow {
+  std::string mix;
+  std::size_t queries = 0;
+  std::size_t prefixes = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  std::size_t prefix_sims = 0;
+  std::size_t failures = 0;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(0.0, std::ceil(p * static_cast<double>(xs.size())) - 1.0));
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+MixRow measure(const std::string& name, serve::CampaignService& svc,
+               const std::vector<serve::Query>& batch) {
+  const serve::BatchResult res = svc.submit(batch);
+  MixRow row;
+  row.mix = name;
+  row.queries = batch.size();
+  row.wall_ms = res.wall_ms;
+  row.qps = res.wall_ms > 0
+                ? 1000.0 * static_cast<double>(batch.size()) / res.wall_ms
+                : 0.0;
+  std::vector<double> lat;
+  lat.reserve(res.results.size());
+  for (const auto& r : res.results) {
+    if (!r.rejected) lat.push_back(r.latency_ms);
+  }
+  row.p50_ms = percentile(lat, 0.50);
+  row.p99_ms = percentile(lat, 0.99);
+  row.hit_rate = batch.empty()
+                     ? 0.0
+                     : static_cast<double>(res.cache_hits) /
+                           static_cast<double>(batch.size());
+  row.prefix_sims = res.prefix_sims;
+  row.failures = res.failures + res.rejected;
+  return row;
+}
+
+// --uncached repro mode: re-run exactly one query serially, outside the
+// service, and print its digest. This is the line QueryResult::repro names.
+int run_uncached_mode(int argc, char** argv) {
+  serve::Query q = make_query(kSeedBase, 0);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("seed=", 0) == 0) {
+      q.seed = std::strtoull(arg.c_str() + 5, nullptr, 10);
+    } else if (arg.rfind("branch=", 0) == 0) {
+      q.branch_time_s = std::strtod(arg.c_str() + 7, nullptr);
+    } else if (arg.rfind("delta=", 0) == 0) {
+      // NAME:INTENSITY:SALT, NAME as printed by dissem::to_string.
+      const std::string body = arg.substr(6);
+      const auto c1 = body.find(':');
+      const auto c2 = body.find(':', c1 == std::string::npos ? 0 : c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        std::fprintf(stderr, "bad --uncached delta spec: %s\n", body.c_str());
+        return 2;
+      }
+      const std::string attack = body.substr(0, c1);
+      bool known = false;
+      for (const auto a :
+           {dissem::AttackCampaign::kNone, dissem::AttackCampaign::kJamming,
+            dissem::AttackCampaign::kRegionStrike,
+            dissem::AttackCampaign::kGatewayHunt,
+            dissem::AttackCampaign::kCombined}) {
+        if (dissem::to_string(a) == attack) {
+          q.delta.attack = a;
+          known = true;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown attack campaign: %s\n", attack.c_str());
+        return 2;
+      }
+      q.delta.intensity = std::strtod(body.c_str() + c1 + 1, nullptr);
+      q.delta.salt = std::strtoull(body.c_str() + c2 + 1, nullptr, 10);
+    }
+  }
+  const dissem::DissemOutcome o = serve::CampaignService::run_uncached(q);
+  std::printf("uncached: seed=%llu branch=%gs prefix=%016llx digest=%016llx "
+              "reach=%.3f informed=%zu/%zu\n",
+              static_cast<unsigned long long>(q.seed), q.branch_time_s,
+              static_cast<unsigned long long>(serve::prefix_hash(q)),
+              static_cast<unsigned long long>(o.digest), o.reach, o.informed,
+              o.nodes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iobt::bench;
+
+  std::size_t queries = 24;
+  std::size_t workers = bench_workers();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--uncached") return run_uncached_mode(argc, argv);
+    if (arg.rfind("--queries=", 0) == 0) {
+      queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    }
+  }
+  queries = std::max<std::size_t>(4, queries);
+
+  header("S1: campaign service — open-loop what-if query mixes",
+         "a standing query stream amortizes each scenario prefix across all "
+         "the what-ifs branched from it; served == serial re-sim, always");
+
+  // ---- 1. Digest identity panel across worker counts ------------------
+  // One query per delta kind, all digest-checked against run_uncached and
+  // against each other across {1, 2, 8} workers. The throughput numbers
+  // below are only meaningful if this gate holds.
+  std::vector<serve::Query> panel;
+  for (std::size_t k = 0; k < 4; ++k) {
+    panel.push_back(make_query(kSeedBase + (k % 2), k));
+  }
+  std::vector<std::uint64_t> reference;
+  reference.reserve(panel.size());
+  for (const auto& q : panel) {
+    reference.push_back(serve::CampaignService::run_uncached(q).digest);
+  }
+  bool identity = true;
+  row("%-10s %-12s %-18s", "workers", "identical", "panel_digest_lo");
+  for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    serve::CampaignService::Options so;
+    so.workers = w;
+    so.repro_program = "bench_serve";
+    serve::CampaignService svc(so);
+    const serve::BatchResult res = svc.submit(panel);
+    bool ok = res.failures == 0 && res.rejected == 0;
+    std::uint64_t lo = 0;
+    for (std::size_t k = 0; k < panel.size(); ++k) {
+      ok = ok && res.results[k].ok &&
+           res.results[k].outcome.digest == reference[k];
+      lo ^= res.results[k].outcome.digest;
+    }
+    identity = identity && ok;
+    row("%-10zu %-12s %016llx%s", w, ok ? "yes" : "NO",
+        static_cast<unsigned long long>(lo), ok ? "" : "  << DIVERGED");
+    if (!ok) {
+      for (const auto& r : res.results) {
+        if (!r.repro.empty()) row("  repro: %s", r.repro.c_str());
+      }
+    }
+  }
+
+  // ---- 2. Open-loop mixes ---------------------------------------------
+  serve::CampaignService::Options so;
+  so.workers = workers;
+  so.cache_capacity = 64;
+  so.repro_program = "bench_serve";
+  std::vector<MixRow> mixes;
+
+  // hot: 4 prefixes, queries/4 deltas each, cache pre-warmed — the steady
+  // state of a standing campaign against a known battlefield.
+  {
+    constexpr std::size_t kPrefixes = 4;
+    std::vector<serve::Query> batch;
+    for (std::size_t i = 0; i < queries; ++i) {
+      batch.push_back(make_query(kSeedBase + (i % kPrefixes), i));
+    }
+    serve::CampaignService svc(so);
+    std::vector<serve::Query> warm;
+    for (std::size_t p = 0; p < kPrefixes; ++p) {
+      warm.push_back(make_query(kSeedBase + p, 0));
+    }
+    (void)svc.submit(warm);  // pay the prefixes outside the measured window
+    MixRow r = measure("hot", svc, batch);
+    r.prefixes = kPrefixes;
+    mixes.push_back(r);
+  }
+  // cold: every query a fresh prefix — no sharing, the naive cost floor.
+  {
+    std::vector<serve::Query> batch;
+    for (std::size_t i = 0; i < queries; ++i) {
+      batch.push_back(make_query(kSeedBase + 1000 + i, i));
+    }
+    serve::CampaignService svc(so);
+    MixRow r = measure("cold", svc, batch);
+    r.prefixes = queries;
+    mixes.push_back(r);
+  }
+  // mixed: half the stream on 2 warmed prefixes, half fresh.
+  {
+    std::vector<serve::Query> batch;
+    for (std::size_t i = 0; i < queries; ++i) {
+      const bool hot = (i % 2) == 0;
+      batch.push_back(make_query(
+          hot ? kSeedBase + (i % 4) / 2 : kSeedBase + 2000 + i, i));
+    }
+    serve::CampaignService svc(so);
+    std::vector<serve::Query> warm = {make_query(kSeedBase + 0, 0),
+                                      make_query(kSeedBase + 1, 1)};
+    (void)svc.submit(warm);
+    MixRow r = measure("mixed", svc, batch);
+    r.prefixes = 2 + queries / 2;
+    mixes.push_back(r);
+  }
+
+  row("");
+  row("%-8s %-9s %-10s %-10s %-10s %-10s %-10s %-12s %-9s", "mix", "queries",
+      "wall_ms", "qps", "p50_ms", "p99_ms", "hit_rate", "prefix_sims",
+      "failures");
+  for (const MixRow& m : mixes) {
+    row("%-8s %-9zu %-10.1f %-10.2f %-10.1f %-10.1f %-10.2f %-12zu %-9zu",
+        m.mix.c_str(), m.queries, m.wall_ms, m.qps, m.p50_ms, m.p99_ms,
+        m.hit_rate, m.prefix_sims, m.failures);
+  }
+  const double hot_qps = mixes[0].qps;
+  const double cold_qps = mixes[1].qps;
+  const double speedup = cold_qps > 0 ? hot_qps / cold_qps : 0.0;
+  bool failures_clean = true;
+  for (const MixRow& m : mixes) failures_clean = failures_clean && m.failures == 0;
+  row("");
+  row("hot vs cold throughput: %.2fx   digest identity (workers 1/2/8 vs "
+      "serial): %s",
+      speedup, identity ? "yes" : "NO — DIVERGED");
+
+  // ---- JSON -----------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n");
+    std::fprintf(f, "  \"digest_identity\": %s,\n",
+                 identity ? "true" : "false");
+    std::fprintf(f,
+                 "  \"identity_panel\": {\"queries\": %zu, \"workers\": "
+                 "[1, 2, 8]},\n",
+                 panel.size());
+    std::fprintf(f, "  \"workers\": %zu,\n", workers);
+    std::fprintf(f, "  \"mixes\": [\n");
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+      const MixRow& m = mixes[i];
+      std::fprintf(f,
+                   "    {\"mix\": \"%s\", \"queries\": %zu, \"prefixes\": "
+                   "%zu, \"wall_ms\": %.1f, \"qps\": %.3f, \"p50_ms\": %.2f, "
+                   "\"p99_ms\": %.2f, \"hit_rate\": %.3f, \"prefix_sims\": "
+                   "%zu, \"failures\": %zu}%s\n",
+                   m.mix.c_str(), m.queries, m.prefixes, m.wall_ms, m.qps,
+                   m.p50_ms, m.p99_ms, m.hit_rate, m.prefix_sims, m.failures,
+                   i + 1 == mixes.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"hot_vs_cold_speedup\": %.3f\n", speedup);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    row("");
+    row("wrote BENCH_serve.json");
+  }
+  return (identity && failures_clean) ? 0 : 1;
+}

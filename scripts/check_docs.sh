@@ -83,6 +83,19 @@ for mod in src/*/; do
     err "DESIGN.md repository layout is missing module '${mod}/'"
 done
 
+# 6. The reverse of rule 1: every bench target registered in
+#    bench/CMakeLists.txt must be cited by at least one doc — a bench no
+#    doc names is an experiment nobody can find.
+for tgt in $(grep -oE 'iobt_bench\([a-z0-9_]+\)' bench/CMakeLists.txt |
+             sed -E 's/iobt_bench\(([a-z0-9_]+)\)/\1/' | sort -u); do
+  cited=0
+  for doc in "${DOCS[@]}"; do
+    grep -qF "$tgt" "$doc" && cited=1 && break
+  done
+  [[ $cited -eq 1 ]] ||
+    err "bench target '$tgt' (bench/CMakeLists.txt) is not cited by any doc"
+done
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED — docs reference artifacts that do not exist" >&2
   exit 1

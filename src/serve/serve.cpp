@@ -1,0 +1,352 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/hash.h"
+
+namespace iobt::serve {
+
+namespace {
+
+/// Stream salt for delta RNG trees: a delta's draws are independent of
+/// every stream the scenario itself uses (dissem/scenario.cpp salts).
+constexpr std::uint64_t kDeltaSalt = 0x5E12E7ADE17AULL;
+
+void mix_spec(sim::StableHash& h, const dissem::DissemSpec& spec) {
+  // Field order is the key definition — append new fields at the end.
+  // spec.name is deliberately excluded: it is a display label, and two
+  // queries about the same battlefield must collide regardless of label.
+  h.mix_size(spec.layers.size());
+  for (const dissem::LayerSpec& ls : spec.layers) {
+    h.mix_enum(ls.layer)
+        .mix_size(ls.nodes)
+        .mix_size(ls.gateways)
+        .mix_double(ls.radio.range_m)
+        .mix_double(ls.radio.data_rate_bps)
+        .mix_double(ls.radio.base_loss)
+        .mix_enum(ls.device)
+        .mix_double(ls.speed_mps);
+  }
+  h.mix_enum(spec.mobility)
+      .mix_enum(spec.attack)
+      .mix_double(spec.intensity)
+      .mix_double(spec.area.min.x)
+      .mix_double(spec.area.min.y)
+      .mix_double(spec.area.max.x)
+      .mix_double(spec.area.max.y)
+      .mix_double(spec.horizon_s)
+      .mix_double(spec.seed_time_s)
+      .mix_i64(spec.gossip.forward_delay.nanos())
+      .mix_i64(spec.gossip.regossip_period.nanos())
+      .mix_i64(spec.gossip.regossip_rounds)
+      .mix_size(spec.gossip.alert_bytes)
+      .mix_str(spec.gossip.kind);
+}
+
+double now_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string attack_name(dissem::AttackCampaign a) { return dissem::to_string(a); }
+
+}  // namespace
+
+std::uint64_t prefix_hash(const dissem::DissemSpec& spec, std::uint64_t seed,
+                          double branch_time_s) {
+  sim::StableHash h("serve.prefix");
+  mix_spec(h, spec);
+  h.mix_u64(seed);
+  // The branch point is quantized to kernel time resolution: two branch
+  // times the kernel cannot tell apart name the same prefix.
+  h.mix_i64(sim::SimTime::seconds(branch_time_s).nanos());
+  return h.digest();
+}
+
+std::uint64_t prefix_hash(const Query& q) {
+  return prefix_hash(q.spec, q.seed, q.branch_time_s);
+}
+
+std::uint64_t query_hash(const Query& q) {
+  sim::StableHash h("serve.query");
+  h.mix_u64(prefix_hash(q))
+      .mix_enum(q.delta.attack)
+      .mix_double(q.delta.intensity)
+      .mix_i64(sim::Duration::seconds(q.delta.delay_s).nanos())
+      .mix_u64(q.delta.salt);
+  return h.digest();
+}
+
+void apply_delta(dissem::DissemScenario& s, const Query& q) {
+  const WhatIfDelta& d = q.delta;
+  if (d.attack == dissem::AttackCampaign::kNone || d.intensity <= 0.0) {
+    return;  // pure branch: replay the declared future unchanged
+  }
+  const double k = std::min(1.0, d.intensity);
+  const double t0 = q.branch_time_s + d.delay_s;
+  const double horizon = q.spec.horizon_s;
+  sim::Rng rng = sim::Rng(q.seed ^ kDeltaSalt).child(d.salt);
+  const sim::Rect& area = s.spec().area;
+  const double min_side = std::min(area.width(), area.height());
+
+  const auto jam = [&](double strength) {
+    s.attacks.schedule_jamming(area.center(), 0.4 * min_side,
+                               sim::SimTime::seconds(t0),
+                               sim::SimTime::seconds(horizon), strength);
+  };
+  const auto hunt_gateways = [&](double fraction) {
+    // Strike the still-alive members of the original gateway roster, in
+    // creation order, staggered 1.5 s. Liveness at the branch point is
+    // identical in the served and uncached paths (the digest contract), so
+    // both build the same kill list.
+    const auto& roster = s.initial_gateways();
+    const auto kills = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(roster.size())));
+    std::size_t scheduled = 0;
+    for (net::NodeId node : roster) {
+      if (scheduled >= kills) break;
+      const things::AssetId aid = s.world.asset_of_node(node);
+      if (!s.world.asset_alive(aid)) continue;
+      s.attacks.schedule_node_kill(
+          aid, sim::SimTime::seconds(t0 + 1.5 * double(scheduled)));
+      ++scheduled;
+    }
+  };
+  switch (d.attack) {
+    case dissem::AttackCampaign::kNone:
+      break;
+    case dissem::AttackCampaign::kJamming:
+      jam(k);
+      break;
+    case dissem::AttackCampaign::kRegionStrike: {
+      const sim::Rect strike{{area.min.x + 0.2 * area.width(),
+                              area.min.y + 0.2 * area.height()},
+                             {area.max.x - 0.2 * area.width(),
+                              area.max.y - 0.2 * area.height()}};
+      s.attacks.schedule_region_kill(strike, 0.85 * k,
+                                     sim::SimTime::seconds(t0), rng);
+      s.attacks.schedule_region_kill(strike, 0.45 * k,
+                                     sim::SimTime::seconds(t0 + 2.75), rng);
+      break;
+    }
+    case dissem::AttackCampaign::kGatewayHunt:
+      hunt_gateways(k);
+      break;
+    case dissem::AttackCampaign::kCombined:
+      jam(0.7 * k);
+      hunt_gateways(k);
+      break;
+  }
+}
+
+CampaignService::CampaignService(Options opts) : opts_(std::move(opts)) {
+  if (opts_.cache_capacity == 0) {
+    throw std::invalid_argument("CampaignService: cache_capacity must be >= 1");
+  }
+}
+
+dissem::DissemOutcome CampaignService::run_uncached(const Query& q) {
+  dissem::DissemScenario s(q.spec, q.seed);
+  s.sim.run_until(sim::SimTime::seconds(q.branch_time_s));
+  apply_delta(s, q);
+  s.sim.run_until(sim::SimTime::seconds(q.spec.horizon_s));
+  return s.outcome();
+}
+
+std::shared_ptr<const sim::Snapshot> CampaignService::cache_get(
+    std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->snapshot;
+}
+
+void CampaignService::cache_put(std::uint64_t key,
+                                std::shared_ptr<const sim::Snapshot> snap) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->snapshot = std::move(snap);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{key, std::move(snap)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > opts_.cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void CampaignService::clear_cache() {
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+BatchResult CampaignService::submit(const std::vector<Query>& queries) {
+  const auto batch_start = std::chrono::steady_clock::now();
+  BatchResult out;
+  const std::size_t n = queries.size();
+  out.results.resize(n);
+  const std::size_t cap = opts_.max_batch_queries;
+
+  // ---- 1. Keys + admission marks (index-based, deterministic) ----------
+  for (std::size_t i = 0; i < n; ++i) {
+    QueryResult& r = out.results[i];
+    r.prefix = prefix_hash(queries[i]);
+    if (i >= cap) {
+      r.rejected = true;
+      r.error = "rejected by admission gate (max_batch_queries=" +
+                std::to_string(cap) + ")";
+      ++out.rejected;
+    }
+  }
+
+  // ---- 2. Prefix dedup against the LRU --------------------------------
+  // batch_snaps is filled before the fan-out and read-only during it.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const sim::Snapshot>>
+      batch_snaps;
+  std::unordered_map<std::uint64_t, std::string> prefix_errors;
+  std::unordered_map<std::uint64_t, double> prefix_wall_ms;
+  std::unordered_map<std::uint64_t, std::size_t> prefix_fanout;
+  std::vector<std::size_t> cold;  // first query index per cold prefix
+  for (std::size_t i = 0; i < std::min(cap, n); ++i) {
+    const std::uint64_t key = out.results[i].prefix;
+    ++prefix_fanout[key];
+    auto found = batch_snaps.find(key);
+    if (found != batch_snaps.end()) {
+      // Another query earlier in this batch already covers the prefix.
+      out.results[i].cache_hit = true;
+      ++stats_.hits;
+      continue;
+    }
+    if (auto snap = cache_get(key)) {
+      batch_snaps.emplace(key, std::move(snap));
+      out.results[i].cache_hit = true;
+      ++stats_.hits;
+      continue;
+    }
+    batch_snaps.emplace(key, nullptr);  // placeholder: simulated below
+    cold.push_back(i);
+    ++stats_.misses;
+  }
+  out.prefix_sims = cold.size();
+  out.cache_hits = static_cast<std::size_t>(
+      std::count_if(out.results.begin(), out.results.end(),
+                    [](const QueryResult& r) { return r.cache_hit; }));
+
+  // ---- 3. Simulate cold prefixes once each, in parallel ----------------
+  if (!cold.empty()) {
+    sim::ParallelRunner::Options po;
+    po.workers = opts_.workers;
+    po.repro_program = opts_.repro_program;
+    const sim::ParallelRunner prefix_runner(po);
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(cold.size());
+    for (std::size_t i : cold) seeds.push_back(queries[i].seed);
+    const auto prefixes = prefix_runner.run<std::shared_ptr<const sim::Snapshot>>(
+        seeds, [&](sim::ReplicationContext& ctx) {
+          const Query& q = queries[cold[ctx.index]];
+          dissem::DissemScenario s(q.spec, q.seed);
+          s.sim.run_until(sim::SimTime::seconds(q.branch_time_s));
+          // The snapshot carries its prefix key; the branch body verifies
+          // the stamp before restoring (cache-integrity check).
+          return std::make_shared<const sim::Snapshot>(
+              s.sim.checkpoint().save(out.results[cold[ctx.index]].prefix));
+        });
+    for (std::size_t j = 0; j < cold.size(); ++j) {
+      const std::uint64_t key = out.results[cold[j]].prefix;
+      const auto& rep = prefixes.replications[j];
+      prefix_wall_ms[key] = rep.wall_ms;
+      if (rep.ok) {
+        batch_snaps[key] = rep.payload;
+        cache_put(key, rep.payload);
+      } else {
+        prefix_errors[key] = "prefix simulation failed: " + rep.error;
+      }
+    }
+  }
+  stats_.entries = lru_.size();
+
+  // ---- 4. Branch fan-out over every admitted query ---------------------
+  const bool any_trace =
+      opts_.trace_capacity > 0 &&
+      std::any_of(queries.begin(), queries.begin() + std::min(cap, n),
+                  [](const Query& q) { return q.want_trace; });
+  sim::ParallelRunner::Options bo;
+  bo.workers = opts_.workers;
+  bo.repro_program = opts_.repro_program;
+  bo.trace_capacity = any_trace ? opts_.trace_capacity : 0;
+  bo.trace_all = true;  // tracers of non-opted queries record nothing
+  bo.admit = [cap](std::uint64_t, std::size_t index) { return index < cap; };
+  bo.on_complete = [this, cap](std::uint64_t, std::size_t index, bool, double) {
+    // Rejected replications also fire the hook; only admitted branches count.
+    if (index < cap) branches_completed_.fetch_add(1, std::memory_order_relaxed);
+  };
+  const sim::ParallelRunner branch_runner(bo);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (const Query& q : queries) seeds.push_back(q.seed);
+  const auto branches = branch_runner.run<dissem::DissemOutcome>(
+      seeds, [&](sim::ReplicationContext& ctx) {
+        const Query& q = queries[ctx.index];
+        const std::uint64_t key = out.results[ctx.index].prefix;
+        auto err = prefix_errors.find(key);
+        if (err != prefix_errors.end()) throw std::runtime_error(err->second);
+        const auto& snap = batch_snaps.at(key);
+        if (snap->prefix_hash() != key) {
+          throw std::logic_error(
+              "checkpoint cache integrity: snapshot prefix stamp mismatch");
+        }
+        dissem::DissemScenario s(q.spec, q.seed);
+        if (q.want_trace && any_trace) ctx.attach_tracer(s.sim);
+        s.sim.checkpoint().restore(*snap);
+        apply_delta(s, q);
+        s.sim.run_until(sim::SimTime::seconds(q.spec.horizon_s));
+        return s.outcome();
+      });
+
+  // ---- 5. Fold runner results back into input order --------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    QueryResult& r = out.results[i];
+    if (r.rejected) continue;
+    const auto& rep = branches.replications[i];
+    const Query& q = queries[i];
+    r.latency_ms = rep.wall_ms;
+    auto pw = prefix_wall_ms.find(r.prefix);
+    if (pw != prefix_wall_ms.end()) {
+      // Amortize the cold prefix simulation over every query it served in
+      // this batch, so per-query latency reflects the shared-cache economics.
+      r.latency_ms +=
+          pw->second / static_cast<double>(std::max<std::size_t>(
+                           1, prefix_fanout[r.prefix]));
+    }
+    r.trace_json = rep.trace_json;
+    if (rep.ok) {
+      r.ok = true;
+      r.outcome = rep.payload;
+    } else {
+      r.error = rep.error;
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    " --uncached seed=%llu branch=%gs delta=%s:%g:%llu  "
+                    "# prefix %016llx",
+                    static_cast<unsigned long long>(q.seed), q.branch_time_s,
+                    attack_name(q.delta.attack).c_str(), q.delta.intensity,
+                    static_cast<unsigned long long>(q.delta.salt),
+                    static_cast<unsigned long long>(r.prefix));
+      r.repro = opts_.repro_program + buf;
+      ++out.failures;
+    }
+  }
+  out.wall_ms = now_ms_since(batch_start);
+  return out;
+}
+
+}  // namespace iobt::serve

@@ -32,9 +32,10 @@ void CheckpointRegistry::unregister(const Checkpointable* p) {
                 [p](const Entry& e) { return e.participant == p; });
 }
 
-Snapshot CheckpointRegistry::save() const {
+Snapshot CheckpointRegistry::save(std::uint64_t prefix_hash) const {
   Snapshot snap;
   snap.at_ = sim_.now();
+  snap.prefix_hash_ = prefix_hash;
   for (const Entry& e : participants_) e.participant->save(snap, e.key);
   return snap;
 }

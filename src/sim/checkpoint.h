@@ -53,6 +53,12 @@ class Snapshot {
   /// The sim clock at save time; restore() rewinds/advances to it.
   SimTime at() const { return at_; }
 
+  /// Canonical scenario-prefix hash this snapshot was saved under (see
+  /// sim/hash.h), or 0 if the caller did not key it. A checkpoint cache
+  /// (src/serve/) stamps the key at save time and verifies it before
+  /// restoring, so a cache bug can never silently branch the wrong world.
+  std::uint64_t prefix_hash() const { return prefix_hash_; }
+
   /// Stores `state` under `key`. Participants call this from save().
   template <typename T>
   void put(std::string key, T state) {
@@ -89,6 +95,7 @@ class Snapshot {
   };
 
   SimTime at_;
+  std::uint64_t prefix_hash_ = 0;
   std::map<std::string, Blob, std::less<>> blobs_;
 };
 
@@ -171,7 +178,10 @@ class CheckpointRegistry {
 
   std::size_t participant_count() const { return participants_.size(); }
 
-  Snapshot save() const;
+  /// Saves every participant's state. `prefix_hash` is an optional caller
+  /// key (canonical scenario-prefix hash, sim/hash.h) stamped onto the
+  /// snapshot for cache-integrity checks; 0 leaves it unkeyed.
+  Snapshot save(std::uint64_t prefix_hash = 0) const;
   void restore(const Snapshot& snap);
 
  private:

@@ -76,13 +76,25 @@ bool parse_entry(const std::string& line, JournalEntry& e) {
 }  // namespace
 
 CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
-  std::ifstream in(path_);
+  std::ifstream in(path_, std::ios::binary);
   std::string line;
   while (std::getline(in, line)) {
     JournalEntry e;
     // Malformed lines (partial write at a kill point, foreign content) are
     // skipped, not fatal: resume re-runs whatever is missing.
     if (parse_entry(line, e)) entries_.push_back(std::move(e));
+  }
+  // getline strips '\n' but leaves a crash-truncated final line intact, so
+  // re-check the raw tail byte: if the file does not end in '\n', the next
+  // append must start a fresh line or it would fuse with the partial one.
+  in.clear();
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    in.seekg(-1, std::ios::end);
+    char last_char = '\n';
+    in.get(last_char);
+    tail_needs_newline_ = last_char != '\n';
   }
 }
 
@@ -103,6 +115,13 @@ void CampaignJournal::append(const JournalEntry& e) {
   const std::string text = line.str();
   std::lock_guard<std::mutex> lock(mu_);
   std::ofstream out(path_, std::ios::app);
+  if (tail_needs_newline_) {
+    // The file ends in a crash-truncated partial line; terminate it so the
+    // new entry starts cleanly (the partial line stays malformed and is
+    // skipped on load, instead of swallowing this entry too).
+    out << '\n';
+    tail_needs_newline_ = false;
+  }
   out << text;
   out.flush();
   entries_.push_back(e);

@@ -134,9 +134,13 @@ struct JournalEntry {
 /// interruption (crash at replication 900/1000, preempted job, ...) replays
 /// the journaled results instead of re-simulating them. One escaped text
 /// line per entry; loading skips malformed lines (a line truncated by a
-/// crash mid-write costs exactly that one replication). append() is
-/// thread-safe and flushes before returning, so the journal is as current
-/// as the last completed replication at any kill point.
+/// crash mid-write costs exactly that one replication). A truncated tail
+/// also lacks its terminating newline, so the first append after reopening
+/// writes a separator first — otherwise the new entry would be glued onto
+/// the partial line (whose escaped '\\t' separators make the merged line
+/// look almost-parseable) and both would be lost on the next load. append()
+/// is thread-safe and flushes before returning, so the journal is as
+/// current as the last completed replication at any kill point.
 class CampaignJournal {
  public:
   /// Opens (and loads) `path`; the file is created on first append.
@@ -155,6 +159,9 @@ class CampaignJournal {
   std::string path_;
   std::mutex mu_;
   std::vector<JournalEntry> entries_;
+  /// True when the file on disk ends mid-line (crash-truncated tail): the
+  /// next append must emit a '\n' first so it starts a fresh line.
+  bool tail_needs_newline_ = false;
 };
 
 class ParallelRunner {
@@ -176,6 +183,24 @@ class ParallelRunner {
     /// Also keep trace_json for successful replications (memory-heavy for
     /// wide sweeps; meant for targeted trace collection).
     bool trace_all = false;
+    /// Admission gate, consulted once per replication before its body runs.
+    /// Returning false records the replication as a failure ("rejected by
+    /// admission gate", repro line included) WITHOUT running the body — the
+    /// mechanism a service loop uses to shed load past its per-batch budget
+    /// (src/serve/). The gate MUST be a pure function of (seed, index):
+    /// replications start in a nondeterministic interleaving across worker
+    /// threads, so a stateful gate would admit a nondeterministic set and
+    /// break the bit-identical-across-worker-counts guarantee.
+    std::function<bool(std::uint64_t seed, std::size_t index)> admit;
+    /// Observation hook fired after each replication finishes (admitted or
+    /// rejected), from whichever worker thread ran it — must be
+    /// thread-safe. Completion order is nondeterministic; anything that
+    /// feeds results should use the seed-ordered RunOutcome instead. Meant
+    /// for service bookkeeping: in-flight gauges, completion counters,
+    /// queue-depth metrics.
+    std::function<void(std::uint64_t seed, std::size_t index, bool ok,
+                       double wall_ms)>
+        on_complete;
   };
 
   explicit ParallelRunner(std::size_t workers) : opts_{workers, {}} {}
@@ -317,6 +342,13 @@ class ParallelRunner {
                ReplicationResult<T>& slot) const {
     slot.seed = seed;
     slot.index = index;
+    if (opts_.admit && !opts_.admit(seed, index)) {
+      slot.ok = false;
+      slot.error = "rejected by admission gate";
+      slot.repro = make_repro(seed, index);
+      if (opts_.on_complete) opts_.on_complete(seed, index, false, 0.0);
+      return;
+    }
     ReplicationContext ctx;
     ctx.seed = seed;
     ctx.index = index;
@@ -345,6 +377,7 @@ class ParallelRunner {
       slot.trace_json = ctx.tracer.to_json();
     }
     if (!slot.ok) slot.repro = make_repro(seed, index);
+    if (opts_.on_complete) opts_.on_complete(seed, index, slot.ok, slot.wall_ms);
   }
 
   std::string make_repro(std::uint64_t seed, std::size_t index) const;

@@ -159,6 +159,23 @@ TEST(CheckpointRegistry, DuplicateKeysGetDeterministicSuffixes) {
   reg.unregister(&d3);
 }
 
+TEST(CheckpointRegistry, SnapshotCarriesItsPrefixStamp) {
+  // The campaign service (src/serve/) keys its checkpoint cache by a
+  // canonical scenario-prefix hash and stamps each snapshot with its key at
+  // save time, then verifies the stamp before restoring — a cache-integrity
+  // check against aliased or mis-filed entries.
+  sim::Simulator sim;
+  Dummy d;
+  sim.checkpoint().register_participant(&d);
+  const sim::Snapshot unstamped = sim.checkpoint().save();
+  EXPECT_EQ(unstamped.prefix_hash(), 0u);  // default: no key
+  const sim::Snapshot stamped = sim.checkpoint().save(0xC0FFEE1234ULL);
+  EXPECT_EQ(stamped.prefix_hash(), 0xC0FFEE1234ULL);
+  // The stamp is metadata only: a stamped snapshot restores normally.
+  sim.checkpoint().restore(stamped);
+  sim.checkpoint().unregister(&d);
+}
+
 TEST(CheckpointRegistry, RestoreRewindsTheClock) {
   sim::Simulator sim;
   std::vector<int> out;

@@ -377,6 +377,96 @@ TEST(CampaignJournalTest, MalformedLinesAreSkippedOnLoad) {
   EXPECT_EQ(reloaded.find(3, 2), nullptr);
 }
 
+TEST(CampaignJournalTest, AppendAfterCrashTruncatedTailStartsFreshLine) {
+  // Regression: a crash mid-write leaves a final line with no terminating
+  // newline. The partial line's payload may itself contain ESCAPED
+  // separators ("\\t" as backslash-t), so if the next append is glued onto
+  // it the merged line is almost-parseable garbage — and the NEW valid
+  // entry vanishes with it on the next load. The journal must detect the
+  // unterminated tail on open and emit a separator before the first append.
+  const std::string path = temp_journal_path("truncated_tail");
+  std::remove(path.c_str());
+  MetricsRegistry m;
+  m.count("ok");
+  {
+    CampaignJournal j(path);
+    j.append(JournalEntry{1, 0, 1.0, "intact", m.serialize()});
+  }
+  {
+    // Crash-truncated tail whose payload field carries escaped separators
+    // and which was cut before the metrics field.
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    f << "rep\t9\t3\t2.0\tpay\\tload\\nwith\\tescapes";  // no trailing '\n'
+  }
+  {
+    CampaignJournal reopened(path);
+    EXPECT_EQ(reopened.entries().size(), 1u);  // truncated line skipped
+    reopened.append(JournalEntry{2, 1, 4.0, "after-crash", m.serialize()});
+  }
+  CampaignJournal reloaded(path);
+  ASSERT_EQ(reloaded.entries().size(), 2u);
+  EXPECT_NE(reloaded.find(1, 0), nullptr);
+  const JournalEntry* survivor = reloaded.find(2, 1);  // the entry at risk
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->payload, "after-crash");
+  EXPECT_EQ(reloaded.find(9, 3), nullptr);  // the truncated entry stays lost
+}
+
+// ----------------------------------------------- Admission / observation ----
+
+TEST(ParallelRunnerTest, AdmissionGateShedsWithoutRunningBody) {
+  const auto seeds = ParallelRunner::seed_range(500, 8);
+  std::atomic<std::size_t> bodies{0};
+  std::atomic<std::size_t> completions{0};
+  const auto body = [&bodies](ReplicationContext& ctx) {
+    bodies.fetch_add(1, std::memory_order_relaxed);
+    ctx.metrics.count("ran");
+    return ctx.seed;
+  };
+
+  std::uint64_t reference_digest = 0;
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+    bodies.store(0);
+    completions.store(0);
+    ParallelRunner::Options opts;
+    opts.workers = workers;
+    opts.repro_program = "test_runner";
+    // Pure function of index: shed the odd replications.
+    opts.admit = [](std::uint64_t, std::size_t index) {
+      return index % 2 == 0;
+    };
+    opts.on_complete = [&completions](std::uint64_t, std::size_t, bool,
+                                      double) {
+      completions.fetch_add(1, std::memory_order_relaxed);
+    };
+    const auto out = ParallelRunner(opts).run<std::uint64_t>(seeds, body);
+
+    EXPECT_EQ(bodies.load(), 4u);       // rejected bodies never ran
+    EXPECT_EQ(completions.load(), 8u);  // hook fires for rejected too
+    EXPECT_EQ(out.failures, 4u);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const auto& r = out.replications[i];
+      if (i % 2 == 0) {
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(r.payload, seeds[i]);
+      } else {
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error, "rejected by admission gate");
+        EXPECT_NE(r.repro.find("--seed=" + std::to_string(seeds[i])),
+                  std::string::npos);
+        EXPECT_EQ(r.payload, 0u);  // body never produced one
+      }
+    }
+    // The admitted set and merged metrics are worker-count invariant.
+    if (workers == 0) {
+      reference_digest = out.merged.digest();
+    } else {
+      EXPECT_EQ(out.merged.digest(), reference_digest);
+    }
+  }
+}
+
 TEST(ParallelRunnerTest, ResumableSkipsJournaledWorkAndMatchesUninterrupted) {
   const std::string path = temp_journal_path("resume");
   std::remove(path.c_str());
