@@ -13,16 +13,28 @@
 // per mix. Correctness gates the numbers: a panel of served queries is
 // digest-checked against CampaignService::run_uncached (serial re-sim from
 // t = 0) across worker counts {1, 2, 8}; any divergence exits nonzero.
-// Emits BENCH_serve.json.
+//
+// A warm-restart section then exercises the durable snapshot tier: one
+// service populates a snapshot directory cold, is destroyed, and a SECOND
+// service over the same directory answers the same batch by re-warming
+// from disk — digest-identical, at a measured speedup. Emits
+// BENCH_serve.json.
 //
 // Flags: --queries=N (per mix, default 24), --workers=N (default
-// bench_workers()), --uncached seed=S branch=Ts delta=NAME:INTENSITY:SALT
-// (re-run one query serially — the repro line the service emits).
+// bench_workers()), --snapshot-dir=PATH (durable tier directory for the
+// warm-restart section; defaults to a scratch dir wiped on entry — an
+// explicit path is NOT wiped, so a prior process's snapshots survive),
+// --restart-only (skip the mixes: re-warm from --snapshot-dir as if this
+// process replaced a killed predecessor, verify identity + disk hits, emit
+// BENCH_serve_restart.json), --uncached seed=S branch=Ts
+// delta=NAME:INTENSITY:SALT delay=D (re-run one query serially — the repro
+// line the service emits).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -157,6 +169,8 @@ int run_uncached_mode(int argc, char** argv) {
       }
       q.delta.intensity = std::strtod(body.c_str() + c1 + 1, nullptr);
       q.delta.salt = std::strtoull(body.c_str() + c2 + 1, nullptr, 10);
+    } else if (arg.rfind("delay=", 0) == 0) {
+      q.delta.delay_s = std::strtod(arg.c_str() + 6, nullptr);
     }
   }
   const dissem::DissemOutcome o = serve::CampaignService::run_uncached(q);
@@ -169,6 +183,132 @@ int run_uncached_mode(int argc, char** argv) {
   return 0;
 }
 
+// ---- Warm restart: the durable tier across a process boundary -----------
+
+// The restart batch: 4 what-ifs over 2 prefixes, seeds disjoint from every
+// mix so the section always starts cold, branched LATE (55 s of the 60 s
+// horizon) so the measured speedup isolates what the durable tier saves —
+// the prefix history — from the branch tail both runs must pay. Both
+// halves of the kill-and-restart check (this process and a --restart-only
+// successor) must build the identical batch — it is the protocol between
+// them.
+std::vector<serve::Query> restart_batch() {
+  std::vector<serve::Query> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    serve::Query q = make_query(kSeedBase + 7000 + (i % 2), i);
+    q.branch_time_s = 55.0;
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+std::vector<std::uint64_t> restart_reference(
+    const std::vector<serve::Query>& batch) {
+  std::vector<std::uint64_t> reference;
+  reference.reserve(batch.size());
+  for (const auto& q : batch) {
+    reference.push_back(serve::CampaignService::run_uncached(q).digest);
+  }
+  return reference;
+}
+
+bool digests_match(const serve::BatchResult& res,
+                   const std::vector<std::uint64_t>& reference) {
+  if (res.failures != 0 || res.rejected != 0) return false;
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    if (!res.results[k].ok || res.results[k].outcome.digest != reference[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct RestartRow {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double speedup = 0.0;
+  std::size_t disk_hits = 0;
+  std::size_t disk_stores = 0;
+  bool identity = false;
+  bool ok = false;
+};
+
+// In-process kill-and-restart: service A answers the batch cold and
+// persists every prefix; A is destroyed (its memory tier dies with it);
+// service B over the same directory answers the same batch by re-warming
+// from disk. The digest bar is run_uncached, same as everywhere else.
+RestartRow warm_restart_section(const std::string& dir, std::size_t workers) {
+  const std::vector<serve::Query> batch = restart_batch();
+  const std::vector<std::uint64_t> reference = restart_reference(batch);
+
+  serve::CampaignService::Options so;
+  so.workers = workers;
+  so.repro_program = "bench_serve";
+  so.snapshot_dir = dir;
+
+  RestartRow out;
+  {
+    serve::CampaignService cold(so);
+    const serve::BatchResult res = cold.submit(batch);
+    out.cold_ms = res.wall_ms;
+    out.disk_stores = cold.cache_stats().disk_stores;
+  }
+  serve::CampaignService warm(so);
+  const serve::BatchResult res = warm.submit(batch);
+  out.warm_ms = res.wall_ms;
+  out.speedup = res.wall_ms > 0 ? out.cold_ms / res.wall_ms : 0.0;
+  out.disk_hits = res.disk_hits;
+  out.identity = digests_match(res, reference);
+  out.ok = out.identity && out.disk_hits > 0;
+  return out;
+}
+
+// --restart-only: the successor process of the CI kill-and-restart check.
+// A predecessor (a full bench run with the same --snapshot-dir) populated
+// the durable tier and is gone; this process must answer the restart batch
+// from disk, digest-identical to serial re-simulation.
+int run_restart_only(const std::string& dir, std::size_t workers) {
+  using namespace iobt::bench;
+  header("S1 restart: re-warm the campaign service from a durable tier",
+         "a fresh process answers from its predecessor's snapshots — "
+         "digest-identical to serial re-sim, no prefix re-simulation");
+  const std::vector<serve::Query> batch = restart_batch();
+  const std::vector<std::uint64_t> reference = restart_reference(batch);
+
+  serve::CampaignService::Options so;
+  so.workers = workers;
+  so.repro_program = "bench_serve";
+  so.snapshot_dir = dir;
+  serve::CampaignService svc(so);
+  const serve::BatchResult res = svc.submit(batch);
+  const bool identity = digests_match(res, reference);
+  const bool ok = identity && res.disk_hits > 0;
+
+  row("%-10s %-12s %-12s %-12s %-10s", "queries", "disk_hits", "prefix_sims",
+      "identical", "wall_ms");
+  row("%-10zu %-12zu %-12zu %-12s %-10.1f", batch.size(), res.disk_hits,
+      res.prefix_sims, identity ? "yes" : "NO", res.wall_ms);
+  if (!ok) {
+    row("RESTART CHECK FAILED: %s",
+        identity ? "no disk hits (durable tier missed)" : "digest diverged");
+  }
+
+  std::FILE* f = std::fopen("BENCH_serve_restart.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve_restart\",\n");
+    std::fprintf(f, "  \"queries\": %zu,\n", batch.size());
+    std::fprintf(f, "  \"disk_hits\": %zu,\n", res.disk_hits);
+    std::fprintf(f, "  \"prefix_sims\": %zu,\n", res.prefix_sims);
+    std::fprintf(f, "  \"digest_identity\": %s,\n", identity ? "true" : "false");
+    std::fprintf(f, "  \"wall_ms\": %.1f\n", res.wall_ms);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    row("");
+    row("wrote BENCH_serve_restart.json");
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +316,8 @@ int main(int argc, char** argv) {
 
   std::size_t queries = 24;
   std::size_t workers = bench_workers();
+  std::string snapshot_dir;
+  bool restart_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--uncached") return run_uncached_mode(argc, argv);
@@ -183,9 +325,25 @@ int main(int argc, char** argv) {
       queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+      snapshot_dir = arg.substr(15);
+    } else if (arg == "--restart-only") {
+      restart_only = true;
     }
   }
   queries = std::max<std::size_t>(4, queries);
+  if (restart_only) {
+    if (snapshot_dir.empty()) snapshot_dir = "bench_serve_snapshots.tmp";
+    return run_restart_only(snapshot_dir, workers);
+  }
+  if (snapshot_dir.empty()) {
+    // Scratch directory: wiped so the warm-restart section measures a true
+    // cold start. A user-provided --snapshot-dir is deliberately NOT wiped
+    // (it is the handoff to a --restart-only successor process).
+    snapshot_dir = "bench_serve_snapshots.tmp";
+    std::error_code ec;
+    std::filesystem::remove_all(snapshot_dir, ec);
+  }
 
   header("S1: campaign service — open-loop what-if query mixes",
          "a standing query stream amortizes each scenario prefix across all "
@@ -301,6 +459,15 @@ int main(int argc, char** argv) {
       "serial): %s",
       speedup, identity ? "yes" : "NO — DIVERGED");
 
+  // ---- 3. Warm restart over the durable tier ---------------------------
+  const RestartRow restart = warm_restart_section(snapshot_dir, workers);
+  row("");
+  row("%-14s %-10s %-10s %-10s %-11s %-12s %-10s", "warm_restart", "cold_ms",
+      "warm_ms", "speedup", "disk_hits", "disk_stores", "identical");
+  row("%-14s %-10.1f %-10.1f %-10.2f %-11zu %-12zu %-10s", "", restart.cold_ms,
+      restart.warm_ms, restart.speedup, restart.disk_hits, restart.disk_stores,
+      restart.identity ? "yes" : "NO — DIVERGED");
+
   // ---- JSON -----------------------------------------------------------
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
@@ -325,11 +492,18 @@ int main(int argc, char** argv) {
                    i + 1 == mixes.size() ? "" : ",");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"hot_vs_cold_speedup\": %.3f\n", speedup);
+    std::fprintf(f, "  \"hot_vs_cold_speedup\": %.3f,\n", speedup);
+    std::fprintf(f,
+                 "  \"warm_restart\": {\"cold_ms\": %.1f, \"warm_ms\": %.1f, "
+                 "\"speedup\": %.3f, \"disk_hits\": %zu, \"disk_stores\": %zu, "
+                 "\"identity\": %s}\n",
+                 restart.cold_ms, restart.warm_ms, restart.speedup,
+                 restart.disk_hits, restart.disk_stores,
+                 restart.identity ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     row("");
     row("wrote BENCH_serve.json");
   }
-  return (identity && failures_clean) ? 0 : 1;
+  return (identity && failures_clean && restart.ok) ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/wire.h"
+
 namespace iobt::dissem {
 
 Disseminator::Disseminator(sim::Simulator& sim, net::Network& net, GossipConfig cfg)
@@ -227,6 +229,75 @@ void ReconfigController::save(sim::Snapshot& snap, const std::string& key) const
 void ReconfigController::restore(const sim::Snapshot& snap, const std::string& key,
                                  sim::RestoreArmer&) {
   promotions_ = snap.get<std::vector<Promotion>>(key);
+}
+
+// --- Wire persistence ------------------------------------------------------
+
+bool Disseminator::encode_state(const sim::Snapshot& snap,
+                                const std::string& key,
+                                sim::WireWriter& w) const {
+  const auto& st = snap.get<CheckpointState>(key);
+  w.u64(st.informed_at.size());
+  for (sim::SimTime t : st.informed_at) w.time(t);
+  w.u64(st.rows.size());
+  for (const SavedRow& row : st.rows) {
+    w.u64(row.node).time(row.when).i64(row.round).boolean(row.fired).u64(row.seq);
+  }
+  w.u64(st.informed_count).time(st.seeded_at).boolean(st.attached);
+  return true;
+}
+
+bool Disseminator::decode_state(sim::Snapshot& snap, const std::string& key,
+                                sim::WireReader& r) const {
+  CheckpointState st;
+  const std::uint64_t informed = r.u64();
+  if (!r.ok() || informed > r.remaining()) return false;
+  st.informed_at.resize(static_cast<std::size_t>(informed));
+  for (sim::SimTime& t : st.informed_at) t = r.time();
+  const std::uint64_t rows = r.u64();
+  if (!r.ok() || rows > r.remaining()) return false;
+  st.rows.resize(static_cast<std::size_t>(rows));
+  for (SavedRow& row : st.rows) {
+    row.node = static_cast<net::NodeId>(r.u64());
+    row.when = r.time();
+    row.round = static_cast<int>(r.i64());
+    row.fired = r.boolean();
+    row.seq = r.u64();
+  }
+  st.informed_count = static_cast<std::size_t>(r.u64());
+  st.seeded_at = r.time();
+  st.attached = r.boolean();
+  if (!r.ok()) return false;
+  snap.put(key, std::move(st));
+  return true;
+}
+
+bool ReconfigController::encode_state(const sim::Snapshot& snap,
+                                      const std::string& key,
+                                      sim::WireWriter& w) const {
+  const auto& promotions = snap.get<std::vector<Promotion>>(key);
+  w.u64(promotions.size());
+  for (const Promotion& p : promotions) {
+    w.u64(p.lost).u64(p.promoted).time(p.at);
+  }
+  return true;
+}
+
+bool ReconfigController::decode_state(sim::Snapshot& snap,
+                                      const std::string& key,
+                                      sim::WireReader& r) const {
+  std::vector<Promotion> promotions;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > r.remaining()) return false;
+  promotions.resize(static_cast<std::size_t>(n));
+  for (Promotion& p : promotions) {
+    p.lost = static_cast<net::NodeId>(r.u64());
+    p.promoted = static_cast<net::NodeId>(r.u64());
+    p.at = r.time();
+  }
+  if (!r.ok()) return false;
+  snap.put(key, std::move(promotions));
+  return true;
 }
 
 }  // namespace iobt::dissem

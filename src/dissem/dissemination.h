@@ -46,7 +46,7 @@ struct GossipConfig {
 /// after the population exists; seed() schedules the initial injection.
 /// Reach/time accessors answer the percolation questions; digest() folds
 /// the full per-node informed-time table for equivalence checks.
-class Disseminator final : public sim::Checkpointable {
+class Disseminator final : public sim::SerializableCheckpointable {
  public:
   Disseminator(sim::Simulator& sim, net::Network& net, GossipConfig cfg);
   ~Disseminator() override;
@@ -83,6 +83,10 @@ class Disseminator final : public sim::Checkpointable {
   void save(sim::Snapshot& snap, const std::string& key) const override;
   void restore(const sim::Snapshot& snap, const std::string& key,
                sim::RestoreArmer& armer) override;
+  bool encode_state(const sim::Snapshot& snap, const std::string& key,
+                    sim::WireWriter& w) const override;
+  bool decode_state(sim::Snapshot& snap, const std::string& key,
+                    sim::WireReader& r) const override;
 
  private:
   /// One pending gossip transmission: the seed injection (round == -1) or
@@ -139,7 +143,7 @@ class Disseminator final : public sim::Checkpointable {
 /// same layer (lowest id on ties) so the layer keeps its bridge count.
 /// The Network's own checkpoint carries the gateway flags; this
 /// participant carries only its promotion log.
-class ReconfigController final : public sim::Checkpointable {
+class ReconfigController final : public sim::SerializableCheckpointable {
  public:
   explicit ReconfigController(things::World& world);
   ~ReconfigController() override;
@@ -155,6 +159,10 @@ class ReconfigController final : public sim::Checkpointable {
   void save(sim::Snapshot& snap, const std::string& key) const override;
   void restore(const sim::Snapshot& snap, const std::string& key,
                sim::RestoreArmer& armer) override;
+  bool encode_state(const sim::Snapshot& snap, const std::string& key,
+                    sim::WireWriter& w) const override;
+  bool decode_state(sim::Snapshot& snap, const std::string& key,
+                    sim::WireReader& r) const override;
 
  private:
   void on_asset_down(things::AssetId id);

@@ -61,6 +61,9 @@ class ChannelModel {
   void add_building(sim::Rect footprint) { buildings_.push_back({footprint}); }
   const std::vector<Building>& buildings() const { return buildings_; }
 
+  double edge_exponent() const { return edge_exponent_; }
+  double max_edge_loss() const { return max_edge_loss_; }
+
   /// True if the straight path between two points crosses a building.
   bool line_of_sight_blocked(sim::Vec2 a, sim::Vec2 b) const {
     for (const Building& bl : buildings_) {

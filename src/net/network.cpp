@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/wire.h"
+
 namespace iobt::net {
 
 std::string to_string(DropReason r) {
@@ -642,6 +644,128 @@ void Network::restore(const sim::Snapshot& snap, const std::string& key,
     armer.rearm(f.deliver_at, f.seq, [this, slot] { deliver_pending(slot); },
                 deliver_tag_, &p.event);
   }
+}
+
+bool Network::encode_state(const sim::Snapshot& snap, const std::string& key,
+                           sim::WireWriter& w) const {
+  const auto& st = snap.get<CheckpointState>(key);
+  // Structured payloads (std::any) cannot cross a process boundary; gossip
+  // traffic and every other wire-shaped message travel payload-free, so in
+  // practice only exotic snapshots are rejected here.
+  for (const SavedFrame& f : st.in_flight) {
+    if (f.msg.payload.has_value()) return false;
+  }
+  w.u64(st.positions.size());
+  for (sim::Vec2 p : st.positions) w.vec2(p);
+  for (const RadioProfile& p : st.profiles) {
+    w.f64(p.range_m).f64(p.data_rate_bps).f64(p.base_loss);
+  }
+  for (std::uint8_t v : st.up) w.u64(v);
+  for (LayerId l : st.layers) w.u64(l);
+  for (std::uint8_t v : st.gateway) w.u64(v);
+  for (std::uint64_t b : st.node_bytes_sent) w.u64(b);
+  for (sim::SimTime t : st.tx_free_at) w.time(t);
+
+  w.f64(st.channel.edge_exponent()).f64(st.channel.max_edge_loss());
+  w.u64(st.channel.jammers().size());
+  for (const Jammer& j : st.channel.jammers()) {
+    w.vec2(j.center).f64(j.radius_m).time(j.start).time(j.end).f64(j.induced_loss);
+  }
+  w.u64(st.channel.buildings().size());
+  for (const Building& b : st.channel.buildings()) w.rect(b.footprint);
+
+  w.rng(st.rng);
+  w.bytes(st.metrics.serialize());
+  w.u64(st.frames_dropped)
+      .dur(st.hop_latency)
+      .u64(st.next_frame_trace_id)
+      .f64(st.max_range_m)
+      .u64(st.topology_epoch);
+  w.u64(st.in_flight.size());
+  for (const SavedFrame& f : st.in_flight) {
+    w.u64(f.msg.src).u64(f.msg.dst).bytes(f.msg.kind).u64(f.msg.size_bytes)
+        .i64(f.msg.hops).time(f.msg.sent_at);
+    w.u64(f.path_tail.size());
+    for (NodeId n : f.path_tail) w.u64(n);
+    w.u64(f.dst).boolean(f.lost).time(f.deliver_at).u64(f.seq);
+  }
+  return true;
+}
+
+bool Network::decode_state(sim::Snapshot& snap, const std::string& key,
+                           sim::WireReader& r) const {
+  CheckpointState st;
+  const std::uint64_t nodes = r.u64();
+  if (!r.ok() || nodes > r.remaining()) return false;
+  const auto n = static_cast<std::size_t>(nodes);
+  st.positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) st.positions.push_back(r.vec2());
+  st.profiles.resize(n);
+  for (RadioProfile& p : st.profiles) {
+    p.range_m = r.f64();
+    p.data_rate_bps = r.f64();
+    p.base_loss = r.f64();
+  }
+  st.up.resize(n);
+  for (std::uint8_t& v : st.up) v = static_cast<std::uint8_t>(r.u64());
+  st.layers.resize(n);
+  for (LayerId& l : st.layers) l = static_cast<LayerId>(r.u64());
+  st.gateway.resize(n);
+  for (std::uint8_t& v : st.gateway) v = static_cast<std::uint8_t>(r.u64());
+  st.node_bytes_sent.resize(n);
+  for (std::uint64_t& b : st.node_bytes_sent) b = r.u64();
+  st.tx_free_at.resize(n);
+  for (sim::SimTime& t : st.tx_free_at) t = r.time();
+
+  const double edge_exponent = r.f64();
+  const double max_edge_loss = r.f64();
+  st.channel = ChannelModel(edge_exponent, max_edge_loss);
+  const std::uint64_t jammers = r.u64();
+  if (!r.ok() || jammers > r.remaining()) return false;
+  for (std::uint64_t i = 0; i < jammers; ++i) {
+    Jammer j;
+    j.center = r.vec2();
+    j.radius_m = r.f64();
+    j.start = r.time();
+    j.end = r.time();
+    j.induced_loss = r.f64();
+    st.channel.add_jammer(j);
+  }
+  const std::uint64_t buildings = r.u64();
+  if (!r.ok() || buildings > r.remaining()) return false;
+  for (std::uint64_t i = 0; i < buildings; ++i) st.channel.add_building(r.rect());
+
+  st.rng = r.rng();
+  auto metrics = sim::MetricsRegistry::deserialize(r.bytes());
+  if (!metrics) return false;
+  st.metrics = std::move(*metrics);
+  st.frames_dropped = r.u64();
+  st.hop_latency = r.dur();
+  st.next_frame_trace_id = r.u64();
+  st.max_range_m = r.f64();
+  st.topology_epoch = r.u64();
+  const std::uint64_t frames = r.u64();
+  if (!r.ok() || frames > r.remaining()) return false;
+  st.in_flight.resize(static_cast<std::size_t>(frames));
+  for (SavedFrame& f : st.in_flight) {
+    f.msg.src = static_cast<NodeId>(r.u64());
+    f.msg.dst = static_cast<NodeId>(r.u64());
+    f.msg.kind = r.bytes();
+    f.msg.size_bytes = static_cast<std::size_t>(r.u64());
+    f.msg.hops = static_cast<int>(r.i64());
+    f.msg.sent_at = r.time();
+    const std::uint64_t tail = r.u64();
+    if (!r.ok() || tail > r.remaining()) return false;
+    f.path_tail.resize(static_cast<std::size_t>(tail));
+    for (NodeId& hop : f.path_tail) hop = static_cast<NodeId>(r.u64());
+    f.dst = static_cast<NodeId>(r.u64());
+    f.lost = r.boolean();
+    f.deliver_at = r.time();
+    f.seq = r.u64();
+  }
+  if (!r.ok()) return false;
+  snap.put(key, std::move(st));
+  return true;
 }
 
 std::uint64_t Network::total_bytes_sent() const {

@@ -49,7 +49,7 @@ inline constexpr std::size_t kDropReasonCount = 6;
 
 std::string to_string(DropReason r);
 
-class Network : public sim::Checkpointable {
+class Network : public sim::SerializableCheckpointable {
  public:
   Network(sim::Simulator& simulator, ChannelModel channel, sim::Rng rng);
   ~Network() override;
@@ -221,6 +221,14 @@ class Network : public sim::Checkpointable {
   void save(sim::Snapshot& snap, const std::string& key) const override;
   void restore(const sim::Snapshot& snap, const std::string& key,
                sim::RestoreArmer& armer) override;
+  /// Wire persistence (sim/wire.h). Metrics embed their own bit-exact
+  /// serialize() image. Returns false when any in-flight frame carries a
+  /// live std::any payload — structured payloads cannot cross a process
+  /// boundary, so such snapshots stay memory-only.
+  bool encode_state(const sim::Snapshot& snap, const std::string& key,
+                    sim::WireWriter& w) const override;
+  bool decode_state(sim::Snapshot& snap, const std::string& key,
+                    sim::WireReader& r) const override;
 
  private:
   /// A frame on the air, parked in the pending slab until its delivery

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/wire.h"
 #include "things/population.h"
 
 namespace iobt::security {
@@ -303,6 +304,55 @@ void AttackInjector::restore(const sim::Snapshot& snap, const std::string& key,
   }
   sybil_ids_ = st.sybil_ids;
   log_ = st.log;
+}
+
+bool AttackInjector::encode_state(const sim::Snapshot& snap,
+                                  const std::string& key,
+                                  sim::WireWriter& w) const {
+  const auto& st = snap.get<CheckpointState>(key);
+  w.u64(st.rows.size());
+  for (const SavedRow& row : st.rows) {
+    w.i64(row.kind).time(row.when).boolean(row.fired).rng(row.rng).u64(row.seq);
+  }
+  w.u64(st.sybil_ids.size());
+  for (things::AssetId id : st.sybil_ids) w.u64(id);
+  w.u64(st.log.size());
+  for (const AttackEvent& e : st.log) {
+    w.bytes(e.type).time(e.at).bytes(e.detail);
+  }
+  return true;
+}
+
+bool AttackInjector::decode_state(sim::Snapshot& snap, const std::string& key,
+                                  sim::WireReader& r) const {
+  CheckpointState st;
+  const std::uint64_t rows = r.u64();
+  if (!r.ok() || rows > r.remaining()) return false;
+  st.rows.resize(static_cast<std::size_t>(rows));
+  for (SavedRow& row : st.rows) {
+    row.kind = static_cast<int>(r.i64());
+    row.when = r.time();
+    row.fired = r.boolean();
+    row.rng = r.rng();
+    row.seq = r.u64();
+  }
+  const std::uint64_t sybils = r.u64();
+  if (!r.ok() || sybils > r.remaining()) return false;
+  st.sybil_ids.resize(static_cast<std::size_t>(sybils));
+  for (things::AssetId& id : st.sybil_ids) {
+    id = static_cast<things::AssetId>(r.u64());
+  }
+  const std::uint64_t events = r.u64();
+  if (!r.ok() || events > r.remaining()) return false;
+  st.log.resize(static_cast<std::size_t>(events));
+  for (AttackEvent& e : st.log) {
+    e.type = r.bytes();
+    e.at = r.time();
+    e.detail = r.bytes();
+  }
+  if (!r.ok()) return false;
+  snap.put(key, std::move(st));
+  return true;
 }
 
 }  // namespace iobt::security

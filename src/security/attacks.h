@@ -40,7 +40,7 @@ struct AttackEvent {
 /// the caller's Rng, keyed by the row index — passing one Rng (or copies
 /// of it) to several schedule_* calls yields INDEPENDENT streams instead
 /// of silently duplicated ones.
-class AttackInjector : public sim::Checkpointable {
+class AttackInjector : public sim::SerializableCheckpointable {
  public:
   explicit AttackInjector(things::World& world);
   ~AttackInjector() override;
@@ -103,6 +103,13 @@ class AttackInjector : public sim::Checkpointable {
   void save(sim::Snapshot& snap, const std::string& key) const override;
   void restore(const sim::Snapshot& snap, const std::string& key,
                sim::RestoreArmer& armer) override;
+  /// Wire persistence (sim/wire.h): the schedule-cursor rows, Sybil ids,
+  /// and event log round-trip; restore() prefix-matches the rows against
+  /// the live stack's declared schedule exactly as in the in-memory path.
+  bool encode_state(const sim::Snapshot& snap, const std::string& key,
+                    sim::WireWriter& w) const override;
+  bool decode_state(sim::Snapshot& snap, const std::string& key,
+                    sim::WireReader& r) const override;
 
  private:
   enum class Kind {

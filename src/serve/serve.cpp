@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "sim/hash.h"
 
@@ -148,6 +149,9 @@ CampaignService::CampaignService(Options opts) : opts_(std::move(opts)) {
   if (opts_.cache_capacity == 0) {
     throw std::invalid_argument("CampaignService: cache_capacity must be >= 1");
   }
+  if (!opts_.snapshot_dir.empty()) {
+    store_ = std::make_unique<SnapshotStore>(opts_.snapshot_dir);
+  }
 }
 
 dissem::DissemOutcome CampaignService::run_uncached(const Query& q) {
@@ -163,23 +167,88 @@ std::shared_ptr<const sim::Snapshot> CampaignService::cache_get(
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  it->second->last_use = ++use_clock_;
   return it->second->snapshot;
 }
 
 void CampaignService::cache_put(std::uint64_t key,
-                                std::shared_ptr<const sim::Snapshot> snap) {
+                                std::shared_ptr<const sim::Snapshot> snap,
+                                double rebuild_ms) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->snapshot = std::move(snap);
+    it->second->rebuild_ms = rebuild_ms;
+    it->second->last_use = ++use_clock_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(CacheEntry{key, std::move(snap)});
+  lru_.push_front(CacheEntry{key, std::move(snap), rebuild_ms, ++use_clock_});
   index_[key] = lru_.begin();
+  // Cost-aware eviction: victim = argmin rebuild_ms / (1 + age). An
+  // expensive prefix (50 s to rebuild) outlives a cheap one (5 s) across
+  // a long recency gap, and the newcomer itself competes — if it is the
+  // cheapest-per-staleness entry, IT is the one evicted (admission
+  // control, not just eviction). Iterating back-to-front makes the least
+  // recently used entry win ties, preserving plain-LRU behaviour when
+  // all costs are equal.
   while (lru_.size() > opts_.cache_capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+    auto victim = lru_.end();
+    double victim_score = 0.0;
+    for (auto e = std::prev(lru_.end());; --e) {
+      const double age = static_cast<double>(use_clock_ - e->last_use);
+      const double score = e->rebuild_ms / (1.0 + age);
+      if (victim == lru_.end() || score < victim_score) {
+        victim = e;
+        victim_score = score;
+      }
+      if (e == lru_.begin()) break;
+    }
+    index_.erase(victim->key);
+    lru_.erase(victim);
     ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const sim::Snapshot> CampaignService::disk_get(
+    std::uint64_t key, const Query& q) {
+  if (!store_) return nullptr;
+  const auto load_start = std::chrono::steady_clock::now();
+  std::string bytes;
+  switch (store_->get(key, bytes)) {
+    case SnapshotStore::GetStatus::kMissing:
+      return nullptr;
+    case SnapshotStore::GetStatus::kRejected:
+      ++stats_.disk_rejects;
+      return nullptr;
+    case SnapshotStore::GetStatus::kHit:
+      break;
+  }
+  // Decode against a scratch stack built from the query itself: the
+  // registry roster (participant keys, order) comes from the live stack,
+  // so the wire image is validated against exactly the scenario this
+  // query would cold-simulate. A file from a different roster decodes to
+  // nullopt; a file for a different prefix fails the stamp check. Either
+  // way the caller falls back to a cold sim — never a crash, never a
+  // silently divergent snapshot.
+  try {
+    dissem::DissemScenario s(q.spec, q.seed);
+    auto snap = s.sim.checkpoint().deserialize_snapshot(bytes);
+    if (!snap || snap->prefix_hash() != key) {
+      ++stats_.disk_rejects;
+      return nullptr;
+    }
+    auto shared = std::make_shared<const sim::Snapshot>(*std::move(snap));
+    // The re-warmed entry's rebuild cost is its load+decode wall — far
+    // below a prefix sim, which is correct: evicting it is cheap because
+    // it is STILL ON DISK.
+    cache_put(key, shared, now_ms_since(load_start));
+    ++stats_.disk_hits;
+    return shared;
+  } catch (const std::exception&) {
+    // Scratch-stack construction failed (e.g. a spec this binary can no
+    // longer build): treat like a rejected file.
+    ++stats_.disk_rejects;
+    return nullptr;
   }
 }
 
@@ -208,28 +277,50 @@ BatchResult CampaignService::submit(const std::vector<Query>& queries) {
     }
   }
 
-  // ---- 2. Prefix dedup against the LRU --------------------------------
+  // ---- 2. Prefix dedup: memory LRU, then disk tier, then cold ----------
   // batch_snaps is filled before the fan-out and read-only during it.
+  // cached_keys marks prefixes whose snapshot EXISTS already (memory or
+  // disk); a query deduped onto one is a genuine cache hit. A query
+  // deduped onto a cold placeholder is NOT — its prefix sim hasn't run
+  // yet, let alone succeeded — so those are deferred to `deduped_cold`
+  // and reconciled after step 3 (batch_dedup iff the shared sim worked).
   std::unordered_map<std::uint64_t, std::shared_ptr<const sim::Snapshot>>
       batch_snaps;
   std::unordered_map<std::uint64_t, std::string> prefix_errors;
   std::unordered_map<std::uint64_t, double> prefix_wall_ms;
   std::unordered_map<std::uint64_t, std::size_t> prefix_fanout;
-  std::vector<std::size_t> cold;  // first query index per cold prefix
+  std::unordered_set<std::uint64_t> cached_keys;
+  std::vector<std::size_t> cold;         // first query index per cold prefix
+  std::vector<std::size_t> deduped_cold; // queries riding an in-batch cold sim
   for (std::size_t i = 0; i < std::min(cap, n); ++i) {
     const std::uint64_t key = out.results[i].prefix;
     ++prefix_fanout[key];
     auto found = batch_snaps.find(key);
     if (found != batch_snaps.end()) {
-      // Another query earlier in this batch already covers the prefix.
-      out.results[i].cache_hit = true;
-      ++stats_.hits;
+      if (cached_keys.count(key)) {
+        // Deduped onto a prefix the cache already held: real hit.
+        out.results[i].cache_hit = true;
+        ++stats_.hits;
+      } else {
+        deduped_cold.push_back(i);  // verdict pending on the cold sim
+      }
       continue;
     }
     if (auto snap = cache_get(key)) {
       batch_snaps.emplace(key, std::move(snap));
+      cached_keys.insert(key);
       out.results[i].cache_hit = true;
       ++stats_.hits;
+      continue;
+    }
+    if (auto snap = disk_get(key, queries[i])) {
+      // Re-warm: the durable tier had a verified snapshot. disk_get
+      // already promoted it into the memory LRU and counted disk_hits.
+      batch_snaps.emplace(key, std::move(snap));
+      cached_keys.insert(key);
+      out.results[i].cache_hit = true;
+      ++stats_.hits;
+      ++out.disk_hits;
       continue;
     }
     batch_snaps.emplace(key, nullptr);  // placeholder: simulated below
@@ -237,11 +328,16 @@ BatchResult CampaignService::submit(const std::vector<Query>& queries) {
     ++stats_.misses;
   }
   out.prefix_sims = cold.size();
-  out.cache_hits = static_cast<std::size_t>(
-      std::count_if(out.results.begin(), out.results.end(),
-                    [](const QueryResult& r) { return r.cache_hit; }));
 
   // ---- 3. Simulate cold prefixes once each, in parallel ----------------
+  // Each replication returns the snapshot AND (when the durable tier is
+  // on) its wire image — serialization needs the live registry roster,
+  // which only exists inside the replication body. The disk write itself
+  // happens on this thread afterwards, so the store sees one writer.
+  struct PrefixArtifact {
+    std::shared_ptr<const sim::Snapshot> snapshot;
+    std::string wire;  ///< empty when not serializable / tier disabled
+  };
   if (!cold.empty()) {
     sim::ParallelRunner::Options po;
     po.workers = opts_.workers;
@@ -250,29 +346,56 @@ BatchResult CampaignService::submit(const std::vector<Query>& queries) {
     std::vector<std::uint64_t> seeds;
     seeds.reserve(cold.size());
     for (std::size_t i : cold) seeds.push_back(queries[i].seed);
-    const auto prefixes = prefix_runner.run<std::shared_ptr<const sim::Snapshot>>(
+    const bool want_wire = store_ != nullptr;
+    const auto prefixes = prefix_runner.run<PrefixArtifact>(
         seeds, [&](sim::ReplicationContext& ctx) {
           const Query& q = queries[cold[ctx.index]];
           dissem::DissemScenario s(q.spec, q.seed);
           s.sim.run_until(sim::SimTime::seconds(q.branch_time_s));
           // The snapshot carries its prefix key; the branch body verifies
           // the stamp before restoring (cache-integrity check).
-          return std::make_shared<const sim::Snapshot>(
+          PrefixArtifact art;
+          art.snapshot = std::make_shared<const sim::Snapshot>(
               s.sim.checkpoint().save(out.results[cold[ctx.index]].prefix));
+          if (want_wire) {
+            std::string wire;
+            if (s.sim.checkpoint().serialize_snapshot(*art.snapshot, wire)) {
+              art.wire = std::move(wire);
+            }
+          }
+          return art;
         });
     for (std::size_t j = 0; j < cold.size(); ++j) {
       const std::uint64_t key = out.results[cold[j]].prefix;
       const auto& rep = prefixes.replications[j];
       prefix_wall_ms[key] = rep.wall_ms;
       if (rep.ok) {
-        batch_snaps[key] = rep.payload;
-        cache_put(key, rep.payload);
+        batch_snaps[key] = rep.payload.snapshot;
+        cache_put(key, rep.payload.snapshot, rep.wall_ms);
+        if (store_ && !rep.payload.wire.empty() &&
+            store_->put(key, rep.payload.wire)) {
+          ++stats_.disk_stores;
+        }
       } else {
         prefix_errors[key] = "prefix simulation failed: " + rep.error;
       }
     }
   }
   stats_.entries = lru_.size();
+
+  // Reconcile the deferred dedup verdicts: a query that shared an
+  // in-batch cold sim is batch_dedup iff that sim succeeded. Failures get
+  // neither flag — the fan-out below surfaces the prefix error per query.
+  for (std::size_t i : deduped_cold) {
+    const std::uint64_t key = out.results[i].prefix;
+    if (prefix_errors.count(key)) continue;
+    out.results[i].batch_dedup = true;
+    ++stats_.batch_dedup;
+  }
+  for (const QueryResult& r : out.results) {
+    if (r.cache_hit) ++out.cache_hits;
+    if (r.batch_dedup) ++out.batch_dedup;
+  }
 
   // ---- 4. Branch fan-out over every admitted query ---------------------
   const bool any_trace =
@@ -333,13 +456,18 @@ BatchResult CampaignService::submit(const std::vector<Query>& queries) {
       r.outcome = rep.payload;
     } else {
       r.error = rep.error;
-      char buf[160];
+      // %.17g round-trips any double exactly (DBL_DECIMAL_DIG); %g's six
+      // significant digits would reproduce a DIFFERENT query — one whose
+      // prefix hash need not even match the one printed after '#'. The
+      // delay= token completes the key: delay_s is part of query_hash.
+      char buf[256];
       std::snprintf(buf, sizeof buf,
-                    " --uncached seed=%llu branch=%gs delta=%s:%g:%llu  "
-                    "# prefix %016llx",
+                    " --uncached seed=%llu branch=%.17gs delta=%s:%.17g:%llu "
+                    "delay=%.17g  # prefix %016llx",
                     static_cast<unsigned long long>(q.seed), q.branch_time_s,
                     attack_name(q.delta.attack).c_str(), q.delta.intensity,
                     static_cast<unsigned long long>(q.delta.salt),
+                    q.delta.delay_s,
                     static_cast<unsigned long long>(r.prefix));
       r.repro = opts_.repro_program + buf;
       ++out.failures;

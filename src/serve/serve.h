@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dissem/scenario.h"
+#include "serve/snapshot_store.h"
 #include "sim/checkpoint.h"
 #include "sim/runner.h"
 
@@ -81,8 +82,14 @@ struct QueryResult {
   bool ok = false;
   /// True when the admission gate shed this query (never simulated).
   bool rejected = false;
-  /// True when the prefix snapshot came from the cache (no prefix sim).
+  /// True when the prefix snapshot came from the cache — memory LRU or
+  /// disk tier — without this batch simulating it for this query.
   bool cache_hit = false;
+  /// True when this query was deduplicated onto a prefix some EARLIER
+  /// query in the same batch simulated cold. Not a cache hit: the prefix
+  /// sim ran in this batch; this query just shared it. Mutually exclusive
+  /// with cache_hit, and only set when the shared prefix sim succeeded.
+  bool batch_dedup = false;
   std::uint64_t prefix = 0;  ///< prefix_hash of the query
   dissem::DissemOutcome outcome;  ///< outcome.digest is the identity bar
   /// Service time attributable to this query: its branch run, plus its
@@ -98,7 +105,9 @@ struct QueryResult {
 
 struct BatchResult {
   std::vector<QueryResult> results;  ///< input order
-  std::size_t cache_hits = 0;
+  std::size_t cache_hits = 0;   ///< memory-LRU + disk-tier hits
+  std::size_t batch_dedup = 0;  ///< queries deduped onto an in-batch cold sim
+  std::size_t disk_hits = 0;    ///< cache_hits served by the disk tier
   std::size_t prefix_sims = 0;  ///< distinct cold prefixes simulated
   std::size_t rejected = 0;
   std::size_t failures = 0;  ///< failed queries (rejected excluded)
@@ -116,9 +125,11 @@ class CampaignService {
     /// Worker pool for prefix simulation and branch fan-out (ParallelRunner
     /// semantics: 0 = inline serial; results are worker-count-invariant).
     std::size_t workers = 1;
-    /// Bounded LRU capacity of the checkpoint cache, in snapshots. Each
-    /// entry is one immutable scenario-prefix Snapshot; eviction drops the
-    /// least recently USED prefix (hits refresh recency).
+    /// Bounded capacity of the in-memory checkpoint cache, in snapshots.
+    /// Each entry is one immutable scenario-prefix Snapshot. Eviction is
+    /// cost-aware: the victim minimizes rebuild-cost / recency (a 50 s
+    /// prefix outlives a 5 s one of equal recency), so admission never
+    /// lets a cheap newcomer displace an expensive resident.
     std::size_t cache_capacity = 64;
     /// Admission budget per submit(): queries past this index are shed by
     /// the runner's admission gate and come back `rejected`, never
@@ -129,6 +140,15 @@ class CampaignService {
     std::size_t trace_capacity = 0;
     /// Program name stamped into per-query repro lines.
     std::string repro_program = "bench_serve";
+    /// Directory of the durable snapshot tier (SnapshotStore). Empty
+    /// disables the disk tier: the service is then memory-only, exactly
+    /// the pre-durability behaviour. When set, every cold prefix whose
+    /// registry state is wire-representable is persisted (crash-safe
+    /// temp-file + rename), and a restarted service re-warms from disk —
+    /// answering digest-identically to run_uncached, by the same contract
+    /// as the memory tier. Corrupt/truncated/mismatched files are rejected
+    /// back to a cold simulation, never a crash.
+    std::string snapshot_dir;
   };
 
   explicit CampaignService(Options opts);
@@ -146,9 +166,13 @@ class CampaignService {
 
   struct CacheStats {
     std::size_t entries = 0;
-    std::size_t hits = 0;       ///< lifetime, across batches
-    std::size_t misses = 0;     ///< lifetime prefix simulations
-    std::size_t evictions = 0;  ///< lifetime LRU evictions
+    std::size_t hits = 0;         ///< lifetime cache hits (memory + disk)
+    std::size_t misses = 0;       ///< lifetime prefix simulations
+    std::size_t evictions = 0;    ///< lifetime memory-tier evictions
+    std::size_t batch_dedup = 0;  ///< queries deduped onto in-batch cold sims
+    std::size_t disk_hits = 0;    ///< hits served by re-warming from disk
+    std::size_t disk_rejects = 0; ///< disk files rejected (corrupt/mismatch)
+    std::size_t disk_stores = 0;  ///< snapshots durably written to disk
   };
   CacheStats cache_stats() const { return stats_; }
   /// Lifetime completed branch replications (on_complete hook; includes
@@ -162,16 +186,35 @@ class CampaignService {
   struct CacheEntry {
     std::uint64_t key = 0;
     std::shared_ptr<const sim::Snapshot> snapshot;
+    /// Wall time it took to (re)build this snapshot — the cold prefix
+    /// simulation, or the disk load + decode for re-warmed entries. The
+    /// cost side of the eviction score.
+    double rebuild_ms = 0.0;
+    /// use_clock_ stamp of the last touch; the recency side of the score.
+    std::uint64_t last_use = 0;
   };
 
-  /// LRU lookup; refreshes recency on hit. nullptr on miss.
+  /// Memory-tier lookup; refreshes recency on hit. nullptr on miss.
   std::shared_ptr<const sim::Snapshot> cache_get(std::uint64_t key);
-  void cache_put(std::uint64_t key, std::shared_ptr<const sim::Snapshot> snap);
+  /// Inserts/refreshes an entry, then evicts while over capacity by
+  /// minimum rebuild_ms / (1 + age) — cost-aware admission: the newcomer
+  /// itself is evictable if it is the cheapest-per-staleness entry.
+  void cache_put(std::uint64_t key, std::shared_ptr<const sim::Snapshot> snap,
+                 double rebuild_ms);
+  /// Disk-tier lookup: load, verify, decode against a scratch stack built
+  /// from `q`, stamp-check. nullptr on miss or any rejection (which also
+  /// bumps stats_.disk_rejects).
+  std::shared_ptr<const sim::Snapshot> disk_get(std::uint64_t key,
+                                                const Query& q);
 
   Options opts_;
   std::list<CacheEntry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index_;
   CacheStats stats_;
+  /// Durable tier; null when Options::snapshot_dir is empty.
+  std::unique_ptr<SnapshotStore> store_;
+  /// Monotonic touch counter driving the eviction recency term.
+  std::uint64_t use_clock_ = 0;
   /// Incremented from the runner's on_complete hook (worker threads).
   std::atomic<std::size_t> branches_completed_{0};
 };

@@ -1,0 +1,131 @@
+#include "serve/snapshot_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace iobt::serve {
+
+namespace {
+
+constexpr char kMagic[] = "iosnap";
+constexpr std::uint64_t kFormatVersion = 1;
+
+/// FNV-1a over the payload bytes — cheap, deterministic, and enough to
+/// catch truncation and bit rot (adversarial tampering is out of scope;
+/// the stamp check catches honest cross-prefix mixups).
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string header_line(std::uint64_t prefix_hash, const std::string& payload) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %" PRIu64 " %016" PRIx64 " %zu %016" PRIx64 "\n",
+                kMagic, kFormatVersion, prefix_hash, payload.size(),
+                fnv1a(payload));
+  return buf;
+}
+
+}  // namespace
+
+std::string SnapshotStore::file_name(std::uint64_t prefix_hash) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snap_%016" PRIx64 ".iosnap", prefix_hash);
+  return buf;
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("SnapshotStore: cannot create directory " + dir_);
+  }
+}
+
+bool SnapshotStore::put(std::uint64_t prefix_hash, const std::string& payload) {
+  const std::filesystem::path final_path =
+      std::filesystem::path(dir_) / file_name(prefix_hash);
+  // Temp file in the SAME directory: rename across filesystems is not
+  // atomic (and may outright fail), so staging must share the mount.
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out << header_line(prefix_hash, payload);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+SnapshotStore::GetStatus SnapshotStore::get(std::uint64_t prefix_hash,
+                                            std::string& out) const {
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / file_name(prefix_hash);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return GetStatus::kMissing;
+
+  std::string header;
+  if (!std::getline(in, header)) return GetStatus::kRejected;
+  std::istringstream hs(header);
+  std::string magic;
+  std::uint64_t version = 0;
+  std::string prefix_hex, checksum_hex;
+  std::size_t payload_size = 0;
+  if (!(hs >> magic >> version >> prefix_hex >> payload_size >> checksum_hex) ||
+      magic != kMagic || version != kFormatVersion ||
+      prefix_hex.size() != 16 || checksum_hex.size() != 16) {
+    return GetStatus::kRejected;
+  }
+  std::uint64_t stamp = 0, checksum = 0;
+  if (std::sscanf(prefix_hex.c_str(), "%16" SCNx64, &stamp) != 1 ||
+      std::sscanf(checksum_hex.c_str(), "%16" SCNx64, &checksum) != 1) {
+    return GetStatus::kRejected;
+  }
+  if (stamp != prefix_hash) return GetStatus::kRejected;
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::size_t>(in.gcount()) != payload_size) {
+    return GetStatus::kRejected;  // truncated
+  }
+  // Exact-size check: trailing garbage means the size field lied.
+  char extra = 0;
+  if (in.read(&extra, 1); in.gcount() != 0) return GetStatus::kRejected;
+  if (fnv1a(payload) != checksum) return GetStatus::kRejected;
+
+  out = std::move(payload);
+  return GetStatus::kHit;
+}
+
+std::size_t SnapshotStore::file_count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (e.path().extension() == ".iosnap") ++n;
+  }
+  return n;
+}
+
+}  // namespace iobt::serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/wire.h"
+
 namespace iobt::sim {
 
 std::string CheckpointRegistry::register_participant(Checkpointable* p) {
@@ -98,6 +100,49 @@ void CheckpointRegistry::restore(const Snapshot& snap) {
     const EventId id = sim_.schedule_at(p.when, std::move(p.fn), p.tag);
     if (p.armed_out) *p.armed_out = id;
   }
+}
+
+bool CheckpointRegistry::serialize_snapshot(const Snapshot& snap,
+                                            std::string& out) const {
+  WireWriter w;
+  w.u64(snap.prefix_hash_).i64(snap.at_.nanos()).u64(participants_.size());
+  for (const Entry& e : participants_) {
+    const auto* s = dynamic_cast<const SerializableCheckpointable*>(e.participant);
+    if (s == nullptr) return false;
+    WireWriter blob;
+    if (!s->encode_state(snap, e.key, blob)) return false;
+    w.bytes(e.key);
+    w.bytes(blob.out());
+  }
+  out = w.take();
+  return true;
+}
+
+std::optional<Snapshot> CheckpointRegistry::deserialize_snapshot(
+    std::string_view bytes) const {
+  WireReader r(bytes);
+  Snapshot snap;
+  snap.prefix_hash_ = r.u64();
+  snap.at_ = SimTime(r.i64());
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count != participants_.size()) return std::nullopt;
+  for (const Entry& e : participants_) {
+    const auto* s = dynamic_cast<const SerializableCheckpointable*>(e.participant);
+    if (s == nullptr) return std::nullopt;
+    const std::string key = r.bytes();
+    const std::string blob = r.bytes();
+    // The image must have been written over a roster built by the same
+    // scenario code: key order is the participant dispatch.
+    if (!r.ok() || key != e.key) return std::nullopt;
+    WireReader br(blob);
+    // A decoder must consume its blob exactly — leftover bytes mean the
+    // image was written by a different state layout (version skew).
+    if (!s->decode_state(snap, e.key, br) || !br.ok() || !br.at_end()) {
+      return std::nullopt;
+    }
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return snap;
 }
 
 }  // namespace iobt::sim

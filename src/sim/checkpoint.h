@@ -31,6 +31,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <typeinfo>
@@ -42,6 +43,8 @@
 namespace iobt::sim {
 
 class CheckpointRegistry;
+class WireReader;  // sim/wire.h
+class WireWriter;
 
 /// Immutable image of one simulation instant: the sim clock plus one typed
 /// state blob per participant, keyed by the participant's registry key.
@@ -153,6 +156,26 @@ class Checkpointable {
                        RestoreArmer& armer) = 0;
 };
 
+/// Checkpointable whose snapshot blob can additionally cross a process
+/// boundary: encode_state writes the blob saved under `key` to the
+/// byte-exact wire format (sim/wire.h — integers as decimal tokens,
+/// doubles as raw bit patterns, strings length-prefixed), and decode_state
+/// rebuilds an equivalent blob into a fresh Snapshot. The contract is the
+/// digest bar of the checkpoint layer extended over the wire: restoring a
+/// decoded snapshot must behave bit-identically to restoring the original.
+///
+/// encode_state may return false when the live state is not representable
+/// (e.g. an in-flight frame carrying a non-empty std::any payload);
+/// decode_state returns false on any malformed or truncated input — both
+/// make the caller fall back to re-simulation rather than diverge.
+class SerializableCheckpointable : public Checkpointable {
+ public:
+  virtual bool encode_state(const Snapshot& snap, const std::string& key,
+                            WireWriter& w) const = 0;
+  virtual bool decode_state(Snapshot& snap, const std::string& key,
+                            WireReader& r) const = 0;
+};
+
 /// Per-Simulator roster of checkpoint participants (Simulator::checkpoint()).
 /// save() walks participants in registration order; restore() rewinds the
 /// clock, restores participants in the same order (so dependencies like
@@ -183,6 +206,20 @@ class CheckpointRegistry {
   /// snapshot for cache-integrity checks; 0 leaves it unkeyed.
   Snapshot save(std::uint64_t prefix_hash = 0) const;
   void restore(const Snapshot& snap);
+
+  /// Byte-exact image of `snap` over this registry's roster: clock, prefix
+  /// stamp, and one length-prefixed wire blob per participant in
+  /// registration order. Returns false (leaving `out` unspecified) when any
+  /// participant does not implement SerializableCheckpointable or reports
+  /// its state unrepresentable — the caller keeps the snapshot memory-only.
+  bool serialize_snapshot(const Snapshot& snap, std::string& out) const;
+
+  /// Rebuilds a Snapshot from a serialize_snapshot image, dispatching each
+  /// blob to the matching participant of THIS roster (a scratch stack built
+  /// by the same scenario code as the writer). Any mismatch — roster size,
+  /// key order, malformed or trailing bytes — returns nullopt; corrupt
+  /// input must reject cleanly, never throw or half-decode.
+  std::optional<Snapshot> deserialize_snapshot(std::string_view bytes) const;
 
  private:
   struct Entry {

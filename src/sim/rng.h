@@ -87,6 +87,24 @@ class Rng {
   /// Samples k distinct indices from [0, n) uniformly (reservoir style).
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// The complete generator state as plain words — the xoshiro lanes plus
+  /// the Box-Muller cache. Checkpoint persistence (sim/wire.h) round-trips
+  /// it bit-exactly; from_state(state()) continues the stream as if the
+  /// generator had never been serialized.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const { return State{s_, cached_normal_, has_cached_normal_}; }
+  static Rng from_state(const State& st) {
+    Rng r;
+    r.s_ = st.s;
+    r.cached_normal_ = st.cached_normal;
+    r.has_cached_normal_ = st.has_cached_normal;
+    return r;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

@@ -112,18 +112,37 @@ void CampaignJournal::append(const JournalEntry& e) {
   std::ostringstream line;
   line << "rep\t" << e.seed << '\t' << e.index << '\t' << e.wall_ms << '\t'
        << escape_field(e.payload) << '\t' << escape_field(e.metrics) << '\n';
-  const std::string text = line.str();
+  std::string text = line.str();
   std::lock_guard<std::mutex> lock(mu_);
-  std::ofstream out(path_, std::ios::app);
   if (tail_needs_newline_) {
     // The file ends in a crash-truncated partial line; terminate it so the
     // new entry starts cleanly (the partial line stays malformed and is
-    // skipped on load, instead of swallowing this entry too).
-    out << '\n';
-    tail_needs_newline_ = false;
+    // skipped on load, instead of swallowing this entry too). Folded into
+    // the single write below so durability is judged on the whole record.
+    text.insert(text.begin(), '\n');
+  }
+  std::ofstream out(path_, std::ios::app);
+  if (!out.is_open()) {
+    // Nothing reached the disk: the tail state is whatever it was.
+    throw std::runtime_error("CampaignJournal: cannot open '" + path_ +
+                             "' for append");
   }
   out << text;
   out.flush();
+  if (!out) {
+    // The write (or its flush) failed partway: some prefix of the line may
+    // be on disk. Treat it exactly like a crash-truncated tail — the next
+    // append starts a fresh line and the loader skips the fragment — and
+    // surface the failure instead of pretending the entry is durable. The
+    // in-memory roster is NOT updated: memory and disk stay consistent,
+    // and a resume will re-run this replication.
+    tail_needs_newline_ = true;
+    throw std::runtime_error("CampaignJournal: write to '" + path_ +
+                             "' failed; entry for seed " +
+                             std::to_string(e.seed) + " index " +
+                             std::to_string(e.index) + " is not durable");
+  }
+  tail_needs_newline_ = false;
   entries_.push_back(e);
 }
 

@@ -103,6 +103,11 @@ struct RunOutcome {
   /// Replications satisfied from a campaign journal instead of being
   /// re-run (run_resumable only; plain run() leaves it 0).
   std::size_t resumed = 0;
+  /// Successful replications whose journal append FAILED (disk full,
+  /// permissions, ...). Their results are still in `replications` — the
+  /// campaign's answers are correct — but they are not durable: a resume
+  /// will re-run them. Nonzero means the journal file is impaired.
+  std::size_t journal_write_failures = 0;
 
   /// Projects one double per successful replication, in seed order.
   std::vector<double> values(const std::function<double(const T&)>& f) const {
@@ -153,6 +158,13 @@ class CampaignJournal {
   /// fields so a reordered or extended seed list never aliases.
   const JournalEntry* find(std::uint64_t seed, std::size_t index) const;
 
+  /// Durably appends `e` (write + flush) before recording it in memory.
+  /// Throws std::runtime_error if the file cannot be opened or the write
+  /// fails — an entry the disk did not accept is NOT added to entries(),
+  /// so memory and disk never disagree about what is journaled, and a
+  /// resume re-runs the replication instead of trusting a phantom entry.
+  /// After a failed write the on-disk fragment is treated like a
+  /// crash-truncated tail (separator first on the next append).
   void append(const JournalEntry& e);
 
  private:
@@ -298,6 +310,7 @@ class ParallelRunner {
     }
 
     std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> journal_failures{0};
     auto drain = [&] {
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -307,8 +320,16 @@ class ParallelRunner {
         const ReplicationResult<T>& r = out.replications[i];
         // Failures are not journaled: a resume retries them.
         if (r.ok) {
-          journal.append(JournalEntry{r.seed, r.index, r.wall_ms,
-                                      encode(r.payload), r.metrics.serialize()});
+          // append() throws when the disk refuses the entry. The result
+          // itself is still good — count the durability loss instead of
+          // letting the exception tear down a worker thread (which would
+          // terminate the process) or fail the replication.
+          try {
+            journal.append(JournalEntry{r.seed, r.index, r.wall_ms,
+                                        encode(r.payload), r.metrics.serialize()});
+          } catch (const std::exception&) {
+            journal_failures.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     };
@@ -325,6 +346,7 @@ class ParallelRunner {
       for (auto& t : threads) t.join();
     }
 
+    out.journal_write_failures = journal_failures.load(std::memory_order_relaxed);
     for (const auto& r : out.replications) {
       if (!r.ok) ++out.failures;
       out.merged.merge_from(r.metrics);

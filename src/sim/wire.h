@@ -1,0 +1,172 @@
+#pragma once
+// Byte-exact text wire format for checkpoint persistence.
+//
+// Snapshots must survive a disk round trip bit-for-bit — the digest
+// contract of the serve layer compares a re-warmed branch against serial
+// re-simulation, so one flipped mantissa bit is a divergence. Doubles
+// therefore travel as the hex of their raw bit pattern (the discipline
+// MetricsRegistry::serialize established: printf %.17g does not preserve
+// NaN payloads or distinguish every -0.0 path), integers as decimal
+// tokens, and byte strings length-prefixed so embedded spaces and
+// newlines never confuse the tokenizer.
+//
+// WireReader is fail-soft: any malformed token latches ok() to false and
+// every subsequent read returns a zero value, so decoders can run a whole
+// field list and check ok() once at the end — corrupt input must yield a
+// clean rejection, never UB or a throw from parsing.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "sim/geometry.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace iobt::sim {
+
+class WireWriter {
+ public:
+  WireWriter& u64(std::uint64_t v) {
+    buf_ += std::to_string(v);
+    buf_ += ' ';
+    return *this;
+  }
+  /// Two's-complement round trip through the u64 token space.
+  WireWriter& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  WireWriter& boolean(bool b) { return u64(b ? 1 : 0); }
+  /// Raw bit pattern as 16 hex chars — the only bit-exact text encoding.
+  WireWriter& f64(double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof bits);
+    char tok[20];
+    std::snprintf(tok, sizeof tok, "%016" PRIx64 " ", bits);
+    buf_ += tok;
+    return *this;
+  }
+  /// Length-prefixed raw bytes (binary-safe: embedded separators are fine).
+  WireWriter& bytes(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+    buf_ += ' ';
+    return *this;
+  }
+  WireWriter& time(SimTime t) { return i64(t.nanos()); }
+  WireWriter& dur(Duration d) { return i64(d.nanos()); }
+  WireWriter& vec2(Vec2 v) { return f64(v.x).f64(v.y); }
+  WireWriter& rect(const Rect& r) { return vec2(r.min).vec2(r.max); }
+  WireWriter& rng(const Rng& g) {
+    const Rng::State st = g.state();
+    for (std::uint64_t word : st.s) u64(word);
+    return f64(st.cached_normal).boolean(st.has_cached_normal);
+  }
+
+  const std::string& out() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view in) : in_(in) {}
+
+  std::uint64_t u64() {
+    std::string_view tok;
+    if (!next_token(tok)) return 0;
+    char* end = nullptr;
+    const std::string s(tok);
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || s.empty()) return fail_u64();
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() {
+    const std::uint64_t v = u64();
+    if (v > 1) return static_cast<bool>(fail_u64());
+    return v != 0;
+  }
+  double f64() {
+    std::string_view tok;
+    if (!next_token(tok) || tok.size() != 16) return static_cast<double>(fail_u64());
+    char* end = nullptr;
+    const std::string s(tok);
+    const std::uint64_t bits = std::strtoull(s.c_str(), &end, 16);
+    if (end != s.c_str() + s.size()) return static_cast<double>(fail_u64());
+    double x = 0.0;
+    std::memcpy(&x, &bits, sizeof x);
+    return x;
+  }
+  std::string bytes() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining()) {
+      fail_u64();
+      return {};
+    }
+    std::string s(in_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    // Consume the trailing separator the writer always emits.
+    if (pos_ >= in_.size() || in_[pos_] != ' ') {
+      fail_u64();
+      return {};
+    }
+    ++pos_;
+    return s;
+  }
+  SimTime time() { return SimTime(i64()); }
+  Duration dur() { return Duration(i64()); }
+  Vec2 vec2() {
+    Vec2 v;
+    v.x = f64();
+    v.y = f64();
+    return v;
+  }
+  Rect rect() {
+    Rect r;
+    r.min = vec2();
+    r.max = vec2();
+    return r;
+  }
+  Rng rng() {
+    Rng::State st;
+    for (std::uint64_t& word : st.s) word = u64();
+    st.cached_normal = f64();
+    st.has_cached_normal = boolean();
+    return Rng::from_state(st);
+  }
+
+  /// A corrupt element count must never drive a giant allocation: callers
+  /// gate `reserve(n)` on n <= remaining() (every element is >= 2 bytes on
+  /// the wire, so a legitimate count can never exceed the bytes left).
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool at_end() const { return pos_ == in_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool next_token(std::string_view& tok) {
+    if (!ok_) return false;
+    const std::size_t sep = in_.find(' ', pos_);
+    if (sep == std::string_view::npos || sep == pos_) {
+      ok_ = false;
+      return false;
+    }
+    tok = in_.substr(pos_, sep - pos_);
+    pos_ = sep + 1;
+    return true;
+  }
+  std::uint64_t fail_u64() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace iobt::sim

@@ -36,6 +36,17 @@ class EnergyModel {
   void drain_idle(double seconds) { drain(idle_cost_per_s * seconds); }
   void recharge_full() { remaining_j_ = capacity_j_; }
 
+  /// Checkpoint persistence (sim/wire.h): raw internals, round-tripped
+  /// bit-exactly — stored_j is the unconditioned remaining_j_ (unlike
+  /// remaining_j(), which reports 0 for unlimited assets).
+  double capacity_j() const { return capacity_j_; }
+  double stored_j() const { return remaining_j_; }
+  static EnergyModel from_raw(double capacity_j, double stored_j) {
+    EnergyModel m(capacity_j);
+    m.remaining_j_ = stored_j;
+    return m;
+  }
+
  private:
   double capacity_j_;
   double remaining_j_;

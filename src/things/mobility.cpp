@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/wire.h"
+
 namespace iobt::things {
 
 RandomWaypoint::RandomWaypoint(sim::Rect area, double speed_mps, double pause_s,
@@ -93,6 +95,74 @@ sim::Vec2 SeekPoint::step(sim::Vec2 current, double dt_s) {
   const double reach = speed_ * dt_s;
   if (reach >= dist) return goal_;
   return current + (goal_ - current).normalized() * reach;
+}
+
+// --- Wire encode/decode (checkpoint persistence) ---------------------------
+
+void Stationary::encode(sim::WireWriter&) const {}
+
+void RandomWaypoint::encode(sim::WireWriter& w) const {
+  w.rect(area_).f64(speed_).f64(pause_s_).rng(rng_).vec2(target_)
+      .boolean(has_target_).f64(pause_left_);
+}
+
+std::shared_ptr<RandomWaypoint> RandomWaypoint::decode(sim::WireReader& r) {
+  const sim::Rect area = r.rect();
+  const double speed = r.f64();
+  const double pause_s = r.f64();
+  auto m = std::make_shared<RandomWaypoint>(area, speed, pause_s, r.rng());
+  m->target_ = r.vec2();
+  m->has_target_ = r.boolean();
+  m->pause_left_ = r.f64();
+  return m;
+}
+
+void GridPatrol::encode(sim::WireWriter& w) const {
+  w.rect(area_).f64(block_m_).f64(speed_).rng(rng_).vec2(heading_)
+      .f64(until_turn_m_);
+}
+
+std::shared_ptr<GridPatrol> GridPatrol::decode(sim::WireReader& r) {
+  const sim::Rect area = r.rect();
+  const double block_m = r.f64();
+  const double speed = r.f64();
+  auto m = std::make_shared<GridPatrol>(area, block_m, speed, r.rng());
+  m->heading_ = r.vec2();
+  m->until_turn_m_ = r.f64();
+  return m;
+}
+
+void SeekPoint::encode(sim::WireWriter& w) const {
+  w.vec2(goal_).f64(speed_);
+}
+
+void encode_model(sim::WireWriter& w, const MobilityModel& m) {
+  w.u64(static_cast<std::uint64_t>(m.kind()));
+  m.encode(w);
+}
+
+std::shared_ptr<MobilityModel> decode_model(sim::WireReader& r) {
+  switch (r.u64()) {
+    case static_cast<std::uint64_t>(MobilityModel::Kind::kStationary):
+      return r.ok() ? std::make_shared<Stationary>() : nullptr;
+    case static_cast<std::uint64_t>(MobilityModel::Kind::kRandomWaypoint): {
+      auto m = RandomWaypoint::decode(r);
+      return r.ok() ? std::shared_ptr<MobilityModel>(std::move(m)) : nullptr;
+    }
+    case static_cast<std::uint64_t>(MobilityModel::Kind::kGridPatrol): {
+      auto m = GridPatrol::decode(r);
+      return r.ok() ? std::shared_ptr<MobilityModel>(std::move(m)) : nullptr;
+    }
+    case static_cast<std::uint64_t>(MobilityModel::Kind::kSeekPoint): {
+      // Locals pin the read order (argument evaluation order is unspecified).
+      const sim::Vec2 goal = r.vec2();
+      const double speed = r.f64();
+      auto m = std::make_shared<SeekPoint>(goal, speed);
+      return r.ok() ? std::shared_ptr<MobilityModel>(std::move(m)) : nullptr;
+    }
+    default:
+      return nullptr;
+  }
 }
 
 }  // namespace iobt::things

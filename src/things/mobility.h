@@ -7,19 +7,45 @@
 #include "sim/geometry.h"
 #include "sim/rng.h"
 
+namespace iobt::sim {
+class WireReader;  // sim/wire.h
+class WireWriter;
+}  // namespace iobt::sim
+
 namespace iobt::things {
 
 /// Strategy interface: given the current position and elapsed seconds,
 /// produce the next position. Implementations keep their own state.
 class MobilityModel {
  public:
+  /// Stable wire tag for checkpoint persistence — order is the on-disk
+  /// format, append only.
+  enum class Kind : std::uint8_t {
+    kStationary = 0,
+    kRandomWaypoint = 1,
+    kGridPatrol = 2,
+    kSeekPoint = 3,
+  };
+
   virtual ~MobilityModel() = default;
   virtual sim::Vec2 step(sim::Vec2 current, double dt_s) = 0;
   /// Deep copy, including the model's Rng position — checkpoint snapshots
   /// clone mobility so a restored branch advances exactly where the saved
   /// run would have, without sharing mutable state with the source.
   virtual std::shared_ptr<MobilityModel> clone() const = 0;
+
+  virtual Kind kind() const = 0;
+  /// Writes the full model state (Rng position included) to the wire; the
+  /// bit-exact counterpart of clone() for the persistence path. The kind
+  /// tag itself is written/dispatched by encode_model / decode_model.
+  virtual void encode(sim::WireWriter& w) const = 0;
 };
+
+/// Kind tag + state; the inverse of decode_model.
+void encode_model(sim::WireWriter& w, const MobilityModel& m);
+/// Rebuilds a model from the wire, or nullptr on a malformed tag/state
+/// (the reader's fail flag is latched either way).
+std::shared_ptr<MobilityModel> decode_model(sim::WireReader& r);
 
 /// Never moves (fixed infrastructure, unattended sensors).
 class Stationary final : public MobilityModel {
@@ -28,6 +54,8 @@ class Stationary final : public MobilityModel {
   std::shared_ptr<MobilityModel> clone() const override {
     return std::make_shared<Stationary>(*this);
   }
+  Kind kind() const override { return Kind::kStationary; }
+  void encode(sim::WireWriter& w) const override;
 };
 
 /// Classic random waypoint inside an area: pick a uniform destination,
@@ -39,6 +67,9 @@ class RandomWaypoint final : public MobilityModel {
   std::shared_ptr<MobilityModel> clone() const override {
     return std::make_shared<RandomWaypoint>(*this);
   }
+  Kind kind() const override { return Kind::kRandomWaypoint; }
+  void encode(sim::WireWriter& w) const override;
+  static std::shared_ptr<RandomWaypoint> decode(sim::WireReader& r);
 
  private:
   sim::Rect area_;
@@ -59,6 +90,9 @@ class GridPatrol final : public MobilityModel {
   std::shared_ptr<MobilityModel> clone() const override {
     return std::make_shared<GridPatrol>(*this);
   }
+  Kind kind() const override { return Kind::kGridPatrol; }
+  void encode(sim::WireWriter& w) const override;
+  static std::shared_ptr<GridPatrol> decode(sim::WireReader& r);
 
  private:
   void pick_heading(sim::Vec2 at);
@@ -79,6 +113,8 @@ class SeekPoint final : public MobilityModel {
   std::shared_ptr<MobilityModel> clone() const override {
     return std::make_shared<SeekPoint>(*this);
   }
+  Kind kind() const override { return Kind::kSeekPoint; }
+  void encode(sim::WireWriter& w) const override;
   bool arrived(sim::Vec2 current, double tol_m = 1.0) const {
     return sim::distance(current, goal_) <= tol_m;
   }

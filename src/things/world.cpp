@@ -3,6 +3,8 @@
 #include <cassert>
 #include <map>
 
+#include "sim/wire.h"
+
 namespace iobt::things {
 
 namespace {
@@ -245,6 +247,235 @@ std::vector<Observation> World::sense_all(Modality modality) {
     out.insert(out.end(), obs.begin(), obs.end());
   }
   return out;
+}
+
+// --- Wire persistence ------------------------------------------------------
+
+namespace {
+
+void encode_asset(sim::WireWriter& w, const Asset& a) {
+  w.u64(a.id)
+      .u64(static_cast<std::uint64_t>(a.device_class))
+      .u64(static_cast<std::uint64_t>(a.affiliation))
+      .u64(a.node);
+  w.u64(a.sensors.size());
+  for (const SenseCapability& s : a.sensors) {
+    w.u64(static_cast<std::uint64_t>(s.modality))
+        .f64(s.range_m)
+        .f64(s.quality)
+        .f64(s.false_positive_rate);
+  }
+  w.u64(a.actuators.size());
+  for (const ActuateCapability& ac : a.actuators) {
+    w.u64(static_cast<std::uint64_t>(ac.kind)).f64(ac.range_m);
+  }
+  w.f64(a.compute.flops).f64(a.compute.memory_bytes).f64(a.compute.storage_bytes);
+  w.f64(a.emissions.beacon_period_s)
+      .boolean(a.emissions.responds_to_probe)
+      .f64(a.emissions.side_channel_rate_hz);
+  w.f64(a.report_reliability);
+}
+
+/// Reads a u64 and range-checks it against an enum's cardinality.
+bool decode_enum(sim::WireReader& r, std::uint64_t limit, std::uint64_t& out) {
+  out = r.u64();
+  return r.ok() && out < limit;
+}
+
+bool decode_asset(sim::WireReader& r, Asset& a) {
+  a.id = static_cast<AssetId>(r.u64());
+  std::uint64_t device = 0, affiliation = 0;
+  if (!decode_enum(r, kDeviceClassCount, device) ||
+      !decode_enum(r, 3, affiliation)) {
+    return false;
+  }
+  a.device_class = static_cast<DeviceClass>(device);
+  a.affiliation = static_cast<Affiliation>(affiliation);
+  a.node = static_cast<net::NodeId>(r.u64());
+  const std::uint64_t sensors = r.u64();
+  if (!r.ok() || sensors > r.remaining()) return false;
+  a.sensors.resize(static_cast<std::size_t>(sensors));
+  for (SenseCapability& s : a.sensors) {
+    std::uint64_t modality = 0;
+    if (!decode_enum(r, kModalityCount, modality)) return false;
+    s.modality = static_cast<Modality>(modality);
+    s.range_m = r.f64();
+    s.quality = r.f64();
+    s.false_positive_rate = r.f64();
+  }
+  const std::uint64_t actuators = r.u64();
+  if (!r.ok() || actuators > r.remaining()) return false;
+  a.actuators.resize(static_cast<std::size_t>(actuators));
+  for (ActuateCapability& ac : a.actuators) {
+    std::uint64_t kind = 0;
+    if (!decode_enum(r, 5, kind)) return false;
+    ac.kind = static_cast<ActuationKind>(kind);
+    ac.range_m = r.f64();
+  }
+  a.compute.flops = r.f64();
+  a.compute.memory_bytes = r.f64();
+  a.compute.storage_bytes = r.f64();
+  a.emissions.beacon_period_s = r.f64();
+  a.emissions.responds_to_probe = r.boolean();
+  a.emissions.side_channel_rate_hz = r.f64();
+  a.report_reliability = r.f64();
+  return r.ok();
+}
+
+void encode_energy(sim::WireWriter& w, const EnergyModel& e) {
+  w.f64(e.capacity_j())
+      .f64(e.stored_j())
+      .f64(e.tx_cost_per_byte)
+      .f64(e.sense_cost_per_obs)
+      .f64(e.compute_cost_per_mflop)
+      .f64(e.idle_cost_per_s);
+}
+
+EnergyModel decode_energy(sim::WireReader& r) {
+  const double capacity = r.f64();
+  const double stored = r.f64();
+  EnergyModel e = EnergyModel::from_raw(capacity, stored);
+  e.tx_cost_per_byte = r.f64();
+  e.sense_cost_per_obs = r.f64();
+  e.compute_cost_per_mflop = r.f64();
+  e.idle_cost_per_s = r.f64();
+  return e;
+}
+
+}  // namespace
+
+bool World::encode_state(const sim::Snapshot& snap, const std::string& key,
+                         sim::WireWriter& w) const {
+  const auto& st = snap.get<CheckpointState>(key);
+  w.u64(st.assets.size());
+  for (const Asset& a : st.assets) encode_asset(w, a);
+  for (std::uint8_t v : st.alive) w.u64(v);
+  for (const EnergyModel& e : st.energy) encode_energy(w, e);
+
+  // Alias table over every distinct mobility model referenced by assets OR
+  // targets, in first-appearance order. Sharing structure is state: two
+  // slots aliasing one model (one Rng stream) must still alias after the
+  // disk round trip.
+  std::vector<const MobilityModel*> table;
+  std::map<const MobilityModel*, std::uint64_t> ids;
+  const auto alias_of = [&](const std::shared_ptr<MobilityModel>& m)
+      -> std::int64_t {
+    if (!m) return -1;
+    auto [it, inserted] = ids.emplace(m.get(), table.size());
+    if (inserted) table.push_back(m.get());
+    return static_cast<std::int64_t>(it->second);
+  };
+  std::vector<std::int64_t> asset_alias, target_alias;
+  asset_alias.reserve(st.mobility.size());
+  for (const auto& m : st.mobility) asset_alias.push_back(alias_of(m));
+  target_alias.reserve(st.targets.size());
+  for (const Target& t : st.targets) target_alias.push_back(alias_of(t.mobility));
+  w.u64(table.size());
+  for (const MobilityModel* m : table) encode_model(w, *m);
+  for (std::int64_t a : asset_alias) w.i64(a);
+
+  w.u64(st.targets.size());
+  for (std::size_t i = 0; i < st.targets.size(); ++i) {
+    const Target& t = st.targets[i];
+    w.u64(t.id).vec2(t.position).i64(target_alias[i]).bytes(t.kind).boolean(
+        t.active);
+  }
+  w.u64(st.node_to_asset.size());
+  for (AssetId id : st.node_to_asset) w.u64(id);
+  w.u64(st.disruptions.size());
+  for (const SensingDisruption& d : st.disruptions) {
+    w.u64(static_cast<std::uint64_t>(d.modality))
+        .rect(d.region)
+        .time(d.start)
+        .time(d.end)
+        .f64(d.severity);
+  }
+  w.rng(st.rng)
+      .boolean(st.started)
+      .dur(st.tick_period)
+      .time(st.next_tick_at)
+      .u64(st.tick_seq);
+  return true;
+}
+
+bool World::decode_state(sim::Snapshot& snap, const std::string& key,
+                         sim::WireReader& r) const {
+  CheckpointState st;
+  const std::uint64_t assets = r.u64();
+  if (!r.ok() || assets > r.remaining()) return false;
+  st.assets.resize(static_cast<std::size_t>(assets));
+  for (Asset& a : st.assets) {
+    if (!decode_asset(r, a)) return false;
+  }
+  st.alive.resize(st.assets.size());
+  for (std::uint8_t& v : st.alive) {
+    const std::uint64_t raw = r.u64();
+    if (raw > 1) return false;
+    v = static_cast<std::uint8_t>(raw);
+  }
+  st.energy.reserve(st.assets.size());
+  for (std::size_t i = 0; i < st.assets.size(); ++i) {
+    st.energy.push_back(decode_energy(r));
+  }
+
+  const std::uint64_t models = r.u64();
+  if (!r.ok() || models > r.remaining()) return false;
+  std::vector<std::shared_ptr<MobilityModel>> table;
+  table.reserve(static_cast<std::size_t>(models));
+  for (std::uint64_t i = 0; i < models; ++i) {
+    auto m = decode_model(r);
+    if (!m) return false;
+    table.push_back(std::move(m));
+  }
+  const auto resolve = [&](std::int64_t alias,
+                           std::shared_ptr<MobilityModel>& out) {
+    if (alias < 0) {
+      out = nullptr;
+      return true;
+    }
+    if (static_cast<std::uint64_t>(alias) >= table.size()) return false;
+    out = table[static_cast<std::size_t>(alias)];
+    return true;
+  };
+  st.mobility.resize(st.assets.size());
+  for (auto& m : st.mobility) {
+    if (!resolve(r.i64(), m)) return false;
+  }
+
+  const std::uint64_t targets = r.u64();
+  if (!r.ok() || targets > r.remaining()) return false;
+  st.targets.resize(static_cast<std::size_t>(targets));
+  for (Target& t : st.targets) {
+    t.id = static_cast<TargetId>(r.u64());
+    t.position = r.vec2();
+    if (!resolve(r.i64(), t.mobility)) return false;
+    t.kind = r.bytes();
+    t.active = r.boolean();
+  }
+  const std::uint64_t nodes = r.u64();
+  if (!r.ok() || nodes > r.remaining()) return false;
+  st.node_to_asset.resize(static_cast<std::size_t>(nodes));
+  for (AssetId& id : st.node_to_asset) id = static_cast<AssetId>(r.u64());
+  const std::uint64_t disruptions = r.u64();
+  if (!r.ok() || disruptions > r.remaining()) return false;
+  st.disruptions.resize(static_cast<std::size_t>(disruptions));
+  for (SensingDisruption& d : st.disruptions) {
+    std::uint64_t modality = 0;
+    if (!decode_enum(r, kModalityCount, modality)) return false;
+    d.modality = static_cast<Modality>(modality);
+    d.region = r.rect();
+    d.start = r.time();
+    d.end = r.time();
+    d.severity = r.f64();
+  }
+  st.rng = r.rng();
+  st.started = r.boolean();
+  st.tick_period = r.dur();
+  st.next_tick_at = r.time();
+  st.tick_seq = r.u64();
+  if (!r.ok()) return false;
+  snap.put(key, std::move(st));
+  return true;
 }
 
 }  // namespace iobt::things

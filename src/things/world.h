@@ -48,7 +48,7 @@ struct Target {
   bool active = true;
 };
 
-class World : public sim::Checkpointable {
+class World : public sim::SerializableCheckpointable {
  public:
   World(sim::Simulator& simulator, net::Network& network, sim::Rect area, sim::Rng rng);
   ~World() override;
@@ -159,6 +159,14 @@ class World : public sim::Checkpointable {
   void save(sim::Snapshot& snap, const std::string& key) const override;
   void restore(const sim::Snapshot& snap, const std::string& key,
                sim::RestoreArmer& armer) override;
+  /// Wire persistence (sim/wire.h). Mobility models cross the wire through
+  /// an alias table spanning assets AND targets, so pointer sharing — which
+  /// is state (clone_memoized preserves it in-memory) — survives the disk
+  /// round trip too.
+  bool encode_state(const sim::Snapshot& snap, const std::string& key,
+                    sim::WireWriter& w) const override;
+  bool decode_state(sim::Snapshot& snap, const std::string& key,
+                    sim::WireReader& r) const override;
 
  private:
   struct CheckpointState {

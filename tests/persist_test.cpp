@@ -1,0 +1,367 @@
+// Durable snapshot persistence (sim/wire.h, CheckpointRegistry
+// serialize/deserialize, serve/snapshot_store.h, and the CampaignService
+// disk tier): byte-stable golden images, load-then-branch digest identity
+// across worker counts, corrupt/truncated/mismatched files rejected back
+// to a cold simulation, and journal append durability failures surfaced.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "dissem/scenario.h"
+#include "serve/serve.h"
+#include "serve/snapshot_store.h"
+#include "sim/runner.h"
+#include "sim/wire.h"
+
+namespace iobt {
+namespace {
+
+using serve::CampaignService;
+using serve::Query;
+using serve::SnapshotStore;
+
+dissem::DissemSpec tiny_spec() {
+  dissem::DissemSpec spec;
+  spec.name = "persist-tiny";
+  dissem::LayerSpec l;
+  l.layer = net::kLayerGround;
+  l.nodes = 12;
+  l.gateways = 2;
+  l.radio.range_m = 150.0;
+  l.radio.data_rate_bps = 1e6;
+  l.radio.base_loss = 0.01;
+  l.device = things::DeviceClass::kSensorMote;
+  l.speed_mps = 3.0;
+  spec.layers = {l};
+  spec.mobility = dissem::MobilityKind::kWaypoint;
+  spec.attack = dissem::AttackCampaign::kNone;
+  spec.intensity = 0.0;
+  spec.area = sim::Rect{{0, 0}, {300, 300}};
+  spec.horizon_s = 20.0;
+  spec.seed_time_s = 2.0;
+  return spec;
+}
+
+Query tiny_query(std::uint64_t seed = 42,
+                 dissem::AttackCampaign attack = dissem::AttackCampaign::kNone,
+                 double intensity = 0.0) {
+  Query q;
+  q.spec = tiny_spec();
+  q.seed = seed;
+  q.branch_time_s = 15.0;
+  q.delta.attack = attack;
+  q.delta.intensity = intensity;
+  return q;
+}
+
+/// Fresh per-test scratch directory under the build tree.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = "persist_test_scratch/" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+/// Simulates `q`'s prefix on a fresh stack and returns its wire image.
+std::string prefix_wire_image(const Query& q) {
+  dissem::DissemScenario s(q.spec, q.seed);
+  s.sim.run_until(sim::SimTime::seconds(q.branch_time_s));
+  const sim::Snapshot snap = s.sim.checkpoint().save(serve::prefix_hash(q));
+  std::string wire;
+  EXPECT_TRUE(s.sim.checkpoint().serialize_snapshot(snap, wire));
+  return wire;
+}
+
+// ----------------------------------------------------------- Wire format ----
+
+TEST(WirePersistence, PrimitivesRoundTripExactly) {
+  sim::WireWriter w;
+  const double third = 1.0 / 3.0;
+  w.u64(0).u64(~0ULL).i64(-1).i64(42).boolean(true).boolean(false);
+  w.f64(third).f64(-0.0).f64(1e308);
+  w.bytes("").bytes(std::string("a b\nc\0d", 7));
+  sim::WireReader r(w.out());
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), ~0ULL);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.i64(), 42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  // Bit patterns, not values: -0.0 and the full double range survive.
+  EXPECT_EQ(r.f64(), third);
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_EQ(r.f64(), 1e308);
+  EXPECT_EQ(r.bytes(), "");
+  EXPECT_EQ(r.bytes(), std::string("a b\nc\0d", 7));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WirePersistence, ReaderFailsSoftOnMalformedInput) {
+  sim::WireReader r("not-a-number ");
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Latched: every later read answers zero instead of touching the input.
+  EXPECT_EQ(r.i64(), 0);
+  EXPECT_EQ(r.bytes(), "");
+}
+
+// ------------------------------------------------------ Registry images ----
+
+TEST(RegistrySerialization, GoldenImageIsByteStableAcrossStacks) {
+  // Two independently built stacks of the same scenario produce the SAME
+  // bytes: the image depends only on (spec, seed, branch), never on
+  // pointer values, map iteration order, or which stack wrote it.
+  const Query q = tiny_query();
+  const std::string a = prefix_wire_image(q);
+  const std::string b = prefix_wire_image(q);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistrySerialization, DecodeReencodesToIdenticalBytes) {
+  const Query q = tiny_query();
+  const std::string wire = prefix_wire_image(q);
+  dissem::DissemScenario s(q.spec, q.seed);
+  auto snap = s.sim.checkpoint().deserialize_snapshot(wire);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->prefix_hash(), serve::prefix_hash(q));
+  std::string again;
+  ASSERT_TRUE(s.sim.checkpoint().serialize_snapshot(*snap, again));
+  EXPECT_EQ(wire, again);
+}
+
+TEST(RegistrySerialization, LoadThenBranchIsDigestIdenticalToInMemoryBranch) {
+  const Query q = tiny_query(42, dissem::AttackCampaign::kJamming, 0.6);
+  const std::uint64_t reference = CampaignService::run_uncached(q).digest;
+
+  // In-memory branch: save at the branch point, restore into a fresh
+  // stack, run out the horizon.
+  std::string wire;
+  std::uint64_t in_memory = 0;
+  {
+    dissem::DissemScenario s(q.spec, q.seed);
+    s.sim.run_until(sim::SimTime::seconds(q.branch_time_s));
+    const sim::Snapshot snap = s.sim.checkpoint().save(serve::prefix_hash(q));
+    ASSERT_TRUE(s.sim.checkpoint().serialize_snapshot(snap, wire));
+    dissem::DissemScenario b(q.spec, q.seed);
+    b.sim.checkpoint().restore(snap);
+    serve::apply_delta(b, q);
+    b.sim.run_until(sim::SimTime::seconds(q.spec.horizon_s));
+    in_memory = b.outcome().digest;
+  }
+  EXPECT_EQ(in_memory, reference);
+
+  // Wire branch: the ORIGINAL stack is gone; a new stack decodes the
+  // bytes and branches. Must be bit-identical to both references.
+  dissem::DissemScenario b(q.spec, q.seed);
+  auto snap = b.sim.checkpoint().deserialize_snapshot(wire);
+  ASSERT_TRUE(snap.has_value());
+  b.sim.checkpoint().restore(*snap);
+  serve::apply_delta(b, q);
+  b.sim.run_until(sim::SimTime::seconds(q.spec.horizon_s));
+  EXPECT_EQ(b.outcome().digest, reference);
+}
+
+TEST(RegistrySerialization, TruncatedImagesRejectCleanly) {
+  const Query q = tiny_query();
+  const std::string wire = prefix_wire_image(q);
+  dissem::DissemScenario s(q.spec, q.seed);
+  // Every strict prefix of a valid image is invalid — decode must answer
+  // nullopt (never throw, crash, or half-decode) at any cut point.
+  for (const double frac : {0.0, 0.1, 0.37, 0.5, 0.81, 0.99}) {
+    const auto cut = static_cast<std::size_t>(frac * double(wire.size()));
+    EXPECT_FALSE(
+        s.sim.checkpoint().deserialize_snapshot(wire.substr(0, cut)).has_value())
+        << "cut at " << cut << "/" << wire.size();
+  }
+  // Trailing garbage is equally fatal: the size fields must account for
+  // every byte.
+  EXPECT_FALSE(
+      s.sim.checkpoint().deserialize_snapshot(wire + "junk").has_value());
+}
+
+// -------------------------------------------------------- Snapshot store ----
+
+TEST(SnapshotStore, PutGetRoundTripsAndCountsFiles) {
+  SnapshotStore store(scratch_dir("roundtrip"));
+  const std::string payload = "hello wire world \n binary\0!";
+  ASSERT_TRUE(store.put(0xabcdULL, payload));
+  EXPECT_EQ(store.file_count(), 1u);
+  std::string out;
+  EXPECT_EQ(store.get(0xabcdULL, out), SnapshotStore::GetStatus::kHit);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(store.get(0x1234ULL, out), SnapshotStore::GetStatus::kMissing);
+}
+
+TEST(SnapshotStore, CorruptHeaderTruncationAndVersionSkewAreRejected) {
+  const std::string dir = scratch_dir("corrupt");
+  SnapshotStore store(dir);
+  const std::string payload(300, 'x');
+  ASSERT_TRUE(store.put(7, payload));
+  const std::string path = dir + "/" + SnapshotStore::file_name(7);
+
+  const auto rewrite = [&](const std::function<std::string(std::string)>& f) {
+    std::ifstream in(path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << f(std::move(all));
+  };
+  std::string sink;
+
+  rewrite([](std::string s) { s[0] = 'X'; return s; });  // bad magic
+  EXPECT_EQ(store.get(7, sink), SnapshotStore::GetStatus::kRejected);
+
+  ASSERT_TRUE(store.put(7, payload));
+  rewrite([](std::string s) { s[7] = '9'; return s; });  // unsupported version
+  EXPECT_EQ(store.get(7, sink), SnapshotStore::GetStatus::kRejected);
+
+  ASSERT_TRUE(store.put(7, payload));
+  rewrite([](std::string s) { return s.substr(0, s.size() - 40); });  // truncated
+  EXPECT_EQ(store.get(7, sink), SnapshotStore::GetStatus::kRejected);
+
+  ASSERT_TRUE(store.put(7, payload));
+  rewrite([](std::string s) { s[s.size() - 10] ^= 1; return s; });  // bit rot
+  EXPECT_EQ(store.get(7, sink), SnapshotStore::GetStatus::kRejected);
+
+  // Wrong prefix stamp: a valid file served under another prefix's name.
+  ASSERT_TRUE(store.put(7, payload));
+  std::filesystem::copy_file(path, dir + "/" + SnapshotStore::file_name(8));
+  EXPECT_EQ(store.get(8, sink), SnapshotStore::GetStatus::kRejected);
+
+  // The intact original still reads back: rejection is per-file.
+  EXPECT_EQ(store.get(7, sink), SnapshotStore::GetStatus::kHit);
+  EXPECT_EQ(sink, payload);
+}
+
+// ------------------------------------------------- Service durable tier ----
+
+TEST(CampaignServiceDurability, RestartedServiceReWarmsDigestIdentical) {
+  const std::string dir = scratch_dir("rewarm");
+  const std::vector<Query> batch = {
+      tiny_query(42, dissem::AttackCampaign::kNone, 0.0),
+      tiny_query(42, dissem::AttackCampaign::kJamming, 0.6),
+      tiny_query(43, dissem::AttackCampaign::kGatewayHunt, 0.8),
+      tiny_query(43, dissem::AttackCampaign::kCombined, 0.5),
+  };
+  std::vector<std::uint64_t> reference;
+  for (const Query& q : batch) {
+    reference.push_back(CampaignService::run_uncached(q).digest);
+  }
+
+  {
+    CampaignService::Options opts;
+    opts.workers = 2;
+    opts.snapshot_dir = dir;
+    CampaignService first(opts);
+    const serve::BatchResult res = first.submit(batch);
+    EXPECT_EQ(res.failures, 0u);
+    EXPECT_EQ(res.prefix_sims, 2u);
+    EXPECT_EQ(first.cache_stats().disk_stores, 2u);
+  }  // the first service dies; its memory tier dies with it
+
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    CampaignService::Options opts;
+    opts.workers = workers;
+    opts.snapshot_dir = dir;
+    CampaignService revived(opts);
+    const serve::BatchResult res = revived.submit(batch);
+    EXPECT_EQ(res.failures, 0u);
+    // No prefix re-simulation: both prefixes re-warm from the disk tier.
+    EXPECT_EQ(res.prefix_sims, 0u) << "workers=" << workers;
+    EXPECT_EQ(res.disk_hits, 2u) << "workers=" << workers;
+    EXPECT_EQ(res.cache_hits, batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(res.results[i].outcome.digest, reference[i])
+          << "workers=" << workers << " query=" << i;
+    }
+  }
+}
+
+TEST(CampaignServiceDurability, CorruptDiskFilesFallBackToColdSimulation) {
+  const std::string dir = scratch_dir("fallback");
+  const Query q = tiny_query(50, dissem::AttackCampaign::kJamming, 0.4);
+  const std::uint64_t reference = CampaignService::run_uncached(q).digest;
+
+  CampaignService::Options opts;
+  opts.workers = 1;
+  opts.snapshot_dir = dir;
+  {
+    CampaignService first(opts);
+    ASSERT_EQ(first.submit({q}).failures, 0u);
+  }
+  // Vandalize the stored snapshot: flip one payload byte.
+  const std::string path =
+      dir + "/" + SnapshotStore::file_name(serve::prefix_hash(q));
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    all[all.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << all;
+  }
+  CampaignService revived(opts);
+  const serve::BatchResult res = revived.submit({q});
+  // The corrupt file is rejected, the prefix re-simulates cold, and the
+  // answer is still exactly right — then the re-simulated snapshot
+  // OVERWRITES the corrupt file, healing the tier.
+  EXPECT_EQ(res.failures, 0u);
+  EXPECT_EQ(res.disk_hits, 0u);
+  EXPECT_EQ(res.prefix_sims, 1u);
+  EXPECT_EQ(revived.cache_stats().disk_rejects, 1u);
+  EXPECT_EQ(res.results[0].outcome.digest, reference);
+
+  CampaignService again(opts);
+  const serve::BatchResult healed = again.submit({q});
+  EXPECT_EQ(healed.disk_hits, 1u);
+  EXPECT_EQ(healed.results[0].outcome.digest, reference);
+}
+
+// ------------------------------------------------------ Journal durability ----
+
+TEST(CampaignJournal, AppendToUnopenablePathThrows) {
+  // The parent directory does not exist, so the append-open must fail —
+  // and the entry must NOT appear in memory (no phantom durability).
+  sim::CampaignJournal journal("persist_test_scratch/no_such_dir/j.log");
+  EXPECT_THROW(journal.append(sim::JournalEntry{1, 0, 2.5, "p", "m"}),
+               std::runtime_error);
+  EXPECT_TRUE(journal.entries().empty());
+}
+
+TEST(CampaignJournal, RunResumableSurfacesJournalWriteFailures) {
+  sim::CampaignJournal journal("persist_test_scratch/no_such_dir/j.log");
+  sim::ParallelRunner::Options po;
+  po.workers = 2;
+  const sim::ParallelRunner runner(po);
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  const auto out = runner.run_resumable<std::uint64_t>(
+      seeds, [](sim::ReplicationContext& ctx) { return ctx.seed * 10; },
+      journal, [](const std::uint64_t& v) { return std::to_string(v); },
+      [](std::string_view s) -> std::uint64_t {
+        return std::strtoull(std::string(s).c_str(), nullptr, 10);
+      });
+  // Every replication still succeeded — the answers are correct — but none
+  // are durable, and the outcome says so instead of pretending.
+  EXPECT_EQ(out.failures, 0u);
+  EXPECT_EQ(out.journal_write_failures, seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(out.replications[i].payload, seeds[i] * 10);
+  }
+  EXPECT_TRUE(journal.entries().empty());
+}
+
+}  // namespace
+}  // namespace iobt

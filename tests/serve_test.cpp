@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
@@ -188,7 +190,7 @@ TEST(CampaignService, ServedAnswersMatchUncachedAcrossWorkerCounts) {
   }
 }
 
-TEST(CampaignService, BoundedLruEvictsLeastRecentlyUsedPrefix) {
+TEST(CampaignService, BoundedCacheEvictsAndClearCacheEmpties) {
   CampaignService::Options opts;
   opts.workers = 0;  // inline serial: cheap and deterministic
   opts.cache_capacity = 2;
@@ -199,18 +201,95 @@ TEST(CampaignService, BoundedLruEvictsLeastRecentlyUsedPrefix) {
   (void)one(1);  // cache: {1}
   (void)one(2);  // cache: {2, 1}
   EXPECT_EQ(svc.cache_stats().evictions, 0u);
-  (void)one(1);  // hit refreshes 1 -> cache: {1, 2}
+  (void)one(1);  // hit refreshes 1
   EXPECT_EQ(svc.cache_stats().hits, 1u);
-  (void)one(3);  // evicts 2, the least recently used
+  (void)one(3);  // over capacity: one of the residents is evicted
   EXPECT_EQ(svc.cache_stats().evictions, 1u);
   EXPECT_EQ(svc.cache_stats().entries, 2u);
-  const auto again = one(2);  // 2 was evicted: must re-simulate
-  EXPECT_EQ(again.prefix_sims, 1u);
-  EXPECT_EQ(svc.cache_stats().misses, 4u);
+  EXPECT_EQ(svc.cache_stats().misses, 3u);
 
   svc.clear_cache();
   EXPECT_EQ(svc.cache_stats().entries, 0u);
   EXPECT_EQ(one(1).prefix_sims, 1u);
+}
+
+TEST(CampaignService, EvictionIsCostAwareNotPureLru) {
+  CampaignService::Options opts;
+  opts.workers = 0;
+  opts.cache_capacity = 2;
+  CampaignService svc(opts);
+  // One prefix is ~the whole horizon to rebuild, the others nearly free:
+  // under cost-aware eviction the expensive snapshot survives pressure
+  // that plain LRU would evict it under (it IS the least recently used
+  // entry when the second cheap prefix arrives).
+  Query expensive = tiny_query(1);
+  expensive.branch_time_s = 19.5;
+  Query cheap1 = tiny_query(2);
+  cheap1.branch_time_s = 0.1;
+  Query cheap2 = tiny_query(3);
+  cheap2.branch_time_s = 0.1;
+
+  (void)svc.submit({expensive});  // cache: {expensive}
+  (void)svc.submit({cheap1});     // cache: {cheap1, expensive}
+  (void)svc.submit({cheap2});     // pressure: a CHEAP entry must go
+  EXPECT_EQ(svc.cache_stats().evictions, 1u);
+  const serve::BatchResult res = svc.submit({expensive});
+  EXPECT_EQ(res.prefix_sims, 0u) << "cost-aware eviction dropped the "
+                                    "most-expensive-to-rebuild snapshot";
+  EXPECT_TRUE(res.results[0].cache_hit);
+}
+
+TEST(CampaignService, BatchDedupIsDistinguishedFromCacheHits) {
+  CampaignService::Options opts;
+  opts.workers = 2;
+  CampaignService svc(opts);
+  const std::vector<Query> batch = {
+      tiny_query(80, dissem::AttackCampaign::kNone, 0.0),
+      tiny_query(80, dissem::AttackCampaign::kJamming, 0.5),
+      tiny_query(80, dissem::AttackCampaign::kCombined, 0.5)};
+  const serve::BatchResult first = svc.submit(batch);
+  // One cold prefix sim; the two riders are batch-dedup, NOT cache hits —
+  // nothing was in any cache when this batch arrived.
+  EXPECT_EQ(first.failures, 0u);
+  EXPECT_EQ(first.prefix_sims, 1u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.batch_dedup, 2u);
+  EXPECT_FALSE(first.results[0].cache_hit);
+  EXPECT_FALSE(first.results[0].batch_dedup);
+  for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_TRUE(first.results[i].batch_dedup);
+    EXPECT_FALSE(first.results[i].cache_hit);
+  }
+  // Resubmit: now the prefix IS cached, so all three are genuine hits.
+  const serve::BatchResult second = svc.submit(batch);
+  EXPECT_EQ(second.cache_hits, 3u);
+  EXPECT_EQ(second.batch_dedup, 0u);
+  EXPECT_EQ(svc.cache_stats().hits, 3u);
+  EXPECT_EQ(svc.cache_stats().batch_dedup, 2u);
+  EXPECT_EQ(svc.cache_stats().misses, 1u);
+}
+
+TEST(CampaignService, FailingSharedPrefixCountsNoHitsAndNoDedup) {
+  // Three queries share one prefix whose simulation THROWS. The old
+  // accounting marked the two riders as cache hits before the prefix sim
+  // ever ran; they must report neither cache_hit nor batch_dedup.
+  CampaignService::Options opts;
+  opts.workers = 2;
+  CampaignService svc(opts);
+  Query bad = tiny_query(90);
+  bad.spec.gossip.regossip_rounds = 0;  // DissemScenario rejects this
+  const serve::BatchResult res = svc.submit({bad, bad, bad});
+  EXPECT_EQ(res.failures, 3u);
+  EXPECT_EQ(res.cache_hits, 0u);
+  EXPECT_EQ(res.batch_dedup, 0u);
+  for (const serve::QueryResult& r : res.results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_FALSE(r.batch_dedup);
+    EXPECT_NE(r.error.find("regossip_rounds"), std::string::npos);
+  }
+  EXPECT_EQ(svc.cache_stats().hits, 0u);
+  EXPECT_EQ(svc.cache_stats().batch_dedup, 0u);
 }
 
 TEST(CampaignService, AdmissionGateShedsQueriesPastTheBudget) {
@@ -253,6 +332,51 @@ TEST(CampaignService, FailingQueryIsIsolatedAndCarriesSerialRepro) {
   EXPECT_NE(r.error.find("regossip_rounds"), std::string::npos);
   EXPECT_NE(r.repro.find("bench_serve --uncached"), std::string::npos);
   EXPECT_NE(r.repro.find("seed=60"), std::string::npos);
+}
+
+TEST(CampaignService, ReproLineRoundTripsAtFullPrecision) {
+  // Doubles chosen so 6-significant-digit formatting (%g) would print a
+  // DIFFERENT query: re-hashing a %g repro yields the wrong prefix, and
+  // the serial repro silently reproduces the wrong what-if. %.17g must
+  // round-trip each of them exactly.
+  CampaignService::Options opts;
+  opts.workers = 1;
+  opts.repro_program = "bench_serve";
+  CampaignService svc(opts);
+  Query bad = tiny_query(77, dissem::AttackCampaign::kJamming, 0.1 + 0.2);
+  bad.branch_time_s = 14.000000123456789;
+  bad.delta.delay_s = 1.0 / 3.0;
+  bad.delta.salt = 5;
+  bad.spec.gossip.regossip_rounds = 0;  // force a failure to get a repro
+  const serve::BatchResult res = svc.submit({bad});
+  ASSERT_EQ(res.failures, 1u);
+  const std::string& repro = res.results[0].repro;
+  ASSERT_FALSE(repro.empty());
+
+  const auto parse_after = [&](const std::string& tag) {
+    const auto pos = repro.find(tag);
+    EXPECT_NE(pos, std::string::npos) << tag << " missing from: " << repro;
+    return std::strtod(repro.c_str() + pos + tag.size(), nullptr);
+  };
+  Query rebuilt = bad;  // the repro assumes the spec; doubles come from it
+  rebuilt.branch_time_s = parse_after("branch=");
+  rebuilt.delta.delay_s = parse_after("delay=");
+  const auto colon = repro.find(':', repro.find("delta="));
+  ASSERT_NE(colon, std::string::npos);
+  rebuilt.delta.intensity = std::strtod(repro.c_str() + colon + 1, nullptr);
+
+  EXPECT_EQ(rebuilt.branch_time_s, bad.branch_time_s);
+  EXPECT_EQ(rebuilt.delta.delay_s, bad.delta.delay_s);
+  EXPECT_EQ(rebuilt.delta.intensity, bad.delta.intensity);
+  EXPECT_EQ(serve::prefix_hash(rebuilt), res.results[0].prefix);
+  EXPECT_EQ(serve::query_hash(rebuilt), serve::query_hash(bad));
+
+  // The printed "# prefix" stamp names the same prefix the rebuilt query
+  // re-hashes to — the repro line is internally consistent.
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%016llx",
+                static_cast<unsigned long long>(serve::prefix_hash(rebuilt)));
+  EXPECT_NE(repro.find(stamp), std::string::npos) << repro;
 }
 
 TEST(CampaignService, TraceExportIsPerQueryOptIn) {
